@@ -1,0 +1,378 @@
+(* The benchmark / reproduction harness.
+
+   Every table and figure of the paper's evaluation has a target here:
+
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe table1     # one experiment
+     dune exec bench/main.exe perf       # Bechamel micro-benchmarks only
+
+   Reproduction experiments print the paper's rows next to the measured
+   ones; [perf] runs one Bechamel [Test.make] per experiment (mapping
+   compilation, both execution backends, XQuery generation, Clio
+   generation, and the supporting substrates). *)
+
+module S = Clip_scenarios
+module Node = Clip_xml.Node
+module Engine = Clip_core.Engine
+
+let rule title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subrule title = Printf.printf "\n--- %s\n" title
+
+(* --- Figures 3-9 (and the prose variants): expected vs measured ---------- *)
+
+let figure_experiment (sc : S.Figures.t) () =
+  rule (Printf.sprintf "%s — %s" sc.name sc.title);
+  let out =
+    Engine.run ~minimum_cardinality:sc.minimum_cardinality sc.mapping
+      S.Deptdb.instance
+  in
+  print_endline (Clip_xml.Printer.to_tree_string out);
+  (match sc.expected with
+   | Some expected ->
+     let ok =
+       if sc.ordered then Node.equal out expected
+       else Node.equal_unordered out expected
+     in
+     Printf.printf "\npaper-vs-measured: %s%s\n"
+       (if ok then "MATCH" else "MISMATCH")
+       (if sc.ordered then " (exact sibling order)" else " (order-insensitive)")
+   | None ->
+     Printf.printf "\npaper prints no instance; measured %d target nodes\n"
+       (Node.size out));
+  if sc.minimum_cardinality then begin
+    let out' = Engine.run ~backend:`Xquery sc.mapping S.Deptdb.instance in
+    Printf.printf "generated-XQuery backend agrees: %b\n" (Node.equal out out')
+  end
+
+(* --- Figure 1: the motivating example and Clio's defect ------------------- *)
+
+let fig1_experiment () =
+  rule "fig1 — the motivating example (Sec. I): Clio's defective output";
+  let baseline = Clip_clio.Generate.generate S.Figures.fig1_values in
+  let out =
+    Clip_tgd.Eval.run ~source:S.Deptdb.instance ~target_root:"target" baseline
+  in
+  print_endline (Clip_xml.Printer.to_tree_string out);
+  Printf.printf
+    "\nencloses each node in its own department (11 departments): %b\n"
+    (Node.count_elements out "department" = 11);
+  Printf.printf "matches the paper's printed defective instance: %b\n"
+    (Node.equal_unordered out S.Figures.fig1_clio_output);
+  subrule "the Sec. V-B extension repairs it";
+  let repaired = Clip_clio.Generate.generate ~extension:true S.Figures.fig1_values in
+  let out =
+    Clip_tgd.Eval.run ~source:S.Deptdb.instance ~target_root:"target" repaired
+  in
+  print_endline (Clip_xml.Printer.to_tree_string out);
+  Printf.printf "\nmatches the Sec. I desired output: %b\n"
+    (Node.equal_unordered out (Option.get S.Figures.fig5.expected))
+
+(* --- Figure 2: the Clip syntax in a nutshell ------------------------------- *)
+
+let fig2_experiment () =
+  rule "fig2 — the Clip syntax in a nutshell (the DSL rendering)";
+  print_endline
+    {|The visual syntax of Fig. 2 maps 1:1 onto the textual DSL:
+
+  value mappings (thin arrows, optional <<aggregate>> labels)
+      value <source leaf path> -> <target leaf path>
+      value fn(<leaf>, <leaf>) -> <target leaf>          # scalar function
+      value <<count>> <source element> -> <target leaf>  # aggregate
+      value "constant" -> <target leaf>
+
+  builders (thick arrows) meeting in build nodes, with variables,
+  filtering conditions and at most one outgoing builder
+      node <id>: <source element> as $x, ... -> <target element>
+        where $x.<path> <op> <operand>, ...
+
+  group nodes ("group-by" + grouping attributes)
+      group <id>: <source element> as $x by $x.<path>, ... -> <target element>
+
+  context arcs (CPTs) as lexical nesting
+      node outer: ... -> ... {
+        node inner: ... -> ...
+      }|};
+  print_endline "";
+  print_endline "Rendered on the Fig. 7 mapping:";
+  print_endline "";
+  print_string (Clip_core.Dsl.to_string S.Figures.fig7.mapping)
+
+(* --- Figure 10: tableaux, skeletons, and the extension -------------------- *)
+
+let fig10_experiment () =
+  rule "fig10 — the generic mapping, its tableaux and the extension";
+  subrule "source tableaux (paper: A, AB, ABC, AD, ADE)";
+  List.iter
+    (fun t -> print_endline ("  " ^ Clip_clio.Tableau.to_string t))
+    (Clip_clio.Tableau.compute S.Generic.source);
+  subrule "target tableaux (paper: F, FG)";
+  List.iter
+    (fun t -> print_endline ("  " ^ Clip_clio.Tableau.to_string t))
+    (Clip_clio.Tableau.compute S.Generic.target);
+  subrule "baseline activation (paper: AB->FG and AD->FG, no common nesting)";
+  print_string
+    (Clip_clio.Generate.forest_to_string (Clip_clio.Generate.forest S.Generic.mapping));
+  subrule "extension (paper: A->F nests both)";
+  let forest = Clip_clio.Generate.forest ~extension:true S.Generic.mapping in
+  print_string (Clip_clio.Generate.forest_to_string forest);
+  print_endline
+    (Clip_tgd.Pretty.to_string ~unicode:false
+       (Clip_clio.Generate.to_tgd S.Generic.mapping forest));
+  subrule "second example: the user-added A(BxD) tableau";
+  let abd = Clip_clio.Tableau.make S.Generic.abd_gens in
+  let forest =
+    Clip_clio.Generate.forest ~extension:true ~extra_source_tableaux:[ abd ]
+      S.Generic.mapping
+  in
+  print_string (Clip_clio.Generate.forest_to_string forest);
+  print_endline
+    (Clip_tgd.Pretty.to_string ~unicode:false
+       (Clip_clio.Generate.to_tgd S.Generic.mapping forest))
+
+(* --- Table I: flexibility ----------------------------------------------------- *)
+
+let table1_experiment () =
+  rule "Table I — flexibility of Clip";
+  Printf.printf "%-24s | %-14s | %-11s | %-14s | %s\n" "Example (source)"
+    "Value mappings" "Paper extra" "Measured extra" "verdict";
+  print_endline (String.make 84 '-');
+  let reports =
+    List.map
+      (fun (sc : S.Table1.scenario) ->
+        let r = Clip_clio.Enumerate.flexibility ~instance:sc.instance sc.mapping in
+        let measured = Clip_clio.Enumerate.extra_count r in
+        Printf.printf "%-24s | %-14d | %-11d | %-14d | %s\n" sc.label
+          sc.value_mappings sc.paper_extra measured
+          (if measured = sc.paper_extra then "MATCH" else "DIFFERS");
+        (sc, r))
+      S.Table1.all
+  in
+  List.iter
+    (fun ((sc : S.Table1.scenario), r) ->
+      subrule (Printf.sprintf "variant details: %s" sc.label);
+      print_string (Clip_clio.Enumerate.report_to_string r))
+    reports
+
+(* --- Sec. IV: the tgds -------------------------------------------------------- *)
+
+let tgds_experiment () =
+  rule "Sec. IV — the compiled nested tgds of every figure mapping";
+  List.iter
+    (fun (sc : S.Figures.t) ->
+      subrule sc.name;
+      print_endline (Engine.tgd_text ~unicode:false sc.mapping))
+    S.Figures.all
+
+(* --- Sec. VI: the generated XQuery --------------------------------------------- *)
+
+let xquery_experiment () =
+  rule "Sec. VI — generated XQuery (simple, join, grouping template, aggregates)";
+  List.iter
+    (fun name ->
+      let sc = List.find (fun (sc : S.Figures.t) -> sc.name = name) S.Figures.all in
+      subrule (sc.name ^ " — " ^ sc.title);
+      print_string (Engine.xquery_text sc.mapping))
+    [ "fig3"; "fig6"; "fig7"; "fig9" ]
+
+(* --- Ablations ------------------------------------------------------------------ *)
+
+let ablation_experiment () =
+  rule "Ablations — the design choices DESIGN.md calls out";
+  subrule "minimum cardinality (fig3): departments produced";
+  Printf.printf "  with the principle   : %d department(s)\n"
+    (Node.count_elements (Engine.run S.Figures.fig3.mapping S.Deptdb.instance)
+       "department");
+  Printf.printf "  universal solution   : %d department(s)\n"
+    (Node.count_elements
+       (Engine.run ~minimum_cardinality:false S.Figures.fig3.mapping S.Deptdb.instance)
+       "department");
+  subrule "context arcs (fig4): employee placement";
+  Printf.printf "  with the arc         : %d employee(s) total\n"
+    (Node.count_elements (Engine.run S.Figures.fig4.mapping S.Deptdb.instance) "employee");
+  Printf.printf "  without the arc      : %d employee(s) total (repeated everywhere)\n"
+    (Node.count_elements
+       (Engine.run S.Figures.fig4_nocontext.mapping S.Deptdb.instance)
+       "employee");
+  subrule "join vs Cartesian (fig6): pairs produced";
+  List.iter
+    (fun ((label : string), (sc : S.Figures.t)) ->
+      Printf.printf "  %-20s : %d pair(s)\n" label
+        (Node.count_elements (Engine.run sc.mapping S.Deptdb.instance) "project-emp"))
+    [
+      ("join in a CPT", S.Figures.fig6);
+      ("per-dept Cartesian", S.Figures.fig6_cartesian);
+      ("global Cartesian", S.Figures.fig6_global);
+    ];
+  subrule "skeleton walk-up (fig10): nested mapping roots";
+  Printf.printf "  baseline             : %d root(s)\n"
+    (List.length (Clip_clio.Generate.forest S.Generic.mapping));
+  Printf.printf "  with the extension   : %d root(s)\n"
+    (List.length (Clip_clio.Generate.forest ~extension:true S.Generic.mapping))
+
+(* --- Scaling series (ours) -------------------------------------------------------- *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  let t1 = Unix.gettimeofday () in
+  (x, t1 -. t0)
+
+let scaling_experiment () =
+  rule "Scaling — execution time vs instance size (fig5 mapping, both backends)";
+  Printf.printf "%-8s | %-10s | %-12s | %-14s | %s\n" "depts" "src nodes"
+    "tgd backend" "xquery backend" "output nodes";
+  print_endline (String.make 70 '-');
+  List.iter
+    (fun depts ->
+      let doc = S.Deptdb.synthetic_instance ~depts ~projs:5 ~emps:10 in
+      let out, t_tgd = time_once (fun () -> Engine.run S.Figures.fig5.mapping doc) in
+      let _, t_xq =
+        time_once (fun () -> Engine.run ~backend:`Xquery S.Figures.fig5.mapping doc)
+      in
+      Printf.printf "%-8d | %-10d | %9.3f ms | %11.3f ms | %d\n" depts
+        (Node.size doc) (t_tgd *. 1000.) (t_xq *. 1000.) (Node.size out))
+    [ 10; 50; 100; 500; 1000 ];
+  rule "Scaling — grouping (fig7 mapping)";
+  Printf.printf "%-8s | %-10s | %-12s\n" "depts" "src nodes" "tgd backend";
+  print_endline (String.make 36 '-');
+  List.iter
+    (fun depts ->
+      let doc = S.Deptdb.synthetic_instance ~depts ~projs:5 ~emps:10 in
+      let _, t = time_once (fun () -> Engine.run S.Figures.fig7.mapping doc) in
+      Printf.printf "%-8d | %-10d | %9.3f ms\n" depts (Node.size doc) (t *. 1000.))
+    [ 10; 50; 100; 500 ]
+
+(* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
+
+let perf_experiment () =
+  rule "Bechamel micro-benchmarks (time per run)";
+  (* Build all the benchmark thunks before opening Bechamel (whose [S]
+     module would shadow the scenarios alias). *)
+  let mid = S.Deptdb.synthetic_instance ~depts:50 ~projs:5 ~emps:10 in
+  let figure_cases =
+    List.concat_map
+      (fun (sc : S.Figures.t) ->
+        [
+          (sc.name ^ "/compile", fun () -> ignore (Clip_core.Compile.to_tgd sc.mapping));
+          (sc.name ^ "/run-tgd", fun () -> ignore (Engine.run sc.mapping mid));
+          ( sc.name ^ "/run-xquery",
+            fun () -> ignore (Engine.run ~backend:`Xquery sc.mapping mid) );
+        ])
+      [ S.Figures.fig3; S.Figures.fig5; S.Figures.fig6; S.Figures.fig7; S.Figures.fig9 ]
+  in
+  let mid_text = Clip_xml.Printer.to_string mid in
+  let fig1_values = S.Figures.fig1_values in
+  let fig7_mapping = S.Figures.fig7.mapping in
+  let paper_instance = S.Deptdb.instance in
+  let source_schema = S.Deptdb.source in
+  let other_cases =
+    [
+      ( "table1/flexibility-this-paper",
+        fun () ->
+          ignore (Clip_clio.Enumerate.flexibility ~instance:paper_instance fig1_values)
+      );
+      ( "clio/generate-baseline",
+        fun () -> ignore (Clip_clio.Generate.generate fig1_values) );
+      ( "clio/generate-extension",
+        fun () -> ignore (Clip_clio.Generate.generate ~extension:true fig1_values) );
+      ("xquery/generate-text", fun () -> ignore (Engine.xquery_text fig7_mapping));
+      ("xml/parse-instance", fun () -> ignore (Clip_xml.Parser.parse_string mid_text));
+      ( "schema/validate-instance",
+        fun () ->
+          ignore (Clip_schema.Validate.check ~check_refs:false source_schema mid) );
+      ( "fig5/run-xquery-text",
+        let fig5 = S.Figures.fig5.mapping in
+        fun () -> ignore (Engine.run ~backend:`Xquery_text fig5 mid) );
+      ( "fig5/run-traced",
+        let fig5 = S.Figures.fig5.mapping in
+        fun () -> ignore (Engine.run_traced fig5 mid) );
+      ( "matcher/suggest",
+        let tgt = S.Deptdb.target_dp in
+        fun () -> ignore (Clip_clio.Matcher.suggest source_schema tgt) );
+      ( "xsd/roundtrip",
+        let xsd_text = Clip_schema.Xsd.to_string source_schema in
+        fun () -> ignore (Clip_schema.Xsd.of_string xsd_text) );
+    ]
+  in
+  let open Bechamel in
+  let open Toolkit in
+  let figure_tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) figure_cases
+  in
+  let other_tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) other_cases
+  in
+  let grouped = Test.make_grouped ~name:"clip" (figure_tests @ other_tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  Printf.printf "%-40s | %s\n" "benchmark" "time/run";
+  print_endline (String.make 60 '-');
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+        else Printf.sprintf "%8.1f ns" ns
+      in
+      Printf.printf "%-40s | %s\n" name pretty)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("fig1", fig1_experiment);
+    ("fig2", fig2_experiment);
+    ("fig3", figure_experiment S.Figures.fig3);
+    ("fig3-universal", figure_experiment S.Figures.fig3_universal);
+    ("fig4", figure_experiment S.Figures.fig4);
+    ("fig4-nocontext", figure_experiment S.Figures.fig4_nocontext);
+    ("fig5", figure_experiment S.Figures.fig5);
+    ("fig6", figure_experiment S.Figures.fig6);
+    ("fig6-cartesian", figure_experiment S.Figures.fig6_cartesian);
+    ("fig6-global", figure_experiment S.Figures.fig6_global);
+    ("fig7", figure_experiment S.Figures.fig7);
+    ("fig8", figure_experiment S.Figures.fig8);
+    ("fig9", figure_experiment S.Figures.fig9);
+    ("fig10", fig10_experiment);
+    ("table1", table1_experiment);
+    ("tgds", tgds_experiment);
+    ("xquery", xquery_experiment);
+    ("ablations", ablation_experiment);
+    ("scaling", scaling_experiment);
+    ("perf", perf_experiment);
+  ]
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> List.iter (fun (_, f) -> f ()) experiments
+  | [| _; name |] ->
+    (match List.assoc_opt name experiments with
+     | Some f -> f ()
+     | None ->
+       Printf.eprintf "unknown experiment %S; available: %s\n" name
+         (String.concat ", " (List.map fst experiments));
+       exit 1)
+  | _ ->
+    prerr_endline "usage: main.exe [experiment]";
+    exit 1

@@ -1,0 +1,381 @@
+(* The clip command-line tool: compile, validate, run, render and
+   generate schema mappings written in the textual DSL. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_mapping path =
+  try Clip_core.Dsl.parse (read_file path) with
+  | (Clip_core.Dsl.Syntax_error _ | Clip_schema.Dsl.Syntax_error _
+    | Clip_schema.Lexer.Lex_error _) as e ->
+    prerr_endline (Clip_core.Dsl.error_to_string e);
+    exit 1
+  | Sys_error msg ->
+    prerr_endline msg;
+    exit 1
+
+let mapping_file =
+  let doc = "Mapping file (two schema declarations followed by a mapping block)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MAPPING" ~doc)
+
+let ascii_flag =
+  let doc = "Use plain-ASCII quantifiers instead of Unicode." in
+  Arg.(value & flag & info [ "ascii" ] ~doc)
+
+(* --- validate ---------------------------------------------------------- *)
+
+let validate_cmd =
+  let run file =
+    let m = load_mapping file in
+    match Clip_core.Validity.check m with
+    | [] ->
+      print_endline "valid: no issues";
+      0
+    | issues ->
+      List.iter
+        (fun i -> print_endline (Clip_core.Validity.issue_to_string i))
+        issues;
+      if Clip_core.Validity.is_valid m then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check the validity rules of Sec. III")
+    Term.(const run $ mapping_file)
+
+(* --- compile ----------------------------------------------------------- *)
+
+let compile_cmd =
+  let run file ascii =
+    let m = load_mapping file in
+    (try
+       print_endline
+         (Clip_tgd.Pretty.to_string ~unicode:(not ascii) (Clip_core.Compile.to_tgd m));
+       0
+     with Clip_core.Compile.Invalid issues ->
+       List.iter
+         (fun i -> prerr_endline (Clip_core.Validity.issue_to_string i))
+         issues;
+       1)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile the mapping to a nested tgd (Sec. IV)")
+    Term.(const run $ mapping_file $ ascii_flag)
+
+(* --- xquery ------------------------------------------------------------ *)
+
+let xquery_cmd =
+  let run file =
+    let m = load_mapping file in
+    (try
+       print_string (Clip_core.Engine.xquery_text m);
+       0
+     with
+     | Clip_core.Compile.Invalid issues ->
+       List.iter (fun i -> prerr_endline (Clip_core.Validity.issue_to_string i)) issues;
+       1
+     | Clip_core.To_xquery.Unsupported msg ->
+       prerr_endline ("unsupported: " ^ msg);
+       1)
+  in
+  Cmd.v
+    (Cmd.info "xquery" ~doc:"Generate the XQuery implementing the mapping (Sec. VI)")
+    Term.(const run $ mapping_file)
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let input_file =
+    let doc = "Source XML instance." in
+    Arg.(required & opt (some file) None & info [ "i"; "input" ] ~docv:"XML" ~doc)
+  in
+  let backend =
+    let doc =
+      "Execution backend: tgd (direct), xquery (generated query), or \
+       xquery-text (generated query round-tripped through its concrete \
+       syntax)."
+    in
+    Arg.(value
+         & opt
+             (enum
+                [ ("tgd", `Tgd); ("xquery", `Xquery); ("xquery-text", `Xquery_text) ])
+             `Tgd
+         & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let tree_flag =
+    let doc = "Print the paper's ASCII-tree rendering instead of XML." in
+    Arg.(value & flag & info [ "tree" ] ~doc)
+  in
+  let trace_flag =
+    let doc = "Also print instance-level lineage (which source elements each target element came from)." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let run file input backend tree trace =
+    let m = load_mapping file in
+    match Clip_xml.Parser.parse_string (read_file input) with
+    | exception e ->
+      prerr_endline (Clip_xml.Parser.error_to_string e);
+      1
+    | source ->
+      (try
+         let out = Clip_core.Engine.run ~backend m source in
+         if tree then print_endline (Clip_xml.Printer.to_tree_string out)
+         else print_string (Clip_xml.Printer.to_pretty_string out);
+         if trace then begin
+           let _, entries = Clip_core.Engine.run_traced m source in
+           print_endline "";
+           List.iter
+             (fun (t : Clip_tgd.Eval.trace_entry) ->
+               if t.sources <> [] then
+                 Printf.printf "/%s <- %s\n"
+                   (String.concat "/" (List.map string_of_int t.target_path))
+                   (String.concat ", "
+                      (List.map
+                         (fun n ->
+                           match n with
+                           | Clip_xml.Node.Element e -> "<" ^ e.tag ^ ">"
+                           | Clip_xml.Node.Text a -> Clip_xml.Atom.to_string a)
+                         t.sources)))
+             entries
+         end;
+         0
+       with
+       | Clip_core.Compile.Invalid issues ->
+         List.iter
+           (fun i -> prerr_endline (Clip_core.Validity.issue_to_string i))
+           issues;
+         1
+       | Clip_tgd.Eval.Error msg | Clip_xquery.Eval.Error msg ->
+         prerr_endline ("execution error: " ^ msg);
+         1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Transform a source instance into a target instance")
+    Term.(const run $ mapping_file $ input_file $ backend $ tree_flag $ trace_flag)
+
+(* --- render ------------------------------------------------------------- *)
+
+let parse_path s =
+  match Clip_schema.Path.of_string s with
+  | Ok p -> p
+  | Error m ->
+    prerr_endline (Printf.sprintf "bad path %S: %s" s m);
+    exit 1
+
+let render_cmd =
+  let focus =
+    let doc =
+      "Only show the lines touching nodes under this path (repeatable) — the \
+       paper's view filter."
+    in
+    Arg.(value & opt_all string [] & info [ "focus" ] ~docv:"PATH" ~doc)
+  in
+  let run file focus =
+    let focus =
+      match focus with [] -> None | ps -> Some (List.map parse_path ps)
+    in
+    print_string (Clip_core.Render.to_string ?focus (load_mapping file));
+    0
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Render the mapping as ASCII (the GUI stand-in)")
+    Term.(const run $ mapping_file $ focus)
+
+(* --- generate ------------------------------------------------------------ *)
+
+let generate_cmd =
+  let extension =
+    let doc = "Apply the Sec. V-B extension (root generalisation)." in
+    Arg.(value & flag & info [ "extension" ] ~doc)
+  in
+  let run file extension ascii =
+    let m = load_mapping file in
+    let forest = Clip_clio.Generate.forest ~extension m in
+    print_string (Clip_clio.Generate.forest_to_string forest);
+    print_endline
+      (Clip_tgd.Pretty.to_string ~unicode:(not ascii)
+         (Clip_clio.Generate.to_tgd m forest));
+    (try
+       print_endline "";
+       print_endline "# as an explicit Clip mapping:";
+       print_string (Clip_core.Dsl.to_string (Clip_clio.Generate.to_clip m forest))
+     with Failure msg -> Printf.printf "# (not expressible as builders: %s)\n" msg);
+    0
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a mapping from the value mappings alone (Sec. V)")
+    Term.(const run $ mapping_file $ extension $ ascii_flag)
+
+(* --- schema conversion ------------------------------------------------------ *)
+
+(* A schema file is either the DSL or XSD; sniff by the first
+   non-whitespace character. *)
+let load_schema path =
+  let text = read_file path in
+  let is_xml =
+    let rec first i =
+      if i >= String.length text then '?'
+      else
+        match text.[i] with
+        | ' ' | '\t' | '\n' | '\r' -> first (i + 1)
+        | c -> c
+    in
+    first 0 = '<'
+  in
+  try
+    if is_xml then Clip_schema.Xsd.of_string text else Clip_schema.Dsl.parse text
+  with
+  | Clip_schema.Xsd.Unsupported msg ->
+    prerr_endline ("unsupported XSD construct: " ^ msg);
+    exit 1
+  | (Clip_schema.Dsl.Syntax_error _ | Clip_schema.Lexer.Lex_error _) as e ->
+    prerr_endline (Clip_schema.Dsl.error_to_string e);
+    exit 1
+  | Clip_xml.Parser.Parse_error _ as e ->
+    prerr_endline (Clip_xml.Parser.error_to_string e);
+    exit 1
+
+let schema_cmd =
+  let schema_file =
+    let doc = "Schema file, in the DSL or as XSD (auto-detected)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc)
+  in
+  let fmt =
+    let doc = "Output format: dsl, xsd, or tree." in
+    Arg.(value
+         & opt (enum [ ("dsl", `Dsl); ("xsd", `Xsd); ("tree", `Tree) ]) `Tree
+         & info [ "to" ] ~docv:"FORMAT" ~doc)
+  in
+  let run file fmt =
+    let s = load_schema file in
+    (match fmt with
+     | `Dsl -> print_string (Clip_schema.Dsl.to_string s)
+     | `Xsd -> print_string (Clip_schema.Xsd.to_string s)
+     | `Tree -> print_string (Clip_schema.Schema.to_tree_string s));
+    0
+  in
+  Cmd.v
+    (Cmd.info "schema" ~doc:"Convert a schema between the DSL, XSD and a tree view")
+    Term.(const run $ schema_file $ fmt)
+
+(* --- check (instance validation) ------------------------------------------------ *)
+
+let check_cmd =
+  let schema_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SCHEMA" ~doc:"Schema file (DSL or XSD).")
+  in
+  let xml_file =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"XML" ~doc:"Instance document to validate.")
+  in
+  let no_refs =
+    Arg.(value & flag
+         & info [ "no-refs" ] ~doc:"Skip referential-constraint checking.")
+  in
+  let run schema_file xml_file no_refs =
+    let schema = load_schema schema_file in
+    match Clip_xml.Parser.parse_string (read_file xml_file) with
+    | exception e ->
+      prerr_endline (Clip_xml.Parser.error_to_string e);
+      1
+    | doc ->
+      (match Clip_schema.Validate.check ~check_refs:(not no_refs) schema doc with
+       | [] ->
+         print_endline "valid";
+         0
+       | violations ->
+         List.iter
+           (fun v -> print_endline (Clip_schema.Validate.violation_to_string v))
+           violations;
+         1)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Validate an XML instance against a schema")
+    Term.(const run $ schema_file $ xml_file $ no_refs)
+
+(* --- match -------------------------------------------------------------------- *)
+
+let match_cmd =
+  let pos_file i docv =
+    Arg.(required & pos i (some file) None & info [] ~docv ~doc:"Schema file (DSL or XSD).")
+  in
+  let threshold =
+    Arg.(value & opt float 0.45
+         & info [ "threshold" ] ~docv:"T" ~doc:"Minimum similarity score (0-1).")
+  in
+  let generate =
+    Arg.(value & flag
+         & info [ "generate" ]
+             ~doc:"Also generate the nested mapping from the suggestions (Sec. V).")
+  in
+  let run src tgt threshold generate =
+    let source = load_schema src and target = load_schema tgt in
+    let suggestions = Clip_clio.Matcher.suggest ~threshold source target in
+    if suggestions = [] then print_endline "no suggestions above the threshold"
+    else
+      List.iter
+        (fun s -> print_endline (Clip_clio.Matcher.suggestion_to_string s))
+        suggestions;
+    if generate && suggestions <> [] then begin
+      let m = Clip_clio.Matcher.bootstrap ~threshold source target in
+      let forest = Clip_clio.Generate.forest ~extension:true m in
+      print_endline "";
+      print_string (Clip_clio.Generate.forest_to_string forest);
+      print_endline
+        (Clip_tgd.Pretty.to_string ~unicode:false (Clip_clio.Generate.to_tgd m forest))
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "match"
+       ~doc:"Suggest value mappings between two schemas (the Sec. VII extension)")
+    Term.(const run $ pos_file 0 "SOURCE" $ pos_file 1 "TARGET" $ threshold $ generate)
+
+(* --- lineage ------------------------------------------------------------------- *)
+
+let lineage_cmd =
+  let impact =
+    Arg.(value & opt (some string) None
+         & info [ "impact" ] ~docv:"PATH"
+             ~doc:"Show the target paths impacted by a change to this source path.")
+  in
+  let run file impact =
+    let m = load_mapping file in
+    (match impact with
+     | None -> print_string (Clip_core.Lineage.report_to_string m)
+     | Some p ->
+       List.iter
+         (fun tp -> print_endline (Clip_schema.Path.to_string tp))
+         (Clip_core.Lineage.impacted_by m (parse_path p)));
+    0
+  in
+  Cmd.v
+    (Cmd.info "lineage" ~doc:"Data lineage and impact analysis for a mapping")
+    Term.(const run $ mapping_file $ impact)
+
+(* --------------------------------------------------------------------------- *)
+
+let main =
+  let doc = "Clip: a visual language for explicit XML schema mappings (ICDE 2008)" in
+  Cmd.group
+    (Cmd.info "clip" ~version:"1.0.0" ~doc)
+    [
+      validate_cmd;
+      compile_cmd;
+      xquery_cmd;
+      run_cmd;
+      render_cmd;
+      generate_cmd;
+      schema_cmd;
+      check_cmd;
+      match_cmd;
+      lineage_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+lib/clio/enumerate.ml: Buffer Clip_core Clip_schema Clip_xml Generate List Printexc Printf String

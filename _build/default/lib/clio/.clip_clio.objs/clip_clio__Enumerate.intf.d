@@ -1,0 +1,1 @@
+lib/clio/enumerate.mli: Clip_core Clip_xml

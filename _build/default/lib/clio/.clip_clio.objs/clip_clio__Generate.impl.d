@@ -1,0 +1,1 @@
+lib/clio/generate.ml: Buffer Char Clip_core Clip_schema Clip_tgd List Option Printf Skeleton String Tableau

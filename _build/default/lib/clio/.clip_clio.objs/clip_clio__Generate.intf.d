@@ -1,0 +1,1 @@
+lib/clio/generate.mli: Clip_core Clip_tgd Skeleton Tableau

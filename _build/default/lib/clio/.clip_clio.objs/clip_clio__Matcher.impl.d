@@ -1,0 +1,1 @@
+lib/clio/matcher.ml: Buffer Clip_core Clip_schema Float List Option Printf String

@@ -1,0 +1,1 @@
+lib/clio/matcher.mli: Clip_core Clip_schema

@@ -1,0 +1,1 @@
+lib/clio/skeleton.ml: Clip_core Format List Printf Tableau

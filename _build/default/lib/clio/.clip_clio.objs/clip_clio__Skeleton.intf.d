@@ -1,0 +1,1 @@
+lib/clio/skeleton.mli: Clip_core Clip_schema Format Tableau

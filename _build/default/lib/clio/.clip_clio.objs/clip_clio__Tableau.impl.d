@@ -1,0 +1,1 @@
+lib/clio/tableau.ml: Clip_core Clip_schema Format Int List Option Printf String

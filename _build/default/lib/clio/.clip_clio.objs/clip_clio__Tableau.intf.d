@@ -1,0 +1,1 @@
+lib/clio/tableau.mli: Clip_schema Format

@@ -1,0 +1,51 @@
+(** The flexibility analysis behind Table I.
+
+    Starting from a set of value mappings, Clio (with the Sec. V-B
+    extension) generates one canonical nested mapping — the {e base}.
+    Clip's explicit builders allow drawing {e more} mappings from the
+    same value mappings. We enumerate them with a documented catalog of
+    structural transformations of the base CPT:
+
+    - {e drop-arc}: detach a build node from its context arc — the
+      no-context semantics ("repeated within all departments",
+      Sec. II-A); filter predicates referencing variables that leave
+      scope are dropped;
+    - {e group}: turn a build node into a detached group node, grouped
+      by an identity value mapping on its own output element (the
+      Fig. 7/8 construction). Joins need no operator of their own: they
+      enter the base through chased tableaux, as in the paper's Fig. 4
+      tgd.
+
+    A variant is {e meaningful} when (i) it is valid (Sec. III), (ii)
+    it executes without conflicts (a group variant whose non-key value
+    mappings disagree within one group aborts), and (iii) its output on
+    the scenario's witness instance differs from the base's and from
+    every variant accepted before it. The count of meaningful variants
+    is the paper's "extra meaningful mappings with Clip" lower bound. *)
+
+type variant = {
+  label : string;
+  mapping : Clip_core.Mapping.t;
+  outcome : outcome;
+}
+
+and outcome =
+  | Accepted of Clip_xml.Node.t
+  | Invalid of string (** validity errors *)
+  | Failed of string (** ran but aborted (e.g. group conflict) *)
+  | Duplicate of string (** same output as base or an earlier variant *)
+
+type report = {
+  base : Clip_core.Mapping.t; (** the Clio-extension mapping *)
+  base_output : Clip_xml.Node.t;
+  variants : variant list; (** every candidate, in enumeration order *)
+}
+
+(** [flexibility ~instance m] — [m] carries the schemas and value
+    mappings (its CPT is ignored; the base is generated). *)
+val flexibility : instance:Clip_xml.Node.t -> Clip_core.Mapping.t -> report
+
+(** Number of [Accepted] variants — the paper's third column. *)
+val extra_count : report -> int
+
+val report_to_string : report -> string

@@ -1,0 +1,348 @@
+module Path = Clip_schema.Path
+module Schema = Clip_schema.Schema
+module Mapping = Clip_core.Mapping
+module Tgd = Clip_tgd.Tgd
+module Term = Clip_tgd.Term
+
+type nested = {
+  skeleton : Skeleton.t;
+  vms : Mapping.value_mapping list;
+  children : nested list;
+}
+
+(* --- Nesting ----------------------------------------------------------- *)
+
+(* [b] may nest under [a]: shared source prefix, strictly deeper target. *)
+let nests_under ~parent:(a : Skeleton.t) ~child:(b : Skeleton.t) =
+  Tableau.subset a.src b.src
+  && Tableau.subset a.tgt b.tgt
+  && not (Tableau.equal a.tgt b.tgt)
+
+let skeleton_weight (s : Skeleton.t) = Tableau.size s.src + Tableau.size s.tgt
+
+(* Build the forest: each active entry nests under the deepest
+   applicable other entry. *)
+let build_forest (actives : (Skeleton.t * Mapping.value_mapping list) list) =
+  let parent_of (s, _) =
+    List.fold_left
+      (fun best (s', _) ->
+        if (not (Skeleton.equal s s')) && nests_under ~parent:s' ~child:s then
+          match best with
+          | Some b when skeleton_weight b >= skeleton_weight s' -> best
+          | Some _ | None -> Some s'
+        else best)
+      None actives
+  in
+  let parents = List.map (fun entry -> (entry, parent_of entry)) actives in
+  let rec node_of (s, vms) =
+    let children =
+      List.filter_map
+        (fun ((s', vms'), parent) ->
+          match parent with
+          | Some p when Skeleton.equal p s && not (Skeleton.equal s s') ->
+            Some (node_of (s', vms'))
+          | Some _ | None -> None)
+        parents
+    in
+    { skeleton = s; vms; children }
+  in
+  List.filter_map
+    (fun (entry, parent) -> if parent = None then Some (node_of entry) else None)
+    parents
+
+(* --- The extension: activate common root generalisations -------------- *)
+
+(* Closure of a tableau list under the parent relation. *)
+let tableau_closure ts =
+  let rec go seen frontier =
+    match frontier with
+    | [] -> seen
+    | t :: rest ->
+      let fresh =
+        List.filter
+          (fun p -> not (List.exists (Tableau.equal p) (seen @ frontier)))
+          (Tableau.parents t)
+      in
+      go (seen @ fresh) (rest @ fresh)
+  in
+  go ts ts
+
+let extension_step actives =
+  let roots = List.map (fun n -> n.skeleton) (build_forest actives) in
+  if List.length roots < 2 then None
+  else
+    let src_closure = tableau_closure (List.map (fun (s : Skeleton.t) -> s.src) roots) in
+    let tgt_closure = tableau_closure (List.map (fun (s : Skeleton.t) -> s.tgt) roots) in
+    let candidates =
+      List.concat_map
+        (fun src ->
+          List.filter_map
+            (fun tgt ->
+              let cand = { Skeleton.src; tgt } in
+              let generalised =
+                List.filter
+                  (fun (r : Skeleton.t) ->
+                    Tableau.subset cand.src r.src
+                    && Tableau.subset cand.tgt r.tgt
+                    && not (Tableau.equal cand.tgt r.tgt))
+                  roots
+              in
+              if
+                List.length generalised >= 2
+                && not
+                     (List.exists (fun (s, _) -> Skeleton.equal s cand) actives)
+              then Some cand
+              else None)
+            tgt_closure)
+        src_closure
+    in
+    (* Deepest target first (more sharing), then smallest source
+       (minimum cardinality: do not iterate unneeded variables). *)
+    let better a b =
+      let ta = Tableau.size a.Skeleton.tgt and tb = Tableau.size b.Skeleton.tgt in
+      if ta <> tb then ta > tb
+      else Tableau.size a.Skeleton.src < Tableau.size b.Skeleton.src
+    in
+    match candidates with
+    | [] -> None
+    | first :: rest ->
+      Some (List.fold_left (fun best c -> if better c best then c else best) first rest)
+
+let forest ?(extension = false) ?(extra_source_tableaux = []) (m : Mapping.t) =
+  let skeletons = Skeleton.matrix m.source m.target in
+  let skeletons =
+    skeletons
+    @ List.concat_map
+        (fun src ->
+          List.map
+            (fun (tgt : Tableau.t) -> { Skeleton.src; tgt })
+            (Tableau.compute m.target))
+        extra_source_tableaux
+  in
+  let actives = Skeleton.activate m skeletons in
+  let actives =
+    if not extension then actives
+    else begin
+      let rec fixpoint actives =
+        match extension_step actives with
+        | Some root -> fixpoint ((root, []) :: actives)
+        | None -> actives
+      in
+      fixpoint actives
+    end
+  in
+  build_forest actives
+
+(* --- Emission ---------------------------------------------------------- *)
+
+type emit_state = {
+  mutable used : string list;
+  source : Schema.t;
+  target : Schema.t;
+}
+
+let fresh st hint =
+  let base = if String.equal hint "" then "x" else hint in
+  let rec try_name i =
+    let name = if i = 0 then base else Printf.sprintf "%s%d" base (i + 1) in
+    if List.exists (String.equal name) st.used then try_name (i + 1)
+    else begin
+      st.used <- name :: st.used;
+      name
+    end
+  in
+  try_name 0
+
+let hint_of_path suffix (p : Path.t) =
+  match Path.last_step p with
+  | Some (Path.Child name) when String.length name > 0 ->
+    String.make 1 (Char.lowercase_ascii name.[0]) ^ suffix
+  | Some (Path.Child _ | Path.Attr _ | Path.Value) | None -> "x" ^ suffix
+
+(* [env] maps bound element paths to variables; [None] = schema root. *)
+let deepest_bound env p =
+  List.fold_left
+    (fun best (bp, var) ->
+      if Path.is_prefix bp p then
+        match best with
+        | Some (prev, _) when List.length prev.Path.steps >= List.length bp.Path.steps
+          -> best
+        | Some _ | None -> Some (bp, var)
+      else best)
+    None env
+
+let expr_of env p =
+  match deepest_bound env p with
+  | Some (bp, Some var) ->
+    (match Term.reroot ~var ~prefix:bp p with
+     | Some e -> e
+     | None -> assert false)
+  | Some (_, None) | None -> Term.of_path p
+
+(* Emit generators for the tableau gens not already bound. *)
+let emit_gens st env hint_suffix gens =
+  List.fold_left
+    (fun (acc, env) g ->
+      if List.exists (fun (bp, _) -> Path.equal bp g) env then (acc, env)
+      else
+        let var = fresh st (hint_of_path hint_suffix g) in
+        let sexpr = expr_of env g in
+        (acc @ [ (var, g, sexpr) ], env @ [ (g, Some var) ]))
+    ([], env) gens
+
+let rec emit st ~senv ~tenv ~seen_vms (n : nested) : Tgd.t =
+  let s = n.skeleton in
+  let sgens, senv = emit_gens st senv "" s.src.gens in
+  let tgens, tenv = emit_gens st tenv "'" s.tgt.gens in
+  let foralls = List.map (fun (var, _, e) -> Tgd.source_gen var e) sgens in
+  let exists = List.map (fun (var, _, e) -> Tgd.driven var e) tgens in
+  (* A condition is emitted by the node that binds one of its
+     generators; a parent with both ends bound emitted it already
+     (nesting guarantees the parent's conditions are a subset). *)
+  let newly_bound leaf =
+    List.exists (fun (_, g, _) -> Path.is_prefix g (Path.element_of leaf)) sgens
+  in
+  let cond =
+    List.filter_map
+      (fun (a, b) ->
+        if newly_bound a || newly_bound b then
+          Some (Tgd.cmp (Term.E (expr_of senv a)) Tgd.Eq (Term.E (expr_of senv b)))
+        else None)
+      s.src.conds
+  in
+  (* A value mapping carried by an ancestor is already asserted there
+     (nested mappings factor shared assertions to the outermost level). *)
+  let own_vms =
+    List.filter (fun vm -> not (List.memq vm seen_vms)) n.vms
+  in
+  let assertions =
+    List.map
+      (fun (vm : Mapping.value_mapping) ->
+        let target_expr = expr_of tenv vm.vm_target in
+        match vm.vm_fn with
+        | Mapping.Identity ->
+          (match vm.vm_sources with
+           | [ src ] -> Tgd.St_eq (target_expr, Term.E (expr_of senv src))
+           | _ -> failwith "clio: identity value mapping needs one source")
+        | Mapping.Constant a -> Tgd.St_eq (target_expr, Term.Const a)
+        | Mapping.Scalar name ->
+          Tgd.St_eq
+            ( target_expr,
+              Term.Fn (name, List.map (fun p -> Term.E (expr_of senv p)) vm.vm_sources)
+            )
+        | Mapping.Aggregate kind ->
+          (match vm.vm_sources with
+           | [ src ] -> Tgd.Agg (target_expr, kind, expr_of senv src)
+           | _ -> failwith "clio: aggregate value mapping needs one source"))
+      own_vms
+  in
+  let seen_vms = seen_vms @ own_vms in
+  let children = List.map (emit st ~senv ~tenv ~seen_vms) n.children in
+  Tgd.make ~foralls ~cond ~exists ~assertions ~children ()
+
+let to_tgd (m : Mapping.t) forest =
+  let st = { used = []; source = m.source; target = m.target } in
+  let mappings = List.map (emit st ~senv:[] ~tenv:[] ~seen_vms:[]) forest in
+  match mappings with
+  | [ only ] -> only
+  | mappings -> Tgd.make ~children:mappings ()
+
+let generate ?extension m = to_tgd m (forest ?extension m)
+
+(* --- Rendering a forest as an explicit Clip mapping -------------------- *)
+
+let to_clip (m : Mapping.t) forest =
+  let counter = ref 0 in
+  (* [senv] maps bound source generator paths to the variable that was
+     tagged on the builder that introduced them — conditions of a node
+     may reference its ancestors' variables. *)
+  let rec node_of ~senv ~bound_tgt (n : nested) =
+    let s = n.skeleton in
+    let own_src =
+      List.filter
+        (fun g -> not (List.exists (fun (bp, _) -> Path.equal bp g) senv))
+        s.src.gens
+    in
+    let own_tgt =
+      List.filter
+        (fun g -> not (List.exists (Path.equal g) bound_tgt))
+        s.tgt.gens
+    in
+    let output =
+      match own_tgt with
+      | [ t ] -> t
+      | [] -> failwith "clio: a nested mapping owns no target generator"
+      | _ :: _ :: _ ->
+        failwith
+          "clio: a nested mapping owns several driven target elements; not \
+           expressible as one builder"
+    in
+    (* Tag every input with a variable so conditions can reference it. *)
+    let inputs_with_vars =
+      List.map
+        (fun g ->
+          incr counter;
+          (g, Printf.sprintf "v%d" !counter))
+        own_src
+    in
+    let senv = senv @ inputs_with_vars in
+    let var_of leaf =
+      let elem = Path.element_of leaf in
+      List.fold_left
+        (fun best (g, v) ->
+          if Path.is_prefix g elem then
+            match best with
+            | Some (bg, _) when List.length bg.Path.steps >= List.length g.Path.steps
+              -> best
+            | Some _ | None -> Some (g, v)
+          else best)
+        None senv
+    in
+    (* A condition belongs to the node that binds one of its ends. *)
+    let newly_bound leaf =
+      List.exists
+        (fun (g, _) -> Path.is_prefix g (Path.element_of leaf))
+        inputs_with_vars
+    in
+    let cond =
+      List.filter_map
+        (fun (a, b) ->
+          if not (newly_bound a || newly_bound b) then None
+          else
+            match var_of a, var_of b with
+            | Some (ga, va), Some (gb, vb) ->
+              let steps p g =
+                Option.value ~default:[] (Path.strip_prefix ~prefix:g p)
+              in
+              Some
+                {
+                  Mapping.p_left = Mapping.O_path (va, steps a ga);
+                  p_op = Tgd.Eq;
+                  p_right = Mapping.O_path (vb, steps b gb);
+                }
+            | _ -> None)
+        s.src.conds
+    in
+    let children =
+      List.map (node_of ~senv ~bound_tgt:(bound_tgt @ own_tgt)) n.children
+    in
+    Mapping.node ~output ~cond ~children
+      (List.map (fun (g, v) -> Mapping.input ~var:v g) inputs_with_vars)
+  in
+  let roots = List.map (node_of ~senv:[] ~bound_tgt:[]) forest in
+  Mapping.make ~source:m.source ~target:m.target ~roots m.values
+
+let forest_to_string forest =
+  let buf = Buffer.create 128 in
+  let rec go ind n =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s%s\n"
+         (String.make ind ' ')
+         (Skeleton.to_string n.skeleton)
+         (match n.vms with
+          | [] -> ""
+          | vms -> Printf.sprintf "  (%d vm)" (List.length vms)));
+    List.iter (go (ind + 2)) n.children
+  in
+  List.iter (go 0) forest;
+  Buffer.contents buf

@@ -1,0 +1,58 @@
+(** Clio mapping generation (Sec. V) and the Clip extension (Sec. V-B).
+
+    Baseline Clio: activate skeletons with the user's value mappings,
+    prune subsumed ones, nest a mapping under another when its source
+    tableau extends the other's and its target tableau {e properly}
+    extends it (a sub-mapping must build deeper target elements — the
+    paper's "not a sub-mapping of AB→FG because the target side is the
+    same"). Every target generator is [Driven]: the baseline constructs
+    one target element per binding — which is exactly the Fig. 1 defect
+    ("encloses each node in a different department element").
+
+    The extension: while at least two nested-mapping roots admit a
+    common generalisation — a skeleton [(S0, T0)] with [S0 ⊆ Si] and
+    [T0 ⊊ Ti] for each — activate the one with the deepest target and
+    then the {e smallest} source (minimum-cardinality: the new root
+    must not iterate variables its own target does not need), and
+    recompute the nesting. For the paper's Fig. 1 value mappings this
+    activates [{dept} → {department}] and yields the Sec. I desired
+    output; for Fig. 10 it activates [A → F]. *)
+
+(** A nested mapping: an activated skeleton, the value mappings it
+    carries, and its sub-mappings. *)
+type nested = {
+  skeleton : Skeleton.t;
+  vms : Clip_core.Mapping.value_mapping list;
+  children : nested list;
+}
+
+(** [forest ?extension m] — the nested-mapping forest generated from
+    [m]'s schemas and value mappings ([m.roots] is ignored: generation
+    starts from value mappings alone). [extension] (default [false])
+    switches on the Sec. V-B root-generalisation.
+    [extra_source_tableaux] injects user-provided tableaux into the
+    skeleton matrix, as in the paper's second Fig. 10 example (the
+    [A(B×D)] tableau). *)
+val forest :
+  ?extension:bool ->
+  ?extra_source_tableaux:Tableau.t list ->
+  Clip_core.Mapping.t ->
+  nested list
+
+(** [to_tgd m forest] — executable nested tgd (all generators driven;
+    nesting shares the parents' variables). *)
+val to_tgd : Clip_core.Mapping.t -> nested list -> Clip_tgd.Tgd.t
+
+(** [generate ?extension m] — {!forest} followed by {!to_tgd}. *)
+val generate : ?extension:bool -> Clip_core.Mapping.t -> Clip_tgd.Tgd.t
+
+(** [to_clip m forest] — render the generated forest as an explicit
+    Clip mapping (build nodes + context arcs), when each nested mapping
+    owns exactly one target generator.
+    @raise Failure otherwise (baseline mappings with several driven
+    target elements per node are not expressible as a single builder —
+    the gap Clip's explicit builders close). *)
+val to_clip : Clip_core.Mapping.t -> nested list -> Clip_core.Mapping.t
+
+(** Render a forest for diagnostics. *)
+val forest_to_string : nested list -> string

@@ -1,0 +1,160 @@
+module Path = Clip_schema.Path
+module Schema = Clip_schema.Schema
+
+type suggestion = {
+  source : Path.t;
+  target : Path.t;
+  score : float;
+}
+
+(* --- Name similarity ----------------------------------------------------- *)
+
+(* Tokenise on case changes, digits, dashes and underscores:
+   "regEmp" -> ["reg"; "emp"], "avg-sal" -> ["avg"; "sal"]. *)
+let tokens name =
+  let out = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := String.lowercase_ascii (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '-' | '_' | '.' | ' ' -> flush ()
+      | 'A' .. 'Z' ->
+        if i > 0 && (match name.[i - 1] with 'a' .. 'z' | '0' .. '9' -> true | _ -> false)
+        then flush ();
+        Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    name;
+  flush ();
+  List.rev !out
+
+let trigrams s =
+  let s = "  " ^ String.lowercase_ascii s ^ " " in
+  let n = String.length s in
+  let rec go i acc = if i + 3 > n then acc else go (i + 1) (String.sub s i 3 :: acc) in
+  go 0 []
+
+let dice a b =
+  let ta = trigrams a and tb = trigrams b in
+  if ta = [] || tb = [] then 0.
+  else
+    let common =
+      List.fold_left
+        (fun (n, remaining) g ->
+          if List.mem g remaining then
+            (n + 1, List.filter (fun h -> not (String.equal g h)) remaining)
+          else (n, remaining))
+        (0, tb) ta
+      |> fst
+    in
+    2. *. float_of_int common /. float_of_int (List.length ta + List.length tb)
+
+let contains_ci hay needle =
+  let hay = String.lowercase_ascii hay and needle = String.lowercase_ascii needle in
+  let n = String.length needle and m = String.length hay in
+  n > 0
+  &&
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let similarity a b =
+  if String.equal (String.lowercase_ascii a) (String.lowercase_ascii b) then 1.
+  else begin
+    let base = dice a b in
+    (* containment boost: "pname" vs "name", "regEmp" vs "employee" *)
+    let boost =
+      if contains_ci a b || contains_ci b a then 0.35
+      else
+        let ta = tokens a and tb = tokens b in
+        let shared =
+          List.length (List.filter (fun t -> List.mem t tb) ta)
+        in
+        if shared > 0 then 0.25 else 0.
+    in
+    Float.min 1. (base +. boost)
+  end
+
+(* --- Leaf descriptors ------------------------------------------------------ *)
+
+(* The names that identify a leaf: its own name and the element it
+   hangs off (for value leaves the element name IS the interesting
+   name: [pname.value]). *)
+let leaf_names schema (p : Path.t) =
+  let elem_name q =
+    match Path.last_step q with
+    | Some (Path.Child n) -> Some n
+    | _ -> None
+  in
+  match Path.last_step p with
+  | Some (Path.Attr a) ->
+    (a, elem_name (Path.element_of p))
+  | Some Path.Value ->
+    (match elem_name (Path.element_of p) with
+     | Some n -> (n, Option.bind (Path.parent (Path.element_of p)) (fun q -> elem_name q))
+     | None -> (p.Path.root, None))
+  | _ ->
+    ignore schema;
+    (Path.to_string p, None)
+
+let type_compatible sschema tschema sp tp =
+  match Schema.leaf_type sschema sp, Schema.leaf_type tschema tp with
+  | Some a, Some b ->
+    if Clip_schema.Atomic_type.equal a b then 1.0
+    else if
+      Clip_schema.Atomic_type.accepts b (Clip_schema.Atomic_type.default_atom a)
+    then 0.9
+    else 0.4
+  | _ -> 0.7
+
+let pair_score sschema tschema sp tp =
+  let s_main, s_ctx = leaf_names sschema sp in
+  let t_main, t_ctx = leaf_names tschema tp in
+  let name_score = similarity s_main t_main in
+  let ctx_score =
+    match s_ctx, t_ctx with
+    | Some a, Some b -> similarity a b
+    | _ -> 0.5
+  in
+  let ty = type_compatible sschema tschema sp tp in
+  ((0.75 *. name_score) +. (0.25 *. ctx_score)) *. ty
+
+let suggest ?(threshold = 0.45) (source : Schema.t) (target : Schema.t) =
+  let spaths = Schema.leaf_paths source in
+  let tpaths = Schema.leaf_paths target in
+  let candidates =
+    List.concat_map
+      (fun tp ->
+        List.map (fun sp -> (pair_score source target sp tp, sp, tp)) spaths)
+      tpaths
+  in
+  let sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a) candidates
+  in
+  let taken = ref [] in
+  List.filter_map
+    (fun (score, sp, tp) ->
+      if score < threshold then None
+      else if List.exists (Path.equal tp) !taken then None
+      else begin
+        taken := tp :: !taken;
+        Some { source = sp; target = tp; score }
+      end)
+    sorted
+
+let to_value_mappings suggestions =
+  List.map
+    (fun s -> Clip_core.Mapping.value [ s.source ] s.target)
+    suggestions
+
+let bootstrap ?threshold source target =
+  Clip_core.Mapping.make ~source ~target
+    (to_value_mappings (suggest ?threshold source target))
+
+let suggestion_to_string s =
+  Printf.sprintf "%s -> %s  (%.2f)" (Path.to_string s.source) (Path.to_string s.target)
+    s.score

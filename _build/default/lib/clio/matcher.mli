@@ -1,0 +1,40 @@
+(** Schema matching — the first of the paper's future-work additions
+    ("tools suggesting related elements and structures within two
+    complex source and target XML schemas", Sec. VII).
+
+    The matcher scores every (source leaf, target leaf) pair by lexical
+    similarity of the names involved (the leaf's own name and the name
+    of the element carrying it, tokenised on case/dash/underscore
+    boundaries and compared by trigram Dice similarity with exact and
+    containment boosts) and by atomic-type compatibility, then
+    greedily assigns each target leaf its best source above the
+    threshold. Suggestions convert directly into identity value
+    mappings, ready for {!Generate.forest}. *)
+
+type suggestion = {
+  source : Clip_schema.Path.t; (** a source leaf *)
+  target : Clip_schema.Path.t; (** a target leaf *)
+  score : float; (** in [0, 1] *)
+}
+
+(** [suggest ?threshold source target] — at most one suggestion per
+    target leaf, best first. Default threshold [0.45]. *)
+val suggest :
+  ?threshold:float -> Clip_schema.Schema.t -> Clip_schema.Schema.t -> suggestion list
+
+(** [similarity a b] — the name similarity used by the matcher
+    (exposed for tests and tuning). *)
+val similarity : string -> string -> float
+
+(** Turn suggestions into identity value mappings. *)
+val to_value_mappings : suggestion list -> Clip_core.Mapping.value_mapping list
+
+(** [bootstrap ?threshold source target] — a ready-to-generate mapping:
+    the suggested value mappings over the two schemas. *)
+val bootstrap :
+  ?threshold:float ->
+  Clip_schema.Schema.t ->
+  Clip_schema.Schema.t ->
+  Clip_core.Mapping.t
+
+val suggestion_to_string : suggestion -> string

@@ -1,0 +1,66 @@
+module Mapping = Clip_core.Mapping
+
+type t = {
+  src : Tableau.t;
+  tgt : Tableau.t;
+}
+
+let equal a b = Tableau.equal a.src b.src && Tableau.equal a.tgt b.tgt
+
+let matrix source target =
+  let srcs = Tableau.compute source in
+  let tgts = Tableau.compute target in
+  List.concat_map (fun src -> List.map (fun tgt -> { src; tgt }) tgts) srcs
+
+let matches (m : Mapping.t) (s : t) (vm : Mapping.value_mapping) =
+  List.for_all (fun leaf -> Tableau.covers m.source s.src leaf) vm.vm_sources
+  && Tableau.covers m.target s.tgt vm.vm_target
+
+let activate (m : Mapping.t) skeletons =
+  let active =
+    List.filter_map
+      (fun s ->
+        match List.filter (matches m s) m.values with
+        | [] -> None
+        | vms -> Some (s, vms))
+      skeletons
+  in
+  (* Subsumption: drop (s, vms) when some other active (s', vms') has
+     vms ⊆ vms' with s'.src ⊆ s.src and s'.tgt ⊆ s.tgt (a strictly more
+     general skeleton covering at least as much). *)
+  let subsumed (s, vms) =
+    List.exists
+      (fun (s', vms') ->
+        (not (equal s s'))
+        && List.for_all (fun vm -> List.memq vm vms') vms
+        && Tableau.subset s'.src s.src
+        && Tableau.subset s'.tgt s.tgt)
+      active
+  in
+  List.filter (fun entry -> not (subsumed entry)) active
+
+let parents (s : t) =
+  let src_parents = Tableau.parents s.src in
+  let tgt_parents = Tableau.parents s.tgt in
+  List.concat_map
+    (fun src -> List.map (fun tgt -> { src; tgt }) tgt_parents)
+    src_parents
+
+let ancestors s =
+  let rec go seen frontier =
+    match frontier with
+    | [] -> seen
+    | x :: rest ->
+      let next =
+        List.filter
+          (fun p -> not (List.exists (equal p) (seen @ frontier)))
+          (parents x)
+      in
+      go (seen @ next) (rest @ next)
+  in
+  go [] [ s ]
+
+let to_string s =
+  Printf.sprintf "%s -> %s" (Tableau.to_string s.src) (Tableau.to_string s.tgt)
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)

@@ -1,0 +1,35 @@
+(** Mapping skeletons (Sec. V-A): the source-tableau × target-tableau
+    matrix, activation by value mappings, and subsumption pruning. *)
+
+type t = {
+  src : Tableau.t;
+  tgt : Tableau.t;
+}
+
+(** The full matrix for two schemas. *)
+val matrix : Clip_schema.Schema.t -> Clip_schema.Schema.t -> t list
+
+(** [matches mapping skeleton vm] — do both end-points of [vm] fall
+    inside the skeleton's tableaux? *)
+val matches : Clip_core.Mapping.t -> t -> Clip_core.Mapping.value_mapping -> bool
+
+(** [activate mapping skeletons] — the active skeletons, each with the
+    value mappings it covers, after subsumption pruning: a skeleton is
+    dropped when another active skeleton covers a superset of its value
+    mappings with subset tableaux on both sides. *)
+val activate :
+  Clip_core.Mapping.t ->
+  t list ->
+  (t * Clip_core.Mapping.value_mapping list) list
+
+(** [parents s] — the aligned one-step generalisations of a skeleton:
+    drop one maximal generator from {e both} sides simultaneously
+    (the skeleton-hierarchy walk of Sec. V-B). *)
+val parents : t -> t list
+
+(** [ancestors s] — transitive closure of {!parents}, excluding [s]. *)
+val ancestors : t -> t list
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,119 @@
+module Path = Clip_schema.Path
+module Schema = Clip_schema.Schema
+
+type t = {
+  gens : Path.t list;
+  conds : (Path.t * Path.t) list;
+}
+
+let by_depth a b =
+  let r = Int.compare (List.length a.Path.steps) (List.length b.Path.steps) in
+  if r <> 0 then r else Path.compare a b
+
+let normalize gens conds =
+  let gens = List.sort_uniq by_depth gens in
+  let conds =
+    List.sort_uniq compare
+      (List.map (fun (a, b) -> if Path.compare a b <= 0 then (a, b) else (b, a)) conds)
+  in
+  { gens; conds }
+
+let make ?(conds = []) gens = normalize gens conds
+
+let mem_gen t p = List.exists (Path.equal p) t.gens
+
+let subset a b =
+  List.for_all (mem_gen b) a.gens
+  && List.for_all (fun c -> List.mem c b.conds) a.conds
+
+let equal a b = subset a b && subset b a
+
+let size t = List.length t.gens
+
+let covers schema (t : t) leaf =
+  let bindings = Schema.root_path schema :: t.gens in
+  Option.is_some (Clip_core.Validity.anchor_for schema ~bindings ~leaf)
+
+(* A generator is maximal when no other generator extends it. *)
+let maximal_gens t =
+  List.filter
+    (fun g ->
+      not
+        (List.exists
+           (fun h -> (not (Path.equal g h)) && Path.is_prefix g h)
+           t.gens))
+    t.gens
+
+let parents t =
+  if size t <= 1 then []
+  else
+    List.map
+      (fun dropped ->
+        let gens = List.filter (fun g -> not (Path.equal g dropped)) t.gens in
+        let under_dropped leaf = Path.is_prefix dropped (Path.element_of leaf) in
+        let conds =
+          List.filter
+            (fun (a, b) -> not (under_dropped a || under_dropped b))
+            t.conds
+        in
+        normalize gens conds)
+      (maximal_gens t)
+
+let compute (schema : Schema.t) =
+  let primaries =
+    List.map
+      (fun p -> make (Schema.repeating_ancestors schema p))
+      (Schema.repeating_paths schema)
+  in
+  (* Chase: if a tableau contains the element of [ref_from] but not the
+     element of [ref_to], extend it with [ref_to]'s repeating chain and
+     the equality; the chased tableau replaces the original. *)
+  let chase_step t =
+    List.find_map
+      (fun (r : Schema.reference) ->
+        let from_elem = Path.element_of r.ref_from in
+        let to_elem = Path.element_of r.ref_to in
+        if
+          mem_gen t from_elem
+          && (not (mem_gen t to_elem))
+          && not (List.mem (r.ref_from, r.ref_to) t.conds
+                  || List.mem (r.ref_to, r.ref_from) t.conds)
+        then
+          Some
+            (normalize
+               (t.gens @ Schema.repeating_ancestors schema to_elem)
+               ((r.ref_from, r.ref_to) :: t.conds))
+        else None)
+      schema.refs
+  in
+  let rec chase t = match chase_step t with Some t' -> chase t' | None -> t in
+  let chased = List.map chase primaries in
+  (* Deduplicate, keeping first occurrences. *)
+  List.fold_left
+    (fun acc t -> if List.exists (equal t) acc then acc else acc @ [ t ])
+    [] chased
+
+let to_string t =
+  let gen_names =
+    List.map
+      (fun (g : Path.t) ->
+        match Path.last_step g with
+        | Some (Path.Child n) -> n
+        | Some (Path.Attr n) -> "@" ^ n
+        | Some Path.Value -> "value"
+        | None -> g.root)
+      t.gens
+  in
+  let conds =
+    List.map
+      (fun (a, b) ->
+        Printf.sprintf "%s=%s"
+          (Path.step_to_string (Option.value ~default:(Path.Child "?") (Path.last_step a)))
+          (Path.step_to_string (Option.value ~default:(Path.Child "?") (Path.last_step b))))
+      t.conds
+  in
+  Printf.sprintf "{%s%s}"
+    (String.concat "-" gen_names)
+    (match conds with [] -> "" | cs -> ", " ^ String.concat ", " cs)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,50 @@
+(** Clio tableaux (Sec. V-A): sets of semantically related schema
+    elements. A tableau is a set of repeating-element generators (each
+    implicitly rooted at the deepest other generator that prefixes it)
+    plus leaf-equality conditions contributed by chasing referential
+    constraints.
+
+    For the paper's running source schema the computation yields
+    exactly the three tableaux of Sec. V-A: [{dept}], [{dept-Proj}] and
+    [{dept-Proj-regEmp, @pid=@pid}] — the chase {e replaces} the
+    primary [{dept-regEmp}] tableau, which is why Clio's employee
+    mapping iterates the join. *)
+
+type t = {
+  gens : Clip_schema.Path.t list; (** repeating element paths, outermost first *)
+  conds : (Clip_schema.Path.t * Clip_schema.Path.t) list;
+      (** leaf equalities from chased references *)
+}
+
+val make :
+  ?conds:(Clip_schema.Path.t * Clip_schema.Path.t) list ->
+  Clip_schema.Path.t list ->
+  t
+
+(** [compute schema] — primary-path tableaux (one per repeating
+    element, closed under repeating ancestors) chased over the schema's
+    referential constraints; a chased tableau replaces its original. *)
+val compute : Clip_schema.Schema.t -> t list
+
+(** [subset a b] — are [a]'s generators (and conditions) all in [b]? *)
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** [covers schema t leaf] — can [leaf] be referenced from [t]'s
+    generators (or the root) without crossing an unbound repeating
+    element? This is how value mappings match tableaux. *)
+val covers : Clip_schema.Schema.t -> t -> Clip_schema.Path.t -> bool
+
+(** [parents t] — the tableaux obtained by dropping one maximal
+    (childless) generator; empty when only one generator remains.
+    Conditions mentioning the dropped generator go with it. *)
+val parents : t -> t list
+
+(** [size t] — number of generators. *)
+val size : t -> int
+
+(** Short display form, e.g. ["{dept-Proj-regEmp, @pid=@pid}"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

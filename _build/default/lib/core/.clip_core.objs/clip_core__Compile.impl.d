@@ -1,0 +1,1 @@
+lib/core/compile.ml: Char Clip_schema Clip_tgd List Mapping Option Printf String Validity

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Clip_tgd Mapping Validity

@@ -1,0 +1,1 @@
+lib/core/dsl.ml: Buffer Clip_schema Clip_tgd Clip_xml List Mapping Printf String

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Clip_tgd Clip_xquery Compile Mapping To_xquery

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Clip_tgd Clip_xml Mapping

@@ -1,0 +1,1 @@
+lib/core/lineage.ml: Buffer Clip_schema List Mapping Option Printf String Validity

@@ -1,0 +1,1 @@
+lib/core/lineage.mli: Clip_schema Mapping

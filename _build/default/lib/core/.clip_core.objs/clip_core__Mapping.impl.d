@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Clip_schema Clip_tgd Clip_xml Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Clip_schema Clip_tgd Clip_xml Format

@@ -1,0 +1,1 @@
+lib/core/render.ml: Buffer Clip_schema Clip_tgd Clip_xml Format List Mapping Printf String

@@ -1,0 +1,1 @@
+lib/core/render.mli: Clip_schema Format Mapping

@@ -1,0 +1,1 @@
+lib/core/to_xquery.ml: Clip_schema Clip_tgd Clip_xquery Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/to_xquery.mli: Clip_tgd Clip_xquery

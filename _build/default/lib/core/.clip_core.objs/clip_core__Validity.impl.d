@@ -1,0 +1,1 @@
+lib/core/validity.ml: Clip_schema Clip_tgd List Mapping Option Printf String

@@ -1,0 +1,1 @@
+lib/core/validity.mli: Clip_schema Mapping

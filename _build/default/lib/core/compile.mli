@@ -1,0 +1,35 @@
+(** Compilation of Clip mappings into nested tgds (Sec. IV).
+
+    Each build node becomes one (sub)mapping:
+    - every incoming builder yields a chain of source generators — the
+      input element rooted at the deepest enclosing builder variable
+      whose element is an ancestor, with one implicit generator per
+      repeating element crossed on the way (this is how Fig. 3's lone
+      [regEmp] builder compiles to [∀ d ∈ source.dept, r ∈ d.regEmp]);
+      when the input element {e is} an enclosing binding the generator
+      ranges over that single member (Fig. 7's [p2 ∈ p]);
+    - the node label's conditions become the [C1] conjuncts;
+    - the outgoing builder yields the principal target generator
+      ([Driven], or [Grouped] with the node's grouping attributes),
+      preceded by [Completion] generators for repeating target elements
+      crossed between the context's output and this node's output (the
+      minimum-cardinality [department] of Fig. 3's tgd);
+    - each value mapping becomes a [C2] assertion in the mapping of its
+      driver node, its sources rewritten against their anchor
+      variables; aggregates become function equalities whose context of
+      aggregation is the anchor variable (Sec. IV-B);
+    - context arcs become submapping nesting.
+
+    Aggregate value mappings with no driver attach to the synthetic
+    top-level mapping (whole-document scope, Sec. III-B). *)
+
+exception Invalid of Validity.issue list
+
+(** [to_tgd m] compiles a valid mapping.
+    @raise Invalid when {!Validity.check} reports errors. *)
+val to_tgd : Mapping.t -> Clip_tgd.Tgd.t
+
+(** [to_tgd_unchecked m] compiles without the validity gate (used to
+    show what an invalid mapping would mean). May raise [Failure] on
+    mappings that cannot be compiled at all. *)
+val to_tgd_unchecked : Mapping.t -> Clip_tgd.Tgd.t

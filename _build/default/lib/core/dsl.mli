@@ -1,0 +1,46 @@
+(** Textual surface syntax for complete Clip mappings — the stand-in
+    for the GUI. A mapping file declares the two schemas and the
+    mapping:
+
+    {v
+    schema source { dept [1..*] { dname: string ... } }
+    schema target { department [1..*] { employee [0..*] { @name: string } } }
+
+    mapping {
+      node d: source.dept as $d -> target.department {
+        node e: source.dept.regEmp as $r -> target.department.employee
+          where $r.sal.value > 11000
+      }
+      value source.dept.regEmp.ename.value -> target.department.employee.@name
+    }
+    v}
+
+    Syntax summary (mirrors Fig. 2):
+    - [node id: input, input -> output { children }] — a build node;
+      each input is a source element path, optionally tagged
+      [as $var]; the output target element is optional (context-only
+      nodes); [where] adds filtering conditions over tagged variables;
+    - [group id: input by $v.path, ... -> output { ... }] — a group
+      node with its grouping attributes;
+    - [value src -> tgt] — a value mapping; [src] is a source leaf
+      path, [fn(p1, p2, ...)] for scalar functions, [<<count>> p] (or
+      [avg], [sum], [min], [max]) for aggregates, or a literal for
+      constants. *)
+
+exception Syntax_error of { line : int; column : int; message : string }
+
+(** [parse s] — a complete mapping file (two schemas + mapping).
+    The first declared schema is the source, the second the target.
+    @raise Syntax_error on malformed input. *)
+val parse : string -> Mapping.t
+
+(** [parse_mapping ~source ~target s] — just a [mapping { ... }] block
+    against existing schemas. *)
+val parse_mapping :
+  source:Clip_schema.Schema.t -> target:Clip_schema.Schema.t -> string -> Mapping.t
+
+val error_to_string : exn -> string
+
+(** [to_string m] — render a mapping back to the surface syntax
+    (schemas included); [parse (to_string m)] round-trips. *)
+val to_string : Mapping.t -> string

@@ -1,0 +1,35 @@
+type backend = [ `Tgd | `Xquery | `Xquery_text ]
+
+let run ?(backend = `Tgd) ?(minimum_cardinality = true) (m : Mapping.t) source =
+  let tgd = Compile.to_tgd m in
+  let target_root = m.target.root.name in
+  match backend with
+  | `Tgd -> Clip_tgd.Eval.run ~minimum_cardinality ~source ~target_root tgd
+  | (`Xquery | `Xquery_text) as backend ->
+    if not minimum_cardinality then
+      invalid_arg
+        "Engine.run: the universal-solution ablation is only available on the \
+         tgd backend";
+    let query = To_xquery.translate ~target_root tgd in
+    let query =
+      match backend with
+      | `Xquery -> query
+      | `Xquery_text ->
+        (* Round-trip through the concrete syntax: what an external
+           XQuery processor would receive. *)
+        Clip_xquery.Parser.parse_string (Clip_xquery.Pretty.query_to_string query)
+    in
+    Clip_xquery.Eval.run_document ~input:source query
+
+let run_traced ?(minimum_cardinality = true) (m : Mapping.t) source =
+  let tgd = Compile.to_tgd m in
+  Clip_tgd.Eval.run_traced ~minimum_cardinality ~source
+    ~target_root:m.target.root.name tgd
+
+let xquery_text (m : Mapping.t) =
+  let tgd = Compile.to_tgd m in
+  Clip_xquery.Pretty.query_to_string
+    (To_xquery.translate ~target_root:m.target.root.name tgd)
+
+let tgd_text ?unicode (m : Mapping.t) =
+  Clip_tgd.Pretty.to_string ?unicode (Compile.to_tgd m)

@@ -1,0 +1,43 @@
+(** End-to-end execution of a Clip mapping over a source instance.
+
+    Three backends implement the same semantics:
+    - [`Tgd] — compile to a nested tgd and run the {!Clip_tgd.Eval}
+      data-exchange engine directly;
+    - [`Xquery] — compile to a tgd, generate the XQuery of Sec. VI with
+      {!To_xquery}, and evaluate it with {!Clip_xquery.Eval};
+    - [`Xquery_text] — like [`Xquery], but round-tripping the query
+      through its concrete syntax ({!Clip_xquery.Pretty} then
+      {!Clip_xquery.Parser}): exactly what an external XQuery processor
+      would receive.
+
+    The test suite asserts all backends agree on every scenario; the
+    benchmark harness compares their cost. *)
+
+type backend = [ `Tgd | `Xquery | `Xquery_text ]
+
+(** [run ?backend ?minimum_cardinality mapping source] — the target
+    instance. Default backend [`Tgd]; default minimum-cardinality on.
+    @raise Compile.Invalid when the mapping is invalid
+    @raise Clip_tgd.Eval.Error / Clip_xquery.Eval.Error on dynamic
+    failures. *)
+val run :
+  ?backend:backend ->
+  ?minimum_cardinality:bool ->
+  Mapping.t ->
+  Clip_xml.Node.t ->
+  Clip_xml.Node.t
+
+(** [run_traced mapping source] — run on the tgd backend and also
+    return instance-level lineage: which source elements each created
+    target element came from (see {!Clip_tgd.Eval.run_traced}). *)
+val run_traced :
+  ?minimum_cardinality:bool ->
+  Mapping.t ->
+  Clip_xml.Node.t ->
+  Clip_xml.Node.t * Clip_tgd.Eval.trace_entry list
+
+(** The generated XQuery text for a mapping (Sec. VI output). *)
+val xquery_text : Mapping.t -> string
+
+(** The compiled nested tgd in the paper's notation (Sec. IV output). *)
+val tgd_text : ?unicode:bool -> Mapping.t -> string

@@ -1,0 +1,116 @@
+module Path = Clip_schema.Path
+
+type dependency = {
+  on : Path.t;
+  kind : [ `Value | `Filter | `Group_key | `Iteration ];
+}
+
+let dedup deps =
+  List.fold_left
+    (fun acc d ->
+      if List.exists (fun d' -> d' = d) acc then acc else acc @ [ d ])
+    [] deps
+
+(* The source path a [$var.steps] operand denotes, resolved against the
+   inputs of the node and its ancestors. *)
+let resolve_operand_path m node (var, steps) =
+  let scope = Validity.parent_chain m node @ [ node ] in
+  List.find_map
+    (fun (n : Mapping.build_node) ->
+      List.find_map
+        (fun (i : Mapping.input) ->
+          match i.in_var with
+          | Some v when String.equal v var -> Some (Path.append i.in_source steps)
+          | _ -> None)
+        n.bn_inputs)
+    scope
+
+(* Dependencies contributed by one build node (not its ancestors). *)
+let node_own_deps m (n : Mapping.build_node) =
+  let iteration =
+    List.map (fun (i : Mapping.input) -> { on = i.in_source; kind = `Iteration }) n.bn_inputs
+  in
+  let filters =
+    List.concat_map
+      (fun (p : Mapping.predicate) ->
+        List.filter_map
+          (function
+            | Mapping.O_path (v, steps) ->
+              Option.map
+                (fun on -> { on; kind = `Filter })
+                (resolve_operand_path m n (v, steps))
+            | Mapping.O_const _ -> None)
+          [ p.p_left; p.p_right ])
+      n.bn_cond
+  in
+  let keys =
+    List.filter_map
+      (fun (v, steps) ->
+        Option.map
+          (fun on -> { on; kind = `Group_key })
+          (resolve_operand_path m n (v, steps)))
+      n.bn_group_by
+  in
+  iteration @ filters @ keys
+
+(* Dependencies of a node's output: its own plus the whole context
+   chain's. *)
+let node_deps m (n : Mapping.build_node) =
+  dedup (List.concat_map (node_own_deps m) (Validity.parent_chain m n @ [ n ]))
+
+let value_mapping_deps m (vm : Mapping.value_mapping) =
+  let own = List.map (fun p -> { on = p; kind = `Value }) vm.vm_sources in
+  let driver =
+    match Validity.driver_of m vm with
+    | Some node -> node_deps m node
+    | None -> []
+  in
+  dedup (own @ driver)
+
+let report (m : Mapping.t) =
+  let node_rows =
+    List.filter_map
+      (fun (n : Mapping.build_node) ->
+        Option.map (fun out -> (out, node_deps m n)) n.bn_output)
+      (Mapping.all_nodes m)
+  in
+  let vm_rows =
+    List.map (fun vm -> (vm.Mapping.vm_target, value_mapping_deps m vm)) m.values
+  in
+  node_rows @ vm_rows
+
+let target_dependencies m p =
+  dedup
+    (List.concat_map
+       (fun (tp, deps) -> if Path.equal tp p then deps else [])
+       (report m))
+
+let impacted_by m p =
+  List.filter_map
+    (fun (tp, deps) ->
+      if List.exists (fun d -> Path.is_prefix p d.on) deps then Some tp else None)
+    (report m)
+  |> List.fold_left
+       (fun acc tp -> if List.exists (Path.equal tp) acc then acc else acc @ [ tp ])
+       []
+
+let kind_to_string = function
+  | `Value -> "value"
+  | `Filter -> "filter"
+  | `Group_key -> "group-key"
+  | `Iteration -> "iteration"
+
+let report_to_string m =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (tp, deps) ->
+      Buffer.add_string buf (Path.to_string tp);
+      Buffer.add_string buf "\n";
+      List.iter
+        (fun d ->
+          Buffer.add_string buf
+            (Printf.sprintf "  <- %-10s %s\n" (kind_to_string d.kind)
+               (Path.to_string d.on)))
+        deps)
+    (report m);
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Mapping lineage / impact analysis.
+
+    The paper's introduction names a second use of schema mappings —
+    "to maintain relationships between schema elements, for later use
+    in impact analysis (change management) and data lineage" — and sets
+    it aside. This module provides the static part: for a mapping, which
+    target leaves and elements depend on which source nodes, and
+    therefore what a source-schema change would impact.
+
+    Dependencies are read off the compiled structure: a value mapping
+    makes its target leaf depend on its source leaves and on the
+    filtering/grouping/join leaves of its driver chain; a builder makes
+    its output element depend on its input elements and on every
+    predicate leaf along the context chain. *)
+
+type dependency = {
+  on : Clip_schema.Path.t; (** a source node *)
+  kind : [ `Value | `Filter | `Group_key | `Iteration ];
+}
+
+(** [target_dependencies m p] — what source nodes the target node at
+    [p] (a leaf or an element) depends on. Unknown paths yield []. *)
+val target_dependencies : Mapping.t -> Clip_schema.Path.t -> dependency list
+
+(** [impacted_by m p] — the target paths affected by a change to the
+    source node at [p] (or to anything below it). *)
+val impacted_by : Mapping.t -> Clip_schema.Path.t -> Clip_schema.Path.t list
+
+(** A full report, target path by target path. *)
+val report : Mapping.t -> (Clip_schema.Path.t * dependency list) list
+
+val report_to_string : Mapping.t -> string

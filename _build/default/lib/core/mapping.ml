@@ -1,0 +1,149 @@
+module Path = Clip_schema.Path
+module Tgd = Clip_tgd.Tgd
+
+type variable = string
+
+type operand =
+  | O_path of variable * Path.step list
+  | O_const of Clip_xml.Atom.t
+
+type predicate = { p_left : operand; p_op : Tgd.cmp_op; p_right : operand }
+
+type input = { in_source : Path.t; in_var : variable option }
+
+type group_key = variable * Path.step list
+
+type build_node = {
+  bn_id : string;
+  bn_inputs : input list;
+  bn_output : Path.t option;
+  bn_cond : predicate list;
+  bn_group_by : group_key list;
+  bn_children : build_node list;
+}
+
+type value_fn =
+  | Identity
+  | Constant of Clip_xml.Atom.t
+  | Scalar of string
+  | Aggregate of Tgd.agg_kind
+
+type value_mapping = {
+  vm_sources : Path.t list;
+  vm_target : Path.t;
+  vm_fn : value_fn;
+}
+
+type t = {
+  source : Clip_schema.Schema.t;
+  target : Clip_schema.Schema.t;
+  roots : build_node list;
+  values : value_mapping list;
+}
+
+let input ?var in_source = { in_source; in_var = var }
+
+let node_counter = ref 0
+
+let node ?id ?output ?(cond = []) ?(group_by = []) ?(children = []) inputs =
+  let bn_id =
+    match id with
+    | Some id -> id
+    | None ->
+      incr node_counter;
+      Printf.sprintf "n%d" !node_counter
+  in
+  {
+    bn_id;
+    bn_inputs = inputs;
+    bn_output = output;
+    bn_cond = cond;
+    bn_group_by = group_by;
+    bn_children = children;
+  }
+
+let value ?(fn = Identity) vm_sources vm_target =
+  { vm_sources; vm_target; vm_fn = fn }
+
+let make ~source ~target ?(roots = []) values = { source; target; roots; values }
+
+let all_nodes m =
+  let rec go acc n = List.fold_left go (n :: acc) n.bn_children in
+  List.rev (List.fold_left go [] m.roots)
+
+let node_by_id m id =
+  List.find_opt (fun n -> String.equal n.bn_id id) (all_nodes m)
+
+let node_variables n = List.filter_map (fun i -> i.in_var) n.bn_inputs
+
+let builder_count m =
+  List.fold_left
+    (fun acc n ->
+      acc + List.length n.bn_inputs
+      + (match n.bn_output with Some _ -> 1 | None -> 0))
+    0 (all_nodes m)
+
+let operand_to_string = function
+  | O_path (v, steps) ->
+    String.concat "." (("$" ^ v) :: List.map Path.step_to_string steps)
+  | O_const a ->
+    (match a with
+     | Clip_xml.Atom.String s -> Printf.sprintf "%S" s
+     | a -> Clip_xml.Atom.to_string a)
+
+let predicate_to_string p =
+  Printf.sprintf "%s %s %s" (operand_to_string p.p_left)
+    (Tgd.cmp_op_to_string p.p_op)
+    (operand_to_string p.p_right)
+
+let value_fn_to_string = function
+  | Identity -> "identity"
+  | Constant a -> Printf.sprintf "constant %s" (Clip_xml.Atom.to_string a)
+  | Scalar name -> name
+  | Aggregate kind -> Printf.sprintf "<<%s>>" (Tgd.agg_kind_to_string kind)
+
+let pp fmt m =
+  let rec pp_node ind (n : build_node) =
+    let pad = String.make ind ' ' in
+    let inputs =
+      String.concat ", "
+        (List.map
+           (fun i ->
+             match i.in_var with
+             | Some v -> Printf.sprintf "$%s: %s" v (Path.to_string i.in_source)
+             | None -> Path.to_string i.in_source)
+           n.bn_inputs)
+    in
+    let output =
+      match n.bn_output with
+      | Some p -> " -> " ^ Path.to_string p
+      | None -> ""
+    in
+    let cond =
+      match n.bn_cond with
+      | [] -> ""
+      | cs -> " when " ^ String.concat ", " (List.map predicate_to_string cs)
+    in
+    let group =
+      match n.bn_group_by with
+      | [] -> ""
+      | ks ->
+        " group-by "
+        ^ String.concat ", "
+            (List.map
+               (fun (v, steps) ->
+                 String.concat "." (("$" ^ v) :: List.map Path.step_to_string steps))
+               ks)
+    in
+    Format.fprintf fmt "%s%s: {%s}%s%s%s\n" pad n.bn_id inputs output group cond;
+    List.iter (pp_node (ind + 2)) n.bn_children
+  in
+  Format.fprintf fmt "mapping %s => %s\n" m.source.root.name m.target.root.name;
+  List.iter (pp_node 2) m.roots;
+  List.iter
+    (fun vm ->
+      Format.fprintf fmt "  value [%s] -> %s (%s)\n"
+        (String.concat ", " (List.map Path.to_string vm.vm_sources))
+        (Path.to_string vm.vm_target)
+        (value_fn_to_string vm.vm_fn))
+    m.values

@@ -1,0 +1,102 @@
+(** The Clip mapping model — the abstract syntax of the visual language
+    (Sec. II, Fig. 2).
+
+    A mapping connects a source and a target schema with:
+    - {e value mappings} (thin arrows): leaf-to-leaf value couplings,
+      optionally through a scalar function or an aggregate;
+    - {e builders} (thick arrows) organised into {e build nodes}: each
+      build node has 1..n incoming builders (iterators over source
+      elements, optionally tagged with variables), at most one outgoing
+      builder (the target element constructed per iteration), an
+      optional filtering condition, and an optional [group-by] clause
+      turning it into a group node;
+    - {e context arcs} linking build nodes into context propagation
+      trees (CPTs): a child node iterates within the binding of its
+      parent. *)
+
+type variable = string
+
+(** An operand of a filtering condition: [$r.sal.value] or a constant. *)
+type operand =
+  | O_path of variable * Clip_schema.Path.step list
+  | O_const of Clip_xml.Atom.t
+
+(** A filtering condition conjunct on a build node label. *)
+type predicate = { p_left : operand; p_op : Clip_tgd.Tgd.cmp_op; p_right : operand }
+
+(** An incoming builder: the source element it is drawn from and the
+    optional variable tag ([$r]). *)
+type input = { in_source : Clip_schema.Path.t; in_var : variable option }
+
+(** A grouping attribute: [$p.pname.value]. *)
+type group_key = variable * Clip_schema.Path.step list
+
+type build_node = {
+  bn_id : string; (** a label for diagnostics; unique within a mapping *)
+  bn_inputs : input list; (** 1..n incoming builders *)
+  bn_output : Clip_schema.Path.t option; (** the outgoing builder's target element *)
+  bn_cond : predicate list; (** the node label's filtering conditions *)
+  bn_group_by : group_key list; (** non-empty for group nodes *)
+  bn_children : build_node list; (** outgoing context arcs *)
+}
+
+(** What a value mapping computes from its sources. *)
+type value_fn =
+  | Identity (** copy a single source value *)
+  | Constant of Clip_xml.Atom.t (** no sources; a target constant *)
+  | Scalar of string (** a named scalar function over the sources, e.g. [concat] *)
+  | Aggregate of Clip_tgd.Tgd.agg_kind (** [<<count>>], [<<avg>>], ... *)
+
+type value_mapping = {
+  vm_sources : Clip_schema.Path.t list;
+    (** source leaves; for [Aggregate Count] a repeating element path
+        is also allowed (the Fig. 9 exception) *)
+  vm_target : Clip_schema.Path.t; (** a target leaf *)
+  vm_fn : value_fn;
+}
+
+type t = {
+  source : Clip_schema.Schema.t;
+  target : Clip_schema.Schema.t;
+  roots : build_node list; (** CPT roots *)
+  values : value_mapping list;
+}
+
+(** {1 Constructors} *)
+
+val input : ?var:variable -> Clip_schema.Path.t -> input
+
+val node :
+  ?id:string ->
+  ?output:Clip_schema.Path.t ->
+  ?cond:predicate list ->
+  ?group_by:group_key list ->
+  ?children:build_node list ->
+  input list ->
+  build_node
+
+val value :
+  ?fn:value_fn -> Clip_schema.Path.t list -> Clip_schema.Path.t -> value_mapping
+
+val make :
+  source:Clip_schema.Schema.t ->
+  target:Clip_schema.Schema.t ->
+  ?roots:build_node list ->
+  value_mapping list ->
+  t
+
+(** {1 Traversal} *)
+
+(** All build nodes, preorder. *)
+val all_nodes : t -> build_node list
+
+(** [node_by_id m id] — lookup by label. *)
+val node_by_id : t -> string -> build_node option
+
+(** The variables visible at a node: its own inputs' tags. *)
+val node_variables : build_node -> variable list
+
+(** Count of builders (incoming arrows) in the mapping. *)
+val builder_count : t -> int
+
+val pp : Format.formatter -> t -> unit

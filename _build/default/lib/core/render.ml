@@ -1,0 +1,169 @@
+module Path = Clip_schema.Path
+module Schema = Clip_schema.Schema
+module Cardinality = Clip_schema.Cardinality
+module Tgd = Clip_tgd.Tgd
+
+(* Tags attached to schema paths: builder / value-mapping endpoints. *)
+type tags = (Path.t * string) list
+
+let tags_at (tags : tags) p =
+  match List.filter_map (fun (q, t) -> if Path.equal p q then Some t else None) tags with
+  | [] -> ""
+  | ts -> "  <-- " ^ String.concat " " ts
+
+(* Render one schema as indented lines with tags. *)
+let schema_lines (s : Schema.t) (tags : tags) =
+  let lines = ref [] in
+  let add l = lines := l :: !lines in
+  let rec element ind path (e : Schema.element) =
+    let pad = String.make ind ' ' in
+    let card =
+      if path = Schema.root_path s || e.card = Cardinality.required then ""
+      else " " ^ Cardinality.to_string e.card
+    in
+    add (Printf.sprintf "%s%s%s%s" pad e.name card (tags_at tags path));
+    List.iter
+      (fun (a : Schema.attribute) ->
+        let ap = Path.attr path a.attr_name in
+        add
+          (Printf.sprintf "%s  @%s: %s%s" pad a.attr_name
+             (Clip_schema.Atomic_type.to_string a.attr_type)
+             (tags_at tags ap)))
+      e.attrs;
+    (match e.value with
+     | Some ty ->
+       let vp = Path.value path in
+       add
+         (Printf.sprintf "%s  value: %s%s" pad
+            (Clip_schema.Atomic_type.to_string ty)
+            (tags_at tags vp))
+     | None -> ());
+    List.iter
+      (fun (c : Schema.element) -> element (ind + 2) (Path.child path c.name) c)
+      e.children
+  in
+  element 0 (Schema.root_path s) s.root;
+  List.rev !lines
+
+let operand_to_string = function
+  | Mapping.O_path (v, steps) ->
+    String.concat "." (("$" ^ v) :: List.map Path.step_to_string steps)
+  | Mapping.O_const a -> Clip_xml.Atom.to_string a
+
+let to_string ?focus (m : Mapping.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* The focus filter: does a line touching these paths stay visible? *)
+  let visible paths =
+    match focus with
+    | None -> true
+    | Some roots ->
+      List.exists
+        (fun p -> List.exists (fun r -> Path.is_prefix r p) roots)
+        paths
+  in
+  let node_visible (n : Mapping.build_node) =
+    visible
+      (List.map (fun (i : Mapping.input) -> i.in_source) n.bn_inputs
+      @ match n.bn_output with Some o -> [ o ] | None -> [])
+  in
+  let vm_visible (vm : Mapping.value_mapping) =
+    visible (vm.vm_target :: vm.vm_sources)
+  in
+  (* Number builders and value mappings. *)
+  let src_tags = ref [] and tgt_tags = ref [] in
+  let legend = ref [] in
+  let rec walk_node depth (n : Mapping.build_node) =
+    if not (node_visible n) then List.iter (walk_node depth) n.bn_children
+    else walk_visible_node depth n
+
+  and walk_visible_node depth (n : Mapping.build_node) =
+    let kind = if n.bn_group_by = [] then "builder" else "group" in
+    List.iter
+      (fun (i : Mapping.input) ->
+        let var = match i.in_var with Some v -> Printf.sprintf " $%s" v | None -> "" in
+        src_tags := (i.in_source, Printf.sprintf "[%s%s]" n.bn_id var) :: !src_tags)
+      n.bn_inputs;
+    (match n.bn_output with
+     | Some out -> tgt_tags := (out, Printf.sprintf "[%s]" n.bn_id) :: !tgt_tags
+     | None -> ());
+    let cond =
+      match n.bn_cond with
+      | [] -> ""
+      | ps ->
+        "  when "
+        ^ String.concat " and "
+            (List.map
+               (fun (p : Mapping.predicate) ->
+                 Printf.sprintf "%s %s %s" (operand_to_string p.p_left)
+                   (Tgd.cmp_op_to_string p.p_op)
+                   (operand_to_string p.p_right))
+               ps)
+    in
+    let group =
+      match n.bn_group_by with
+      | [] -> ""
+      | keys ->
+        "  group-by "
+        ^ String.concat ", "
+            (List.map
+               (fun (v, steps) ->
+                 String.concat "." (("$" ^ v) :: List.map Path.step_to_string steps))
+               keys)
+    in
+    legend :=
+      Printf.sprintf "%s[%s] %s: %s => %s%s%s"
+        (String.make (depth * 2) ' ')
+        n.bn_id kind
+        (String.concat " x "
+           (List.map (fun (i : Mapping.input) -> Path.to_string i.in_source) n.bn_inputs))
+        (match n.bn_output with Some p -> Path.to_string p | None -> "(context only)")
+        group cond
+      :: !legend;
+    List.iter (walk_node (depth + 1)) n.bn_children
+  in
+  List.iter (walk_node 0) m.roots;
+  List.iteri
+    (fun i (vm : Mapping.value_mapping) ->
+      if vm_visible vm then begin
+      let tag = Printf.sprintf "(v%d)" (i + 1) in
+      List.iter (fun src -> src_tags := (src, tag) :: !src_tags) vm.vm_sources;
+      tgt_tags := (vm.vm_target, tag) :: !tgt_tags;
+      let fn =
+        match vm.vm_fn with
+        | Mapping.Identity -> ""
+        | Mapping.Constant a -> Printf.sprintf " = %s" (Clip_xml.Atom.to_string a)
+        | Mapping.Scalar name -> Printf.sprintf " via %s" name
+        | Mapping.Aggregate kind ->
+          Printf.sprintf " <<%s>>" (Tgd.agg_kind_to_string kind)
+      in
+      legend :=
+        Printf.sprintf "(v%d) value%s: %s => %s" (i + 1) fn
+          (String.concat ", " (List.map Path.to_string vm.vm_sources))
+          (Path.to_string vm.vm_target)
+        :: !legend
+      end)
+    m.values;
+  let left = schema_lines m.source !src_tags in
+  let right = schema_lines m.target !tgt_tags in
+  let width = List.fold_left (fun w l -> max w (String.length l)) 0 left in
+  let width = max width 24 in
+  let rec zip ls rs =
+    match ls, rs with
+    | [], [] -> ()
+    | l :: ls, [] ->
+      add "%s |\n" l;
+      zip ls []
+    | [], r :: rs ->
+      add "%-*s | %s\n" width "" r;
+      zip [] rs
+    | l :: ls, r :: rs ->
+      add "%-*s | %s\n" width l r;
+      zip ls rs
+  in
+  zip left right;
+  add "%s\n" (String.make (width + 2) '-');
+  List.iter (fun l -> add "%s\n" l) (List.rev !legend);
+  Buffer.contents buf
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)

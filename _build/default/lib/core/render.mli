@@ -1,0 +1,16 @@
+(** ASCII rendering of a Clip mapping — the terminal stand-in for the
+    GUI of Fig. 1/3-9: the source schema tree on the left, the target
+    on the right, builders and value mappings as numbered tags on the
+    nodes they touch, and a legend describing each line (its kind,
+    variables, conditions, grouping attributes and context nesting).
+
+    [?focus] implements the paper's future-work view mechanism
+    ("filters highlighting some of the lines ... allow users to
+    concentrate on a portion of the schemas at a time", Sec. VII):
+    when given, only the builders and value mappings touching a node
+    under one of the focus paths (on either side) are tagged and
+    listed. *)
+
+val to_string : ?focus:Clip_schema.Path.t list -> Mapping.t -> string
+
+val pp : Format.formatter -> Mapping.t -> unit

@@ -1,0 +1,75 @@
+(** Validity of Clip mappings (Sec. III).
+
+    A mapping is valid when, for any source instance, it produces a
+    target instance conforming to the target schema. Clip detects this
+    syntactically:
+
+    - {e safe builders}: a builder must go from more constraining to
+      less constraining elements — if one iteration step can yield many
+      source items (repeating input, Cartesian product of several
+      inputs, or an unbounded implicit ancestor iteration), the target
+      element must be repeating;
+    - {e valid CPTs}: the build-node hierarchy must be topologically
+      aligned with the target schema — each node's output element must
+      lie strictly below the output of its nearest output-bearing
+      ancestor;
+    - {e valid value mappings}: each non-aggregate value mapping must
+      have a driver (the builder whose target is the first
+      builder-built element on the path from [target(v)] to the root)
+      and every source leaf must be anchored to a builder-bound source
+      node with no repeating element in [path(sv) \ path(sb)];
+      aggregate value mappings are exempt (Sec. III-B).
+
+    Underspecification is additionally reported as a {e warning}
+    (Sec. II-A: a mapping may leave optional target parts unpopulated —
+    "not a problem" — but a required attribute, text node or
+    non-repeating required child of a built element that nothing
+    produces will make every output invalid).
+
+    Invalid mappings are flagged, not rejected: as in the paper, users
+    may deliberately keep an unsafe mapping on screen. *)
+
+type severity = Error | Warning
+
+type issue = { severity : severity; code : string; message : string }
+
+val issue_to_string : issue -> string
+
+(** [check m] — all issues, errors first. *)
+val check : Mapping.t -> issue list
+
+(** [is_valid m] — no [Error]-severity issue. *)
+val is_valid : Mapping.t -> bool
+
+(** {1 Shared resolution helpers (also used by the compiler)} *)
+
+(** [driver_of m vm] — the build node driving [vm]: walking up from
+    [target(vm)], the first element that is the output of a builder;
+    [None] when no builder output lies on that path. *)
+val driver_of : Mapping.t -> Mapping.value_mapping -> Mapping.build_node option
+
+(** [parent_chain m n] — ancestors of [n] in the CPT, outermost first
+    (excluding [n]). *)
+val parent_chain : Mapping.t -> Mapping.build_node -> Mapping.build_node list
+
+(** [binding_paths m n] — the source element paths bound by builders in
+    scope at node [n]: the schema root, every input of [n] and of its
+    ancestors, and the repeating elements implicitly iterated between a
+    context binding and an input (the [d ∈ source.dept] of Fig. 3's
+    tgd). Deepest-last. *)
+val binding_paths : Mapping.t -> Mapping.build_node -> Clip_schema.Path.t list
+
+(** [is_anchor schema ~binding ~leaf] — may leaf [leaf] be referenced
+    from a variable bound at element path [binding]? True iff [binding]
+    is the schema root or a prefix of [leaf]'s element, with no
+    repeating source element in [path(leaf) \ path(binding)]. *)
+val is_anchor :
+  Clip_schema.Schema.t -> binding:Clip_schema.Path.t -> leaf:Clip_schema.Path.t -> bool
+
+(** [anchor_for schema ~bindings ~leaf] — the deepest anchor among
+    [bindings] for [leaf], if any. *)
+val anchor_for :
+  Clip_schema.Schema.t ->
+  bindings:Clip_schema.Path.t list ->
+  leaf:Clip_schema.Path.t ->
+  Clip_schema.Path.t option

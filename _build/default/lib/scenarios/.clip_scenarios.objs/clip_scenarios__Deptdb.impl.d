@@ -1,0 +1,1 @@
+lib/scenarios/deptdb.ml: Atom Clip_schema Clip_xml List Node Printf Random

@@ -1,0 +1,1 @@
+lib/scenarios/deptdb.mli: Clip_schema Clip_xml

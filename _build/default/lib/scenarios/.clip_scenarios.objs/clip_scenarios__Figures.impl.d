@@ -1,0 +1,1 @@
+lib/scenarios/figures.ml: Clip_core Clip_schema Clip_tgd Clip_xml Deptdb Printf

@@ -1,0 +1,1 @@
+lib/scenarios/figures.mli: Clip_core Clip_xml

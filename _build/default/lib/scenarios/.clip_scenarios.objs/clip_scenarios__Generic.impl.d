@@ -1,0 +1,1 @@
+lib/scenarios/generic.ml: Clip_core Clip_schema Clip_xml

@@ -1,0 +1,1 @@
+lib/scenarios/table1.ml: Clip_core Clip_schema Clip_xml Deptdb Figures

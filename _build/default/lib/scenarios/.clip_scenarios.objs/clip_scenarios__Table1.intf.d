@@ -1,0 +1,1 @@
+lib/scenarios/table1.mli: Clip_core Clip_xml

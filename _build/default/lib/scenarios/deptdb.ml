@@ -1,0 +1,145 @@
+let schema = Clip_schema.Dsl.parse
+
+let source =
+  schema
+    {|
+    schema source {
+      dept [1..*] {
+        dname: string
+        Proj [0..*] {
+          @pid: int
+          pname: string
+        }
+        regEmp [0..*] {
+          @pid: int
+          ename: string
+          sal: int
+        }
+      }
+      ref dept.regEmp.@pid -> dept.Proj.@pid
+    }
+    |}
+
+let target_dp =
+  schema
+    {|
+    schema target {
+      department [1..*] {
+        project [0..*] { @name: string }
+        employee [0..*] { @name: string }
+      }
+    }
+    |}
+
+let target_fig3 =
+  schema
+    {|
+    schema target {
+      department [1..*] {
+        employee [0..*] { @name: string }
+        works-in [0..1] {
+          area [0..*] : int
+        }
+      }
+    }
+    |}
+
+let target_fig6 =
+  schema
+    {|
+    schema target {
+      project-emp [1..*] {
+        @pname: string
+        @ename: string
+      }
+    }
+    |}
+
+let target_fig7 =
+  schema
+    {|
+    schema target {
+      project [1..*] {
+        @name: string
+        employee [0..*] { @name: string }
+      }
+    }
+    |}
+
+let target_fig8 =
+  schema
+    {|
+    schema target {
+      project [1..*] {
+        @name: string
+        department [0..*] { @name: string }
+      }
+    }
+    |}
+
+let target_fig9 =
+  schema
+    {|
+    schema target {
+      department [1..*] {
+        @name: string
+        @numProj: int
+        @numEmps: int
+        # A department may have no employees (avg absent), and an
+        # average of ints is not an int in general; the paper's "int"
+        # annotation only fits its example instance.
+        @avg-sal ?: float
+      }
+    }
+    |}
+
+let instance =
+  Clip_xml.Parser.parse_string
+    {|
+    <source>
+      <dept>
+        <dname>ICT</dname>
+        <Proj pid="1"><pname>Appliances</pname></Proj>
+        <Proj pid="2"><pname>Robotics</pname></Proj>
+        <regEmp pid="1"><ename>John Smith</ename><sal>10000</sal></regEmp>
+        <regEmp pid="1"><ename>Andrew Clarence</ename><sal>12000</sal></regEmp>
+        <regEmp pid="2"><ename>Mark Tane</ename><sal>10500</sal></regEmp>
+        <regEmp pid="2"><ename>Jim Bellish</ename><sal>11000</sal></regEmp>
+      </dept>
+      <dept>
+        <dname>Marketing</dname>
+        <Proj pid="1"><pname>Brand promotion</pname></Proj>
+        <Proj pid="32"><pname>Appliances</pname></Proj>
+        <regEmp pid="1"><ename>Richard Dawson</ename><sal>30000</sal></regEmp>
+        <regEmp pid="32"><ename>Mark Tane</ename><sal>10000</sal></regEmp>
+        <regEmp pid="1"><ename>Steven Aiking</ename><sal>20000</sal></regEmp>
+      </dept>
+    </source>
+    |}
+
+let synthetic_instance ~depts ~projs ~emps =
+  let open Clip_xml in
+  let state = Random.State.make [| depts; projs; emps; 7 |] in
+  let dept i =
+    let proj j =
+      Node.elem
+        ~attrs:[ ("pid", Atom.Int j) ]
+        "Proj"
+        [ Node.leaf "pname" (Atom.String (Printf.sprintf "project-%d" (j mod 17))) ]
+    in
+    let emp k =
+      let pid = 1 + Random.State.int state (max 1 projs) in
+      Node.elem
+        ~attrs:[ ("pid", Atom.Int pid) ]
+        "regEmp"
+        [
+          Node.leaf "ename" (Atom.String (Printf.sprintf "emp-%d-%d" i k));
+          Node.leaf "sal" (Atom.Int (8000 + Random.State.int state 8000));
+        ]
+    in
+    Node.elem "dept"
+      (Node.leaf "dname" (Atom.String (Printf.sprintf "dept-%d" i))
+       :: List.init projs (fun j -> proj (j + 1))
+      @ List.init emps (fun k -> emp k))
+  in
+  Node.elem "source" (List.init depts dept)

@@ -1,0 +1,35 @@
+(** The paper's running example (Sec. I-A): the department/project/
+    employee source schema, the figure-specific target schemas, and the
+    two-department source instance printed in the paper. *)
+
+(** The source schema of Fig. 1/3-9. *)
+val source : Clip_schema.Schema.t
+
+(** Target of Figs. 1, 4, 5: [department\[1..*\]] with nested
+    [project\[0..*\]] and [employee\[0..*\]], each with [@name]. *)
+val target_dp : Clip_schema.Schema.t
+
+(** Target of Fig. 3: [department] with [employee\[0..*\]] and the
+    optional [works-in]/[area] branch. *)
+val target_fig3 : Clip_schema.Schema.t
+
+(** Target of Fig. 6: flat [project-emp\[1..*\]] with [@pname]/[@ename]. *)
+val target_fig6 : Clip_schema.Schema.t
+
+(** Target of Fig. 7: [project\[1..*\]] with nested [employee\[0..*\]]. *)
+val target_fig7 : Clip_schema.Schema.t
+
+(** Target of Fig. 8: [project\[1..*\]] with nested [department\[0..*\]]. *)
+val target_fig8 : Clip_schema.Schema.t
+
+(** Target of Fig. 9: [department\[1..*\]] with the aggregate attributes. *)
+val target_fig9 : Clip_schema.Schema.t
+
+(** The source instance printed in Sec. I-A (2 depts, 4 Projs, 7 regEmps). *)
+val instance : Clip_xml.Node.t
+
+(** [synthetic_instance ~depts ~projs ~emps] — a scaled-up instance of
+    the same shape for the performance benchmarks: [depts] departments,
+    each with [projs] projects and [emps] employees referring to a
+    random project of their department. Deterministic. *)
+val synthetic_instance : depts:int -> projs:int -> emps:int -> Clip_xml.Node.t

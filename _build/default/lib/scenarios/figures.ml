@@ -1,0 +1,474 @@
+module Mapping = Clip_core.Mapping
+module Path = Clip_schema.Path
+module Tgd = Clip_tgd.Tgd
+
+type t = {
+  name : string;
+  title : string;
+  mapping : Mapping.t;
+  expected : Clip_xml.Node.t option;
+  ordered : bool;
+  minimum_cardinality : bool;
+}
+
+let p s =
+  match Path.of_string s with
+  | Ok p -> p
+  | Error m -> failwith (Printf.sprintf "bad path %S: %s" s m)
+
+let xml = Clip_xml.Parser.parse_string
+
+let gt_11000 var =
+  {
+    Mapping.p_left = Mapping.O_path (var, [ Path.Child "sal"; Path.Value ]);
+    p_op = Tgd.Gt;
+    p_right = Mapping.O_const (Clip_xml.Atom.Int 11000);
+  }
+
+let pid_join left right =
+  {
+    Mapping.p_left = Mapping.O_path (left, [ Path.Attr "pid" ]);
+    p_op = Tgd.Eq;
+    p_right = Mapping.O_path (right, [ Path.Attr "pid" ]);
+  }
+
+(* --- Figure 3: simple mapping with a filter --------------------------- *)
+
+let fig3_mapping =
+  Mapping.make ~source:Deptdb.source ~target:Deptdb.target_fig3
+    ~roots:
+      [
+        Mapping.node ~id:"emp"
+          ~output:(p "target.department.employee")
+          ~cond:[ gt_11000 "r" ]
+          [ Mapping.input ~var:"r" (p "source.dept.regEmp") ];
+      ]
+    [
+      Mapping.value
+        [ p "source.dept.regEmp.ename.value" ]
+        (p "target.department.employee.@name");
+    ]
+
+let fig3 =
+  {
+    name = "fig3";
+    title = "A simple Clip mapping";
+    mapping = fig3_mapping;
+    expected =
+      Some
+        (xml
+           {|<target><department>
+               <employee name="Andrew Clarence"/>
+               <employee name="Richard Dawson"/>
+               <employee name="Steven Aiking"/>
+             </department></target>|});
+    ordered = true;
+    minimum_cardinality = true;
+  }
+
+let fig3_universal =
+  {
+    fig3 with
+    name = "fig3-universal";
+    title = "Fig. 3 without the minimum-cardinality principle";
+    expected =
+      Some
+        (xml
+           {|<target>
+               <department><employee name="Andrew Clarence"/></department>
+               <department><employee name="Richard Dawson"/></department>
+               <department><employee name="Steven Aiking"/></department>
+             </target>|});
+    minimum_cardinality = false;
+  }
+
+(* --- Figure 4: context propagation ------------------------------------ *)
+
+let emp_node_dp =
+  Mapping.node ~id:"emp"
+    ~output:(p "target.department.employee")
+    ~cond:[ gt_11000 "r" ]
+    [ Mapping.input ~var:"r" (p "source.dept.regEmp") ]
+
+let fig4_values =
+  [
+    Mapping.value
+      [ p "source.dept.regEmp.ename.value" ]
+      (p "target.department.employee.@name");
+  ]
+
+let fig4 =
+  {
+    name = "fig4";
+    title = "A mapping with context propagation";
+    mapping =
+      Mapping.make ~source:Deptdb.source ~target:Deptdb.target_dp
+        ~roots:
+          [
+            Mapping.node ~id:"dept"
+              ~output:(p "target.department")
+              ~children:[ emp_node_dp ]
+              [ Mapping.input ~var:"d" (p "source.dept") ];
+          ]
+        fig4_values;
+    expected =
+      Some
+        (xml
+           {|<target>
+               <department><employee name="Andrew Clarence"/></department>
+               <department>
+                 <employee name="Richard Dawson"/>
+                 <employee name="Steven Aiking"/>
+               </department>
+             </target>|});
+    ordered = true;
+    minimum_cardinality = true;
+  }
+
+let fig4_nocontext =
+  {
+    name = "fig4-nocontext";
+    title = "Fig. 4 with the context arc omitted";
+    mapping =
+      Mapping.make ~source:Deptdb.source ~target:Deptdb.target_dp
+        ~roots:
+          [
+            Mapping.node ~id:"dept"
+              ~output:(p "target.department")
+              [ Mapping.input ~var:"d" (p "source.dept") ];
+            emp_node_dp;
+          ]
+        fig4_values;
+    expected =
+      Some
+        (xml
+           {|<target>
+               <department>
+                 <employee name="Andrew Clarence"/>
+                 <employee name="Richard Dawson"/>
+                 <employee name="Steven Aiking"/>
+               </department>
+               <department>
+                 <employee name="Andrew Clarence"/>
+                 <employee name="Richard Dawson"/>
+                 <employee name="Steven Aiking"/>
+               </department>
+             </target>|});
+    ordered = true;
+    minimum_cardinality = true;
+  }
+
+(* --- Figure 5: a context propagation tree ------------------------------ *)
+
+let fig5 =
+  {
+    name = "fig5";
+    title = "A more complex Clip mapping (CPT, Sec. I desired output)";
+    mapping =
+      Mapping.make ~source:Deptdb.source ~target:Deptdb.target_dp
+        ~roots:
+          [
+            Mapping.node ~id:"dept"
+              ~output:(p "target.department")
+              ~children:
+                [
+                  Mapping.node ~id:"proj"
+                    ~output:(p "target.department.project")
+                    [ Mapping.input ~var:"pp" (p "source.dept.Proj") ];
+                  Mapping.node ~id:"emp"
+                    ~output:(p "target.department.employee")
+                    [ Mapping.input ~var:"r" (p "source.dept.regEmp") ];
+                ]
+              [ Mapping.input ~var:"d" (p "source.dept") ];
+          ]
+        [
+          Mapping.value
+            [ p "source.dept.Proj.pname.value" ]
+            (p "target.department.project.@name");
+          Mapping.value
+            [ p "source.dept.regEmp.ename.value" ]
+            (p "target.department.employee.@name");
+        ];
+    expected =
+      Some
+        (xml
+           {|<target>
+               <department>
+                 <project name="Appliances"/>
+                 <project name="Robotics"/>
+                 <employee name="John Smith"/>
+                 <employee name="Andrew Clarence"/>
+                 <employee name="Mark Tane"/>
+                 <employee name="Jim Bellish"/>
+               </department>
+               <department>
+                 <project name="Brand promotion"/>
+                 <project name="Appliances"/>
+                 <employee name="Richard Dawson"/>
+                 <employee name="Mark Tane"/>
+                 <employee name="Steven Aiking"/>
+               </department>
+             </target>|});
+    ordered = true;
+    minimum_cardinality = true;
+  }
+
+(* --- Figure 6: join constrained by a CPT ------------------------------- *)
+
+let fig6_node ~join =
+  Mapping.node ~id:"pair"
+    ~output:(p "target.project-emp")
+    ~cond:(if join then [ pid_join "pj" "r" ] else [])
+    [
+      Mapping.input ~var:"pj" (p "source.dept.Proj");
+      Mapping.input ~var:"r" (p "source.dept.regEmp");
+    ]
+
+let fig6_values =
+  [
+    Mapping.value [ p "source.dept.Proj.pname.value" ] (p "target.project-emp.@pname");
+    Mapping.value
+      [ p "source.dept.regEmp.ename.value" ]
+      (p "target.project-emp.@ename");
+  ]
+
+let fig6 =
+  {
+    name = "fig6";
+    title = "A join constrained by a CPT";
+    mapping =
+      Mapping.make ~source:Deptdb.source ~target:Deptdb.target_fig6
+        ~roots:
+          [
+            Mapping.node ~id:"dept"
+              ~children:[ fig6_node ~join:true ]
+              [ Mapping.input ~var:"d" (p "source.dept") ];
+          ]
+        fig6_values;
+    expected =
+      Some
+        (xml
+           {|<target>
+               <project-emp pname="Appliances" ename="John Smith"/>
+               <project-emp pname="Appliances" ename="Andrew Clarence"/>
+               <project-emp pname="Robotics" ename="Jim Bellish"/>
+               <project-emp pname="Robotics" ename="Mark Tane"/>
+               <project-emp pname="Brand promotion" ename="Richard Dawson"/>
+               <project-emp pname="Appliances" ename="Mark Tane"/>
+               <project-emp pname="Brand promotion" ename="Steven Aiking"/>
+             </target>|});
+    ordered = false;
+    minimum_cardinality = true;
+  }
+
+let fig6_cartesian =
+  {
+    fig6 with
+    name = "fig6-cartesian";
+    title = "Fig. 6 without the join condition (per-dept Cartesian product)";
+    mapping =
+      Mapping.make ~source:Deptdb.source ~target:Deptdb.target_fig6
+        ~roots:
+          [
+            Mapping.node ~id:"dept"
+              ~children:[ fig6_node ~join:false ]
+              [ Mapping.input ~var:"d" (p "source.dept") ];
+          ]
+        fig6_values;
+    expected = None;
+  }
+
+let fig6_global =
+  {
+    fig6 with
+    name = "fig6-global";
+    title = "Fig. 6 without the top-level build node (global Cartesian product)";
+    mapping =
+      Mapping.make ~source:Deptdb.source ~target:Deptdb.target_fig6
+        ~roots:[ fig6_node ~join:false ]
+        fig6_values;
+    expected = None;
+  }
+
+(* --- Figure 7: grouping and join --------------------------------------- *)
+
+let fig7 =
+  {
+    name = "fig7";
+    title = "A mapping with grouping and join";
+    mapping =
+      Mapping.make ~source:Deptdb.source ~target:Deptdb.target_fig7
+        ~roots:
+          [
+            Mapping.node ~id:"group"
+              ~output:(p "target.project")
+              ~group_by:[ ("pj", [ Path.Child "pname"; Path.Value ]) ]
+              ~children:
+                [
+                  Mapping.node ~id:"emp"
+                    ~output:(p "target.project.employee")
+                    ~cond:[ pid_join "p2" "r" ]
+                    [
+                      Mapping.input ~var:"p2" (p "source.dept.Proj");
+                      Mapping.input ~var:"r" (p "source.dept.regEmp");
+                    ];
+                ]
+              [ Mapping.input ~var:"pj" (p "source.dept.Proj") ];
+          ]
+        [
+          Mapping.value [ p "source.dept.Proj.pname.value" ] (p "target.project.@name");
+          Mapping.value
+            [ p "source.dept.regEmp.ename.value" ]
+            (p "target.project.employee.@name");
+        ];
+    expected =
+      Some
+        (xml
+           {|<target>
+               <project name="Appliances">
+                 <employee name="John Smith"/>
+                 <employee name="Andrew Clarence"/>
+                 <employee name="Mark Tane"/>
+               </project>
+               <project name="Robotics">
+                 <employee name="Mark Tane"/>
+                 <employee name="Jim Bellish"/>
+               </project>
+               <project name="Brand promotion">
+                 <employee name="Richard Dawson"/>
+                 <employee name="Steven Aiking"/>
+               </project>
+             </target>|});
+    ordered = true;
+    minimum_cardinality = true;
+  }
+
+(* --- Figure 8: inverting the nesting hierarchy ------------------------- *)
+
+let fig8 =
+  {
+    name = "fig8";
+    title = "Inverting the nesting hierarchy";
+    mapping =
+      Mapping.make ~source:Deptdb.source ~target:Deptdb.target_fig8
+        ~roots:
+          [
+            Mapping.node ~id:"group"
+              ~output:(p "target.project")
+              ~group_by:[ ("pj", [ Path.Child "pname"; Path.Value ]) ]
+              ~children:
+                [
+                  Mapping.node ~id:"dept"
+                    ~output:(p "target.project.department")
+                    [ Mapping.input ~var:"d2" (p "source.dept") ];
+                ]
+              [ Mapping.input ~var:"pj" (p "source.dept.Proj") ];
+          ]
+        [
+          Mapping.value [ p "source.dept.Proj.pname.value" ] (p "target.project.@name");
+          Mapping.value
+            [ p "source.dept.dname.value" ]
+            (p "target.project.department.@name");
+        ];
+    expected =
+      Some
+        (xml
+           {|<target>
+               <project name="Appliances">
+                 <department name="ICT"/>
+                 <department name="Marketing"/>
+               </project>
+               <project name="Robotics">
+                 <department name="ICT"/>
+               </project>
+               <project name="Brand promotion">
+                 <department name="Marketing"/>
+               </project>
+             </target>|});
+    ordered = true;
+    minimum_cardinality = true;
+  }
+
+(* --- Figure 9: aggregates ---------------------------------------------- *)
+
+let fig9 =
+  {
+    name = "fig9";
+    title = "A mapping with aggregates";
+    mapping =
+      Mapping.make ~source:Deptdb.source ~target:Deptdb.target_fig9
+        ~roots:
+          [
+            Mapping.node ~id:"dept"
+              ~output:(p "target.department")
+              [ Mapping.input ~var:"d" (p "source.dept") ];
+          ]
+        [
+          Mapping.value [ p "source.dept.dname.value" ] (p "target.department.@name");
+          Mapping.value
+            ~fn:(Mapping.Aggregate Tgd.Count)
+            [ p "source.dept.Proj" ]
+            (p "target.department.@numProj");
+          Mapping.value
+            ~fn:(Mapping.Aggregate Tgd.Count)
+            [ p "source.dept.regEmp" ]
+            (p "target.department.@numEmps");
+          Mapping.value
+            ~fn:(Mapping.Aggregate Tgd.Avg)
+            [ p "source.dept.regEmp.sal.value" ]
+            (p "target.department.@avg-sal");
+        ];
+    expected =
+      Some
+        (xml
+           {|<target>
+               <department name="ICT" numProj="2" numEmps="4" avg-sal="10875"/>
+               <department name="Marketing" numProj="2" numEmps="3" avg-sal="20000"/>
+             </target>|});
+    ordered = true;
+    minimum_cardinality = true;
+  }
+
+(* --- Figure 1: the motivating value mappings (no builders) ------------- *)
+
+let fig1_values =
+  Mapping.make ~source:Deptdb.source ~target:Deptdb.target_dp
+    [
+      Mapping.value
+        [ p "source.dept.Proj.pname.value" ]
+        (p "target.department.project.@name");
+      Mapping.value
+        [ p "source.dept.regEmp.ename.value" ]
+        (p "target.department.employee.@name");
+    ]
+
+let fig1_clio_output =
+  xml
+    {|<target>
+        <department><project name="Appliances"/></department>
+        <department><project name="Robotics"/></department>
+        <department><project name="Brand promotion"/></department>
+        <department><project name="Appliances"/></department>
+        <department><employee name="John Smith"/></department>
+        <department><employee name="Andrew Clarence"/></department>
+        <department><employee name="Mark Tane"/></department>
+        <department><employee name="Jim Bellish"/></department>
+        <department><employee name="Richard Dawson"/></department>
+        <department><employee name="Mark Tane"/></department>
+        <department><employee name="Steven Aiking"/></department>
+      </target>|}
+
+let all =
+  [
+    fig3;
+    fig3_universal;
+    fig4;
+    fig4_nocontext;
+    fig5;
+    fig6;
+    fig6_cartesian;
+    fig6_global;
+    fig7;
+    fig8;
+    fig9;
+  ]

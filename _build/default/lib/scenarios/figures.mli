@@ -1,0 +1,45 @@
+(** Every mapping worked in the paper (Figs. 3-9 plus the variants the
+    prose discusses), with the expected target instances transcribed
+    from the paper's printed outputs. *)
+
+type t = {
+  name : string; (** short id, e.g. ["fig4"] *)
+  title : string; (** what the paper calls it *)
+  mapping : Clip_core.Mapping.t;
+  expected : Clip_xml.Node.t option;
+    (** the output printed in the paper; [None] when the paper prints
+        none (the mapping still runs and validates) *)
+  ordered : bool;
+    (** whether the paper's sibling order is pinned by our engine's
+        iteration order (join outputs compare unordered — the paper's
+        own listing order differs from generator order there) *)
+  minimum_cardinality : bool;
+    (** [false] for the universal-solution ablation variant *)
+}
+
+val fig3 : t
+val fig3_universal : t (** Fig. 3 without the minimum-cardinality principle *)
+
+val fig4 : t
+val fig4_nocontext : t (** Fig. 4 with the context arc omitted *)
+
+val fig5 : t
+val fig6 : t
+val fig6_cartesian : t (** Fig. 6 without the join condition *)
+
+val fig6_global : t (** Fig. 6 without the top-level build node *)
+
+val fig7 : t
+val fig8 : t
+val fig9 : t
+
+(** The two value mappings of Fig. 1, with no builders (the Clio-style
+    input; used by the generation and flexibility experiments). *)
+val fig1_values : Clip_core.Mapping.t
+
+(** Clio's problematic output for Fig. 1 ("encloses each node in a
+    different department element"). *)
+val fig1_clio_output : Clip_xml.Node.t
+
+(** All scenarios above that carry a runnable mapping. *)
+val all : t list

@@ -1,0 +1,65 @@
+module Mapping = Clip_core.Mapping
+module Path = Clip_schema.Path
+
+let source =
+  Clip_schema.Dsl.parse
+    {|
+    schema ROOT {
+      A [0..*] {
+        value: string
+        B [0..*] {
+          value: string
+          C [0..*] { value: string }
+        }
+        D [0..*] {
+          value: string
+          E [0..*] { value: string }
+        }
+      }
+    }
+    |}
+
+let target =
+  Clip_schema.Dsl.parse
+    {|
+    schema ROOT2 {
+      F [0..*] {
+        @att1: string
+        G [0..*] {
+          @att2: string
+          @att3: string
+        }
+      }
+    }
+    |}
+
+let p s =
+  match Path.of_string s with
+  | Ok p -> p
+  | Error m -> failwith m
+
+let mapping =
+  Mapping.make ~source ~target
+    [
+      Mapping.value [ p "ROOT.A.B.value" ] (p "ROOT2.F.G.@att2");
+      Mapping.value [ p "ROOT.A.D.value" ] (p "ROOT2.F.G.@att3");
+    ]
+
+let abd_gens = [ p "ROOT.A"; p "ROOT.A.B"; p "ROOT.A.D" ]
+
+let instance =
+  Clip_xml.Parser.parse_string
+    {|
+    <ROOT>
+      <A>a1
+        <B>b11<C>c111</C></B>
+        <B>b12</B>
+        <D>d11<E>e111</E></D>
+        <D>d12</D>
+      </A>
+      <A>a2
+        <B>b21</B>
+        <D>d21</D>
+      </A>
+    </ROOT>
+    |}

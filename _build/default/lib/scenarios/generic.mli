@@ -1,0 +1,17 @@
+(** The generic Fig. 10 scenario: source [ROOT/A\[0..*\]] with children
+    [B\[0..*\]/C\[0..*\]] and [D\[0..*\]/E\[0..*\]], target
+    [ROOT2/F\[0..*\]/G\[0..*\]]; value mappings from [B.value] and
+    [D.value] to [G.@att2] and [G.@att3]. *)
+
+val source : Clip_schema.Schema.t
+val target : Clip_schema.Schema.t
+
+(** The two value mappings of the first Fig. 10 example. *)
+val mapping : Clip_core.Mapping.t
+
+(** The user-supplied [A(B×D)] tableau generators of the second example
+    (as absolute element paths: [A], [A.B], [A.D]). *)
+val abd_gens : Clip_schema.Path.t list
+
+(** A small instance: 2 [A]s with 2 [B]s and 2 [D]s each. *)
+val instance : Clip_xml.Node.t

@@ -1,0 +1,271 @@
+module Mapping = Clip_core.Mapping
+module Path = Clip_schema.Path
+
+type scenario = {
+  label : string;
+  value_mappings : int;
+  paper_extra : int;
+  mapping : Mapping.t;
+  instance : Clip_xml.Node.t;
+}
+
+let p s =
+  match Path.of_string s with
+  | Ok p -> p
+  | Error m -> failwith m
+
+let xml = Clip_xml.Parser.parse_string
+
+(* --- "Figure 1 in [2]": a three-level organisation mapping, 7 value
+   mappings over company / department / employee / project sets. ------- *)
+
+let nested_fig1 =
+  let source =
+    Clip_schema.Dsl.parse
+      {|
+      schema orgs {
+        company [0..*] {
+          cname: string
+          location: string
+          dept [0..*] {
+            dname: string
+            dbudget: int
+            emp [0..*] {
+              ename: string
+              sal: int
+            }
+          }
+          proj [0..*] {
+            pname: string
+          }
+        }
+      }
+      |}
+  in
+  let target =
+    Clip_schema.Dsl.parse
+      {|
+      schema corp {
+        company [0..*] {
+          @name: string
+          @loc: string
+          department [0..*] {
+            @name: string
+            @budget: int
+            employee [0..*] {
+              @name: string
+              @sal: int
+            }
+          }
+          project [0..*] {
+            @name: string
+          }
+        }
+      }
+      |}
+  in
+  let mapping =
+    Mapping.make ~source ~target
+      [
+        Mapping.value [ p "orgs.company.cname.value" ] (p "corp.company.@name");
+        Mapping.value [ p "orgs.company.location.value" ] (p "corp.company.@loc");
+        Mapping.value
+          [ p "orgs.company.dept.dname.value" ]
+          (p "corp.company.department.@name");
+        Mapping.value
+          [ p "orgs.company.dept.dbudget.value" ]
+          (p "corp.company.department.@budget");
+        Mapping.value
+          [ p "orgs.company.dept.emp.ename.value" ]
+          (p "corp.company.department.employee.@name");
+        Mapping.value
+          [ p "orgs.company.dept.emp.sal.value" ]
+          (p "corp.company.department.employee.@sal");
+        Mapping.value
+          [ p "orgs.company.proj.pname.value" ]
+          (p "corp.company.project.@name");
+      ]
+  in
+  (* Duplicate dnames (different budgets) and duplicate enames
+     (different salaries) across companies make the department and
+     employee group variants abort; project names repeat freely. *)
+  let instance =
+    xml
+      {|
+      <orgs>
+        <company>
+          <cname>Acme</cname><location>Rome</location>
+          <dept><dname>Sales</dname><dbudget>100</dbudget>
+            <emp><ename>Ann</ename><sal>10</sal></emp>
+            <emp><ename>Bob</ename><sal>20</sal></emp>
+          </dept>
+          <proj><pname>Atlas</pname></proj>
+          <proj><pname>Borealis</pname></proj>
+        </company>
+        <company>
+          <cname>Globex</cname><location>Milan</location>
+          <dept><dname>Sales</dname><dbudget>200</dbudget>
+            <emp><ename>Ann</ename><sal>30</sal></emp>
+          </dept>
+          <proj><pname>Atlas</pname></proj>
+        </company>
+      </orgs>
+      |}
+  in
+  {
+    label = "Figure 1 in [2]";
+    value_mappings = 7;
+    paper_extra = 4;
+    mapping;
+    instance;
+  }
+
+(* --- "Figure 3 in [2]": a two-level mapping, 4 value mappings. -------- *)
+
+let nested_fig3 =
+  let source =
+    Clip_schema.Dsl.parse
+      {|
+      schema src {
+        dept [0..*] {
+          dname: string
+          budget: int
+          emp [0..*] {
+            ename: string
+            sal: int
+          }
+        }
+      }
+      |}
+  in
+  let target =
+    Clip_schema.Dsl.parse
+      {|
+      schema tgt {
+        department [0..*] {
+          @name: string
+          @budget: int
+          employee [0..*] {
+            @name: string
+            @sal: int
+          }
+        }
+      }
+      |}
+  in
+  let mapping =
+    Mapping.make ~source ~target
+      [
+        Mapping.value [ p "src.dept.dname.value" ] (p "tgt.department.@name");
+        Mapping.value [ p "src.dept.budget.value" ] (p "tgt.department.@budget");
+        Mapping.value
+          [ p "src.dept.emp.ename.value" ]
+          (p "tgt.department.employee.@name");
+        Mapping.value
+          [ p "src.dept.emp.sal.value" ]
+          (p "tgt.department.employee.@sal");
+      ]
+  in
+  (* Unique department names (the department group variant collapses to
+     the base) and duplicate employee names with different salaries
+     (the employee group variant aborts). *)
+  let instance =
+    xml
+      {|
+      <src>
+        <dept><dname>R&amp;D</dname><budget>100</budget>
+          <emp><ename>Ann</ename><sal>10</sal></emp>
+          <emp><ename>Bob</ename><sal>20</sal></emp>
+        </dept>
+        <dept><dname>Ops</dname><budget>50</budget>
+          <emp><ename>Ann</ename><sal>15</sal></emp>
+        </dept>
+      </src>
+      |}
+  in
+  {
+    label = "Figure 3 in [2]";
+    value_mappings = 4;
+    paper_extra = 1;
+    mapping;
+    instance;
+  }
+
+(* --- "Figure 1 in [1]": a flat relational-style source with a foreign
+   key, 3 value mappings. ------------------------------------------------ *)
+
+let translating_fig1 =
+  let source =
+    Clip_schema.Dsl.parse
+      {|
+      schema db {
+        company [0..*] {
+          @cid: int
+          cname: string
+        }
+        grant [0..*] {
+          @gid: int
+          @recipient: int
+          amount: int
+        }
+        ref grant.@recipient -> company.@cid
+      }
+      |}
+  in
+  let target =
+    Clip_schema.Dsl.parse
+      {|
+      schema web {
+        organization [0..*] {
+          @name: string
+          funding [0..*] {
+            @fid: int
+            @amount: int
+          }
+        }
+      }
+      |}
+  in
+  let mapping =
+    Mapping.make ~source ~target
+      [
+        Mapping.value [ p "db.company.cname.value" ] (p "web.organization.@name");
+        Mapping.value [ p "db.grant.@gid" ] (p "web.organization.funding.@fid");
+        Mapping.value [ p "db.grant.amount.value" ] (p "web.organization.funding.@amount");
+      ]
+  in
+  (* Unique company names: the organization group variant collapses to
+     the base; duplicate grant ids with different amounts make the
+     funding group variant abort. *)
+  let instance =
+    xml
+      {|
+      <db>
+        <company cid="1"><cname>Acme</cname></company>
+        <company cid="2"><cname>Globex</cname></company>
+        <grant gid="7" recipient="1"><amount>100</amount></grant>
+        <grant gid="7" recipient="2"><amount>250</amount></grant>
+        <grant gid="9" recipient="2"><amount>50</amount></grant>
+      </db>
+      |}
+  in
+  {
+    label = "Figure 1 in [1]";
+    value_mappings = 3;
+    paper_extra = 1;
+    mapping;
+    instance;
+  }
+
+(* --- "Figure 1 (this paper)". ------------------------------------------ *)
+
+let this_paper_fig1 =
+  {
+    label = "Figure 1 (this paper)";
+    value_mappings = 2;
+    paper_extra = 4;
+    mapping = Figures.fig1_values;
+    instance = Deptdb.instance;
+  }
+
+let all = [ nested_fig1; nested_fig3; translating_fig1; this_paper_fig1 ]

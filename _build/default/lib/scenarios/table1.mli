@@ -1,0 +1,26 @@
+(** The four flexibility scenarios of Table I.
+
+    The first three come from published Clio examples that we
+    reconstruct (the originals are not reproduced in this paper):
+    following DESIGN.md's substitution rule we preserve what the metric
+    depends on — the number of value mappings and the structural shape
+    (nesting depth, repeating sets, keys/references) — and transcribe
+    the paper's reported numbers for comparison. *)
+
+type scenario = {
+  label : string; (** the paper's first column *)
+  value_mappings : int; (** the paper's second column *)
+  paper_extra : int; (** the paper's third column *)
+  mapping : Clip_core.Mapping.t; (** schemas + value mappings (no CPT) *)
+  instance : Clip_xml.Node.t; (** witness instance for distinctness *)
+}
+
+val nested_fig1 : scenario (** "Figure 1 in \[2\]" — 7 value mappings *)
+
+val nested_fig3 : scenario (** "Figure 3 in \[2\]" — 4 value mappings *)
+
+val translating_fig1 : scenario (** "Figure 1 in \[1\]" — 3 value mappings *)
+
+val this_paper_fig1 : scenario (** "Figure 1 (this paper)" — 2 value mappings *)
+
+val all : scenario list

@@ -1,0 +1,1 @@
+lib/schema/atomic_type.ml: Clip_xml Format String

@@ -1,0 +1,1 @@
+lib/schema/atomic_type.mli: Clip_xml Format

@@ -1,0 +1,1 @@
+lib/schema/dsl.ml: Atomic_type Buffer Cardinality Lexer List Path Printexc Printf Schema String

@@ -1,0 +1,1 @@
+lib/schema/dsl.mli: Lexer Schema

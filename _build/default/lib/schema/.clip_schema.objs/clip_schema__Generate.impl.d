@@ -1,0 +1,1 @@
+lib/schema/generate.ml: Atomic_type Cardinality Char Clip_xml List Path Random Schema String

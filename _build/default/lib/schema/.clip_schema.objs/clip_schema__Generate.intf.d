@@ -1,0 +1,1 @@
+lib/schema/generate.mli: Clip_xml Random Schema

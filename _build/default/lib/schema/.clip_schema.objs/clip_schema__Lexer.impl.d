@@ -1,0 +1,1 @@
+lib/schema/lexer.ml: Buffer List Printf String

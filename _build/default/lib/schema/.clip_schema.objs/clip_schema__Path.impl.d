@@ -1,0 +1,1 @@
+lib/schema/path.ml: Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/schema/path.mli: Format

@@ -1,0 +1,1 @@
+lib/schema/relational.ml: Atomic_type Cardinality Clip_xml List Path Printf Schema String

@@ -1,0 +1,1 @@
+lib/schema/relational.mli: Atomic_type Clip_xml Schema

@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Atomic_type Buffer Cardinality Format List Option Path Printf String

@@ -1,0 +1,1 @@
+lib/schema/schema.mli: Atomic_type Cardinality Format Path

@@ -1,0 +1,1 @@
+lib/schema/validate.mli: Clip_xml Path Schema

@@ -1,0 +1,1 @@
+lib/schema/xsd.ml: Atomic_type Buffer Cardinality Clip_xml List Option Path Printf Schema String

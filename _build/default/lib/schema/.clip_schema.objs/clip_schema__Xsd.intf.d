@@ -1,0 +1,1 @@
+lib/schema/xsd.mli: Schema

@@ -1,0 +1,33 @@
+type t = T_string | T_int | T_float | T_bool
+
+let to_string = function
+  | T_string -> "string"
+  | T_int -> "int"
+  | T_float -> "float"
+  | T_bool -> "bool"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "string" | "str" -> Some T_string
+  | "int" | "integer" -> Some T_int
+  | "float" | "double" | "decimal" -> Some T_float
+  | "bool" | "boolean" -> Some T_bool
+  | _ -> None
+
+let equal = ( = )
+
+let accepts ty (a : Clip_xml.Atom.t) =
+  match ty, a with
+  | T_string, _ -> true
+  | T_int, Int _ -> true
+  | T_float, (Int _ | Float _) -> true
+  | T_bool, Bool _ -> true
+  | (T_int | T_float | T_bool), _ -> false
+
+let default_atom = function
+  | T_string -> Clip_xml.Atom.String ""
+  | T_int -> Clip_xml.Atom.Int 0
+  | T_float -> Clip_xml.Atom.Float 0.
+  | T_bool -> Clip_xml.Atom.Bool false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,23 @@
+(** Atomic types of schema leaves — the [String]/[int]/... annotations
+    next to the paper's black (attribute) and white (text) circles. *)
+
+type t = T_string | T_int | T_float | T_bool
+
+val to_string : t -> string
+
+(** [of_string s] recognises the spellings used in the paper and DSL:
+    "string"/"String", "int", "float"/"double", "bool"/"boolean". *)
+val of_string : string -> t option
+
+val equal : t -> t -> bool
+
+(** [accepts ty atom] — can a value of this lexical atom inhabit [ty]?
+    Ints are accepted where floats are expected (numeric promotion);
+    anything is accepted where a string is expected (XML values are
+    lexically strings). *)
+val accepts : t -> Clip_xml.Atom.t -> bool
+
+(** A canonical default value of the type, used by instance generators. *)
+val default_atom : t -> Clip_xml.Atom.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** Element cardinalities — the [min..max] labels of the paper's visual
+    notation. Optionality is [min = 0]; multiplicity is [max > 1]. *)
+
+type max = Bounded of int | Unbounded
+
+type t = { min : int; max : max }
+
+val make : int -> max -> t
+(** @raise Invalid_argument if [min < 0] or [max < min]. *)
+
+val required : t (** [1..1] — plain single element *)
+
+val optional : t (** [0..1] — the [?] icon *)
+
+val star : t (** [0..*] — optional multiple element *)
+
+val plus : t (** [1..*] — required multiple element *)
+
+(** [is_repeating c] — may more than one sibling occur ([max > 1])?
+    Repeating elements are the iteration units of builders and tableaux. *)
+val is_repeating : t -> bool
+
+val is_optional : t -> bool
+
+(** [admits c n] — is [n] occurrences within bounds? *)
+val admits : t -> int -> bool
+
+(** [subsumes a b] — every occurrence count legal under [b] is legal
+    under [a]; the order behind the paper's safe-builder rule
+    ("from more constraining to less constraining"). *)
+val subsumes : t -> t -> bool
+
+val to_string : t -> string (** ["[0..*]"] style *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(** Textual surface syntax for schemas — the stand-in for loading XSD
+    files. Example (the paper's source schema):
+
+    {v
+    schema source {
+      dept [1..*] {
+        dname: string
+        Proj [0..*] {
+          @pid: int
+          pname: string
+        }
+        regEmp [0..*] {
+          @pid: int
+          ename: string
+          sal: int
+        }
+      }
+      ref dept.regEmp.@pid -> dept.Proj.@pid
+    }
+    v}
+
+    Grammar notes: an element is [name card? (":" type)? body?] where
+    [card] is [\[m..n\]], [\[m..*\]] or the shorthands [?] = [0..1],
+    [*] = [0..*], [+] = [1..*] (default [1..1]); [": type"] gives the
+    element a text value node; [@name ?? ":" type] declares a (optional
+    with [?]) attribute; [value: type] inside a body also sets the text
+    node; [ref p -> q] declares a referential constraint with paths
+    written relative to the schema root. [;] separators are optional,
+    [#] starts a comment. *)
+
+exception Syntax_error of { line : int; column : int; message : string }
+
+(** [parse s] parses one [schema name { ... }] declaration.
+    @raise Syntax_error on malformed input. *)
+val parse : string -> Schema.t
+
+(** [parse_many s] parses any number of schema declarations — a mapping
+    file typically carries a source and a target schema. *)
+val parse_many : string -> Schema.t list
+
+(** [parse_tokens toks] parses one schema declaration from a token
+    stream and returns the remaining tokens — used by the mapping DSL,
+    whose files embed schema declarations. *)
+val parse_tokens : Lexer.spanned list -> Schema.t * Lexer.spanned list
+
+val error_to_string : exn -> string
+
+(** [to_string s] renders a schema back to the surface syntax;
+    [parse (to_string s) = s]. *)
+val to_string : Schema.t -> string

@@ -1,0 +1,105 @@
+module Xml = Clip_xml
+
+let random_atom state ty =
+  let open Clip_xml.Atom in
+  match (ty : Atomic_type.t) with
+  | T_string ->
+    let len = 1 + Random.State.int state 8 in
+    String (String.init len (fun _ -> Char.chr (97 + Random.State.int state 26)))
+  | T_int -> Int (Random.State.int state 100_000)
+  | T_float -> Float (Random.State.float state 1000.)
+  | T_bool -> Bool (Random.State.bool state)
+
+let occurrences state fanout (c : Cardinality.t) =
+  let cap =
+    match c.max with
+    | Cardinality.Bounded m -> min m (max c.min fanout)
+    | Cardinality.Unbounded -> max c.min fanout
+  in
+  if cap <= c.min then c.min else c.min + Random.State.int state (cap - c.min + 1)
+
+let instance ?state ?(fanout = 3) (schema : Schema.t) =
+  let state = match state with Some s -> s | None -> Random.State.make [| 42 |] in
+  let rec build (e : Schema.element) =
+    let attrs =
+      List.filter_map
+        (fun (a : Schema.attribute) ->
+          if a.attr_required || Random.State.bool state then
+            Some (a.attr_name, random_atom state a.attr_type)
+          else None)
+        e.attrs
+    in
+    let text =
+      match e.value with
+      | Some ty -> [ Xml.Node.text (random_atom state ty) ]
+      | None -> []
+    in
+    let children =
+      List.concat_map
+        (fun (c : Schema.element) ->
+          List.init (occurrences state fanout c.card) (fun _ -> build c))
+        e.children
+    in
+    Xml.Node.elem ~attrs e.name (text @ children)
+  in
+  build schema.root
+
+let instance_with_refs ?state ?fanout (schema : Schema.t) =
+  let state = match state with Some s -> s | None -> Random.State.make [| 42 |] in
+  let doc = instance ~state ?fanout schema in
+  (* Collect target values, then rewrite source leaves to point at them. *)
+  let leaf_values root (p : Path.t) =
+    let rec descend nodes = function
+      | [] -> []
+      | [ Path.Attr a ] -> List.filter_map (fun e -> Xml.Node.attr e a) nodes
+      | [ Path.Value ] -> List.filter_map Xml.Node.text_value nodes
+      | Path.Child c :: rest ->
+        descend (List.concat_map (fun e -> Xml.Node.children_named e c) nodes) rest
+      | (Path.Attr _ | Path.Value) :: _ :: _ -> []
+    in
+    descend [ root ] p.Path.steps
+  in
+  let rewrite_leaf root (p : Path.t) pick =
+    let rec go (e : Xml.Node.element) = function
+      | [] -> e
+      | [ Path.Attr a ] ->
+        let attrs =
+          List.map (fun (k, v) -> if String.equal k a then (k, pick ()) else (k, v)) e.attrs
+        in
+        { e with attrs }
+      | [ Path.Value ] ->
+        let children =
+          List.map
+            (function Xml.Node.Text _ -> Xml.Node.text (pick ()) | n -> n)
+            e.children
+        in
+        { e with children }
+      | Path.Child c :: rest ->
+        let children =
+          List.map
+            (function
+              | Xml.Node.Element ce when String.equal ce.tag c ->
+                Xml.Node.Element (go ce rest)
+              | n -> n)
+            e.children
+        in
+        { e with children }
+      | (Path.Attr _ | Path.Value) :: _ :: _ -> e
+    in
+    go root p.Path.steps
+  in
+  match doc with
+  | Xml.Node.Text _ -> doc
+  | Xml.Node.Element root ->
+    let root =
+      List.fold_left
+        (fun root (r : Schema.reference) ->
+          match leaf_values root r.ref_to with
+          | [] -> root
+          | targets ->
+            let n = List.length targets in
+            let pick () = List.nth targets (Random.State.int state n) in
+            rewrite_leaf root r.ref_from pick)
+        root schema.refs
+    in
+    Xml.Node.Element root

@@ -1,0 +1,15 @@
+(** Random valid-instance generation, used by property tests and by the
+    scaling benchmarks. Deterministic given the [Random.State]. *)
+
+(** [instance ?state ?fanout schema] is a random instance valid w.r.t.
+    [schema] (referential constraints aside — see {!instance_with_refs}).
+    [fanout] bounds how many copies of each repeating element are
+    generated (at least the cardinality minimum, default at most 3). *)
+val instance :
+  ?state:Random.State.t -> ?fanout:int -> Schema.t -> Clip_xml.Node.t
+
+(** Like {!instance}, but afterwards patches every [ref_from] leaf to a
+    value drawn from the generated [ref_to] values, so referential
+    constraints hold too (when at least one target value exists). *)
+val instance_with_refs :
+  ?state:Random.State.t -> ?fanout:int -> Schema.t -> Clip_xml.Node.t

@@ -1,0 +1,120 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Sym of string
+  | Eof
+
+type spanned = { token : token; line : int; column : int }
+
+exception Lex_error of { line : int; column : int; message : string }
+
+let token_to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "%S" s
+  | Sym s -> s
+  | Eof -> "<eof>"
+
+(* Multi-character symbols, longest first. *)
+let symbols2 = [ "->"; ".."; "<="; ">="; "<>"; "!="; "==" ]
+let symbols1 = "{}[]()<>=*?+@.:,;$|/-"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let tokens = ref [] in
+  let error pos message =
+    raise (Lex_error { line = !line; column = pos - !bol + 1; message })
+  in
+  let emit pos token =
+    tokens := { token; line = !line; column = pos - !bol + 1 } :: !tokens
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if is_ident_start c then begin
+      let start = !i in
+      let continue = ref true in
+      while !continue && !i < n do
+        let c = src.[!i] in
+        if is_ident_char c then incr i
+        else if c = '-' && !i + 1 < n && is_ident_char src.[!i + 1] then incr i
+        else continue := false
+      done;
+      emit start (Ident (String.sub src start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      (* A fractional part — but not the ".." range symbol. *)
+      if !i + 1 < n && src.[!i] = '.' && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        emit start (Float_lit (float_of_string (String.sub src start (!i - start))))
+      end
+      else emit start (Int_lit (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '"' then begin
+      let start = !i in
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        if c = '"' then begin
+          closed := true;
+          incr i
+        end
+        else if c = '\\' && !i + 1 < n then begin
+          (match src.[!i + 1] with
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | c -> Buffer.add_char buf c);
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      if not !closed then error start "unterminated string literal";
+      emit start (String_lit (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 2 <= n then String.sub src !i 2 else "" in
+      if List.mem two symbols2 then begin
+        emit !i (Sym two);
+        i := !i + 2
+      end
+      else if String.contains symbols1 c then begin
+        emit !i (Sym (String.make 1 c));
+        incr i
+      end
+      else error !i (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  emit n Eof;
+  List.rev !tokens

@@ -1,0 +1,27 @@
+(** A small shared tokenizer for the textual surface syntaxes (schema
+    DSL here, mapping DSL in [Clip_core.Dsl]).
+
+    Lexical rules: [#] starts a line comment; identifiers are
+    [\[A-Za-z_\]\[A-Za-z0-9_\]*] possibly containing interior dashes
+    ([project-emp], [avg-sal]) — a dash is part of an identifier only
+    when followed by an identifier character, so [->] still lexes as an
+    arrow; numbers lex as int or float literals; strings are
+    double-quoted with [\\] escapes. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Sym of string
+  | Eof
+
+type spanned = { token : token; line : int; column : int }
+
+exception Lex_error of { line : int; column : int; message : string }
+
+(** [tokenize s] is the token stream of [s], ending with [Eof].
+    @raise Lex_error on an unrecognised character. *)
+val tokenize : string -> spanned list
+
+val token_to_string : token -> string

@@ -1,0 +1,118 @@
+type step =
+  | Child of string
+  | Attr of string
+  | Value
+
+type t = { root : string; steps : step list }
+
+let make root steps = { root; steps }
+let root name = { root = name; steps = [] }
+
+let ends_on_leaf p =
+  match List.rev p.steps with
+  | (Attr _ | Value) :: _ -> true
+  | Child _ :: _ | [] -> false
+
+let extend p step =
+  if ends_on_leaf p then
+    invalid_arg "Path: cannot extend a path past an attribute or value step";
+  { p with steps = p.steps @ [ step ] }
+
+let child p name = extend p (Child name)
+let attr p name = extend p (Attr name)
+let value p = extend p Value
+
+let parent p =
+  match p.steps with
+  | [] -> None
+  | _ ->
+    let steps = List.filteri (fun i _ -> i < List.length p.steps - 1) p.steps in
+    Some { p with steps }
+
+let is_leaf = ends_on_leaf
+
+let last_step p =
+  match List.rev p.steps with [] -> None | s :: _ -> Some s
+
+let element_of p =
+  if ends_on_leaf p then
+    match parent p with
+    | Some q -> q
+    | None -> assert false (* a leaf step implies a non-empty step list *)
+  else p
+
+let element_prefixes p =
+  let e = element_of p in
+  let rec go acc steps =
+    match steps with
+    | [] -> List.rev acc
+    | s :: rest ->
+      let prev = match acc with q :: _ -> q | [] -> assert false in
+      go ({ prev with steps = prev.steps @ [ s ] } :: acc) rest
+  in
+  go [ { e with steps = [] } ] e.steps
+
+let rec steps_prefix a b =
+  match a, b with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a, y :: b -> x = y && steps_prefix a b
+
+let is_prefix a b = String.equal a.root b.root && steps_prefix a.steps b.steps
+
+let strip_prefix ~prefix p =
+  if not (String.equal prefix.root p.root) then None
+  else
+    let rec go pre steps =
+      match pre, steps with
+      | [], rest -> Some rest
+      | x :: pre, y :: steps when x = y -> go pre steps
+      | _ :: _, _ -> None
+    in
+    go prefix.steps p.steps
+
+let append p steps = List.fold_left extend p steps
+
+let step_to_string = function
+  | Child n -> n
+  | Attr n -> "@" ^ n
+  | Value -> "value"
+
+let to_string p =
+  String.concat "." (p.root :: List.map step_to_string p.steps)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [] | [ "" ] -> Error "empty path"
+  | root :: raw_steps ->
+    if String.equal root "" then Error "empty path root"
+    else begin
+      let exception Bad of string in
+      try
+        let n = List.length raw_steps in
+        let steps =
+          List.mapi
+            (fun i tok ->
+              if String.equal tok "" then raise (Bad "empty path step")
+              else if tok.[0] = '@' then begin
+                if i <> n - 1 then raise (Bad "attribute step must be last");
+                Attr (String.sub tok 1 (String.length tok - 1))
+              end
+              else if String.equal tok "value" then begin
+                if i <> n - 1 then raise (Bad "value step must be last");
+                Value
+              end
+              else Child tok)
+            raw_steps
+        in
+        Ok { root; steps }
+      with Bad m -> Error m
+    end
+
+let equal a b = String.equal a.root b.root && a.steps = b.steps
+
+let compare a b =
+  let r = String.compare a.root b.root in
+  if r <> 0 then r else Stdlib.compare a.steps b.steps
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,63 @@
+(** Absolute schema paths.
+
+    A path names one node of a schema tree: it starts at the schema root
+    and descends through child elements, ending on an element, an
+    attribute ([@name]) or the element's text node ([value]). Printed in
+    the paper's dotted notation: [source.dept.regEmp.@pid],
+    [source.dept.Proj.pname.value]. *)
+
+type step =
+  | Child of string
+  | Attr of string
+  | Value
+
+type t = { root : string; steps : step list }
+
+val make : string -> step list -> t
+val root : string -> t
+
+(** [child p name], [attr p name], [value p] extend a path downward.
+    @raise Invalid_argument when extending past a leaf step. *)
+val child : t -> string -> t
+
+val attr : t -> string -> t
+val value : t -> t
+
+(** [parent p] drops the last step; [None] at the root. *)
+val parent : t -> t option
+
+(** [element_of p] is the path of the element the leaf hangs off —
+    [p] itself when [p] ends on an element. *)
+val element_of : t -> t
+
+(** [is_leaf p] — does [p] end on an attribute or text node? *)
+val is_leaf : t -> bool
+
+val last_step : t -> step option
+
+(** [element_prefixes p] — every element-path prefix from the root
+    (inclusive) down to {!element_of}[ p], root first. This is the
+    paper's [path(e)] walked top-down. *)
+val element_prefixes : t -> t list
+
+(** [is_prefix a b] — is [a] an ancestor-or-self element path of [b]? *)
+val is_prefix : t -> t -> bool
+
+(** [strip_prefix ~prefix p] is the steps of [p] below [prefix], if
+    [prefix] is a prefix of [p]. *)
+val strip_prefix : prefix:t -> t -> step list option
+
+(** [append p steps] extends [p] with relative steps. *)
+val append : t -> step list -> t
+
+val step_to_string : step -> string
+val to_string : t -> string
+
+(** [of_string s] parses the dotted notation. [@x] is an attribute
+    step, the reserved word [value] the text step, anything else a
+    child step. Returns [Error message] on malformed input. *)
+val of_string : string -> (t, string) result
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

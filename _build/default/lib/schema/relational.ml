@@ -1,0 +1,105 @@
+type column = { col_name : string; col_type : Atomic_type.t }
+
+type foreign_key = {
+  fk_table : string;
+  fk_columns : string list;
+  pk_table : string;
+  pk_columns : string list;
+}
+
+type table = {
+  table_name : string;
+  columns : column list;
+  primary_key : string list;
+}
+
+type database = {
+  db_name : string;
+  tables : table list;
+  foreign_keys : foreign_key list;
+}
+
+let column col_name col_type = { col_name; col_type }
+
+let table ?(primary_key = []) table_name columns =
+  List.iter
+    (fun k ->
+      if not (List.exists (fun c -> String.equal c.col_name k) columns) then
+        invalid_arg
+          (Printf.sprintf "Relational.table: key column %S is not a column of %s" k
+             table_name))
+    primary_key;
+  { table_name; columns; primary_key }
+
+let database ?(foreign_keys = []) db_name tables =
+  { db_name; tables; foreign_keys }
+
+let find_table db name =
+  match List.find_opt (fun t -> String.equal t.table_name name) db.tables with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Relational: unknown table %S" name)
+
+let to_schema db =
+  let table_element t =
+    let attrs =
+      List.map (fun c -> Schema.attribute c.col_name c.col_type) t.columns
+    in
+    Schema.element ~card:Cardinality.star ~attrs t.table_name []
+  in
+  let refs =
+    List.concat_map
+      (fun fk ->
+        let ft = find_table db fk.fk_table and pt = find_table db fk.pk_table in
+        if List.length fk.fk_columns <> List.length fk.pk_columns then
+          invalid_arg "Relational.to_schema: foreign key arity mismatch";
+        let check t cols =
+          List.iter
+            (fun c ->
+              if not (List.exists (fun col -> String.equal col.col_name c) t.columns)
+              then
+                invalid_arg
+                  (Printf.sprintf "Relational.to_schema: %S is not a column of %s" c
+                     t.table_name))
+            cols
+        in
+        check ft fk.fk_columns;
+        check pt fk.pk_columns;
+        List.map2
+          (fun fc pc ->
+            {
+              Schema.ref_from =
+                Path.attr (Path.child (Path.root db.db_name) fk.fk_table) fc;
+              ref_to = Path.attr (Path.child (Path.root db.db_name) fk.pk_table) pc;
+            })
+          fk.fk_columns fk.pk_columns)
+      db.foreign_keys
+  in
+  Schema.make ~refs
+    (Schema.element db.db_name (List.map table_element db.tables))
+
+type row = Clip_xml.Atom.t list
+
+let instance db contents =
+  let table_nodes =
+    List.concat_map
+      (fun t ->
+        let rows =
+          match List.assoc_opt t.table_name contents with
+          | Some rows -> rows
+          | None -> []
+        in
+        List.map
+          (fun row ->
+            if List.length row <> List.length t.columns then
+              invalid_arg
+                (Printf.sprintf "Relational.instance: row arity mismatch in %s"
+                   t.table_name);
+            let attrs = List.map2 (fun c v -> (c.col_name, v)) t.columns row in
+            Clip_xml.Node.elem ~attrs t.table_name [])
+          rows)
+      db.tables
+  in
+  List.iter
+    (fun (name, _) -> ignore (find_table db name))
+    contents;
+  Clip_xml.Node.elem db.db_name table_nodes

@@ -1,0 +1,48 @@
+(** The canonical relational → XML encoding the paper relies on: "Clip
+    also works with relational schemas, as long as they are converted in
+    a canonical way into XML Schemas". A table becomes a repeating
+    element under the database root, columns become attributes, foreign
+    keys become referential constraints; rows convert likewise. *)
+
+type column = { col_name : string; col_type : Atomic_type.t }
+
+type foreign_key = {
+  fk_table : string;
+  fk_columns : string list;
+  pk_table : string;
+  pk_columns : string list;
+}
+
+type table = {
+  table_name : string;
+  columns : column list;
+  primary_key : string list;
+}
+
+type database = {
+  db_name : string;
+  tables : table list;
+  foreign_keys : foreign_key list;
+}
+
+val column : string -> Atomic_type.t -> column
+
+val table : ?primary_key:string list -> string -> column list -> table
+
+val database :
+  ?foreign_keys:foreign_key list -> string -> table list -> database
+
+(** [to_schema db] — the canonical XML Schema: root [db_name], one
+    [\[0..*\]] child element per table carrying one attribute per
+    column; each foreign key becomes a {!Schema.reference}.
+    @raise Invalid_argument when a foreign key mentions unknown
+    tables/columns or mismatched column counts. *)
+val to_schema : database -> Schema.t
+
+(** A row, in table column order. *)
+type row = Clip_xml.Atom.t list
+
+(** [instance db rows] — the canonical XML instance for the given table
+    contents ([rows] maps table name to its rows).
+    @raise Invalid_argument on unknown table names or arity mismatch. *)
+val instance : database -> (string * row list) list -> Clip_xml.Node.t

@@ -1,0 +1,106 @@
+(** Schema trees — the paper's visual XML Schema model (Sec. I-A).
+
+    An element has a name, a cardinality, attributes (black circles), an
+    optional typed text node (white circle) and child elements.
+    Referential-integrity constraints (the dashed lines, e.g.
+    [regEmp.@pid → Proj.@pid]) are carried alongside the root. *)
+
+type attribute = {
+  attr_name : string;
+  attr_type : Atomic_type.t;
+  attr_required : bool;
+}
+
+type element = {
+  name : string;
+  card : Cardinality.t;
+  attrs : attribute list;
+  value : Atomic_type.t option;
+  children : element list;
+}
+
+(** A referential constraint: values of [ref_from] refer to values of
+    [ref_to]. Both are absolute leaf paths in the same schema. *)
+type reference = { ref_from : Path.t; ref_to : Path.t }
+
+type t = { root : element; refs : reference list }
+
+(** {1 Construction} *)
+
+val attribute : ?required:bool -> string -> Atomic_type.t -> attribute
+
+val element :
+  ?card:Cardinality.t ->
+  ?attrs:attribute list ->
+  ?value:Atomic_type.t ->
+  string ->
+  element list ->
+  element
+
+val make : ?refs:reference list -> element -> t
+(** @raise Invalid_argument when two siblings, two attributes of one
+    element, or a reference path do not resolve / clash by name. *)
+
+(** {1 Resolution} *)
+
+type node_ref =
+  | Element_ref of element
+  | Attr_ref of element * attribute
+  | Value_ref of element * Atomic_type.t
+
+val find : t -> Path.t -> node_ref option
+
+(** [find_element s p] resolves [p] when it names an element. *)
+val find_element : t -> Path.t -> element option
+
+(** [mem s p] — does [p] name a node of [s]? *)
+val mem : t -> Path.t -> bool
+
+(** [leaf_type s p] — the atomic type of leaf path [p], if [p] names an
+    attribute or value node. *)
+val leaf_type : t -> Path.t -> Atomic_type.t option
+
+val root_path : t -> Path.t
+
+(** {1 Enumeration} *)
+
+(** All element paths, preorder, root first. *)
+val element_paths : t -> Path.t list
+
+(** All leaf (attribute and value) paths, preorder. *)
+val leaf_paths : t -> Path.t list
+
+(** Element paths whose cardinality is repeating, preorder. This is the
+    set of iteration units for builders and tableaux. *)
+val repeating_paths : t -> Path.t list
+
+(** {1 Structural queries} *)
+
+(** [is_repeating s p] — is the element at [p] repeating? The root is
+    never repeating (a document has one root). *)
+val is_repeating : t -> Path.t -> bool
+
+(** [repeating_ancestors s p] — repeating element paths on the chain
+    from the root down to {!Path.element_of}[ p], outermost first,
+    including [p]'s own element when repeating. *)
+val repeating_ancestors : t -> Path.t -> Path.t list
+
+(** [repeating_strictly_between s ~above ~below] — repeating elements on
+    [below]'s chain that are not on [above]'s chain. This is the paper's
+    [path(sv) \ path(sb)] test for valid value mappings (Sec. III-B):
+    the mapping is invalid when this list is non-empty. [above] need not
+    be an ancestor of [below]. *)
+val repeating_strictly_between : t -> above:Path.t -> below:Path.t -> Path.t list
+
+(** [reference_between s a b] — a referential constraint whose two leaf
+    ends live under repeating elements [a] and [b] (in either
+    direction), used to suggest join conditions. *)
+val reference_between : t -> Path.t -> Path.t -> reference option
+
+(** {1 Display} *)
+
+(** Render the schema as an indented tree with the paper's labels
+    ([dept \[1..*\]], [@pid: int], [value: String]). *)
+val to_tree_string : t -> string
+
+val pp : Format.formatter -> t -> unit

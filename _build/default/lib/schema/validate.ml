@@ -1,0 +1,103 @@
+module Xml = Clip_xml
+
+type violation = { at : Path.t; reason : string }
+
+let violation_to_string v =
+  Printf.sprintf "%s: %s" (Path.to_string v.at) v.reason
+
+let check ?(check_refs = true) (schema : Schema.t) doc =
+  let violations = ref [] in
+  let bad at reason = violations := { at; reason } :: !violations in
+  let rec check_element path (se : Schema.element) (e : Xml.Node.element) =
+    if not (String.equal se.name e.tag) then
+      bad path (Printf.sprintf "expected element <%s>, found <%s>" se.name e.tag)
+    else begin
+      (* Attributes. *)
+      List.iter
+        (fun (a : Schema.attribute) ->
+          match Xml.Node.attr e a.attr_name with
+          | Some v ->
+            if not (Atomic_type.accepts a.attr_type v) then
+              bad (Path.attr path a.attr_name)
+                (Printf.sprintf "value %S is not of type %s" (Xml.Atom.to_string v)
+                   (Atomic_type.to_string a.attr_type))
+          | None ->
+            if a.attr_required then
+              bad (Path.attr path a.attr_name) "missing required attribute")
+        se.attrs;
+      List.iter
+        (fun (name, _) ->
+          if not (List.exists (fun a -> String.equal a.Schema.attr_name name) se.attrs)
+          then bad path (Printf.sprintf "unexpected attribute @%s" name))
+        e.attrs;
+      (* Text content. *)
+      (match se.value, Xml.Node.text_value e with
+       | Some ty, Some v ->
+         if not (Atomic_type.accepts ty v) then
+           bad (Path.value path)
+             (Printf.sprintf "text %S is not of type %s" (Xml.Atom.to_string v)
+                (Atomic_type.to_string ty))
+       | Some _, None -> bad (Path.value path) "missing text content"
+       | None, Some v ->
+         bad path (Printf.sprintf "unexpected text content %S" (Xml.Atom.to_string v))
+       | None, None -> ());
+      (* Children: known tags, cardinalities, recursion. *)
+      let children = Xml.Node.child_elements e in
+      List.iter
+        (fun (c : Xml.Node.element) ->
+          if
+            not
+              (List.exists (fun sc -> String.equal sc.Schema.name c.tag) se.children)
+          then bad path (Printf.sprintf "unexpected child element <%s>" c.tag))
+        children;
+      List.iter
+        (fun (sc : Schema.element) ->
+          let child_path = Path.child path sc.name in
+          let matching = List.filter (fun c -> String.equal c.Xml.Node.tag sc.name) children in
+          let n = List.length matching in
+          if not (Cardinality.admits sc.card n) then
+            bad child_path
+              (Printf.sprintf "%d occurrence(s) violate cardinality %s" n
+                 (Cardinality.to_string sc.card));
+          List.iter (check_element child_path sc) matching)
+        se.children
+    end
+  in
+  (match doc with
+   | Xml.Node.Element e -> check_element (Schema.root_path schema) schema.root e
+   | Xml.Node.Text _ ->
+     bad (Schema.root_path schema) "document root is a text node");
+  (* Referential constraints. *)
+  if check_refs then begin
+    let leaf_values (p : Path.t) =
+      (* All atoms reachable at leaf path [p] in the document. *)
+      let rec descend (nodes : Xml.Node.element list) = function
+        | [] -> []
+        | [ Path.Attr a ] ->
+          List.filter_map (fun e -> Xml.Node.attr e a) nodes
+        | [ Path.Value ] -> List.filter_map Xml.Node.text_value nodes
+        | Path.Child c :: rest ->
+          descend (List.concat_map (fun e -> Xml.Node.children_named e c) nodes) rest
+        | (Path.Attr _ | Path.Value) :: _ :: _ -> []
+      in
+      match doc with
+      | Xml.Node.Element e when String.equal e.tag p.Path.root -> descend [ e ] p.steps
+      | Xml.Node.Element _ | Xml.Node.Text _ -> []
+    in
+    List.iter
+      (fun (r : Schema.reference) ->
+        let froms = leaf_values r.ref_from in
+        let tos = leaf_values r.ref_to in
+        List.iter
+          (fun v ->
+            if not (List.exists (Xml.Atom.equal v) tos) then
+              bad r.ref_from
+                (Printf.sprintf "dangling reference: value %s has no match in %s"
+                   (Xml.Atom.to_string v)
+                   (Path.to_string r.ref_to)))
+          froms)
+      schema.refs
+  end;
+  List.rev !violations
+
+let is_valid ?check_refs schema doc = check ?check_refs schema doc = []

@@ -1,0 +1,18 @@
+(** Instance validation against a schema: tag names, attribute presence
+    and type, text node presence and type, child cardinalities, and
+    (optionally) referential constraints. *)
+
+type violation = {
+  at : Path.t; (** schema path of the offending node (or nearest element) *)
+  reason : string;
+}
+
+val violation_to_string : violation -> string
+
+(** [check schema doc] is every violation found, in document order;
+    [\[\]] means the instance is valid. [check_refs] (default [true])
+    also verifies referential constraints (every [ref_from] value occurs
+    among the [ref_to] values of the whole document). *)
+val check : ?check_refs:bool -> Schema.t -> Clip_xml.Node.t -> violation list
+
+val is_valid : ?check_refs:bool -> Schema.t -> Clip_xml.Node.t -> bool

@@ -1,0 +1,334 @@
+module Xml = Clip_xml
+module Node = Clip_xml.Node
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* --- Import -------------------------------------------------------------- *)
+
+let strip_prefix name =
+  match String.index_opt name ':' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let is_tag name (e : Node.element) = String.equal (strip_prefix e.tag) name
+
+let children_tagged (e : Node.element) name =
+  List.filter (is_tag name) (Node.child_elements e)
+
+let attr_string e name =
+  Option.map Xml.Atom.to_string (Node.attr e name)
+
+let atomic_of_xsd_type ty =
+  match strip_prefix ty with
+  | "string" | "token" | "normalizedString" | "anyURI" | "ID" | "IDREF" ->
+    Atomic_type.T_string
+  | "int" | "integer" | "long" | "short" | "byte" | "positiveInteger"
+  | "nonNegativeInteger" ->
+    Atomic_type.T_int
+  | "float" | "double" | "decimal" -> Atomic_type.T_float
+  | "boolean" -> Atomic_type.T_bool
+  | other -> unsupported "unsupported XSD type %s" other
+
+let xsd_of_atomic = function
+  | Atomic_type.T_string -> "xs:string"
+  | Atomic_type.T_int -> "xs:int"
+  | Atomic_type.T_float -> "xs:float"
+  | Atomic_type.T_bool -> "xs:boolean"
+
+let cardinality_of e =
+  let min =
+    match attr_string e "minOccurs" with
+    | Some s ->
+      (match int_of_string_opt s with
+       | Some i -> i
+       | None -> unsupported "bad minOccurs %S" s)
+    | None -> 1
+  in
+  let max =
+    match attr_string e "maxOccurs" with
+    | Some "unbounded" -> Cardinality.Unbounded
+    | Some s ->
+      (match int_of_string_opt s with
+       | Some i -> Cardinality.Bounded i
+       | None -> unsupported "bad maxOccurs %S" s)
+    | None -> Cardinality.Bounded 1
+  in
+  Cardinality.make min max
+
+let parse_attribute (a : Node.element) : Schema.attribute =
+  let name =
+    match attr_string a "name" with
+    | Some n -> n
+    | None -> unsupported "xs:attribute without a name"
+  in
+  let ty =
+    match attr_string a "type" with
+    | Some t -> atomic_of_xsd_type t
+    | None -> Atomic_type.T_string
+  in
+  let required =
+    match attr_string a "use" with
+    | Some "required" -> true
+    | Some "optional" | Some "prohibited" | None -> false
+    | Some u -> unsupported "unsupported attribute use %S" u
+  in
+  Schema.attribute ~required name ty
+
+let rec parse_element (e : Node.element) : Schema.element =
+  let name =
+    match attr_string e "name" with
+    | Some n -> n
+    | None -> unsupported "xs:element without a name (references are unsupported)"
+  in
+  let card = cardinality_of e in
+  match attr_string e "type" with
+  | Some ty ->
+    (* a leaf element with simple content *)
+    Schema.element ~card ~value:(atomic_of_xsd_type ty) name []
+  | None ->
+    (match children_tagged e "complexType" with
+     | [ ct ] ->
+       let attrs, value, children = parse_complex_type ct in
+       Schema.element ~card ~attrs ?value name children
+     | [] -> Schema.element ~card name []
+     | _ :: _ :: _ -> unsupported "element %s has several complexType children" name)
+
+and parse_complex_type ct =
+  match children_tagged ct "simpleContent" with
+  | [ sc ] ->
+    (match children_tagged sc "extension" with
+     | [ ext ] ->
+       let base =
+         match attr_string ext "base" with
+         | Some b -> atomic_of_xsd_type b
+         | None -> unsupported "xs:extension without a base"
+       in
+       let attrs = List.map parse_attribute (children_tagged ext "attribute") in
+       (attrs, Some base, [])
+     | _ -> unsupported "simpleContent without a single xs:extension")
+  | [] ->
+    let attrs = List.map parse_attribute (children_tagged ct "attribute") in
+    let children =
+      match children_tagged ct "sequence" with
+      | [ seq ] -> List.map parse_element (children_tagged seq "element")
+      | [] -> []
+      | _ -> unsupported "complexType with several xs:sequence children"
+    in
+    (* mixed content carries untyped (string) text alongside children *)
+    let value =
+      match attr_string ct "mixed" with
+      | Some "true" -> Some Atomic_type.T_string
+      | Some "false" | None -> None
+      | Some m -> unsupported "bad mixed attribute %S" m
+    in
+    (attrs, value, children)
+  | _ -> unsupported "complexType with several simpleContent children"
+
+(* Selector/field paths of xs:key and xs:keyref: slash-separated child
+   steps, optionally starting with ".//" (resolved to the unique
+   element of that name), with fields "@attr" or "leaf/text()". *)
+let resolve_selector schema (sel : string) : Path.t =
+  let root = Schema.root_path schema in
+  if String.length sel >= 3 && String.sub sel 0 3 = ".//" then begin
+    let name = String.sub sel 3 (String.length sel - 3) in
+    if String.contains name '/' then unsupported "unsupported selector %S" sel;
+    match
+      List.filter
+        (fun p ->
+          match Path.last_step p with
+          | Some (Path.Child n) -> String.equal n name
+          | _ -> false)
+        (Schema.element_paths schema)
+    with
+    | [ p ] -> p
+    | [] -> unsupported "selector %S matches no element" sel
+    | _ -> unsupported "selector %S is ambiguous" sel
+  end
+  else
+    List.fold_left
+      (fun p step ->
+        if String.equal step "." then p else Path.child p step)
+      root
+      (String.split_on_char '/' sel)
+
+let resolve_field schema base (field : string) : Path.t =
+  let parts = String.split_on_char '/' field in
+  let rec go p = function
+    | [] -> p
+    | [ "text()" ] -> Path.value p
+    | [ s ] when String.length s > 0 && s.[0] = '@' ->
+      Path.attr p (String.sub s 1 (String.length s - 1))
+    | s :: rest -> go (Path.child p s) rest
+  in
+  let leaf = go base parts in
+  if not (Schema.mem schema leaf) then
+    unsupported "field %S does not resolve" field;
+  leaf
+
+let parse_identity (root_elem : Node.element) schema =
+  let read_sel_field (c : Node.element) =
+    let sel =
+      match children_tagged c "selector" with
+      | [ s ] ->
+        (match attr_string s "xpath" with
+         | Some x -> x
+         | None -> unsupported "selector without xpath")
+      | _ -> unsupported "expected one xs:selector"
+    in
+    let field =
+      match children_tagged c "field" with
+      | [ f ] ->
+        (match attr_string f "xpath" with
+         | Some x -> x
+         | None -> unsupported "field without xpath")
+      | _ -> unsupported "expected one xs:field"
+    in
+    (resolve_field schema (resolve_selector schema sel) field)
+  in
+  let keys =
+    List.map
+      (fun k ->
+        match attr_string k "name" with
+        | Some name -> (name, read_sel_field k)
+        | None -> unsupported "xs:key without a name")
+      (children_tagged root_elem "key")
+  in
+  List.map
+    (fun kr ->
+      let refer =
+        match attr_string kr "refer" with
+        | Some r -> strip_prefix r
+        | None -> unsupported "xs:keyref without refer"
+      in
+      let ref_to =
+        match List.assoc_opt refer keys with
+        | Some p -> p
+        | None -> unsupported "keyref refers to unknown key %S" refer
+      in
+      { Schema.ref_from = read_sel_field kr; ref_to })
+    (children_tagged root_elem "keyref")
+
+let of_string text =
+  let doc = Xml.Parser.parse_string text in
+  let root = Node.as_element doc in
+  if not (is_tag "schema" root) then unsupported "root element is not xs:schema";
+  match children_tagged root "element" with
+  | [ root_elem ] ->
+    let element = parse_element root_elem in
+    let schema0 = Schema.make element in
+    let refs = parse_identity root_elem schema0 in
+    Schema.make ~refs element
+  | [] -> unsupported "no global xs:element"
+  | _ -> unsupported "several global elements (Clip schemas have one root)"
+
+(* --- Export -------------------------------------------------------------- *)
+
+let to_string (s : Schema.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let occurs (c : Cardinality.t) =
+    let min = if c.min = 1 then "" else Printf.sprintf " minOccurs=\"%d\"" c.min in
+    let max =
+      match c.max with
+      | Cardinality.Bounded 1 -> ""
+      | Cardinality.Bounded m -> Printf.sprintf " maxOccurs=\"%d\"" m
+      | Cardinality.Unbounded -> " maxOccurs=\"unbounded\""
+    in
+    min ^ max
+  in
+  let attribute ind (a : Schema.attribute) =
+    add "%s<xs:attribute name=\"%s\" type=\"%s\" use=\"%s\"/>\n" ind a.attr_name
+      (xsd_of_atomic a.attr_type)
+      (if a.attr_required then "required" else "optional")
+  in
+  let rec element ind ~top (e : Schema.element) =
+    let occ = if top then "" else occurs e.card in
+    match e.attrs, e.value, e.children with
+    | [], Some ty, [] ->
+      add "%s<xs:element name=\"%s\" type=\"%s\"%s/>\n" ind e.name
+        (xsd_of_atomic ty) occ
+    | [], None, [] -> add "%s<xs:element name=\"%s\"%s/>\n" ind e.name occ
+    | attrs, Some ty, [] ->
+      add "%s<xs:element name=\"%s\"%s>\n" ind e.name occ;
+      add "%s  <xs:complexType><xs:simpleContent>\n" ind;
+      add "%s    <xs:extension base=\"%s\">\n" ind (xsd_of_atomic ty);
+      List.iter (attribute (ind ^ "      ")) attrs;
+      add "%s    </xs:extension>\n" ind;
+      add "%s  </xs:simpleContent></xs:complexType>\n" ind;
+      add "%s</xs:element>\n" ind
+    | attrs, value, children ->
+      let mixed =
+        match value with
+        | None -> ""
+        | Some Atomic_type.T_string -> " mixed=\"true\""
+        | Some ty ->
+          unsupported
+            "element %s mixes %s text with child elements; XSD mixed content \
+             is untyped"
+            e.name (Atomic_type.to_string ty)
+      in
+      add "%s<xs:element name=\"%s\"%s>\n" ind e.name occ;
+      add "%s  <xs:complexType%s>\n" ind mixed;
+      if children <> [] then begin
+        add "%s    <xs:sequence>\n" ind;
+        List.iter (element (ind ^ "      ") ~top:false) children;
+        add "%s    </xs:sequence>\n" ind
+      end;
+      List.iter (attribute (ind ^ "    ")) attrs;
+      add "%s  </xs:complexType>\n" ind;
+      add "%s</xs:element>\n" ind
+  in
+  add "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n";
+  (* Keys/keyrefs hang off the root element; emit a wrapper that can
+     carry them. *)
+  let has_refs = s.refs <> [] in
+  if not has_refs then element "  " ~top:true s.root
+  else begin
+    (* Re-render the root element opening by hand so the identity
+       constraints can be appended inside it. *)
+    add "  <xs:element name=\"%s\">\n" s.root.name;
+    add "    <xs:complexType>\n";
+    if s.root.children <> [] then begin
+      add "      <xs:sequence>\n";
+      List.iter (element "        " ~top:false) s.root.children;
+      add "      </xs:sequence>\n"
+    end;
+    List.iter (attribute "      ") s.root.attrs;
+    add "    </xs:complexType>\n";
+    let rel (p : Path.t) =
+      (* selector: the element path below the root; field: the leaf *)
+      let elem = Path.element_of p in
+      let selector =
+        match Path.strip_prefix ~prefix:(Schema.root_path s) elem with
+        | Some steps ->
+          String.concat "/"
+            (List.map (function Path.Child c -> c | _ -> assert false) steps)
+        | None -> "."
+      in
+      let field =
+        match Path.last_step p with
+        | Some (Path.Attr a) -> "@" ^ a
+        | Some Path.Value -> "text()"
+        | _ -> unsupported "reference end %s is not a leaf" (Path.to_string p)
+      in
+      (selector, field)
+    in
+    List.iteri
+      (fun i (r : Schema.reference) ->
+        let to_sel, to_field = rel r.ref_to in
+        let from_sel, from_field = rel r.ref_from in
+        add "      <xs:key name=\"key%d\">\n" i;
+        add "        <xs:selector xpath=\"%s\"/>\n" to_sel;
+        add "        <xs:field xpath=\"%s\"/>\n" to_field;
+        add "      </xs:key>\n";
+        add "      <xs:keyref name=\"keyref%d\" refer=\"key%d\">\n" i i;
+        add "        <xs:selector xpath=\"%s\"/>\n" from_sel;
+        add "        <xs:field xpath=\"%s\"/>\n" from_field;
+        add "      </xs:keyref>\n")
+      s.refs;
+    add "  </xs:element>\n"
+  end;
+  add "</xs:schema>\n";
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** XSD import/export for the schema model — the bridge to real-world
+    XML Schema files.
+
+    The supported subset is the one Clip's visual model captures
+    (Sec. I-A): one global root element; inline anonymous complex types
+    with an [xs:sequence] of child elements; [minOccurs]/[maxOccurs]
+    cardinalities; attributes with [use="required"/"optional"]; text
+    content via simple element types or [xs:simpleContent]/
+    [xs:extension]; and referential constraints via [xs:key] +
+    [xs:keyref] with slash-separated selector/field paths ([.//] is
+    resolved against the unique matching element). Named global types,
+    [xs:choice], substitution groups and namespaces other than the [xs]
+    prefix are out of scope — the paper never relies on them.
+
+    [of_string (to_string s)] is [s] for every schema expressible in
+    the model, with one caveat: an element carrying both typed text and
+    child elements exports as XSD [mixed] content, which is untyped —
+    only string-typed mixed text round-trips. *)
+
+exception Unsupported of string
+
+(** [of_string text] parses an XSD document.
+    @raise Unsupported on constructs outside the subset
+    @raise Clip_xml.Parser.Parse_error on malformed XML. *)
+val of_string : string -> Schema.t
+
+(** [to_string s] renders the schema as an XSD document. *)
+val to_string : Schema.t -> string

@@ -1,0 +1,1 @@
+lib/tgd/eval.ml: Clip_schema Clip_xml Clip_xquery Float Hashtbl List Map Printf String Term Tgd

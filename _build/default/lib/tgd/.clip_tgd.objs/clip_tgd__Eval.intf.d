@@ -1,0 +1,1 @@
+lib/tgd/eval.mli: Clip_xml Tgd

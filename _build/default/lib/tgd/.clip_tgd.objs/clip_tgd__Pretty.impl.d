@@ -1,0 +1,1 @@
+lib/tgd/pretty.ml: Buffer Clip_xml Format List Option Printf String Term Tgd

@@ -1,0 +1,1 @@
+lib/tgd/pretty.mli: Format Tgd

@@ -1,0 +1,1 @@
+lib/tgd/term.ml: Clip_schema Clip_xml Format List Printf String

@@ -1,0 +1,1 @@
+lib/tgd/term.mli: Clip_schema Clip_xml Format

@@ -1,0 +1,1 @@
+lib/tgd/tgd.ml: Clip_xml List Map Printf String Term

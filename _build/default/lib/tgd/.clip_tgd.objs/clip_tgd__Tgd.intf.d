@@ -1,0 +1,1 @@
+lib/tgd/tgd.mli: Clip_xml Term

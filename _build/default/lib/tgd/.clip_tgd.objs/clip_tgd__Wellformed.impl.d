@@ -1,0 +1,1 @@
+lib/tgd/wellformed.ml: List Printf Set String Term Tgd

@@ -1,0 +1,1 @@
+lib/tgd/wellformed.mli: Tgd

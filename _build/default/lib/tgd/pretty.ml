@@ -1,0 +1,115 @@
+type symbols = {
+  forall : string;
+  exists : string;
+  arrow : string;
+  member : string;
+  bottom : string;
+}
+
+let unicode_syms =
+  { forall = "\xe2\x88\x80"; (* ∀ *)
+    exists = "\xe2\x88\x83"; (* ∃ *)
+    arrow = "\xe2\x86\x92"; (* → *)
+    member = "\xe2\x88\x88"; (* ∈ *)
+    bottom = "\xe2\x8a\xa5" (* ⊥ *) }
+
+let ascii_syms =
+  { forall = "forall"; exists = "exists"; arrow = "->"; member = "in"; bottom = "_|_" }
+
+let comparison_to_string (c : Tgd.comparison) =
+  Printf.sprintf "%s %s %s"
+    (Term.scalar_to_string c.left)
+    (Tgd.cmp_op_to_string c.op)
+    (Term.scalar_to_string c.right)
+
+let render sy (m : Tgd.t) =
+  let buf = Buffer.create 256 in
+  let rec go ind (m : Tgd.t) =
+    let pad = String.make ind ' ' in
+    let foralls =
+      String.concat ", "
+        (List.map
+           (fun (g : Tgd.source_gen) ->
+             Printf.sprintf "%s %s %s" g.svar sy.member (Term.expr_to_string g.sexpr))
+           m.foralls)
+    in
+    let cond =
+      match m.cond with
+      | [] -> ""
+      | cs -> " | " ^ String.concat ", " (List.map comparison_to_string cs)
+    in
+    if m.foralls <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s%s %s" pad sy.forall foralls cond sy.arrow)
+    else Buffer.add_string buf (Printf.sprintf "%s%s" pad sy.arrow);
+    let exists =
+      String.concat ", "
+        (List.map
+           (fun (g : Tgd.target_gen) ->
+             Printf.sprintf "%s %s %s" g.tvar sy.member (Term.expr_to_string g.texpr))
+           m.exists)
+    in
+    if m.exists <> [] then
+      Buffer.add_string buf (Printf.sprintf " %s %s" sy.exists exists);
+    (* Body: group-by Skolems, then assertions, then submappings. *)
+    let body = ref [] in
+    List.iter
+      (fun (g : Tgd.target_gen) ->
+        match g.mode with
+        | Tgd.Grouped { keys } ->
+          body :=
+            Printf.sprintf "%s = group-by(%s, [%s])" g.tvar sy.bottom
+              (String.concat ", " (List.map Term.scalar_to_string keys))
+            :: !body
+        | Tgd.Driven | Tgd.Completion -> ())
+      m.exists;
+    List.iter
+      (fun (a : Tgd.assertion) ->
+        let line =
+          match a with
+          | Tgd.St_eq (e, s) ->
+            Printf.sprintf "%s = %s" (Term.expr_to_string e) (Term.scalar_to_string s)
+          | Tgd.Target_cond (e, op, atom) ->
+            Printf.sprintf "%s %s %s" (Term.expr_to_string e)
+              (Tgd.cmp_op_to_string op)
+              (Clip_xml.Atom.to_string atom)
+          | Tgd.Agg (e, kind, arg) ->
+            Printf.sprintf "%s = %s(%s)" (Term.expr_to_string e)
+              (Tgd.agg_kind_to_string kind)
+              (Term.expr_to_string arg)
+        in
+        body := line :: !body)
+      m.assertions;
+    let body = List.rev !body in
+    if body <> [] || m.children <> [] then Buffer.add_string buf " |";
+    List.iteri
+      (fun i line ->
+        let sep = if i < List.length body - 1 || m.children <> [] then "," else "" in
+        Buffer.add_string buf (Printf.sprintf "\n%s  %s%s" pad line sep))
+      body;
+    List.iteri
+      (fun i child ->
+        Buffer.add_string buf (Printf.sprintf "\n%s  [" pad);
+        Buffer.add_char buf '\n';
+        go (ind + 3) child;
+        Buffer.add_string buf
+          (Printf.sprintf "]%s" (if i < List.length m.children - 1 then "," else "")))
+      m.children
+  in
+  let fns =
+    List.filter
+      (fun f -> String.equal f "group-by" || Option.is_some (Tgd.agg_kind_of_string f))
+      (Tgd.function_symbols m)
+  in
+  if fns <> [] then begin
+    Buffer.add_string buf (Printf.sprintf "%s %s (\n" sy.exists (String.concat ", " fns));
+    go 0 m;
+    Buffer.add_string buf ")"
+  end
+  else go 0 m;
+  Buffer.contents buf
+
+let to_string ?(unicode = true) m =
+  render (if unicode then unicode_syms else ascii_syms) m
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)

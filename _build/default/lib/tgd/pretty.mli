@@ -1,0 +1,14 @@
+(** Render nested tgds in the paper's Sec. IV notation:
+
+    {v ∃ group-by (
+       ∀ d ∈ source.dept, p ∈ d.Proj → ∃ p' ∈ target.project |
+         p' = group-by(⊥, [p.pname.value]),
+         p'.@name = p.pname.value,
+         [∀ r ∈ ... → ∃ e' ∈ p'.employee | ...]) v}
+
+    With [~unicode:false] the quantifiers print as [forall]/[exists]
+    and [→] as [->]. *)
+
+val to_string : ?unicode:bool -> Tgd.t -> string
+
+val pp : Format.formatter -> Tgd.t -> unit

@@ -1,0 +1,65 @@
+module Path = Clip_schema.Path
+
+type expr =
+  | Root of string
+  | Var of string
+  | Proj of expr * Path.step
+
+type scalar =
+  | E of expr
+  | Const of Clip_xml.Atom.t
+  | Fn of string * scalar list
+
+let root s = Root s
+let var x = Var x
+let proj e steps = List.fold_left (fun e s -> Proj (e, s)) e steps
+let of_path (p : Path.t) = proj (Root p.root) p.steps
+
+let reroot ~var ~prefix p =
+  match Path.strip_prefix ~prefix p with
+  | Some steps -> Some (proj (Var var) steps)
+  | None -> None
+
+let rec head = function
+  | (Root _ | Var _) as e -> e
+  | Proj (e, _) -> head e
+
+let steps e =
+  let rec go acc = function
+    | Root _ | Var _ -> acc
+    | Proj (e, s) -> go (s :: acc) e
+  in
+  go [] e
+
+let rec expr_vars = function
+  | Root _ -> []
+  | Var x -> [ x ]
+  | Proj (e, _) -> expr_vars e
+
+let rec scalar_vars = function
+  | E e -> expr_vars e
+  | Const _ -> []
+  | Fn (_, args) -> List.concat_map scalar_vars args
+
+let rec expr_to_string = function
+  | Root s -> s
+  | Var x -> x
+  | Proj (e, s) -> expr_to_string e ^ "." ^ Path.step_to_string s
+
+let rec scalar_to_string = function
+  | E e -> expr_to_string e
+  | Const a ->
+    (match a with
+     | Clip_xml.Atom.String s -> Printf.sprintf "%S" s
+     | a -> Clip_xml.Atom.to_string a)
+  | Fn (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map scalar_to_string args))
+
+let rec equal_expr a b =
+  match a, b with
+  | Root x, Root y -> String.equal x y
+  | Var x, Var y -> String.equal x y
+  | Proj (e1, s1), Proj (e2, s2) -> s1 = s2 && equal_expr e1 e2
+  | (Root _ | Var _ | Proj _), _ -> false
+
+let pp_expr fmt e = Format.pp_print_string fmt (expr_to_string e)

@@ -1,0 +1,46 @@
+(** Terms of the mapping language (Sec. IV-A):
+    expressions [e ::= S | x | e.l] and scalar terms [t ::= e | F\[e\]].
+    Labels [l] are schema path steps (child, attribute, value). *)
+
+type expr =
+  | Root of string (** a schema root [S], e.g. [source] or [target] *)
+  | Var of string (** a quantified variable [x] *)
+  | Proj of expr * Clip_schema.Path.step (** record projection [e.l] *)
+
+(** Scalar terms: expressions, constants, and applications of scalar
+    function symbols ([concat], arithmetic, ...). *)
+type scalar =
+  | E of expr
+  | Const of Clip_xml.Atom.t
+  | Fn of string * scalar list
+
+val root : string -> expr
+val var : string -> expr
+
+(** [proj e steps] — repeated projection. *)
+val proj : expr -> Clip_schema.Path.step list -> expr
+
+(** [of_path p] — the expression [S.l1.l2...] spelling out path [p]. *)
+val of_path : Clip_schema.Path.t -> expr
+
+(** [reroot ~var ~prefix p] — the expression [var.steps] where [steps]
+    is [p] relative to [prefix]; [None] when [prefix] is not a prefix
+    of [p]. Used to rewrite absolute schema paths against a bound
+    ancestor variable. *)
+val reroot : var:string -> prefix:Clip_schema.Path.t -> Clip_schema.Path.t -> expr option
+
+(** [head e] — the [Root] or [Var] at the bottom of a projection chain. *)
+val head : expr -> expr
+
+(** [steps e] — the projection steps of [e], outermost last. *)
+val steps : expr -> Clip_schema.Path.step list
+
+(** Free variables of an expression / scalar. *)
+val expr_vars : expr -> string list
+
+val scalar_vars : scalar -> string list
+
+val expr_to_string : expr -> string
+val scalar_to_string : scalar -> string
+val equal_expr : expr -> expr -> bool
+val pp_expr : Format.formatter -> expr -> unit

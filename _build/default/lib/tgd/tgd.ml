@@ -1,0 +1,159 @@
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge | In
+
+type agg_kind = Count | Sum | Avg | Min | Max
+
+type source_gen = { svar : string; sexpr : Term.expr }
+
+type gen_mode =
+  | Driven
+  | Completion
+  | Grouped of { keys : Term.scalar list }
+
+type target_gen = { tvar : string; texpr : Term.expr; mode : gen_mode }
+
+type comparison = { left : Term.scalar; op : cmp_op; right : Term.scalar }
+
+type assertion =
+  | St_eq of Term.expr * Term.scalar
+  | Target_cond of Term.expr * cmp_op * Clip_xml.Atom.t
+  | Agg of Term.expr * agg_kind * Term.expr
+
+type t = {
+  foralls : source_gen list;
+  cond : comparison list;
+  exists : target_gen list;
+  assertions : assertion list;
+  children : t list;
+}
+
+let make ?(foralls = []) ?(cond = []) ?(exists = []) ?(assertions = [])
+    ?(children = []) () =
+  { foralls; cond; exists; assertions; children }
+
+let source_gen svar sexpr = { svar; sexpr }
+let driven tvar texpr = { tvar; texpr; mode = Driven }
+let completion tvar texpr = { tvar; texpr; mode = Completion }
+let grouped tvar texpr ~keys = { tvar; texpr; mode = Grouped { keys } }
+let cmp left op right = { left; op; right }
+
+let cmp_op_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | In -> "in"
+
+let agg_kind_to_string = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+
+let agg_kind_of_string = function
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "avg" -> Some Avg
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | _ -> None
+
+let rec mapping_count m =
+  1 + List.fold_left (fun n c -> n + mapping_count c) 0 m.children
+
+let function_symbols m =
+  let acc = ref [] in
+  let add s = if not (List.mem s !acc) then acc := s :: !acc in
+  let rec scan_scalar = function
+    | Term.E _ | Term.Const _ -> ()
+    | Term.Fn (name, args) ->
+      add name;
+      List.iter scan_scalar args
+  in
+  let rec go m =
+    List.iter
+      (fun g ->
+        match g.mode with
+        | Grouped { keys } ->
+          add "group-by";
+          List.iter scan_scalar keys
+        | Driven | Completion -> ())
+      m.exists;
+    List.iter (fun c -> scan_scalar c.left; scan_scalar c.right) m.cond;
+    List.iter
+      (function
+        | St_eq (_, s) -> scan_scalar s
+        | Target_cond _ -> ()
+        | Agg (_, kind, _) -> add (agg_kind_to_string kind))
+      m.assertions;
+    List.iter go m.children
+  in
+  go m;
+  List.rev !acc
+
+(* Alpha-equivalence: canonically rename variables in order of binding
+   and compare the results structurally. *)
+module Rename = Map.Make (String)
+
+let rec canon_expr map = function
+  | Term.Root s -> Term.Root s
+  | Term.Var x ->
+    Term.Var (match Rename.find_opt x map with Some y -> y | None -> "?" ^ x)
+  | Term.Proj (e, s) -> Term.Proj (canon_expr map e, s)
+
+let rec canon_scalar map = function
+  | Term.E e -> Term.E (canon_expr map e)
+  | Term.Const a -> Term.Const a
+  | Term.Fn (name, args) -> Term.Fn (name, List.map (canon_scalar map) args)
+
+let rec canon map counter m =
+  let bind map var =
+    let fresh = Printf.sprintf "v%d" !counter in
+    incr counter;
+    (Rename.add var fresh map, fresh)
+  in
+  let map, foralls =
+    List.fold_left
+      (fun (map, acc) g ->
+        let sexpr = canon_expr map g.sexpr in
+        let map, svar = bind map g.svar in
+        (map, { svar; sexpr } :: acc))
+      (map, []) m.foralls
+  in
+  let foralls = List.rev foralls in
+  let cond =
+    List.map
+      (fun c -> { c with left = canon_scalar map c.left; right = canon_scalar map c.right })
+      m.cond
+  in
+  let map, exists =
+    List.fold_left
+      (fun (map, acc) g ->
+        let texpr = canon_expr map g.texpr in
+        let mode =
+          match g.mode with
+          | Grouped { keys } -> Grouped { keys = List.map (canon_scalar map) keys }
+          | (Driven | Completion) as mode -> mode
+        in
+        let map, tvar = bind map g.tvar in
+        (map, { tvar; texpr; mode } :: acc))
+      (map, []) m.exists
+  in
+  let exists = List.rev exists in
+  let assertions =
+    List.map
+      (function
+        | St_eq (e, s) -> St_eq (canon_expr map e, canon_scalar map s)
+        | Target_cond (e, op, a) -> Target_cond (canon_expr map e, op, a)
+        | Agg (e, kind, arg) -> Agg (canon_expr map e, kind, canon_expr map arg))
+      m.assertions
+  in
+  let children = List.map (canon map counter) m.children in
+  { foralls; cond; exists; assertions; children }
+
+let alpha_equal a b =
+  let ca = canon Rename.empty (ref 0) a in
+  let cb = canon Rename.empty (ref 0) b in
+  ca = cb

@@ -1,0 +1,93 @@
+(** Nested (second-order) tgds — the paper's internal mapping language
+    (Sec. IV-A):
+
+    {v M ::= ∀ x1∈g1,...,xn∈gn | C1 →
+             ∃ y1∈g'1,...,ym∈g'm | (C2 ∧ M1 ∧ ... ∧ Mk) v}
+
+    Beyond the logical form, each target generator carries an
+    operational [mode]:
+
+    - [Driven] — the generator came from a builder: one fresh target
+      element per binding of the universal part.
+    - [Completion] — the element is required by the target schema but
+      built by no builder; under the paper's minimum-cardinality
+      principle it is created once per parent context (Sec. VI places
+      these as constant tags outside the FLWOR return).
+    - [Grouped] — a group node: the element is memoised per distinct
+      value of the grouping attributes, the second-order [group-by]
+      Skolem of Sec. IV-B.
+
+    The mode annotations are exactly the information the paper keeps
+    out of the pure tgd text but needs for query generation ("we
+    enforce minimum cardinality in the generated XQuery, not in the tgd
+    expressions"); carrying them here lets both the direct evaluator
+    and the XQuery generator implement the same semantics. *)
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge | In
+
+type agg_kind = Count | Sum | Avg | Min | Max
+
+(** A source generator [x ∈ e]. *)
+type source_gen = { svar : string; sexpr : Term.expr }
+
+type gen_mode =
+  | Driven
+  | Completion
+  | Grouped of { keys : Term.scalar list }
+
+(** A target generator [y ∈ e] with its operational mode. *)
+type target_gen = { tvar : string; texpr : Term.expr; mode : gen_mode }
+
+(** A [C1] conjunct: [a1 op a2]. *)
+type comparison = { left : Term.scalar; op : cmp_op; right : Term.scalar }
+
+(** A [C2] conjunct. *)
+type assertion =
+  | St_eq of Term.expr * Term.scalar
+    (** source-to-target equality [e_t = t_s]; the scalar may apply
+        scalar functions to source expressions *)
+  | Target_cond of Term.expr * cmp_op * Clip_xml.Atom.t
+    (** target condition [e_t op const] *)
+  | Agg of Term.expr * agg_kind * Term.expr
+    (** function equality [e_t = F(e_s)] for an aggregate [F]; the
+        argument denotes a set rooted in a universally bound variable
+        (the context of aggregation, Sec. IV-B) *)
+
+type t = {
+  foralls : source_gen list;
+  cond : comparison list;
+  exists : target_gen list;
+  assertions : assertion list;
+  children : t list; (** submappings [M1 ... Mk] *)
+}
+
+val make :
+  ?foralls:source_gen list ->
+  ?cond:comparison list ->
+  ?exists:target_gen list ->
+  ?assertions:assertion list ->
+  ?children:t list ->
+  unit ->
+  t
+
+val source_gen : string -> Term.expr -> source_gen
+val driven : string -> Term.expr -> target_gen
+val completion : string -> Term.expr -> target_gen
+val grouped : string -> Term.expr -> keys:Term.scalar list -> target_gen
+val cmp : Term.scalar -> cmp_op -> Term.scalar -> comparison
+
+val cmp_op_to_string : cmp_op -> string
+val agg_kind_to_string : agg_kind -> string
+val agg_kind_of_string : string -> agg_kind option
+
+(** Count of mappings in the tree (the mapping itself plus all
+    descendants) — a size measure used by the flexibility analysis. *)
+val mapping_count : t -> int
+
+(** All function symbols used ([group-by], aggregate names, scalar
+    function names), for the second-order [∃ F...] prefix. *)
+val function_symbols : t -> string list
+
+(** Structural equality up to variable renaming (alpha-equivalence).
+    Used to deduplicate enumerated mappings. *)
+val alpha_equal : t -> t -> bool

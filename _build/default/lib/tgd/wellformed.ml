@@ -1,0 +1,100 @@
+type error = { where : string; reason : string }
+
+let error_to_string e = Printf.sprintf "%s: %s" e.where e.reason
+
+module Vars = Set.Make (String)
+
+type scope = { src : Vars.t; tgt : Vars.t }
+
+let check ~source_root ~target_root (m : Tgd.t) =
+  let errors = ref [] in
+  let bad where reason = errors := { where; reason } :: !errors in
+  let head_kind scope e =
+    match Term.head e with
+    | Term.Root s when String.equal s source_root -> `Src
+    | Term.Root s when String.equal s target_root -> `Tgt
+    | Term.Root s -> `Unknown_root s
+    | Term.Var x when Vars.mem x scope.src -> `Src
+    | Term.Var x when Vars.mem x scope.tgt -> `Tgt
+    | Term.Var x -> `Unbound x
+    | Term.Proj _ -> assert false (* head never returns a projection *)
+  in
+  let expect_side scope side where e =
+    match head_kind scope e, side with
+    | `Src, `Src | `Tgt, `Tgt -> ()
+    | `Src, `Tgt ->
+      bad where
+        (Printf.sprintf "%s is a source expression where a target one is required"
+           (Term.expr_to_string e))
+    | `Tgt, `Src ->
+      bad where
+        (Printf.sprintf "%s is a target expression where a source one is required"
+           (Term.expr_to_string e))
+    | `Unknown_root s, _ -> bad where (Printf.sprintf "unknown schema root %s" s)
+    | `Unbound x, _ -> bad where (Printf.sprintf "unbound variable %s" x)
+  in
+  let rec check_scalar scope side where = function
+    | Term.E e -> expect_side scope side where e
+    | Term.Const _ -> ()
+    | Term.Fn (_, args) -> List.iter (check_scalar scope side where) args
+  in
+  let rec go scope (m : Tgd.t) =
+    (* Source generators bind left to right. *)
+    let scope =
+      List.fold_left
+        (fun scope (g : Tgd.source_gen) ->
+          expect_side scope `Src
+            (Printf.sprintf "source generator %s" g.svar)
+            g.sexpr;
+          { scope with src = Vars.add g.svar scope.src })
+        scope m.foralls
+    in
+    List.iter
+      (fun (c : Tgd.comparison) ->
+        let where = "condition " ^ Tgd.cmp_op_to_string c.op in
+        check_scalar scope `Src where c.left;
+        (match c.op, c.right with
+         | Tgd.In, Term.Const _ ->
+           bad where "the right side of a membership cannot be a constant"
+         | _ -> ());
+        (match c.right with
+         | Term.Const _ -> ()
+         | r -> check_scalar scope `Src where r))
+      m.cond;
+    (* Target generators bind left to right; grouping keys are source
+       scalars. *)
+    let scope =
+      List.fold_left
+        (fun scope (g : Tgd.target_gen) ->
+          expect_side scope `Tgt
+            (Printf.sprintf "target generator %s" g.tvar)
+            g.texpr;
+          (match g.mode with
+           | Tgd.Grouped { keys } ->
+             List.iter
+               (check_scalar scope `Src
+                  (Printf.sprintf "grouping key of %s" g.tvar))
+               keys
+           | Tgd.Driven | Tgd.Completion -> ());
+          { scope with tgt = Vars.add g.tvar scope.tgt })
+        scope m.exists
+    in
+    List.iter
+      (fun (a : Tgd.assertion) ->
+        match a with
+        | Tgd.St_eq (e, s) ->
+          expect_side scope `Tgt "source-to-target equality" e;
+          check_scalar scope `Src "source-to-target equality" s
+        | Tgd.Target_cond (e, _, _) -> expect_side scope `Tgt "target condition" e
+        | Tgd.Agg (e, kind, arg) ->
+          let where = "aggregate " ^ Tgd.agg_kind_to_string kind in
+          expect_side scope `Tgt where e;
+          expect_side scope `Src where arg)
+      m.assertions;
+    List.iter (go scope) m.children
+  in
+  go { src = Vars.empty; tgt = Vars.empty } m;
+  List.rev !errors
+
+let is_wellformed ~source_root ~target_root m =
+  check ~source_root ~target_root m = []

@@ -1,0 +1,17 @@
+(** Well-formedness of nested tgds per the scoping rules of Sec. IV-A:
+    the head of a source (target) generator must be the source (target)
+    schema root or a variable bound by an earlier source (target)
+    generator of the same mapping or of an ancestor; [C1] only sees
+    source expressions and constants (and the right side of a
+    membership cannot be a constant); [C2] equates target expressions
+    with source scalars / constants / aggregate applications. *)
+
+type error = { where : string; reason : string }
+
+val error_to_string : error -> string
+
+(** [check ~source_root ~target_root m] is every scoping violation
+    found; [\[\]] means well-formed. *)
+val check : source_root:string -> target_root:string -> Tgd.t -> error list
+
+val is_wellformed : source_root:string -> target_root:string -> Tgd.t -> bool

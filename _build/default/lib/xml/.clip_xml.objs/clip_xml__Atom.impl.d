@@ -1,0 +1,1 @@
+lib/xml/atom.ml: Bool Float Format Int Printf String

@@ -1,0 +1,1 @@
+lib/xml/atom.mli: Format

@@ -1,0 +1,1 @@
+lib/xml/node.ml: Atom Format List String

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Atom Buffer Char List Node Printexc Printf String

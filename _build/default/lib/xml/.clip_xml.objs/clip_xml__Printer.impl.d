@@ -1,0 +1,1 @@
+lib/xml/printer.ml: Atom Buffer List Node Printf String

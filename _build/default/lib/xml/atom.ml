@@ -1,0 +1,64 @@
+type t =
+  | String of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+let string s = String s
+let int i = Int i
+let float f = Float f
+let bool b = Bool b
+
+let to_string = function
+  | String s -> s
+  | Int i -> string_of_int i
+  | Float f ->
+    (* Avoid the "3." OCaml spelling: print integral floats as integers. *)
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+let of_string s =
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None ->
+    (match float_of_string_opt s with
+     | Some f -> Float f
+     | None ->
+       (match bool_of_string_opt s with
+        | Some b -> Bool b
+        | None -> String s))
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | String _ | Bool _ -> None
+
+let equal a b =
+  match a, b with
+  | String x, String y -> String.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | (String _ | Bool _ | Int _ | Float _), _ -> false
+
+let kind_rank = function
+  | String _ -> 0
+  | Int _ | Float _ -> 1
+  | Bool _ -> 2
+
+let compare a b =
+  match a, b with
+  | String x, String y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | a, b ->
+    let r = Int.compare (kind_rank a) (kind_rank b) in
+    if r <> 0 then r else String.compare (to_string a) (to_string b)
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,36 @@
+(** Atomic values carried by XML attributes and text nodes.
+
+    Clip schemas type their leaves with the atomic types of the paper
+    ([String], [int], ...); instances carry the corresponding values. *)
+
+type t =
+  | String of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+val string : string -> t
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+
+(** [to_string a] renders the value the way the paper prints instance
+    leaves (integers without decoration, floats trimmed). *)
+val to_string : t -> string
+
+(** [of_string s] guesses the tightest atomic type for a lexical value:
+    int, then float, then bool, then string. Used by the XML parser,
+    which has no schema at hand. *)
+val of_string : string -> t
+
+(** Structural equality with numeric promotion: [Int 3 = Float 3.0]. *)
+val equal : t -> t -> bool
+
+(** Total order consistent with {!equal}; numerics compare numerically,
+    cross-kind comparisons fall back to kind rank then lexical value. *)
+val compare : t -> t -> int
+
+(** Numeric view, if any. *)
+val to_float : t -> float option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+type t =
+  | Element of element
+  | Text of Atom.t
+
+and element = {
+  tag : string;
+  attrs : (string * Atom.t) list;
+  children : t list;
+}
+
+let elem ?(attrs = []) tag children = Element { tag; attrs; children }
+let text a = Text a
+let text_string s = Text (Atom.String s)
+let leaf ?attrs tag a = elem ?attrs tag [ Text a ]
+
+let as_element = function
+  | Element e -> e
+  | Text a -> invalid_arg ("Node.as_element: text node " ^ Atom.to_string a)
+
+let tag = function
+  | Element e -> e.tag
+  | Text _ -> invalid_arg "Node.tag: text node"
+
+let child_elements e =
+  List.filter_map (function Element c -> Some c | Text _ -> None) e.children
+
+let children_named e name =
+  List.filter (fun c -> String.equal c.tag name) (child_elements e)
+
+let attr e name = List.assoc_opt name e.attrs
+
+let text_value e =
+  let texts =
+    List.filter_map (function Text a -> Some a | Element _ -> None) e.children
+  in
+  match texts with
+  | [] -> None
+  | [ a ] -> Some a
+  | many -> Some (Atom.String (String.concat "" (List.map Atom.to_string many)))
+
+let rec compare a b =
+  match a, b with
+  | Text x, Text y -> Atom.compare x y
+  | Text _, Element _ -> -1
+  | Element _, Text _ -> 1
+  | Element x, Element y ->
+    let r = String.compare x.tag y.tag in
+    if r <> 0 then r
+    else
+      let r = compare_attrs x.attrs y.attrs in
+      if r <> 0 then r else compare_list x.children y.children
+
+and compare_attrs xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (k1, v1) :: xs, (k2, v2) :: ys ->
+    let r = String.compare k1 k2 in
+    if r <> 0 then r
+    else
+      let r = Atom.compare v1 v2 in
+      if r <> 0 then r else compare_attrs xs ys
+
+and compare_list xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+    let r = compare x y in
+    if r <> 0 then r else compare_list xs ys
+
+let equal a b = compare a b = 0
+
+(* Canonical form for order-insensitive comparison: sort attributes by
+   name and siblings by their own canonical rendering. *)
+let rec canonical = function
+  | Text a -> Text a
+  | Element e ->
+    let attrs = List.sort (fun (a, _) (b, _) -> String.compare a b) e.attrs in
+    let children = List.map canonical e.children in
+    let children = List.sort compare children in
+    Element { e with attrs; children }
+
+let equal_unordered a b = equal (canonical a) (canonical b)
+
+let rec size = function
+  | Text _ -> 1
+  | Element e -> 1 + List.length e.attrs + List.fold_left (fun n c -> n + size c) 0 e.children
+
+let rec depth = function
+  | Text _ -> 1
+  | Element e -> 1 + List.fold_left (fun d c -> max d (depth c)) 0 e.children
+
+let rec count_elements n tagname =
+  match n with
+  | Text _ -> 0
+  | Element e ->
+    let self = if String.equal e.tag tagname then 1 else 0 in
+    List.fold_left (fun n c -> n + count_elements c tagname) self e.children
+
+let rec pp fmt = function
+  | Text a -> Atom.pp fmt a
+  | Element e ->
+    let pp_attr fmt (k, v) = Format.fprintf fmt " %s=%S" k (Atom.to_string v) in
+    if e.children = [] then
+      Format.fprintf fmt "<%s%a/>" e.tag (Format.pp_print_list pp_attr) e.attrs
+    else
+      Format.fprintf fmt "<%s%a>%a</%s>" e.tag
+        (Format.pp_print_list pp_attr)
+        e.attrs
+        (Format.pp_print_list pp)
+        e.children e.tag

@@ -1,0 +1,17 @@
+(** A parser for the XML subset Clip needs: elements, attributes, text,
+    comments, CDATA sections, and prolog misc (XML declaration,
+    processing instructions and DOCTYPE are skipped). No namespaces,
+    DTD validation, or entities beyond the five predefined ones and
+    character references — the paper's schemas never use them. *)
+
+exception Parse_error of { line : int; column : int; message : string }
+
+(** [parse_string s] parses one document and returns its root.
+    @raise Parse_error on malformed input. *)
+val parse_string : string -> Node.t
+
+(** [parse_string_opt s] is [Some root] or [None] on malformed input. *)
+val parse_string_opt : string -> Node.t option
+
+(** Render a parse error for diagnostics. *)
+val error_to_string : exn -> string

@@ -1,0 +1,133 @@
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_to_string attrs =
+  String.concat ""
+    (List.map
+       (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape_attr (Atom.to_string v)))
+       attrs)
+
+let rec add_compact buf = function
+  | Node.Text a -> Buffer.add_string buf (escape_text (Atom.to_string a))
+  | Node.Element e ->
+    if e.children = [] then
+      Buffer.add_string buf (Printf.sprintf "<%s%s/>" e.tag (attrs_to_string e.attrs))
+    else begin
+      Buffer.add_string buf (Printf.sprintf "<%s%s>" e.tag (attrs_to_string e.attrs));
+      List.iter (add_compact buf) e.children;
+      Buffer.add_string buf (Printf.sprintf "</%s>" e.tag)
+    end
+
+let to_string node =
+  let buf = Buffer.create 256 in
+  add_compact buf node;
+  Buffer.contents buf
+
+let to_pretty_string ?(indent = 2) node =
+  let buf = Buffer.create 256 in
+  let pad level = String.make (level * indent) ' ' in
+  let rec go level = function
+    | Node.Text a ->
+      Buffer.add_string buf (pad level);
+      Buffer.add_string buf (escape_text (Atom.to_string a));
+      Buffer.add_char buf '\n'
+    | Node.Element e ->
+      let open_tag = Printf.sprintf "<%s%s" e.tag (attrs_to_string e.attrs) in
+      (match e.children with
+       | [] ->
+         Buffer.add_string buf (pad level ^ open_tag ^ "/>\n")
+       | [ Node.Text a ] ->
+         Buffer.add_string buf
+           (Printf.sprintf "%s%s>%s</%s>\n" (pad level) open_tag
+              (escape_text (Atom.to_string a))
+              e.tag)
+       | children ->
+         Buffer.add_string buf (pad level ^ open_tag ^ ">\n");
+         List.iter (go (level + 1)) children;
+         Buffer.add_string buf (Printf.sprintf "%s</%s>\n" (pad level) e.tag))
+  in
+  go 0 node;
+  Buffer.contents buf
+
+(* --- The paper's ASCII-tree rendering --------------------------------- *)
+
+(* Each node renders to a non-empty list of lines; the parent splices the
+   first line after "label---" and prefixes the rest with margin columns. *)
+
+type item = string list (* rendered lines of one child item *)
+
+let rec render_element (e : Node.element) : item =
+  match Node.text_value e, e.attrs, Node.child_elements e with
+  | Some v, [], [] -> [ Printf.sprintf "%s = %s" e.tag (Atom.to_string v) ]
+  | text, attrs, elems ->
+    let attr_items =
+      List.map (fun (k, v) -> [ Printf.sprintf "@%s = %s" k (Atom.to_string v) ]) attrs
+    in
+    let text_items =
+      match text with
+      | Some v -> [ [ Printf.sprintf "value = %s" (Atom.to_string v) ] ]
+      | None -> []
+    in
+    let elem_items = List.map render_element elems in
+    let items = attr_items @ text_items @ elem_items in
+    splice e.tag items
+
+and splice label items : item =
+  match items with
+  | [] -> [ label ]
+  | first :: rest ->
+    let margin = String.make (String.length label) ' ' in
+    let lines = ref [] in
+    let emit s = lines := s :: !lines in
+    (* First item: inline after "label---". *)
+    (match first with
+     | [] -> ()
+     | fl :: fls ->
+       emit (label ^ "---" ^ fl);
+       let cont_prefix = margin ^ (if rest = [] then "   " else "  |") in
+       List.iter (fun l -> emit (cont_prefix ^ l)) fls);
+    (* Later items on their own lines with |--- / `--- markers. *)
+    let rec emit_rest = function
+      | [] -> ()
+      | item :: tl ->
+        let last = tl = [] in
+        let marker = if last then "  `---" else "  |---" in
+        (match item with
+         | [] -> ()
+         | fl :: fls ->
+           emit (margin ^ marker ^ fl);
+           let cont = margin ^ (if last then "      " else "  |   ") in
+           List.iter (fun l -> emit (cont ^ l)) fls);
+        emit_rest tl
+    in
+    emit_rest rest;
+    List.rev !lines
+
+let to_tree_string node =
+  let lines =
+    match node with
+    | Node.Element e -> render_element e
+    | Node.Text a -> [ Atom.to_string a ]
+  in
+  String.concat "\n" lines

@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Ast Clip_xml Format List Map Printf String Value

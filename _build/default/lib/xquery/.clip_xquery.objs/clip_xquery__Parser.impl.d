@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Ast Buffer Clip_xml List Printexc Printf String

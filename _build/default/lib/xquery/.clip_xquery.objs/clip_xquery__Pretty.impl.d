@@ -1,0 +1,1 @@
+lib/xquery/pretty.ml: Ast Buffer Clip_xml List Printf String

@@ -1,0 +1,1 @@
+lib/xquery/value.ml: Clip_xml Float Format List String

@@ -1,0 +1,52 @@
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type arith_op = Add | Sub | Mul | Div
+
+type step =
+  | Child_step of string
+  | Attr_step of string
+  | Text_step
+
+type expr =
+  | Var of string
+  | Doc of string
+  | Literal of Clip_xml.Atom.t
+  | Path of expr * step list
+  | Seq of expr list
+  | Elem of elem
+  | Flwor of flwor
+  | If of expr * expr * expr
+  | Cmp of cmp_op * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Arith of arith_op * expr * expr
+  | Call of string * expr list
+
+and elem = {
+  tag : string;
+  attrs : (string * expr) list;
+  content : expr list;
+}
+
+and flwor = {
+  clauses : clause list;
+  where : expr option;
+  return : expr;
+}
+
+and clause =
+  | For of string * expr
+  | Let of string * expr
+
+let var x = Var x
+
+let path e steps =
+  match e with
+  | Path (b, s) -> Path (b, s @ steps)
+  | e -> Path (e, steps)
+
+let flwor ?where clauses return = Flwor { clauses; where; return }
+let elem ?(attrs = []) tag content = Elem { tag; attrs; content }
+let call name args = Call (name, args)
+let str s = Literal (Clip_xml.Atom.String s)
+let int i = Literal (Clip_xml.Atom.Int i)

@@ -1,0 +1,57 @@
+(** Abstract syntax of the XQuery fragment Clip compiles into (Sec. VI):
+    FLWOR expressions, child/attribute/text paths, direct element
+    constructors with computed attribute values, general comparisons,
+    and the built-in functions the generated queries call
+    ([count], [avg], [sum], [min], [max], [distinct-values], [concat],
+    ...). The fragment is closed under what {!Clip_core.To_xquery}
+    emits, and {!Eval} executes all of it. *)
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type arith_op = Add | Sub | Mul | Div
+
+type step =
+  | Child_step of string (** [/tag] *)
+  | Attr_step of string (** [/@name] *)
+  | Text_step (** [/text()] *)
+
+type expr =
+  | Var of string (** [$x] (name without the dollar) *)
+  | Doc of string (** the input document root, referenced by its tag *)
+  | Literal of Clip_xml.Atom.t
+  | Path of expr * step list (** [e/a/@b] *)
+  | Seq of expr list (** [(e1, e2, ...)] — sequence construction *)
+  | Elem of elem (** direct element constructor *)
+  | Flwor of flwor
+  | If of expr * expr * expr
+  | Cmp of cmp_op * expr * expr (** general (existential) comparison *)
+  | And of expr * expr
+  | Or of expr * expr
+  | Arith of arith_op * expr * expr
+  | Call of string * expr list
+
+and elem = {
+  tag : string;
+  attrs : (string * expr) list; (** computed attribute values *)
+  content : expr list; (** enclosed expressions, concatenated *)
+}
+
+and flwor = {
+  clauses : clause list;
+  where : expr option;
+  return : expr;
+}
+
+and clause =
+  | For of string * expr (** [for $x in e] *)
+  | Let of string * expr (** [let $x := e] *)
+
+(** {1 Convenience constructors} *)
+
+val var : string -> expr
+val path : expr -> step list -> expr
+val flwor : ?where:expr -> clause list -> expr -> expr
+val elem : ?attrs:(string * expr) list -> string -> expr list -> expr
+val call : string -> expr list -> expr
+val str : string -> expr
+val int : int -> expr

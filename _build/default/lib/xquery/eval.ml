@@ -1,0 +1,233 @@
+module Xml = Clip_xml
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+module Env = Map.Make (String)
+
+let step_nodes (item : Value.item) (step : Ast.step) : Value.t =
+  match item, step with
+  | Value.Node (Xml.Node.Element e), Ast.Child_step tag ->
+    List.filter_map
+      (function
+        | Xml.Node.Element c when String.equal c.tag tag ->
+          Some (Value.Node (Xml.Node.Element c))
+        | Xml.Node.Element _ | Xml.Node.Text _ -> None)
+      e.children
+  | Value.Node (Xml.Node.Element e), Ast.Attr_step name ->
+    (match Xml.Node.attr e name with
+     | Some a -> [ Value.Atomic a ]
+     | None -> [])
+  | Value.Node (Xml.Node.Element e), Ast.Text_step ->
+    List.filter_map
+      (function Xml.Node.Text a -> Some (Value.Atomic a) | Xml.Node.Element _ -> None)
+      e.children
+  | (Value.Node (Xml.Node.Text _) | Value.Atomic _), _ -> []
+
+let apply_steps v steps =
+  List.fold_left
+    (fun items step -> List.concat_map (fun it -> step_nodes it step) items)
+    v steps
+
+let compare_atoms op a b =
+  let open Xml.Atom in
+  let r =
+    match op with
+    | Ast.Eq -> equal a b
+    | Ast.Ne -> not (equal a b)
+    | Ast.Lt -> compare a b < 0
+    | Ast.Le -> compare a b <= 0
+    | Ast.Gt -> compare a b > 0
+    | Ast.Ge -> compare a b >= 0
+  in
+  r
+
+let numeric name v =
+  match Xml.Atom.to_float v with
+  | Some f -> f
+  | None -> error "%s: non-numeric value %S" name (Xml.Atom.to_string v)
+
+let rec eval ~input env (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Var x ->
+    (match Env.find_opt x env with
+     | Some v -> v
+     | None -> error "unbound variable $%s" x)
+  | Ast.Doc tag ->
+    (match input with
+     | Xml.Node.Element e when String.equal e.tag tag -> Value.of_node input
+     | Xml.Node.Element e ->
+       error "input document root is <%s>, query expects <%s>" e.tag tag
+     | Xml.Node.Text _ -> error "input document root is a text node")
+  | Ast.Literal a -> Value.of_atom a
+  | Ast.Path (base, steps) -> apply_steps (eval ~input env base) steps
+  | Ast.Seq es -> List.concat_map (eval ~input env) es
+  | Ast.Elem { tag; attrs; content } ->
+    let attrs =
+      List.filter_map
+        (fun (name, e) ->
+          match Value.atomize (eval ~input env e) with
+          | [] -> None
+          | [ a ] -> Some (name, a)
+          | many ->
+            Some
+              ( name,
+                Xml.Atom.String
+                  (String.concat " " (List.map Xml.Atom.to_string many)) ))
+        attrs
+    in
+    let children =
+      List.concat_map
+        (fun e ->
+          List.map
+            (function
+              | Value.Node n -> n
+              | Value.Atomic a -> Xml.Node.text a)
+            (eval ~input env e))
+        content
+    in
+    Value.of_node (Xml.Node.elem ~attrs tag children)
+  | Ast.Flwor f -> eval_flwor ~input env f.clauses f.where f.return
+  | Ast.If (c, t, e) ->
+    if Value.effective_bool (eval ~input env c) then eval ~input env t
+    else eval ~input env e
+  | Ast.Cmp (op, l, r) ->
+    let ls = Value.atomize (eval ~input env l) in
+    let rs = Value.atomize (eval ~input env r) in
+    let holds = List.exists (fun a -> List.exists (compare_atoms op a) rs) ls in
+    Value.of_atom (Xml.Atom.Bool holds)
+  | Ast.And (l, r) ->
+    Value.of_atom
+      (Xml.Atom.Bool
+         (Value.effective_bool (eval ~input env l)
+          && Value.effective_bool (eval ~input env r)))
+  | Ast.Or (l, r) ->
+    Value.of_atom
+      (Xml.Atom.Bool
+         (Value.effective_bool (eval ~input env l)
+          || Value.effective_bool (eval ~input env r)))
+  | Ast.Arith (op, l, r) ->
+    let one side e =
+      match Value.atomize (eval ~input env e) with
+      | [ a ] -> a
+      | [] -> error "arithmetic on the empty sequence (%s operand)" side
+      | _ -> error "arithmetic on a multi-item sequence (%s operand)" side
+    in
+    let a = one "left" l and b = one "right" r in
+    let result =
+      match op, a, b with
+      | Ast.Add, Xml.Atom.Int x, Xml.Atom.Int y -> Xml.Atom.Int (x + y)
+      | Ast.Sub, Xml.Atom.Int x, Xml.Atom.Int y -> Xml.Atom.Int (x - y)
+      | Ast.Mul, Xml.Atom.Int x, Xml.Atom.Int y -> Xml.Atom.Int (x * y)
+      | op, a, b ->
+        let x = numeric "arithmetic" a and y = numeric "arithmetic" b in
+        (match op with
+         | Ast.Add -> Xml.Atom.Float (x +. y)
+         | Ast.Sub -> Xml.Atom.Float (x -. y)
+         | Ast.Mul -> Xml.Atom.Float (x *. y)
+         | Ast.Div ->
+           if y = 0. then error "division by zero" else Xml.Atom.Float (x /. y))
+    in
+    Value.of_atom result
+  | Ast.Call (name, args) -> eval_call ~input env name args
+
+and eval_flwor ~input env clauses where return =
+  match clauses with
+  | [] ->
+    let keep =
+      match where with
+      | None -> true
+      | Some w -> Value.effective_bool (eval ~input env w)
+    in
+    if keep then eval ~input env return else Value.empty
+  | Ast.Let (x, e) :: rest ->
+    let v = eval ~input env e in
+    eval_flwor ~input (Env.add x v env) rest where return
+  | Ast.For (x, e) :: rest ->
+    let v = eval ~input env e in
+    List.concat_map
+      (fun item -> eval_flwor ~input (Env.add x [ item ] env) rest where return)
+      v
+
+and eval_call ~input env name args =
+  let arg i =
+    match List.nth_opt args i with
+    | Some e -> eval ~input env e
+    | None -> error "%s: missing argument %d" name (i + 1)
+  in
+  let arity n =
+    if List.length args <> n then
+      error "%s: expected %d argument(s), got %d" name n (List.length args)
+  in
+  match name with
+  | "count" ->
+    arity 1;
+    Value.of_atom (Xml.Atom.Int (List.length (arg 0)))
+  | "sum" | "avg" | "min" | "max" ->
+    arity 1;
+    let xs = List.map (numeric name) (Value.atomize (arg 0)) in
+    (match xs, name with
+     | [], "sum" -> Value.of_atom (Xml.Atom.Int 0)
+     | [], _ -> Value.empty
+     | xs, "sum" -> Value.of_atom (Xml.Atom.Float (List.fold_left ( +. ) 0. xs))
+     | xs, "avg" ->
+       Value.of_atom
+         (Xml.Atom.Float (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)))
+     | x :: xs, "min" -> Value.of_atom (Xml.Atom.Float (List.fold_left min x xs))
+     | x :: xs, _ -> Value.of_atom (Xml.Atom.Float (List.fold_left max x xs)))
+  | "distinct-values" ->
+    arity 1;
+    let seen = ref [] in
+    let out =
+      List.filter_map
+        (fun a ->
+          if List.exists (Xml.Atom.equal a) !seen then None
+          else begin
+            seen := a :: !seen;
+            Some (Value.Atomic a)
+          end)
+        (Value.atomize (arg 0))
+    in
+    out
+  | "concat" ->
+    let parts =
+      List.map
+        (fun e ->
+          String.concat "" (List.map Xml.Atom.to_string (Value.atomize (eval ~input env e))))
+        args
+    in
+    Value.of_atom (Xml.Atom.String (String.concat "" parts))
+  | "string" ->
+    arity 1;
+    (match arg 0 with
+     | [] -> Value.of_atom (Xml.Atom.String "")
+     | [ item ] -> Value.of_atom (Xml.Atom.String (Value.string_value item))
+     | _ -> error "string: a sequence of more than one item")
+  | "number" ->
+    arity 1;
+    (match Value.atomize (arg 0) with
+     | [ a ] ->
+       (* Unlike arithmetic, number() also parses numeric strings. *)
+       let a =
+         match a with Xml.Atom.String s -> Xml.Atom.of_string s | a -> a
+       in
+       Value.of_atom (Xml.Atom.Float (numeric "number" a))
+     | _ -> error "number: expected exactly one item")
+  | "empty" ->
+    arity 1;
+    Value.of_atom (Xml.Atom.Bool (arg 0 = []))
+  | "exists" ->
+    arity 1;
+    Value.of_atom (Xml.Atom.Bool (arg 0 <> []))
+  | "not" ->
+    arity 1;
+    Value.of_atom (Xml.Atom.Bool (not (Value.effective_bool (arg 0))))
+  | name -> error "unknown function %s#%d" name (List.length args)
+
+let run ~input expr = eval ~input Env.empty expr
+
+let run_document ~input expr =
+  match run ~input expr with
+  | [ Value.Node (Xml.Node.Element _ as n) ] -> n
+  | v -> error "query result is not a single element: %s" (Format.asprintf "%a" Value.pp v)

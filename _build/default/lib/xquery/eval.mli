@@ -1,0 +1,14 @@
+(** Evaluator for the XQuery fragment of {!Ast} over {!Clip_xml} data. *)
+
+exception Error of string
+
+(** [run ~input expr] evaluates [expr]; [Ast.Doc tag] resolves to
+    [input] when tags match (the generated queries reference the source
+    document by its root tag, e.g. [source/dept]).
+    @raise Error on unbound variables, unknown functions or dynamic
+    type errors. *)
+val run : input:Clip_xml.Node.t -> Ast.expr -> Value.t
+
+(** [run_document ~input expr] — like {!run} but expects the result to
+    be exactly one element node (the constructed target document). *)
+val run_document : input:Clip_xml.Node.t -> Ast.expr -> Clip_xml.Node.t

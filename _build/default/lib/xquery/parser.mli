@@ -1,0 +1,25 @@
+(** A parser for the XQuery fragment {!Pretty} emits (and the paper
+    prints): FLWOR expressions, paths, direct element constructors,
+    comparisons, boolean connectives, arithmetic and function calls.
+
+    The concrete syntax follows the paper's listings: computed
+    attribute values may be written with bare braces
+    ([<department name={$d/dname/text()}/>], as in Sec. VI) as well as
+    the standard quoted form ([name="{...}"]). Names may contain
+    dashes ([avg-sal], [distinct-values]); a dash is part of a name
+    when glued to it, so [a - b] is still a subtraction (the printer
+    always spaces binary operators).
+
+    [parse_string (Pretty.query_to_string q)] evaluates like [q] for
+    every query the generator emits — the test suite checks this
+    round-trip on all scenarios. *)
+
+exception Parse_error of { position : int; message : string }
+
+(** [parse_string s] parses one expression.
+    @raise Parse_error on malformed input. *)
+val parse_string : string -> Ast.expr
+
+val parse_string_opt : string -> Ast.expr option
+
+val error_to_string : exn -> string

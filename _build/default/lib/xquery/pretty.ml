@@ -1,0 +1,94 @@
+let cmp_to_string = function
+  | Ast.Eq -> "="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+
+let arith_to_string = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "div"
+
+let step_to_string = function
+  | Ast.Child_step tag -> tag
+  | Ast.Attr_step name -> "@" ^ name
+  | Ast.Text_step -> "text()"
+
+let atom_literal (a : Clip_xml.Atom.t) =
+  match a with
+  | Clip_xml.Atom.String s -> Printf.sprintf "\"%s\"" s
+  | a -> Clip_xml.Atom.to_string a
+
+(* Indented rendering: every construct knows its own indentation level. *)
+let rec render ind (e : Ast.expr) : string =
+  let pad = String.make ind ' ' in
+  match e with
+  | Ast.Var x -> "$" ^ x
+  | Ast.Doc tag -> tag
+  | Ast.Literal a -> atom_literal a
+  | Ast.Path (base, steps) ->
+    render ind base ^ "/" ^ String.concat "/" (List.map step_to_string steps)
+  | Ast.Seq [] -> "()"
+  | Ast.Seq es -> "(" ^ String.concat ", " (List.map (render ind) es) ^ ")"
+  | Ast.Elem { tag; attrs; content } ->
+    let attrs_s =
+      String.concat ""
+        (List.map
+           (fun (name, e) ->
+             match e with
+             | Ast.Literal (Clip_xml.Atom.String s) ->
+               Printf.sprintf " %s=\"%s\"" name s
+             | e -> Printf.sprintf " %s={ %s }" name (render (ind + 2) e))
+           attrs)
+    in
+    if content = [] then Printf.sprintf "<%s%s/>" tag attrs_s
+    else
+      let body =
+        String.concat ("\n" ^ pad ^ "  ")
+          (List.map (fun e -> "{ " ^ render (ind + 2) e ^ " }") content)
+      in
+      Printf.sprintf "<%s%s>\n%s  %s\n%s</%s>" tag attrs_s pad body pad tag
+  | Ast.Flwor { clauses; where; return } ->
+    let buf = Buffer.create 128 in
+    List.iter
+      (fun c ->
+        match c with
+        | Ast.For (x, e) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%sfor $%s in %s\n" pad x (render (ind + 2) e))
+        | Ast.Let (x, e) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%slet $%s := %s\n" pad x (render (ind + 2) e)))
+      clauses;
+    (match where with
+     | Some w ->
+       Buffer.add_string buf (Printf.sprintf "%swhere %s\n" pad (render (ind + 2) w))
+     | None -> ());
+    Buffer.add_string buf
+      (Printf.sprintf "%sreturn %s" pad (render (ind + 2) return));
+    "\n" ^ Buffer.contents buf
+  | Ast.If (c, t, e) ->
+    Printf.sprintf "if (%s) then %s else %s" (render ind c) (render ind t)
+      (render ind e)
+  | Ast.Cmp (op, l, r) ->
+    Printf.sprintf "%s %s %s" (render ind l) (cmp_to_string op) (render ind r)
+  | Ast.And (l, r) ->
+    Printf.sprintf "%s and %s" (render_guarded ind l) (render_guarded ind r)
+  | Ast.Or (l, r) ->
+    Printf.sprintf "(%s or %s)" (render ind l) (render ind r)
+  | Ast.Arith (op, l, r) ->
+    Printf.sprintf "(%s %s %s)" (render ind l) (arith_to_string op) (render ind r)
+  | Ast.Call (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map (render ind) args))
+
+and render_guarded ind e =
+  match e with
+  | Ast.Or _ | Ast.And _ -> "(" ^ render ind e ^ ")"
+  | e -> render ind e
+
+let expr_to_string e = render 0 e
+
+let query_to_string e = expr_to_string e ^ "\n"

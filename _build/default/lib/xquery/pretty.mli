@@ -1,0 +1,10 @@
+(** Render {!Ast} expressions as XQuery source text, in the style of the
+    queries printed in Sec. VI of the paper (FLWOR keywords at the left
+    of their clause, enclosed expressions in braces). The output of the
+    generator round-trips through any standard XQuery processor. *)
+
+val expr_to_string : Ast.expr -> string
+
+(** [query_to_string e] — like {!expr_to_string} but ends with a
+    newline, convenient for writing [.xq] files. *)
+val query_to_string : Ast.expr -> string

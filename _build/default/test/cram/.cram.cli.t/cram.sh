@@ -1,0 +1,85 @@
+  $ cat > fig4.clip <<'EOF'
+  > schema source {
+  >   dept [1..*] {
+  >     dname: string
+  >     Proj [0..*] { @pid: int  pname: string }
+  >     regEmp [0..*] { @pid: int  ename: string  sal: int }
+  >   }
+  >   ref dept.regEmp.@pid -> dept.Proj.@pid
+  > }
+  > schema target {
+  >   department [1..*] {
+  >     project [0..*] { @name: string }
+  >     employee [0..*] { @name: string }
+  >   }
+  > }
+  > mapping {
+  >   node d: source.dept as $d -> target.department {
+  >     node e: source.dept.regEmp as $r -> target.department.employee
+  >       where $r.sal.value > 11000
+  >   }
+  >   value source.dept.regEmp.ename.value -> target.department.employee.@name
+  > }
+  > EOF
+  $ cat > source.xml <<'EOF'
+  > <source>
+  >   <dept><dname>ICT</dname>
+  >     <Proj pid="1"><pname>Appliances</pname></Proj>
+  >     <regEmp pid="1"><ename>John Smith</ename><sal>10000</sal></regEmp>
+  >     <regEmp pid="1"><ename>Andrew Clarence</ename><sal>12000</sal></regEmp>
+  >   </dept>
+  > </source>
+  > EOF
+  $ clip validate fig4.clip
+  $ clip compile fig4.clip --ascii
+  $ clip xquery fig4.clip
+  $ clip run fig4.clip -i source.xml --tree
+  $ clip run fig4.clip -i source.xml --backend xquery
+  $ clip lineage fig4.clip --impact source.dept.regEmp.sal
+  $ cat > bad.clip <<'EOF'
+  > schema s { a [0..*] { x: string  b [0..*] { y: string } } }
+  > schema t { c [0..*] { @y: string } }
+  > mapping {
+  >   node n: s.a as $a -> t.c
+  >   value s.a.b.y.value -> t.c.@y
+  > }
+  > EOF
+  $ clip validate bad.clip
+  $ cat > s.dsl <<'EOF'
+  > schema db { item [0..*] { @id: int  name: string } }
+  > EOF
+  $ clip schema s.dsl --to xsd
+  $ cat > couplings.clip <<'EOF'
+  > schema source {
+  >   dept [1..*] {
+  >     dname: string
+  >     Proj [0..*] { @pid: int  pname: string }
+  >     regEmp [0..*] { @pid: int  ename: string  sal: int }
+  >   }
+  >   ref dept.regEmp.@pid -> dept.Proj.@pid
+  > }
+  > schema target {
+  >   department [1..*] {
+  >     project [0..*] { @name: string }
+  >     employee [0..*] { @name: string }
+  >   }
+  > }
+  > mapping {
+  >   value source.dept.Proj.pname.value -> target.department.project.@name
+  >   value source.dept.regEmp.ename.value -> target.department.employee.@name
+  > }
+  > EOF
+  $ clip generate couplings.clip --extension --ascii
+  $ cat > t.dsl <<'EOF'
+  > schema web { organization [0..*] { @name: string } }
+  > EOF
+  $ cat > s2.dsl <<'EOF'
+  > schema db { org [0..*] { orgname: string } }
+  > EOF
+  $ clip match s2.dsl t.dsl
+  $ clip render fig4.clip --focus target.department.employee | tail -2
+  $ clip check s.dsl source.xml
+  $ cat > items.xml <<'EOF'
+  > <db><item id="1"><name>widget</name></item></db>
+  > EOF
+  $ clip check s.dsl items.xml

@@ -1,0 +1,218 @@
+The clip CLI drives the whole pipeline. Write a mapping file (the
+paper's Fig. 4) and a source instance:
+
+  $ cat > fig4.clip <<'EOF'
+  > schema source {
+  >   dept [1..*] {
+  >     dname: string
+  >     Proj [0..*] { @pid: int  pname: string }
+  >     regEmp [0..*] { @pid: int  ename: string  sal: int }
+  >   }
+  >   ref dept.regEmp.@pid -> dept.Proj.@pid
+  > }
+  > schema target {
+  >   department [1..*] {
+  >     project [0..*] { @name: string }
+  >     employee [0..*] { @name: string }
+  >   }
+  > }
+  > mapping {
+  >   node d: source.dept as $d -> target.department {
+  >     node e: source.dept.regEmp as $r -> target.department.employee
+  >       where $r.sal.value > 11000
+  >   }
+  >   value source.dept.regEmp.ename.value -> target.department.employee.@name
+  > }
+  > EOF
+
+  $ cat > source.xml <<'EOF'
+  > <source>
+  >   <dept><dname>ICT</dname>
+  >     <Proj pid="1"><pname>Appliances</pname></Proj>
+  >     <regEmp pid="1"><ename>John Smith</ename><sal>10000</sal></regEmp>
+  >     <regEmp pid="1"><ename>Andrew Clarence</ename><sal>12000</sal></regEmp>
+  >   </dept>
+  > </source>
+  > EOF
+
+Validity (Sec. III):
+
+  $ clip validate fig4.clip
+  valid: no issues
+
+The compiled nested tgd (Sec. IV):
+
+  $ clip compile fig4.clip --ascii
+  forall d in source.dept -> exists d' in target.department |
+    [
+     forall r in d.regEmp | r.sal.value > 11000 -> exists e' in d'.employee |
+       e'.@name = r.ename.value]
+
+The generated XQuery (Sec. VI):
+
+  $ clip xquery fig4.clip
+  <target>
+    { 
+    for $d in source/dept
+    return <department>
+        { 
+        for $r in $d/regEmp
+        where $r/sal/text() > 11000
+        return <employee name={ $r/ename/text() }/> }
+      </department> }
+  </target>
+
+Execution, on both backends:
+
+  $ clip run fig4.clip -i source.xml --tree
+  target---department---employee---@name = Andrew Clarence
+
+  $ clip run fig4.clip -i source.xml --backend xquery
+  <target>
+    <department>
+      <employee name="Andrew Clarence"/>
+    </department>
+  </target>
+
+Lineage / impact analysis:
+
+  $ clip lineage fig4.clip --impact source.dept.regEmp.sal
+  target.department.employee
+  target.department.employee.@name
+
+Invalid mappings are diagnosed, not silently accepted:
+
+  $ cat > bad.clip <<'EOF'
+  > schema s { a [0..*] { x: string  b [0..*] { y: string } } }
+  > schema t { c [0..*] { @y: string } }
+  > mapping {
+  >   node n: s.a as $a -> t.c
+  >   value s.a.b.y.value -> t.c.@y
+  > }
+  > EOF
+  $ clip validate bad.clip
+  error [unanchored-source]: value mapping to t.c.@y: source s.a.b.y.value sits inside a repeating element not bounded by a builder
+  [1]
+
+Schema conversion between the DSL and XSD:
+
+  $ cat > s.dsl <<'EOF'
+  > schema db { item [0..*] { @id: int  name: string } }
+  > EOF
+  $ clip schema s.dsl --to xsd
+  <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="db">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element name="item" minOccurs="0" maxOccurs="unbounded">
+            <xs:complexType>
+              <xs:sequence>
+                <xs:element name="name" type="xs:string"/>
+              </xs:sequence>
+              <xs:attribute name="id" type="xs:int" use="required"/>
+            </xs:complexType>
+          </xs:element>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>
+  </xs:schema>
+
+Generation from value mappings alone (Sec. V) — strip the explicit
+builders from the Fig. 4 file and let the extension rediscover them:
+
+  $ cat > couplings.clip <<'EOF'
+  > schema source {
+  >   dept [1..*] {
+  >     dname: string
+  >     Proj [0..*] { @pid: int  pname: string }
+  >     regEmp [0..*] { @pid: int  ename: string  sal: int }
+  >   }
+  >   ref dept.regEmp.@pid -> dept.Proj.@pid
+  > }
+  > schema target {
+  >   department [1..*] {
+  >     project [0..*] { @name: string }
+  >     employee [0..*] { @name: string }
+  >   }
+  > }
+  > mapping {
+  >   value source.dept.Proj.pname.value -> target.department.project.@name
+  >   value source.dept.regEmp.ename.value -> target.department.employee.@name
+  > }
+  > EOF
+  $ clip generate couplings.clip --extension --ascii
+  {dept} -> {department}
+    {dept-Proj} -> {department-project}  (1 vm)
+    {dept-Proj-regEmp, @pid=@pid} -> {department-employee}  (1 vm)
+  forall d in source.dept -> exists d' in target.department |
+    [
+     forall p in d.Proj -> exists p' in d'.project |
+       p'.@name = p.pname.value],
+    [
+     forall p2 in d.Proj, r in d.regEmp | p2.@pid = r.@pid -> exists e' in d'.employee |
+       e'.@name = r.ename.value]
+  
+  # as an explicit Clip mapping:
+  schema source {
+    dept [1..*] {
+      dname: string
+      Proj [0..*] {
+        @pid: int
+        pname: string
+      }
+      regEmp [0..*] {
+        @pid: int
+        ename: string
+        sal: int
+      }
+    }
+    ref dept.regEmp.@pid -> dept.Proj.@pid
+  }
+  
+  schema target {
+    department [1..*] {
+      project [0..*] {
+        @name: string
+      }
+      employee [0..*] {
+        @name: string
+      }
+    }
+  }
+  
+  mapping {
+    node n3: source.dept as $v1 -> target.department {
+      node n1: source.dept.Proj as $v2 -> target.department.project
+      node n2: source.dept.Proj as $v3, source.dept.regEmp as $v4 -> target.department.employee where $v3.@pid = $v4.@pid
+    }
+    value source.dept.Proj.pname.value -> target.department.project.@name
+    value source.dept.regEmp.ename.value -> target.department.employee.@name
+  }
+
+Schema matching (the Sec. VII extension):
+
+  $ cat > t.dsl <<'EOF'
+  > schema web { organization [0..*] { @name: string } }
+  > EOF
+  $ cat > s2.dsl <<'EOF'
+  > schema db { org [0..*] { orgname: string } }
+  > EOF
+  $ clip match s2.dsl t.dsl
+  db.org.orgname.value -> web.organization.@name  (0.78)
+
+The render view filter (Sec. VII):
+
+  $ clip render fig4.clip --focus target.department.employee | tail -2
+  [e] builder: source.dept.regEmp => target.department.employee  when $r.sal.value > 11000
+  (v1) value: source.dept.regEmp.ename.value => target.department.employee.@name
+
+Instance validation against a schema (DSL or XSD):
+
+  $ clip check s.dsl source.xml
+  db: expected element <db>, found <source>
+  [1]
+  $ cat > items.xml <<'EOF'
+  > <db><item id="1"><name>widget</name></item></db>
+  > EOF
+  $ clip check s.dsl items.xml
+  valid

@@ -1,0 +1,448 @@
+(* Tests for the Clip_schema substrate: cardinalities, paths, schema
+   trees, instance validation, the schema DSL, the relational encoding
+   and the random instance generator. *)
+
+open Clip_schema
+module Atom = Clip_xml.Atom
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let checki = Alcotest.(check int)
+
+let path s =
+  match Path.of_string s with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "bad path %S: %s" s m
+
+(* --- Cardinality ---------------------------------------------------------- *)
+
+let cardinality_tests =
+  [
+    Alcotest.test_case "standard shorthands" `Quick (fun () ->
+        checks "req" "[1..1]" (Cardinality.to_string Cardinality.required);
+        checks "opt" "[0..1]" (Cardinality.to_string Cardinality.optional);
+        checks "star" "[0..*]" (Cardinality.to_string Cardinality.star);
+        checks "plus" "[1..*]" (Cardinality.to_string Cardinality.plus));
+    Alcotest.test_case "is_repeating" `Quick (fun () ->
+        checkb "star" true (Cardinality.is_repeating Cardinality.star);
+        checkb "plus" true (Cardinality.is_repeating Cardinality.plus);
+        checkb "req" false (Cardinality.is_repeating Cardinality.required);
+        checkb "opt" false (Cardinality.is_repeating Cardinality.optional);
+        checkb "bounded 2" true
+          (Cardinality.is_repeating (Cardinality.make 0 (Cardinality.Bounded 2))));
+    Alcotest.test_case "admits respects both bounds" `Quick (fun () ->
+        let c = Cardinality.make 1 (Cardinality.Bounded 3) in
+        checkb "0" false (Cardinality.admits c 0);
+        checkb "1" true (Cardinality.admits c 1);
+        checkb "3" true (Cardinality.admits c 3);
+        checkb "4" false (Cardinality.admits c 4));
+    Alcotest.test_case "admits unbounded" `Quick (fun () ->
+        checkb "many" true (Cardinality.admits Cardinality.star 1000));
+    Alcotest.test_case "subsumes" `Quick (fun () ->
+        checkb "star >= req" true (Cardinality.subsumes Cardinality.star Cardinality.required);
+        checkb "req !>= star" false
+          (Cardinality.subsumes Cardinality.required Cardinality.star);
+        checkb "opt >= req" true
+          (Cardinality.subsumes Cardinality.optional Cardinality.required));
+    Alcotest.test_case "make rejects bad bounds" `Quick (fun () ->
+        checkb "neg min" true
+          (match Cardinality.make (-1) Cardinality.Unbounded with
+           | exception Invalid_argument _ -> true
+           | _ -> false);
+        checkb "max < min" true
+          (match Cardinality.make 3 (Cardinality.Bounded 2) with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+(* --- Path ------------------------------------------------------------------ *)
+
+let path_tests =
+  [
+    Alcotest.test_case "of_string / to_string roundtrip" `Quick (fun () ->
+        List.iter
+          (fun s -> checks s s (Path.to_string (path s)))
+          [
+            "source";
+            "source.dept";
+            "source.dept.regEmp.@pid";
+            "source.dept.Proj.pname.value";
+          ]);
+    Alcotest.test_case "of_string rejects interior leaf steps" `Quick (fun () ->
+        checkb "attr" true (Result.is_error (Path.of_string "s.@a.b"));
+        checkb "value" true (Result.is_error (Path.of_string "s.value.b")));
+    Alcotest.test_case "of_string rejects empty" `Quick (fun () ->
+        checkb "empty" true (Result.is_error (Path.of_string ""));
+        checkb "empty step" true (Result.is_error (Path.of_string "a..b")));
+    Alcotest.test_case "element_of strips leaves" `Quick (fun () ->
+        checks "attr" "s.a" (Path.to_string (Path.element_of (path "s.a.@x")));
+        checks "value" "s.a" (Path.to_string (Path.element_of (path "s.a.value")));
+        checks "element" "s.a" (Path.to_string (Path.element_of (path "s.a"))));
+    Alcotest.test_case "parent" `Quick (fun () ->
+        checkb "root has none" true (Path.parent (path "s") = None);
+        checks "drop" "s.a" (Path.to_string (Option.get (Path.parent (path "s.a.b")))));
+    Alcotest.test_case "element_prefixes walks root-first" `Quick (fun () ->
+        let ps = Path.element_prefixes (path "s.a.b.@x") in
+        Alcotest.(check (list string))
+          "prefixes"
+          [ "s"; "s.a"; "s.a.b" ]
+          (List.map Path.to_string ps));
+    Alcotest.test_case "is_prefix" `Quick (fun () ->
+        checkb "proper" true (Path.is_prefix (path "s.a") (path "s.a.b"));
+        checkb "self" true (Path.is_prefix (path "s.a") (path "s.a"));
+        checkb "not" false (Path.is_prefix (path "s.a.b") (path "s.a"));
+        checkb "other root" false (Path.is_prefix (path "t.a") (path "s.a.b")));
+    Alcotest.test_case "strip_prefix" `Quick (fun () ->
+        checkb "steps" true
+          (Path.strip_prefix ~prefix:(path "s.a") (path "s.a.b.@x")
+           = Some [ Path.Child "b"; Path.Attr "x" ]);
+        checkb "none" true (Path.strip_prefix ~prefix:(path "s.b") (path "s.a") = None));
+    Alcotest.test_case "cannot extend past a leaf" `Quick (fun () ->
+        checkb "raises" true
+          (match Path.child (path "s.a.@x") "b" with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+(* --- Schema ------------------------------------------------------------------ *)
+
+let dept_schema =
+  Dsl.parse
+    {|
+    schema source {
+      dept [1..*] {
+        dname: string
+        Proj [0..*] { @pid: int  pname: string }
+        regEmp [0..*] { @pid: int  ename: string  sal: int }
+      }
+      ref dept.regEmp.@pid -> dept.Proj.@pid
+    }
+    |}
+
+let schema_tests =
+  [
+    Alcotest.test_case "find resolves elements, attributes, values" `Quick (fun () ->
+        checkb "element" true
+          (match Schema.find dept_schema (path "source.dept.Proj") with
+           | Some (Schema.Element_ref e) -> e.name = "Proj"
+           | _ -> false);
+        checkb "attr" true
+          (match Schema.find dept_schema (path "source.dept.Proj.@pid") with
+           | Some (Schema.Attr_ref (_, a)) -> a.attr_type = Atomic_type.T_int
+           | _ -> false);
+        checkb "value" true
+          (match Schema.find dept_schema (path "source.dept.dname.value") with
+           | Some (Schema.Value_ref (_, ty)) -> ty = Atomic_type.T_string
+           | _ -> false);
+        checkb "missing" true (Schema.find dept_schema (path "source.dept.foo") = None);
+        checkb "wrong root" true (Schema.find dept_schema (path "bogus.dept") = None));
+    Alcotest.test_case "leaf_type" `Quick (fun () ->
+        checkb "sal" true
+          (Schema.leaf_type dept_schema (path "source.dept.regEmp.sal.value")
+           = Some Atomic_type.T_int);
+        checkb "element is not a leaf" true
+          (Schema.leaf_type dept_schema (path "source.dept") = None));
+    Alcotest.test_case "element_paths preorder" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "paths"
+          [
+            "source";
+            "source.dept";
+            "source.dept.dname";
+            "source.dept.Proj";
+            "source.dept.Proj.pname";
+            "source.dept.regEmp";
+            "source.dept.regEmp.ename";
+            "source.dept.regEmp.sal";
+          ]
+          (List.map Path.to_string (Schema.element_paths dept_schema)));
+    Alcotest.test_case "leaf_paths" `Quick (fun () ->
+        (* dname.value, Proj.@pid, Proj.pname.value, regEmp.@pid,
+           regEmp.ename.value, regEmp.sal.value *)
+        checki "6 leaves" 6 (List.length (Schema.leaf_paths dept_schema)));
+    Alcotest.test_case "repeating_paths" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "repeating"
+          [ "source.dept"; "source.dept.Proj"; "source.dept.regEmp" ]
+          (List.map Path.to_string (Schema.repeating_paths dept_schema)));
+    Alcotest.test_case "root is never repeating" `Quick (fun () ->
+        checkb "root" false (Schema.is_repeating dept_schema (path "source")));
+    Alcotest.test_case "repeating_ancestors" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "chain"
+          [ "source.dept"; "source.dept.regEmp" ]
+          (List.map Path.to_string
+             (Schema.repeating_ancestors dept_schema (path "source.dept.regEmp.@pid"))));
+    Alcotest.test_case "repeating_strictly_between" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "regEmp below dept"
+          [ "source.dept.regEmp" ]
+          (List.map Path.to_string
+             (Schema.repeating_strictly_between dept_schema ~above:(path "source.dept")
+                ~below:(path "source.dept.regEmp.ename.value")));
+        Alcotest.(check (list string))
+          "nothing between regEmp and its leaf" []
+          (List.map Path.to_string
+             (Schema.repeating_strictly_between dept_schema
+                ~above:(path "source.dept.regEmp")
+                ~below:(path "source.dept.regEmp.ename.value"))));
+    Alcotest.test_case "reference_between" `Quick (fun () ->
+        checkb "found" true
+          (Schema.reference_between dept_schema (path "source.dept.Proj")
+             (path "source.dept.regEmp")
+           <> None);
+        checkb "none" true
+          (Schema.reference_between dept_schema (path "source.dept")
+             (path "source.dept.dname")
+           = None));
+    Alcotest.test_case "make rejects duplicate siblings" `Quick (fun () ->
+        checkb "dup" true
+          (match
+             Schema.make
+               (Schema.element "r" [ Schema.element "a" []; Schema.element "a" [] ])
+           with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "make rejects dangling references" `Quick (fun () ->
+        checkb "dangling" true
+          (match
+             Schema.make
+               ~refs:
+                 [ { Schema.ref_from = path "r.a.@x"; ref_to = path "r.b.@y" } ]
+               (Schema.element "r" [ Schema.element "a" [] ])
+           with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+(* --- Validation ---------------------------------------------------------------- *)
+
+let xml = Clip_xml.Parser.parse_string
+
+let good_instance =
+  xml
+    {|<source><dept><dname>ICT</dname>
+        <Proj pid="1"><pname>P</pname></Proj>
+        <regEmp pid="1"><ename>A</ename><sal>10</sal></regEmp>
+      </dept></source>|}
+
+let validate_tests =
+  [
+    Alcotest.test_case "valid instance" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "no violations" []
+          (List.map Validate.violation_to_string (Validate.check dept_schema good_instance)));
+    Alcotest.test_case "missing required element" `Quick (fun () ->
+        let doc = xml "<source/>" in
+        checkb "invalid" false (Validate.is_valid dept_schema doc));
+    Alcotest.test_case "missing required attribute" `Quick (fun () ->
+        let doc =
+          xml
+            {|<source><dept><dname>x</dname><Proj><pname>P</pname></Proj></dept></source>|}
+        in
+        checkb "invalid" false (Validate.is_valid dept_schema doc));
+    Alcotest.test_case "type violation" `Quick (fun () ->
+        let doc =
+          xml
+            {|<source><dept><dname>x</dname>
+               <regEmp pid="1"><ename>A</ename><sal>lots</sal></regEmp></dept></source>|}
+        in
+        checkb "invalid" false (Validate.is_valid ~check_refs:false dept_schema doc));
+    Alcotest.test_case "unexpected element" `Quick (fun () ->
+        let doc = xml {|<source><dept><dname>x</dname><bogus/></dept></source>|} in
+        checkb "invalid" false (Validate.is_valid dept_schema doc));
+    Alcotest.test_case "unexpected attribute" `Quick (fun () ->
+        let doc = xml {|<source><dept bogus="1"><dname>x</dname></dept></source>|} in
+        checkb "invalid" false (Validate.is_valid dept_schema doc));
+    Alcotest.test_case "int accepted where float expected" `Quick (fun () ->
+        let s = Dsl.parse "schema r { x: float }" in
+        checkb "valid" true (Validate.is_valid s (xml "<r><x>3</x></r>")));
+    Alcotest.test_case "dangling reference detected" `Quick (fun () ->
+        let doc =
+          xml
+            {|<source><dept><dname>x</dname>
+               <Proj pid="1"><pname>P</pname></Proj>
+               <regEmp pid="9"><ename>A</ename><sal>10</sal></regEmp></dept></source>|}
+        in
+        checkb "refs checked" false (Validate.is_valid dept_schema doc);
+        checkb "refs skipped" true (Validate.is_valid ~check_refs:false dept_schema doc));
+    Alcotest.test_case "cardinality upper bound" `Quick (fun () ->
+        let s = Dsl.parse "schema r { a [0..2] }" in
+        checkb "3 as" false (Validate.is_valid s (xml "<r><a/><a/><a/></r>"));
+        checkb "2 as" true (Validate.is_valid s (xml "<r><a/><a/></r>")));
+    Alcotest.test_case "text where none expected" `Quick (fun () ->
+        let s = Dsl.parse "schema r { a }" in
+        checkb "invalid" false (Validate.is_valid s (xml "<r><a>text</a></r>")));
+  ]
+
+(* --- Schema DSL --------------------------------------------------------------- *)
+
+let dsl_tests =
+  [
+    Alcotest.test_case "cardinality shorthands" `Quick (fun () ->
+        let s = Dsl.parse "schema r { a?  b*  c+  d [2..5] }" in
+        let card p' =
+          match Schema.find_element s (path p') with
+          | Some e -> Cardinality.to_string e.card
+          | None -> "?"
+        in
+        checks "a" "[0..1]" (card "r.a");
+        checks "b" "[0..*]" (card "r.b");
+        checks "c" "[1..*]" (card "r.c");
+        checks "d" "[2..5]" (card "r.d"));
+    Alcotest.test_case "optional attribute" `Quick (fun () ->
+        let s = Dsl.parse "schema r { a { @x ?: int @y: string } }" in
+        match Schema.find s (path "r.a.@x"), Schema.find s (path "r.a.@y") with
+        | Some (Schema.Attr_ref (_, x)), Some (Schema.Attr_ref (_, y)) ->
+          checkb "x optional" false x.attr_required;
+          checkb "y required" true y.attr_required
+        | _ -> Alcotest.fail "attributes not found");
+    Alcotest.test_case "value declarations" `Quick (fun () ->
+        let s = Dsl.parse "schema r { a: int  b { value: string  c: bool } }" in
+        checkb "a" true (Schema.leaf_type s (path "r.a.value") = Some Atomic_type.T_int);
+        checkb "b" true (Schema.leaf_type s (path "r.b.value") = Some Atomic_type.T_string);
+        checkb "c" true (Schema.leaf_type s (path "r.b.c.value") = Some Atomic_type.T_bool));
+    Alcotest.test_case "comments and semicolons" `Quick (fun () ->
+        let s = Dsl.parse "schema r { # comment\n a; b; }" in
+        checki "2 children" 2 (List.length s.root.children));
+    Alcotest.test_case "dashed identifiers" `Quick (fun () ->
+        let s = Dsl.parse "schema r { project-emp [1..*] { @avg-sal: int } }" in
+        checkb "found" true (Schema.mem s (path "r.project-emp.@avg-sal")));
+    Alcotest.test_case "parse_many" `Quick (fun () ->
+        checki "2 schemas" 2
+          (List.length (Dsl.parse_many "schema a { x } schema b { y }")));
+    Alcotest.test_case "to_string roundtrips" `Quick (fun () ->
+        let s' = Dsl.parse (Dsl.to_string dept_schema) in
+        checkb "equal" true (s' = dept_schema));
+    Alcotest.test_case "syntax errors carry positions" `Quick (fun () ->
+        match Dsl.parse "schema r {\n  a [x..*]\n}" with
+        | exception Dsl.Syntax_error { line; _ } -> checki "line" 2 line
+        | _ -> Alcotest.fail "expected a syntax error");
+    Alcotest.test_case "unknown type is rejected" `Quick (fun () ->
+        checkb "raises" true
+          (match Dsl.parse "schema r { a: blob }" with
+           | exception Dsl.Syntax_error _ -> true
+           | _ -> false));
+    Alcotest.test_case "ref only at top level" `Quick (fun () ->
+        checkb "raises" true
+          (match Dsl.parse "schema r { a { ref x -> y } }" with
+           | exception Dsl.Syntax_error _ -> true
+           | _ -> false));
+  ]
+
+(* --- Relational encoding --------------------------------------------------------- *)
+
+let relational_tests =
+  let db =
+    Relational.database "db"
+      ~foreign_keys:
+        [
+          {
+            Relational.fk_table = "grant";
+            fk_columns = [ "recipient" ];
+            pk_table = "company";
+            pk_columns = [ "cid" ];
+          };
+        ]
+      [
+        Relational.table ~primary_key:[ "cid" ] "company"
+          [ Relational.column "cid" Atomic_type.T_int;
+            Relational.column "cname" Atomic_type.T_string ];
+        Relational.table "grant"
+          [ Relational.column "gid" Atomic_type.T_int;
+            Relational.column "recipient" Atomic_type.T_int ];
+      ]
+  in
+  [
+    Alcotest.test_case "tables become repeating elements with attributes" `Quick
+      (fun () ->
+        let s = Relational.to_schema db in
+        checkb "company" true (Schema.is_repeating s (path "db.company"));
+        checkb "cname attr" true (Schema.mem s (path "db.company.@cname")));
+    Alcotest.test_case "foreign keys become references" `Quick (fun () ->
+        let s = Relational.to_schema db in
+        checki "1 ref" 1 (List.length s.refs);
+        checkb "ends" true
+          (Path.equal (List.hd s.refs).ref_from (path "db.grant.@recipient")));
+    Alcotest.test_case "instances validate" `Quick (fun () ->
+        let s = Relational.to_schema db in
+        let doc =
+          Relational.instance db
+            [
+              ("company", [ [ Atom.Int 1; Atom.String "Acme" ] ]);
+              ("grant", [ [ Atom.Int 7; Atom.Int 1 ] ]);
+            ]
+        in
+        Alcotest.(check (list string))
+          "valid" []
+          (List.map Validate.violation_to_string (Validate.check s doc)));
+    Alcotest.test_case "arity mismatch rejected" `Quick (fun () ->
+        checkb "raises" true
+          (match Relational.instance db [ ("company", [ [ Atom.Int 1 ] ]) ] with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "unknown table rejected" `Quick (fun () ->
+        checkb "raises" true
+          (match Relational.instance db [ ("bogus", []) ] with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "bad key column rejected" `Quick (fun () ->
+        checkb "raises" true
+          (match
+             Relational.table ~primary_key:[ "nope" ] "t"
+               [ Relational.column "a" Atomic_type.T_int ]
+           with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+(* --- Random instance generation ---------------------------------------------------- *)
+
+let generate_tests =
+  [
+    Alcotest.test_case "generated instances validate (modulo refs)" `Quick (fun () ->
+        let state = Random.State.make [| 1 |] in
+        for _ = 1 to 20 do
+          let doc = Generate.instance ~state ~fanout:4 dept_schema in
+          Alcotest.(check (list string))
+            "valid" []
+            (List.map Validate.violation_to_string
+               (Validate.check ~check_refs:false dept_schema doc))
+        done);
+    Alcotest.test_case "instance_with_refs also satisfies references" `Quick (fun () ->
+        let state = Random.State.make [| 2 |] in
+        for _ = 1 to 20 do
+          let doc = Generate.instance_with_refs ~state ~fanout:4 dept_schema in
+          (* When no Proj was generated at all there is no value to
+             patch the references with; skip the referential check. *)
+          let check_refs = Clip_xml.Node.count_elements doc "Proj" > 0 in
+          Alcotest.(check (list string))
+            "valid" []
+            (List.map Validate.violation_to_string
+               (Validate.check ~check_refs dept_schema doc))
+        done);
+    Alcotest.test_case "deterministic for a fixed seed" `Quick (fun () ->
+        let d1 = Generate.instance ~state:(Random.State.make [| 9 |]) dept_schema in
+        let d2 = Generate.instance ~state:(Random.State.make [| 9 |]) dept_schema in
+        checkb "equal" true (Clip_xml.Node.equal d1 d2));
+    Alcotest.test_case "fanout bounds repetition" `Quick (fun () ->
+        let doc = Generate.instance ~state:(Random.State.make [| 3 |]) ~fanout:2 dept_schema in
+        let root = Clip_xml.Node.as_element doc in
+        List.iter
+          (fun dept ->
+            checkb "at most 2 Projs" true
+              (List.length (Clip_xml.Node.children_named dept "Proj") <= 2))
+          (Clip_xml.Node.children_named root "dept"));
+  ]
+
+let () =
+  Alcotest.run "schema"
+    [
+      ("cardinality", cardinality_tests);
+      ("path", path_tests);
+      ("schema", schema_tests);
+      ("validate", validate_tests);
+      ("dsl", dsl_tests);
+      ("relational", relational_tests);
+      ("generate", generate_tests);
+    ]

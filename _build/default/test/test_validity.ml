@@ -1,0 +1,520 @@
+(* Tests for Clip_core.Validity — the Sec. III rules, including the
+   paper's worked safe/unsafe and valid/invalid examples. *)
+
+module Path = Clip_schema.Path
+module Mapping = Clip_core.Mapping
+module Validity = Clip_core.Validity
+module Tgd = Clip_tgd.Tgd
+module S = Clip_scenarios
+
+let checkb = Alcotest.(check bool)
+
+let path s =
+  match Path.of_string s with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "bad path %S: %s" s m
+
+let has_error code issues =
+  List.exists
+    (fun (i : Validity.issue) -> i.severity = Validity.Error && i.code = code)
+    issues
+
+(* The generic schema of the Sec. III-B diagrams:
+   source: A with nested B (repeating) carrying att1/att2/att3 at the
+   paper's positions; target: C with D (repeating) and E. *)
+let abc_source =
+  Clip_schema.Dsl.parse
+    {|
+    schema s {
+      A [0..*] {
+        att1: string
+        B [0..*] {
+          att2: string
+          att3: string
+        }
+      }
+    }
+    |}
+
+let abc_target =
+  Clip_schema.Dsl.parse
+    {|
+    schema t {
+      C [0..*] {
+        att4: string
+        D [0..*] {
+          att5: string
+          E [0..1] { value: string }
+        }
+      }
+    }
+    |}
+
+let mk ?(roots = []) ?(values = []) () =
+  Mapping.make ~source:abc_source ~target:abc_target ~roots values
+
+(* --- Safe builders (Sec. III-A) ----------------------------------------- *)
+
+let safe_builder_tests =
+  [
+    Alcotest.test_case "a) single element into repeating element is safe" `Quick
+      (fun () ->
+        (* A is repeating; a builder from non-repeating att1's parent...
+           use a singleton: B within the context of a bound A. *)
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"a" ~output:(path "t.C")
+                  ~children:
+                    [
+                      Mapping.node ~id:"b" ~output:(path "t.C.D")
+                        [ Mapping.input ~var:"b" (path "s.A.B") ];
+                    ]
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            ()
+        in
+        checkb "no unsafe" false (has_error "unsafe-builder" (Validity.check m)));
+    Alcotest.test_case "b) Cartesian product into non-repeating element is unsafe"
+      `Quick (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"x"
+                  ~output:(path "t.C.D.E")
+                  [
+                    Mapping.input ~var:"a" (path "s.A");
+                    Mapping.input ~var:"b" (path "s.A.B");
+                  ];
+              ]
+            ()
+        in
+        checkb "unsafe" true (has_error "unsafe-builder" (Validity.check m)));
+    Alcotest.test_case "repeating input into non-repeating target is unsafe" `Quick
+      (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"x" ~output:(path "t.C.D.E")
+                  [ Mapping.input ~var:"b" (path "s.A.B") ];
+              ]
+            ()
+        in
+        checkb "unsafe" true (has_error "unsafe-builder" (Validity.check m)));
+    Alcotest.test_case "implicit repeating ancestors count" `Quick (fun () ->
+        (* B reached without binding A multiplies through A's repetition *)
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"x" ~output:(path "t.C")
+                  [ Mapping.input ~var:"b" (path "s.A.B") ];
+              ]
+            ()
+        in
+        checkb "safe: C repeats" false (has_error "unsafe-builder" (Validity.check m)));
+    Alcotest.test_case "member-context input is a singleton (safe)" `Quick (fun () ->
+        (* fig7-style: a child node re-iterating the bound element *)
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"a" ~output:(path "t.C")
+                  ~children:
+                    [
+                      Mapping.node ~id:"self" ~output:(path "t.C.D.E")
+                        [ Mapping.input ~var:"a2" (path "s.A") ];
+                    ]
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            ()
+        in
+        checkb "safe" false (has_error "unsafe-builder" (Validity.check m)));
+  ]
+
+(* --- CPT alignment (Sec. III-A examples a/b/c) ---------------------------- *)
+
+let cpt_tests =
+  [
+    Alcotest.test_case "a) linear aligned CPT is valid" `Quick (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"a" ~output:(path "t.C")
+                  ~children:
+                    [
+                      Mapping.node ~id:"b" ~output:(path "t.C.D")
+                        [ Mapping.input ~var:"b" (path "s.A.B") ];
+                    ]
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            ()
+        in
+        checkb "aligned" false (has_error "cpt-misaligned" (Validity.check m)));
+    Alcotest.test_case "b) source-inverted but target-aligned CPT is valid" `Quick
+      (fun () ->
+        (* inner node takes its input from a higher source level (fig 8) *)
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"b" ~output:(path "t.C")
+                  ~children:
+                    [
+                      Mapping.node ~id:"a" ~output:(path "t.C.D")
+                        [ Mapping.input ~var:"a2" (path "s.A") ];
+                    ]
+                  [ Mapping.input ~var:"b" (path "s.A.B") ];
+              ]
+            ()
+        in
+        checkb "aligned" false (has_error "cpt-misaligned" (Validity.check m)));
+    Alcotest.test_case "c) target-misaligned CPT is invalid" `Quick (fun () ->
+        (* the child's output is above its context's output *)
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"inner" ~output:(path "t.C.D")
+                  ~children:
+                    [
+                      Mapping.node ~id:"outer" ~output:(path "t.C")
+                        [ Mapping.input ~var:"a2" (path "s.A") ];
+                    ]
+                  [ Mapping.input ~var:"b" (path "s.A.B") ];
+              ]
+            ()
+        in
+        checkb "misaligned" true (has_error "cpt-misaligned" (Validity.check m)));
+    Alcotest.test_case "sibling outputs need not nest" `Quick (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"one" ~output:(path "t.C")
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+                Mapping.node ~id:"two" ~output:(path "t.C")
+                  [ Mapping.input ~var:"b" (path "s.A.B") ];
+              ]
+            ()
+        in
+        checkb "ok" false (has_error "cpt-misaligned" (Validity.check m)));
+    Alcotest.test_case "context-only nodes are transparent" `Quick (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"ctx"
+                  ~children:
+                    [
+                      Mapping.node ~id:"b" ~output:(path "t.C")
+                        [ Mapping.input ~var:"b" (path "s.A.B") ];
+                    ]
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            ()
+        in
+        checkb "ok" false (has_error "cpt-misaligned" (Validity.check m)));
+  ]
+
+(* --- Value mapping validity (Sec. III-B examples) --------------------------- *)
+
+let value_mapping_tests =
+  [
+    Alcotest.test_case "a) leaves directly under the builder nodes are valid" `Quick
+      (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"b" ~output:(path "t.C.D")
+                  [ Mapping.input ~var:"b" (path "s.A.B") ];
+              ]
+            ~values:
+              [ Mapping.value [ path "s.A.B.att2.value" ] (path "t.C.D.att5.value") ]
+            ()
+        in
+        checkb "valid" true (Validity.is_valid m));
+    Alcotest.test_case "c) ancestor leaves on the builder's path are valid" `Quick
+      (fun () ->
+        (* att1 hangs off A, an ancestor of the builder's input B *)
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"b" ~output:(path "t.C.D")
+                  [ Mapping.input ~var:"b" (path "s.A.B") ];
+              ]
+            ~values:
+              [ Mapping.value [ path "s.A.att1.value" ] (path "t.C.D.att5.value") ]
+            ()
+        in
+        checkb "valid" true (Validity.is_valid m));
+    Alcotest.test_case "d) a leaf inside an unbounded repeating element is invalid"
+      `Quick (fun () ->
+        (* builder binds only A; att2 sits inside repeating B *)
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"a" ~output:(path "t.C")
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            ~values:
+              [ Mapping.value [ path "s.A.B.att2.value" ] (path "t.C.att4.value") ]
+            ()
+        in
+        checkb "invalid" true (has_error "unanchored-source" (Validity.check m)));
+    Alcotest.test_case "no driver: target outside any builder output" `Quick (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"d" ~output:(path "t.C.D")
+                  [ Mapping.input ~var:"b" (path "s.A.B") ];
+              ]
+            ~values:
+              (* att4 hangs off C, which no builder outputs *)
+              [ Mapping.value [ path "s.A.att1.value" ] (path "t.C.att4.value") ]
+            ()
+        in
+        checkb "no driver" true (has_error "no-driver" (Validity.check m)));
+    Alcotest.test_case "aggregates are exempt from the anchoring rule" `Quick
+      (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"a" ~output:(path "t.C")
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            ~values:
+              [
+                Mapping.value
+                  ~fn:(Mapping.Aggregate Tgd.Count)
+                  [ path "s.A.B" ]
+                  (path "t.C.att4.value");
+              ]
+            ()
+        in
+        checkb "valid" true (Validity.is_valid m));
+    Alcotest.test_case "driver_of picks the deepest builder output" `Quick (fun () ->
+        let inner =
+          Mapping.node ~id:"inner" ~output:(path "t.C.D")
+            [ Mapping.input ~var:"b" (path "s.A.B") ]
+        in
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"outer" ~output:(path "t.C") ~children:[ inner ]
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            ~values:
+              [ Mapping.value [ path "s.A.B.att2.value" ] (path "t.C.D.att5.value") ]
+            ()
+        in
+        match Validity.driver_of m (List.hd m.values) with
+        | Some d -> checkb "inner" true (d.bn_id = "inner")
+        | None -> Alcotest.fail "expected a driver");
+    Alcotest.test_case "structural errors: bad paths, arities, unbound vars" `Quick
+      (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"x" ~output:(path "t.Nope")
+                  ~cond:
+                    [
+                      {
+                        Mapping.p_left = Mapping.O_path ("ghost", []);
+                        p_op = Tgd.Eq;
+                        p_right = Mapping.O_const (Clip_xml.Atom.Int 1);
+                      };
+                    ]
+                  [ Mapping.input (path "s.Nope") ];
+              ]
+            ~values:[ Mapping.value [] (path "t.C.att4.value") ]
+            ()
+        in
+        let issues = Validity.check m in
+        checkb "bad input" true (has_error "bad-input" issues);
+        checkb "bad output" true (has_error "bad-output" issues);
+        checkb "unbound var" true (has_error "unbound-var" issues);
+        checkb "bad arity" true (has_error "bad-vm-arity" issues));
+    Alcotest.test_case "type mismatch warns but does not invalidate" `Quick (fun () ->
+        let src =
+          Clip_schema.Dsl.parse "schema s { a [0..*] { x: string } }"
+        in
+        let tgt = Clip_schema.Dsl.parse "schema t { b [0..*] { @y: int } }" in
+        let m =
+          Mapping.make ~source:src ~target:tgt
+            ~roots:
+              [ Mapping.node ~id:"a" ~output:(path "t.b") [ Mapping.input ~var:"a" (path "s.a") ] ]
+            [ Mapping.value [ path "s.a.x.value" ] (path "t.b.@y") ]
+        in
+        let issues = Validity.check m in
+        checkb "warning present" true
+          (List.exists
+             (fun (i : Validity.issue) -> i.severity = Validity.Warning && i.code = "vm-type")
+             issues);
+        checkb "still valid" true (Validity.is_valid m));
+    Alcotest.test_case "duplicate node labels are errors" `Quick (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"same" ~output:(path "t.C")
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+                Mapping.node ~id:"same" ~output:(path "t.C")
+                  [ Mapping.input ~var:"b" (path "s.A.B") ];
+              ]
+            ()
+        in
+        checkb "dup" true (has_error "duplicate-node" (Validity.check m)));
+    Alcotest.test_case "every paper figure mapping is valid" `Quick (fun () ->
+        List.iter
+          (fun (sc : S.Figures.t) ->
+            checkb sc.name true (Validity.is_valid sc.mapping))
+          S.Figures.all);
+    Alcotest.test_case "group keys must resolve" `Quick (fun () ->
+        let m =
+          mk
+            ~roots:
+              [
+                Mapping.node ~id:"g" ~output:(path "t.C")
+                  ~group_by:[ ("b", [ Path.Child "missing"; Path.Value ]) ]
+                  [ Mapping.input ~var:"b" (path "s.A.B") ];
+              ]
+            ()
+        in
+        checkb "bad key" true (has_error "bad-group-key" (Validity.check m)));
+  ]
+
+(* --- Underspecification (Sec. II-A) ------------------------------------------ *)
+
+let has_warning code issues =
+  List.exists
+    (fun (i : Validity.issue) -> i.severity = Validity.Warning && i.code = code)
+    issues
+
+let underspecification_tests =
+  [
+    Alcotest.test_case "optional unmapped parts are fine (fig3's area)" `Quick
+      (fun () ->
+        checkb "no warning" false
+          (has_warning "underspecified" (Validity.check S.Figures.fig3.mapping)));
+    Alcotest.test_case "an unmapped required attribute warns" `Quick (fun () ->
+        let target =
+          Clip_schema.Dsl.parse
+            "schema t { c [0..*] { @must: string @nice ?: string } }"
+        in
+        let m =
+          Mapping.make ~source:abc_source ~target
+            ~roots:
+              [
+                Mapping.node ~id:"a" ~output:(path "t.c")
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            [ Mapping.value [ path "s.A.att1.value" ] (path "t.c.@nice") ]
+        in
+        let issues = Validity.check m in
+        checkb "warns about @must" true (has_warning "underspecified" issues);
+        checkb "still valid" true (Validity.is_valid m));
+    Alcotest.test_case "an unmapped required text node warns" `Quick (fun () ->
+        let target = Clip_schema.Dsl.parse "schema t { c [0..*] : string }" in
+        let m =
+          Mapping.make ~source:abc_source ~target
+            ~roots:
+              [
+                Mapping.node ~id:"a" ~output:(path "t.c")
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            []
+        in
+        checkb "warns" true (has_warning "underspecified" (Validity.check m)));
+    Alcotest.test_case "a required singleton child produced by nothing warns" `Quick
+      (fun () ->
+        let target =
+          Clip_schema.Dsl.parse "schema t { c [0..*] { info { @x ?: string } } }"
+        in
+        let m =
+          Mapping.make ~source:abc_source ~target
+            ~roots:
+              [
+                Mapping.node ~id:"a" ~output:(path "t.c")
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            []
+        in
+        checkb "warns" true (has_warning "underspecified" (Validity.check m)));
+    Alcotest.test_case "a value mapping into the required child silences it" `Quick
+      (fun () ->
+        let target =
+          Clip_schema.Dsl.parse "schema t { c [0..*] { info { @x ?: string } } }"
+        in
+        let m =
+          Mapping.make ~source:abc_source ~target
+            ~roots:
+              [
+                Mapping.node ~id:"a" ~output:(path "t.c")
+                  [ Mapping.input ~var:"a" (path "s.A") ];
+              ]
+            [ Mapping.value [ path "s.A.att1.value" ] (path "t.c.info.@x") ]
+        in
+        checkb "no warning" false (has_warning "underspecified" (Validity.check m)));
+    Alcotest.test_case "every paper figure mapping is free of underspecification"
+      `Quick (fun () ->
+        List.iter
+          (fun (sc : S.Figures.t) ->
+            checkb sc.name false
+              (has_warning "underspecified" (Validity.check sc.mapping)))
+          S.Figures.all);
+  ]
+
+(* --- binding_paths / anchors ------------------------------------------------ *)
+
+let helper_tests =
+  [
+    Alcotest.test_case "binding_paths includes implicit repeating ancestors" `Quick
+      (fun () ->
+        let node =
+          Mapping.node ~id:"b" ~output:(path "t.C.D")
+            [ Mapping.input ~var:"b" (path "s.A.B") ]
+        in
+        let m = mk ~roots:[ node ] () in
+        let paths = List.map Path.to_string (Validity.binding_paths m node) in
+        Alcotest.(check (list string)) "bindings" [ "s"; "s.A"; "s.A.B" ] paths);
+    Alcotest.test_case "is_anchor" `Quick (fun () ->
+        checkb "direct" true
+          (Validity.is_anchor abc_source ~binding:(path "s.A.B")
+             ~leaf:(path "s.A.B.att2.value"));
+        checkb "crosses repeating" false
+          (Validity.is_anchor abc_source ~binding:(path "s.A")
+             ~leaf:(path "s.A.B.att2.value"));
+        checkb "ancestor leaf" true
+          (Validity.is_anchor abc_source ~binding:(path "s.A")
+             ~leaf:(path "s.A.att1.value")));
+    Alcotest.test_case "anchor_for picks the deepest anchor" `Quick (fun () ->
+        let anchor =
+          Validity.anchor_for abc_source
+            ~bindings:[ path "s"; path "s.A"; path "s.A.B" ]
+            ~leaf:(path "s.A.B.att3.value")
+        in
+        checkb "deepest" true
+          (match anchor with Some p -> Path.equal p (path "s.A.B") | None -> false));
+  ]
+
+let () =
+  Alcotest.run "validity"
+    [
+      ("safe-builders", safe_builder_tests);
+      ("cpt", cpt_tests);
+      ("value-mappings", value_mapping_tests);
+      ("underspecification", underspecification_tests);
+      ("helpers", helper_tests);
+    ]

@@ -1,0 +1,247 @@
+(* Tests for the Clip_xml substrate: atoms, the parser, the printers
+   and tree operations. *)
+
+open Clip_xml
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let checki = Alcotest.(check int)
+
+(* --- Atoms -------------------------------------------------------------- *)
+
+let atom_tests =
+  [
+    Alcotest.test_case "of_string int" `Quick (fun () ->
+        checkb "int" true (Atom.of_string "42" = Atom.Int 42));
+    Alcotest.test_case "of_string float" `Quick (fun () ->
+        checkb "float" true (Atom.of_string "4.5" = Atom.Float 4.5));
+    Alcotest.test_case "of_string bool" `Quick (fun () ->
+        checkb "bool" true (Atom.of_string "true" = Atom.Bool true));
+    Alcotest.test_case "of_string string" `Quick (fun () ->
+        checkb "string" true (Atom.of_string "John Smith" = Atom.String "John Smith"));
+    Alcotest.test_case "to_string integral float has no decoration" `Quick (fun () ->
+        checks "10875" "10875" (Atom.to_string (Atom.Float 10875.)));
+    Alcotest.test_case "to_string fractional float" `Quick (fun () ->
+        checks "2.5" "2.5" (Atom.to_string (Atom.Float 2.5)));
+    Alcotest.test_case "numeric promotion in equal" `Quick (fun () ->
+        checkb "3 = 3.0" true (Atom.equal (Atom.Int 3) (Atom.Float 3.)));
+    Alcotest.test_case "string <> int" `Quick (fun () ->
+        checkb "\"3\" <> 3" false (Atom.equal (Atom.String "3") (Atom.Int 3)));
+    Alcotest.test_case "compare numeric cross-kind" `Quick (fun () ->
+        checkb "2 < 2.5" true (Atom.compare (Atom.Int 2) (Atom.Float 2.5) < 0));
+    Alcotest.test_case "compare is total and consistent" `Quick (fun () ->
+        let atoms =
+          [ Atom.Int 1; Atom.Float 1.5; Atom.String "a"; Atom.Bool true ]
+        in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                checki "antisym" (compare (Atom.compare a b) 0)
+                  (compare 0 (Atom.compare b a)))
+              atoms)
+          atoms);
+    Alcotest.test_case "to_float" `Quick (fun () ->
+        checkb "int" true (Atom.to_float (Atom.Int 2) = Some 2.);
+        checkb "string" true (Atom.to_float (Atom.String "x") = None));
+  ]
+
+(* --- Parser -------------------------------------------------------------- *)
+
+let parse = Parser.parse_string
+
+let parser_tests =
+  [
+    Alcotest.test_case "element with attributes" `Quick (fun () ->
+        let doc = parse {|<a x="1" y="hello"/>|} in
+        let e = Node.as_element doc in
+        checks "tag" "a" e.tag;
+        checkb "x" true (Node.attr e "x" = Some (Atom.Int 1));
+        checkb "y" true (Node.attr e "y" = Some (Atom.String "hello")));
+    Alcotest.test_case "nested elements and text" `Quick (fun () ->
+        let doc = parse "<a><b>hi</b><b>ho</b></a>" in
+        let e = Node.as_element doc in
+        checki "2 bs" 2 (List.length (Node.children_named e "b"));
+        let b = List.hd (Node.children_named e "b") in
+        checkb "text" true (Node.text_value b = Some (Atom.String "hi")));
+    Alcotest.test_case "whitespace between elements is dropped" `Quick (fun () ->
+        let doc = parse "<a>\n  <b/>\n  <c/>\n</a>" in
+        checki "2 children" 2 (List.length (Node.child_elements (Node.as_element doc))));
+    Alcotest.test_case "mixed text is trimmed" `Quick (fun () ->
+        let doc = parse "<a>  hello  </a>" in
+        checkb "trimmed" true
+          (Node.text_value (Node.as_element doc) = Some (Atom.String "hello")));
+    Alcotest.test_case "entities decode" `Quick (fun () ->
+        let doc = parse "<a>R&amp;D &lt;3 &#65;</a>" in
+        checkb "decoded" true
+          (Node.text_value (Node.as_element doc) = Some (Atom.String "R&D <3 A")));
+    Alcotest.test_case "entities in attributes" `Quick (fun () ->
+        let doc = parse {|<a x="a&quot;b"/>|} in
+        checkb "decoded" true
+          (Node.attr (Node.as_element doc) "x" = Some (Atom.String "a\"b")));
+    Alcotest.test_case "comments are skipped" `Quick (fun () ->
+        let doc = parse "<!-- head --><a><!-- inner --><b/></a><!-- tail -->" in
+        checki "1 child" 1 (List.length (Node.child_elements (Node.as_element doc))));
+    Alcotest.test_case "xml declaration is skipped" `Quick (fun () ->
+        let doc = parse "<?xml version=\"1.0\"?><a/>" in
+        checks "tag" "a" (Node.tag doc));
+    Alcotest.test_case "DOCTYPE (with internal subset) is skipped" `Quick (fun () ->
+        let doc =
+          parse
+            "<?xml version=\"1.0\"?><!DOCTYPE a [ <!ELEMENT a (b)> ]><a><b/></a>"
+        in
+        checki "1 child" 1 (List.length (Node.child_elements (Node.as_element doc))));
+    Alcotest.test_case "CDATA is literal text" `Quick (fun () ->
+        let doc = parse "<a><![CDATA[x < y & z]]></a>" in
+        checkb "literal" true
+          (Node.text_value (Node.as_element doc) = Some (Atom.String "x < y & z")));
+    Alcotest.test_case "unterminated CDATA fails" `Quick (fun () ->
+        checkb "error" true (Parser.parse_string_opt "<a><![CDATA[oops</a>" = None));
+    Alcotest.test_case "single-quoted attributes" `Quick (fun () ->
+        let doc = parse "<a x='1'/>" in
+        checkb "x" true (Node.attr (Node.as_element doc) "x" = Some (Atom.Int 1)));
+    Alcotest.test_case "mismatched closing tag fails" `Quick (fun () ->
+        checkb "error" true (Parser.parse_string_opt "<a><b></a></b>" = None));
+    Alcotest.test_case "unterminated element fails" `Quick (fun () ->
+        checkb "error" true (Parser.parse_string_opt "<a><b>" = None));
+    Alcotest.test_case "trailing content fails" `Quick (fun () ->
+        checkb "error" true (Parser.parse_string_opt "<a/><b/>" = None));
+    Alcotest.test_case "empty document fails" `Quick (fun () ->
+        checkb "error" true (Parser.parse_string_opt "   " = None));
+    Alcotest.test_case "error carries position" `Quick (fun () ->
+        match Parser.parse_string "<a>\n<b x=></b></a>" with
+        | exception Parser.Parse_error { line; _ } -> checki "line" 2 line
+        | _ -> Alcotest.fail "expected a parse error");
+  ]
+
+(* --- Printers ------------------------------------------------------------ *)
+
+let printer_tests =
+  [
+    Alcotest.test_case "compact roundtrip" `Quick (fun () ->
+        let doc = parse {|<a x="1"><b>hi</b><c/></a>|} in
+        let doc' = parse (Printer.to_string doc) in
+        checkb "equal" true (Node.equal doc doc'));
+    Alcotest.test_case "pretty roundtrip" `Quick (fun () ->
+        let doc = parse {|<a x="1"><b>hi</b><c y="z &amp; w"/></a>|} in
+        let doc' = parse (Printer.to_pretty_string doc) in
+        checkb "equal" true (Node.equal doc doc'));
+    Alcotest.test_case "escaping special characters" `Quick (fun () ->
+        let doc = Node.elem "a" [ Node.text_string "x<y&z" ] in
+        checks "escaped" "<a>x&lt;y&amp;z</a>" (Printer.to_string doc));
+    Alcotest.test_case "attribute escaping" `Quick (fun () ->
+        let doc = Node.elem ~attrs:[ ("q", Atom.String "a\"b") ] "a" [] in
+        checks "escaped" {|<a q="a&quot;b"/>|} (Printer.to_string doc));
+    Alcotest.test_case "tree rendering: leaf element" `Quick (fun () ->
+        let doc = parse "<a><b>hi</b></a>" in
+        checks "tree" "a---b = hi" (Printer.to_tree_string doc));
+    Alcotest.test_case "tree rendering: attribute leaves and siblings" `Quick
+      (fun () ->
+        let doc = parse {|<t><d name="x"/><d name="y"/></t>|} in
+        let s = Printer.to_tree_string doc in
+        checkb "first inline" true
+          (String.length s > 0 && String.sub s 0 6 = "t---d-");
+        checkb "has last marker" true
+          (String.length s > 0
+          && String.index_opt s '`' <> None));
+  ]
+
+(* --- Node operations ------------------------------------------------------ *)
+
+let node_tests =
+  [
+    Alcotest.test_case "size counts elements, attributes and text" `Quick (fun () ->
+        let doc = parse {|<a x="1"><b>hi</b></a>|} in
+        (* a + @x + b + text *)
+        checki "size" 4 (Node.size doc));
+    Alcotest.test_case "depth" `Quick (fun () ->
+        checki "depth" 3 (Node.depth (parse "<a><b><c/></b></a>")));
+    Alcotest.test_case "count_elements" `Quick (fun () ->
+        let doc = parse "<a><b/><c><b/></c></a>" in
+        checki "2 bs" 2 (Node.count_elements doc "b"));
+    Alcotest.test_case "equal is order-sensitive" `Quick (fun () ->
+        checkb "different order differs" false
+          (Node.equal (parse "<a><b/><c/></a>") (parse "<a><c/><b/></a>")));
+    Alcotest.test_case "equal_unordered ignores sibling order" `Quick (fun () ->
+        checkb "same set" true
+          (Node.equal_unordered (parse "<a><b/><c/></a>") (parse "<a><c/><b/></a>")));
+    Alcotest.test_case "equal_unordered ignores attribute order" `Quick (fun () ->
+        checkb "same attrs" true
+          (Node.equal_unordered (parse {|<a x="1" y="2"/>|}) (parse {|<a y="2" x="1"/>|})));
+    Alcotest.test_case "equal_unordered distinguishes multiplicity" `Quick (fun () ->
+        checkb "counts matter" false
+          (Node.equal_unordered (parse "<a><b/><b/></a>") (parse "<a><b/></a>")));
+    Alcotest.test_case "equal_unordered is deep" `Quick (fun () ->
+        checkb "nested sets" true
+          (Node.equal_unordered
+             (parse "<a><b><x/><y/></b></a>")
+             (parse "<a><b><y/><x/></b></a>")));
+    Alcotest.test_case "text_value concatenates" `Quick (fun () ->
+        let e = Node.as_element (Node.elem "a" [ Node.text_string "x"; Node.text_string "y" ]) in
+        checkb "xy" true (Node.text_value e = Some (Atom.String "xy")));
+    Alcotest.test_case "as_element rejects text" `Quick (fun () ->
+        checkb "raises" true
+          (match Node.as_element (Node.text_string "t") with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+(* --- Property tests -------------------------------------------------------- *)
+
+let gen_atom =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun i -> Atom.Int i) small_int;
+        map (fun s -> Atom.String s) (string_size ~gen:(char_range 'a' 'z') (1 -- 8));
+        map (fun b -> Atom.Bool b) bool;
+      ])
+
+let gen_node =
+  QCheck2.Gen.(
+    sized_size (1 -- 4) @@ fix (fun self n ->
+        let leaf = map (fun a -> Node.leaf "leaf" a) gen_atom in
+        if n <= 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map2
+                (fun attrs children ->
+                  let attrs = List.mapi (fun i a -> (Printf.sprintf "a%d" i, a)) attrs in
+                  Node.elem ~attrs "node" children)
+                (list_size (0 -- 2) gen_atom)
+                (list_size (0 -- 3) (self (n / 2)));
+            ]))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"parse (to_string n) is unchanged" gen_node
+    (fun node ->
+      match Parser.parse_string_opt (Printer.to_string node) with
+      | Some node' -> Node.equal_unordered node node'
+      | None -> false)
+
+let prop_pretty_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"parse (to_pretty_string n) is unchanged" gen_node
+    (fun node ->
+      match Parser.parse_string_opt (Printer.to_pretty_string node) with
+      | Some node' -> Node.equal_unordered node node'
+      | None -> false)
+
+let prop_canonical_reflexive =
+  QCheck2.Test.make ~count:200 ~name:"equal_unordered is reflexive" gen_node
+    (fun node -> Node.equal_unordered node node)
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_pretty_roundtrip; prop_canonical_reflexive ]
+
+let () =
+  Alcotest.run "xml"
+    [
+      ("atom", atom_tests);
+      ("parser", parser_tests);
+      ("printer", printer_tests);
+      ("node", node_tests);
+      ("properties", property_tests);
+    ]
