@@ -1,23 +1,39 @@
 (* The clip command-line tool: compile, validate, run, render and
-   generate schema mappings written in the textual DSL. *)
+   generate schema mappings written in the textual DSL.
+
+   Exit codes: 0 — success; 1 — the input was read but rejected
+   (diagnostics on stderr, rendered uniformly by Clip_diag); 124 —
+   command-line usage error (cmdliner); 125 — unexpected internal
+   error. *)
 
 open Cmdliner
 
+(* Render diagnostics to stderr; pass [src] to include the offending
+   source line with a caret marker. *)
+let report ?src ds = prerr_string (Clip_diag.render_list ?src ds)
+
+let io_fail msg =
+  report [ Clip_diag.error ~code:Clip_diag.Codes.io_error msg ];
+  exit 1
+
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> s
+  | exception Sys_error msg -> io_fail msg
+  | exception End_of_file ->
+    io_fail (Printf.sprintf "%s: file truncated while reading" path)
 
 let load_mapping path =
-  try Clip_core.Dsl.parse (read_file path) with
-  | (Clip_core.Dsl.Syntax_error _ | Clip_schema.Dsl.Syntax_error _
-    | Clip_schema.Lexer.Lex_error _) as e ->
-    prerr_endline (Clip_core.Dsl.error_to_string e);
-    exit 1
-  | Sys_error msg ->
-    prerr_endline msg;
+  let src = read_file path in
+  match Clip_core.Dsl.parse_result src with
+  | Ok m -> m
+  | Error ds ->
+    report ~src ds;
     exit 1
 
 let mapping_file =
@@ -52,15 +68,13 @@ let validate_cmd =
 let compile_cmd =
   let run file ascii =
     let m = load_mapping file in
-    (try
-       print_endline
-         (Clip_tgd.Pretty.to_string ~unicode:(not ascii) (Clip_core.Compile.to_tgd m));
-       0
-     with Clip_core.Compile.Invalid issues ->
-       List.iter
-         (fun i -> prerr_endline (Clip_core.Validity.issue_to_string i))
-         issues;
-       1)
+    match Clip_core.Compile.to_tgd_result m with
+    | Ok tgd ->
+      print_endline (Clip_tgd.Pretty.to_string ~unicode:(not ascii) tgd);
+      0
+    | Error ds ->
+      report ds;
+      1
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile the mapping to a nested tgd (Sec. IV)")
@@ -71,16 +85,20 @@ let compile_cmd =
 let xquery_cmd =
   let run file =
     let m = load_mapping file in
-    (try
-       print_string (Clip_core.Engine.xquery_text m);
-       0
-     with
-     | Clip_core.Compile.Invalid issues ->
-       List.iter (fun i -> prerr_endline (Clip_core.Validity.issue_to_string i)) issues;
-       1
-     | Clip_core.To_xquery.Unsupported msg ->
-       prerr_endline ("unsupported: " ^ msg);
-       1)
+    match Clip_core.Compile.to_tgd_result m with
+    | Error ds ->
+      report ds;
+      1
+    | Ok tgd ->
+      (match
+         Clip_core.To_xquery.translate_result ~target_root:m.target.root.name tgd
+       with
+       | Error ds ->
+         report ds;
+         1
+       | Ok query ->
+         print_string (Clip_xquery.Pretty.query_to_string query);
+         0)
   in
   Cmd.v
     (Cmd.info "xquery" ~doc:"Generate the XQuery implementing the mapping (Sec. VI)")
@@ -116,13 +134,17 @@ let run_cmd =
   in
   let run file input backend tree trace =
     let m = load_mapping file in
-    match Clip_xml.Parser.parse_string (read_file input) with
-    | exception e ->
-      prerr_endline (Clip_xml.Parser.error_to_string e);
+    let xml_src = read_file input in
+    match Clip_xml.Parser.parse_string_result xml_src with
+    | Error ds ->
+      report ~src:xml_src ds;
       1
-    | source ->
-      (try
-         let out = Clip_core.Engine.run ~backend m source in
+    | Ok source ->
+      (match Clip_core.Engine.run_result ~backend m source with
+       | Error ds ->
+         report ds;
+         1
+       | Ok out ->
          if tree then print_endline (Clip_xml.Printer.to_tree_string out)
          else print_string (Clip_xml.Printer.to_pretty_string out);
          if trace then begin
@@ -142,16 +164,7 @@ let run_cmd =
                          t.sources)))
              entries
          end;
-         0
-       with
-       | Clip_core.Compile.Invalid issues ->
-         List.iter
-           (fun i -> prerr_endline (Clip_core.Validity.issue_to_string i))
-           issues;
-         1
-       | Clip_tgd.Eval.Error msg | Clip_xquery.Eval.Error msg ->
-         prerr_endline ("execution error: " ^ msg);
-         1)
+         0)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Transform a source instance into a target instance")
@@ -227,17 +240,13 @@ let load_schema path =
     in
     first 0 = '<'
   in
-  try
-    if is_xml then Clip_schema.Xsd.of_string text else Clip_schema.Dsl.parse text
+  match
+    if is_xml then Clip_schema.Xsd.of_string_result text
+    else Clip_schema.Dsl.parse_result text
   with
-  | Clip_schema.Xsd.Unsupported msg ->
-    prerr_endline ("unsupported XSD construct: " ^ msg);
-    exit 1
-  | (Clip_schema.Dsl.Syntax_error _ | Clip_schema.Lexer.Lex_error _) as e ->
-    prerr_endline (Clip_schema.Dsl.error_to_string e);
-    exit 1
-  | Clip_xml.Parser.Parse_error _ as e ->
-    prerr_endline (Clip_xml.Parser.error_to_string e);
+  | Ok s -> s
+  | Error ds ->
+    report ~src:text ds;
     exit 1
 
 let schema_cmd =
@@ -266,25 +275,47 @@ let schema_cmd =
 (* --- check (instance validation) ------------------------------------------------ *)
 
 let check_cmd =
-  let schema_file =
+  let checked_file =
     Arg.(required & pos 0 (some file) None
-         & info [] ~docv:"SCHEMA" ~doc:"Schema file (DSL or XSD).")
+         & info [] ~docv:"FILE"
+             ~doc:
+               "A mapping file to diagnose, or (with $(i,XML)) a schema file \
+                (DSL or XSD) to validate the instance against.")
   in
   let xml_file =
-    Arg.(required & pos 1 (some file) None
+    Arg.(value & pos 1 (some file) None
          & info [] ~docv:"XML" ~doc:"Instance document to validate.")
   in
   let no_refs =
     Arg.(value & flag
          & info [ "no-refs" ] ~doc:"Skip referential-constraint checking.")
   in
-  let run schema_file xml_file no_refs =
-    let schema = load_schema schema_file in
-    match Clip_xml.Parser.parse_string (read_file xml_file) with
-    | exception e ->
-      prerr_endline (Clip_xml.Parser.error_to_string e);
+  (* One positional argument: parse the mapping file and print every
+     diagnostic — syntax, validity (warnings included), compile and
+     XQuery-translation stages — without stopping at the first. *)
+  let check_mapping file =
+    let src = read_file file in
+    match Clip_core.Dsl.parse_result src with
+    | Error ds ->
+      print_string (Clip_diag.render_list ~src ds);
       1
-    | doc ->
+    | Ok m ->
+      (match Clip_core.Engine.diagnose m with
+       | [] ->
+         print_endline "ok: no diagnostics";
+         0
+       | ds ->
+         print_string (Clip_diag.render_list ds);
+         if Clip_diag.has_errors ds then 1 else 0)
+  in
+  let check_instance schema_file xml_file no_refs =
+    let schema = load_schema schema_file in
+    let xml_src = read_file xml_file in
+    match Clip_xml.Parser.parse_string_result xml_src with
+    | Error ds ->
+      report ~src:xml_src ds;
+      1
+    | Ok doc ->
       (match Clip_schema.Validate.check ~check_refs:(not no_refs) schema doc with
        | [] ->
          print_endline "valid";
@@ -295,9 +326,17 @@ let check_cmd =
            violations;
          1)
   in
+  let run file xml_file no_refs =
+    match xml_file with
+    | None -> check_mapping file
+    | Some xml -> check_instance file xml no_refs
+  in
   Cmd.v
-    (Cmd.info "check" ~doc:"Validate an XML instance against a schema")
-    Term.(const run $ schema_file $ xml_file $ no_refs)
+    (Cmd.info "check"
+       ~doc:
+         "Diagnose a mapping file, or validate an XML instance against a \
+          schema")
+    Term.(const run $ checked_file $ xml_file $ no_refs)
 
 (* --- match -------------------------------------------------------------------- *)
 
@@ -363,8 +402,17 @@ let lineage_cmd =
 
 let main =
   let doc = "Clip: a visual language for explicit XML schema mappings (ICDE 2008)" in
+  let exits =
+    Cmd.Exit.info 0 ~doc:"on success."
+    :: Cmd.Exit.info 1
+         ~doc:
+           "when the input is read but rejected: syntax errors, validity \
+            errors, compile failures, execution failures or exceeded \
+            resource limits (diagnostics on stderr)."
+    :: Cmd.Exit.defaults
+  in
   Cmd.group
-    (Cmd.info "clip" ~version:"1.0.0" ~doc)
+    (Cmd.info "clip" ~version:"1.0.0" ~doc ~exits)
     [
       validate_cmd;
       compile_cmd;

@@ -151,14 +151,21 @@ let try_run ~instance (m : Mapping.t) =
      | output -> Ok output
      | exception e -> Error (`Failed (Printexc.to_string e)))
 
-let flexibility ~instance (m : Mapping.t) =
+let flexibility_unguarded ~instance (m : Mapping.t) =
   let forest = Generate.forest ~extension:true m in
   let base = Generate.to_clip m forest in
+  let gen_error fmt =
+    Printf.ksprintf
+      (fun s ->
+        Clip_diag.fail
+          (Clip_diag.error ~code:Clip_diag.Codes.clio_not_expressible s))
+      fmt
+  in
   let base_output =
     match try_run ~instance base with
     | Ok out -> out
-    | Error (`Invalid msg) -> failwith ("flexibility: invalid base mapping: " ^ msg)
-    | Error (`Failed msg) -> failwith ("flexibility: base mapping failed: " ^ msg)
+    | Error (`Invalid msg) -> gen_error "flexibility: invalid base mapping: %s" msg
+    | Error (`Failed msg) -> gen_error "flexibility: base mapping failed: %s" msg
   in
   let seen = ref [ base_output ] in
   let variants =
@@ -180,6 +187,16 @@ let flexibility ~instance (m : Mapping.t) =
       (drop_arc_variants base @ group_variants base)
   in
   { base; base_output; variants }
+
+let flexibility_result ~instance m =
+  Clip_diag.guard (fun () -> flexibility_unguarded ~instance m)
+
+let flexibility ~instance m =
+  match flexibility_result ~instance m with
+  | Ok r -> r
+  | Error ds ->
+    let d = match ds with d :: _ -> d | [] -> assert false in
+    failwith d.Clip_diag.message
 
 let extra_count r =
   List.length

@@ -42,8 +42,17 @@ type report = {
 }
 
 (** [flexibility ~instance m] — [m] carries the schemas and value
-    mappings (its CPT is ignored; the base is generated). *)
+    mappings (its CPT is ignored; the base is generated).
+    @raise Failure when the generated base mapping is invalid or fails
+    to run. *)
 val flexibility : instance:Clip_xml.Node.t -> Clip_core.Mapping.t -> report
+
+(** [flexibility_result ~instance m] — like {!flexibility}, reporting
+    base-mapping failures as [CLIP-GEN-*] diagnostics. *)
+val flexibility_result :
+  instance:Clip_xml.Node.t ->
+  Clip_core.Mapping.t ->
+  (report, Clip_diag.t list) result
 
 (** Number of [Accepted] variants — the paper's third column. *)
 val extra_count : report -> int

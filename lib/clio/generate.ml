@@ -10,6 +10,18 @@ type nested = {
   children : nested list;
 }
 
+(* Generation-time errors carry a stable CLIP-GEN-* code; the legacy
+   entry points re-raise them as [Failure] (their historical
+   behaviour). *)
+let gerror code fmt =
+  Printf.ksprintf
+    (fun s -> Clip_diag.fail (Clip_diag.error ~code ("clio: " ^ s)))
+    fmt
+
+let reraise_failure ds =
+  let d = match ds with d :: _ -> d | [] -> assert false in
+  failwith d.Clip_diag.message
+
 (* --- Nesting ----------------------------------------------------------- *)
 
 (* [b] may nest under [a]: shared source prefix, strictly deeper target. *)
@@ -223,7 +235,9 @@ let rec emit st ~senv ~tenv ~seen_vms (n : nested) : Tgd.t =
         | Mapping.Identity ->
           (match vm.vm_sources with
            | [ src ] -> Tgd.St_eq (target_expr, Term.E (expr_of senv src))
-           | _ -> failwith "clio: identity value mapping needs one source")
+           | _ ->
+             gerror Clip_diag.Codes.clio_vm_arity
+               "identity value mapping needs one source")
         | Mapping.Constant a -> Tgd.St_eq (target_expr, Term.Const a)
         | Mapping.Scalar name ->
           Tgd.St_eq
@@ -233,7 +247,9 @@ let rec emit st ~senv ~tenv ~seen_vms (n : nested) : Tgd.t =
         | Mapping.Aggregate kind ->
           (match vm.vm_sources with
            | [ src ] -> Tgd.Agg (target_expr, kind, expr_of senv src)
-           | _ -> failwith "clio: aggregate value mapping needs one source"))
+           | _ ->
+             gerror Clip_diag.Codes.clio_vm_arity
+               "aggregate value mapping needs one source"))
       own_vms
   in
   let seen_vms = seen_vms @ own_vms in
@@ -246,6 +262,13 @@ let to_tgd (m : Mapping.t) forest =
   match mappings with
   | [ only ] -> only
   | mappings -> Tgd.make ~children:mappings ()
+
+let to_tgd_result (m : Mapping.t) forest = Clip_diag.guard (fun () -> to_tgd m forest)
+
+let to_tgd m forest =
+  match to_tgd_result m forest with Ok t -> t | Error ds -> reraise_failure ds
+
+let generate_result ?extension m = to_tgd_result m (forest ?extension m)
 
 let generate ?extension m = to_tgd m (forest ?extension m)
 
@@ -271,10 +294,12 @@ let to_clip (m : Mapping.t) forest =
     let output =
       match own_tgt with
       | [ t ] -> t
-      | [] -> failwith "clio: a nested mapping owns no target generator"
+      | [] ->
+        gerror Clip_diag.Codes.clio_not_expressible
+          "a nested mapping owns no target generator"
       | _ :: _ :: _ ->
-        failwith
-          "clio: a nested mapping owns several driven target elements; not \
+        gerror Clip_diag.Codes.clio_not_expressible
+          "a nested mapping owns several driven target elements; not \
            expressible as one builder"
     in
     (* Tag every input with a variable so conditions can reference it. *)
@@ -331,6 +356,11 @@ let to_clip (m : Mapping.t) forest =
   in
   let roots = List.map (node_of ~senv:[] ~bound_tgt:[]) forest in
   Mapping.make ~source:m.source ~target:m.target ~roots m.values
+
+let to_clip_result (m : Mapping.t) forest = Clip_diag.guard (fun () -> to_clip m forest)
+
+let to_clip m forest =
+  match to_clip_result m forest with Ok c -> c | Error ds -> reraise_failure ds
 
 let forest_to_string forest =
   let buf = Buffer.create 128 in

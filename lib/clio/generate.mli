@@ -43,8 +43,18 @@ val forest :
     nesting shares the parents' variables). *)
 val to_tgd : Clip_core.Mapping.t -> nested list -> Clip_tgd.Tgd.t
 
+(** [to_tgd_result m forest] — like {!to_tgd}, reporting failures as
+    [CLIP-GEN-*] diagnostics. *)
+val to_tgd_result :
+  Clip_core.Mapping.t -> nested list -> (Clip_tgd.Tgd.t, Clip_diag.t list) result
+
 (** [generate ?extension m] — {!forest} followed by {!to_tgd}. *)
 val generate : ?extension:bool -> Clip_core.Mapping.t -> Clip_tgd.Tgd.t
+
+val generate_result :
+  ?extension:bool ->
+  Clip_core.Mapping.t ->
+  (Clip_tgd.Tgd.t, Clip_diag.t list) result
 
 (** [to_clip m forest] — render the generated forest as an explicit
     Clip mapping (build nodes + context arcs), when each nested mapping
@@ -53,6 +63,13 @@ val generate : ?extension:bool -> Clip_core.Mapping.t -> Clip_tgd.Tgd.t
     target elements per node are not expressible as a single builder —
     the gap Clip's explicit builders close). *)
 val to_clip : Clip_core.Mapping.t -> nested list -> Clip_core.Mapping.t
+
+(** [to_clip_result m forest] — like {!to_clip}, reporting the
+    inexpressible cases as [CLIP-GEN-002] diagnostics. *)
+val to_clip_result :
+  Clip_core.Mapping.t ->
+  nested list ->
+  (Clip_core.Mapping.t, Clip_diag.t list) result
 
 (** Render a forest for diagnostics. *)
 val forest_to_string : nested list -> string

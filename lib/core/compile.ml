@@ -5,6 +5,22 @@ module Term = Clip_tgd.Term
 
 exception Invalid of Validity.issue list
 
+(* Compile-time errors carry a stable CLIP-CMP-* code; the legacy
+   [to_tgd]/[to_tgd_unchecked] entry points re-raise them as [Failure]
+   (their historical behaviour). *)
+let cerror code fmt =
+  Printf.ksprintf
+    (fun s -> Clip_diag.fail (Clip_diag.error ~code ("compile: " ^ s)))
+    fmt
+
+let issue_to_diag (i : Validity.issue) =
+  let severity =
+    match i.severity with
+    | Validity.Error -> Clip_diag.Error
+    | Validity.Warning -> Clip_diag.Warning
+  in
+  Clip_diag.make ~severity ~code:(Clip_diag.Codes.validity i.code) i.message
+
 (* A source binding in scope: the variable (None = the schema root
    itself) and the element path it ranges over. *)
 type sbinding = { sb_var : string option; sb_path : Path.t }
@@ -74,7 +90,7 @@ let operand_to_scalar st bindings (o : Mapping.operand) =
         (List.exists
            (fun b -> match b.sb_var with Some x -> String.equal x v | None -> false)
            bindings)
-    then failwith (Printf.sprintf "compile: unbound variable $%s" v);
+    then cerror Clip_diag.Codes.compile_unbound_var "unbound variable $%s" v;
     ignore st;
     Term.E (Term.proj (Term.Var v) steps)
 
@@ -89,9 +105,9 @@ let compile_input st ~ctx_bindings (i : Mapping.input) =
     match deepest_binding (root_binding :: ctx_bindings) ~ok:(fun _ -> true) i.in_source with
     | Some b -> b
     | None ->
-      failwith
-        (Printf.sprintf "compile: input %s is not under the source root"
-           (Path.to_string i.in_source))
+      cerror Clip_diag.Codes.compile_unanchored_input
+        "input %s is not under the source root"
+        (Path.to_string i.in_source)
   in
   let reps =
     Schema.repeating_strictly_between st.source ~above:anchor.sb_path
@@ -138,17 +154,17 @@ let source_leaf_expr st bindings ~require_unrepeated leaf =
      | Some e -> e
      | None -> assert false)
   | None ->
-    failwith
-      (Printf.sprintf "compile: source %s has no anchor binding" (Path.to_string leaf))
+    cerror Clip_diag.Codes.compile_unanchored_leaf
+      "source %s has no anchor binding" (Path.to_string leaf)
 
 let compile_value_mapping st bindings (vm : Mapping.value_mapping) ~tvar ~tpath =
   let target_expr =
     match Term.reroot ~var:tvar ~prefix:tpath vm.vm_target with
     | Some e -> e
     | None ->
-      failwith
-        (Printf.sprintf "compile: value-mapping target %s is not under %s"
-           (Path.to_string vm.vm_target) (Path.to_string tpath))
+      cerror Clip_diag.Codes.compile_bad_target
+        "value-mapping target %s is not under %s"
+        (Path.to_string vm.vm_target) (Path.to_string tpath)
   in
   match vm.vm_fn with
   | Mapping.Identity ->
@@ -156,7 +172,9 @@ let compile_value_mapping st bindings (vm : Mapping.value_mapping) ~tvar ~tpath 
      | [ src ] ->
        Tgd.St_eq
          (target_expr, Term.E (source_leaf_expr st bindings ~require_unrepeated:true src))
-     | _ -> failwith "compile: identity value mapping needs exactly one source")
+     | _ ->
+       cerror Clip_diag.Codes.compile_identity_arity
+         "identity value mapping needs exactly one source")
   | Mapping.Constant a -> Tgd.St_eq (target_expr, Term.Const a)
   | Mapping.Scalar name ->
     let args =
@@ -170,14 +188,17 @@ let compile_value_mapping st bindings (vm : Mapping.value_mapping) ~tvar ~tpath 
      | [ src ] ->
        Tgd.Agg
          (target_expr, kind, source_leaf_expr st bindings ~require_unrepeated:false src)
-     | _ -> failwith "compile: aggregate value mapping needs exactly one source")
+     | _ ->
+       cerror Clip_diag.Codes.compile_aggregate_arity
+         "aggregate value mapping needs exactly one source")
 
 (* Assertion for a driverless aggregate, scoped to the whole document. *)
 let compile_root_aggregate (vm : Mapping.value_mapping) =
   match vm.vm_fn, vm.vm_sources with
   | Mapping.Aggregate kind, [ src ] ->
     Tgd.Agg (Term.of_path vm.vm_target, kind, Term.of_path src)
-  | _ -> failwith "compile: only aggregates may lack a driver"
+  | _ ->
+    cerror Clip_diag.Codes.compile_no_driver "only aggregates may lack a driver"
 
 (* CPT roots whose output nests strictly below another node's output
    compile as {e uncorrelated} submappings of that node: the paper's
@@ -277,9 +298,9 @@ let rec compile_node st ctx ~vm_driver ~adopted (n : Mapping.build_node) : Tgd.t
           (match Term.reroot ~var ~prefix:tpath out with
            | Some e -> e
            | None ->
-             failwith
-               (Printf.sprintf "compile: output %s is not nested under context output %s"
-                  (Path.to_string out) (Path.to_string tpath)))
+             cerror Clip_diag.Codes.compile_bad_nesting
+               "output %s is not nested under context output %s"
+               (Path.to_string out) (Path.to_string tpath))
       in
       let pvar = fresh st (target_hint out) in
       let principal =
@@ -329,7 +350,7 @@ let rec compile_node st ctx ~vm_driver ~adopted (n : Mapping.build_node) : Tgd.t
   Tgd.make ~foralls ~cond ~exists ~assertions
     ~children:(children @ adopted_children) ()
 
-let to_tgd_unchecked (m : Mapping.t) =
+let compile_unchecked (m : Mapping.t) =
   let st =
     {
       used =
@@ -347,9 +368,9 @@ let to_tgd_unchecked (m : Mapping.t) =
           (match vm.Mapping.vm_fn with
            | Mapping.Aggregate _ -> None (* whole-document scope *)
            | Mapping.Identity | Mapping.Constant _ | Mapping.Scalar _ ->
-             failwith
-               (Printf.sprintf "compile: value mapping to %s has no driver builder"
-                  (Path.to_string vm.Mapping.vm_target))))
+             cerror Clip_diag.Codes.compile_no_driver
+               "value mapping to %s has no driver builder"
+               (Path.to_string vm.Mapping.vm_target)))
       m.values
   in
   let root_aggs =
@@ -378,6 +399,21 @@ let to_tgd_unchecked (m : Mapping.t) =
   match children, assertions with
   | [ only ], [] -> only
   | children, assertions -> Tgd.make ~assertions ~children ()
+
+let to_tgd_unchecked_result m = Clip_diag.guard (fun () -> compile_unchecked m)
+
+let to_tgd_unchecked m =
+  match to_tgd_unchecked_result m with
+  | Ok t -> t
+  | Error ds ->
+    let d = match ds with d :: _ -> d | [] -> assert false in
+    failwith d.Clip_diag.message
+
+let to_tgd_result m =
+  let issues = Validity.check m in
+  if List.exists (fun (i : Validity.issue) -> i.severity = Validity.Error) issues
+  then Error (List.map issue_to_diag issues)
+  else to_tgd_unchecked_result m
 
 let to_tgd m =
   let issues = Validity.check m in

@@ -25,11 +25,25 @@
 
 exception Invalid of Validity.issue list
 
+(** [issue_to_diag i] — a {!Validity.issue} as a [CLIP-VAL-<code>]
+    diagnostic (severity preserved). *)
+val issue_to_diag : Validity.issue -> Clip_diag.t
+
+(** [to_tgd_result m] compiles a mapping. Validity errors are reported
+    as [CLIP-VAL-*] diagnostics (warnings included when any error is
+    present); compile-time failures as [CLIP-CMP-*] diagnostics. *)
+val to_tgd_result : Mapping.t -> (Clip_tgd.Tgd.t, Clip_diag.t list) result
+
 (** [to_tgd m] compiles a valid mapping.
     @raise Invalid when {!Validity.check} reports errors. *)
 val to_tgd : Mapping.t -> Clip_tgd.Tgd.t
 
-(** [to_tgd_unchecked m] compiles without the validity gate (used to
-    show what an invalid mapping would mean). May raise [Failure] on
-    mappings that cannot be compiled at all. *)
+(** [to_tgd_unchecked_result m] compiles without the validity gate
+    (used to show what an invalid mapping would mean); failures are
+    [CLIP-CMP-*] diagnostics. *)
+val to_tgd_unchecked_result :
+  Mapping.t -> (Clip_tgd.Tgd.t, Clip_diag.t list) result
+
+(** [to_tgd_unchecked m] compiles without the validity gate. May raise
+    [Failure] on mappings that cannot be compiled at all. *)
 val to_tgd_unchecked : Mapping.t -> Clip_tgd.Tgd.t

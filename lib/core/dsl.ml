@@ -10,7 +10,7 @@ let error_to_string = function
     Printf.sprintf "mapping syntax error at line %d, column %d: %s" line column message
   | e -> Sdsl.error_to_string e
 
-type state = { mutable toks : Lexer.spanned list }
+type state = { mutable toks : Lexer.spanned list; mutable depth : int; max_depth : int }
 
 let peek st =
   match st.toks with
@@ -24,8 +24,42 @@ let next st =
    | _ -> ());
   t
 
-let fail (t : Lexer.spanned) message =
-  raise (Syntax_error { line = t.line; column = t.column; message })
+let span_of_token (t : Lexer.spanned) =
+  let width = max 1 (String.length (Lexer.token_to_string t.token)) in
+  Clip_diag.span ~line:t.line ~col:t.column ~end_col:(t.column + width) ()
+
+let fail_code code (t : Lexer.spanned) message =
+  Clip_diag.fail (Clip_diag.error ~code ~span:(span_of_token t) message)
+
+let fail t message = fail_code Clip_diag.Codes.mapping_syntax t message
+
+let enter st =
+  st.depth <- st.depth + 1;
+  if st.depth > st.max_depth then
+    fail_code Clip_diag.Codes.limit_recursion (peek st)
+      (Printf.sprintf "mapping nesting exceeds the limit of %d" st.max_depth)
+
+let leave st = st.depth <- st.depth - 1
+
+let state_of ?(limits = Clip_diag.Limits.default) toks =
+  { toks; depth = 0; max_depth = limits.Clip_diag.Limits.max_parser_recursion }
+
+(* Raise the pre-diagnostics exceptions for the compatibility wrappers. *)
+let raise_legacy (ds : Clip_diag.t list) =
+  let d = List.hd ds in
+  let line, column =
+    match d.Clip_diag.span with
+    | Some sp -> (sp.Clip_diag.line, sp.Clip_diag.col)
+    | None -> (1, 1)
+  in
+  let message = d.Clip_diag.message in
+  if String.equal d.Clip_diag.code Clip_diag.Codes.schema_lexical then
+    raise (Lexer.Lex_error { line; column; message })
+  else if
+    String.equal d.Clip_diag.code Clip_diag.Codes.schema_syntax
+    || String.equal d.Clip_diag.code Clip_diag.Codes.schema_invalid
+  then raise (Sdsl.Syntax_error { line; column; message })
+  else raise (Syntax_error { line; column; message })
 
 let expect_sym st s =
   let t = next st in
@@ -227,9 +261,11 @@ let rec parse_nodes st =
     let children =
       match (peek st).token with
       | Lexer.Sym "{" ->
+        enter st;
         ignore (next st);
         let children = parse_nodes st in
         expect_sym st "}";
+        leave st;
         children
       | _ -> []
     in
@@ -321,31 +357,46 @@ let parse_mapping_block st ~source ~target =
   in
   Mapping.make ~source ~target ~roots values
 
-let parse src =
-  let toks = Lexer.tokenize src in
-  let source, toks = Sdsl.parse_tokens toks in
-  let target, toks = Sdsl.parse_tokens toks in
-  let st = { toks } in
-  let m = parse_mapping_block st ~source ~target in
-  skip_semis st;
-  (match (peek st).token with
-   | Lexer.Eof -> ()
-   | tok ->
-     fail (peek st)
-       (Printf.sprintf "trailing input after the mapping: %s"
-          (Lexer.token_to_string tok)));
-  m
+let tokens_exn src =
+  match Lexer.tokenize_result src with
+  | Ok toks -> toks
+  | Error ds -> Clip_diag.fail_all ds
 
-let parse_mapping ~source ~target src =
-  let st = { toks = Lexer.tokenize src } in
-  let m = parse_mapping_block st ~source ~target in
-  (match (peek st).token with
-   | Lexer.Eof -> ()
-   | tok ->
-     fail (peek st)
-       (Printf.sprintf "trailing input after the mapping: %s"
-          (Lexer.token_to_string tok)));
-  m
+let parse_result ?limits src =
+  Clip_diag.guard (fun () ->
+      let toks = tokens_exn src in
+      let source, toks = Sdsl.parse_tokens ?limits toks in
+      let target, toks = Sdsl.parse_tokens ?limits toks in
+      let st = state_of ?limits toks in
+      let m = parse_mapping_block st ~source ~target in
+      skip_semis st;
+      (match (peek st).token with
+       | Lexer.Eof -> ()
+       | tok ->
+         fail (peek st)
+           (Printf.sprintf "trailing input after the mapping: %s"
+              (Lexer.token_to_string tok)));
+      m)
+
+let parse ?limits src =
+  match parse_result ?limits src with Ok m -> m | Error ds -> raise_legacy ds
+
+let parse_mapping_result ?limits ~source ~target src =
+  Clip_diag.guard (fun () ->
+      let st = state_of ?limits (tokens_exn src) in
+      let m = parse_mapping_block st ~source ~target in
+      (match (peek st).token with
+       | Lexer.Eof -> ()
+       | tok ->
+         fail (peek st)
+           (Printf.sprintf "trailing input after the mapping: %s"
+              (Lexer.token_to_string tok)));
+      m)
+
+let parse_mapping ?limits ~source ~target src =
+  match parse_mapping_result ?limits ~source ~target src with
+  | Ok m -> m
+  | Error ds -> raise_legacy ds
 
 (* --- Rendering ----------------------------------------------------------- *)
 

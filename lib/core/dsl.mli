@@ -29,15 +29,36 @@
 
 exception Syntax_error of { line : int; column : int; message : string }
 
+(** [parse_result s] — a complete mapping file (two schemas + mapping),
+    or spanned diagnostics: [CLIP-MAP-001] for mapping syntax errors,
+    [CLIP-SCH-*] for errors inside the schema declarations,
+    [CLIP-LIM-003] when nesting exceeds
+    [limits.max_parser_recursion]. *)
+val parse_result :
+  ?limits:Clip_diag.Limits.t -> string -> (Mapping.t, Clip_diag.t list) result
+
 (** [parse s] — a complete mapping file (two schemas + mapping).
     The first declared schema is the source, the second the target.
-    @raise Syntax_error on malformed input. *)
-val parse : string -> Mapping.t
+    @raise Syntax_error on malformed input (thin wrapper over
+    {!parse_result}; schema errors raise the [Clip_schema] exceptions
+    as before). *)
+val parse : ?limits:Clip_diag.Limits.t -> string -> Mapping.t
 
 (** [parse_mapping ~source ~target s] — just a [mapping { ... }] block
     against existing schemas. *)
 val parse_mapping :
-  source:Clip_schema.Schema.t -> target:Clip_schema.Schema.t -> string -> Mapping.t
+  ?limits:Clip_diag.Limits.t ->
+  source:Clip_schema.Schema.t ->
+  target:Clip_schema.Schema.t ->
+  string ->
+  Mapping.t
+
+val parse_mapping_result :
+  ?limits:Clip_diag.Limits.t ->
+  source:Clip_schema.Schema.t ->
+  target:Clip_schema.Schema.t ->
+  string ->
+  (Mapping.t, Clip_diag.t list) result
 
 val error_to_string : exn -> string
 

@@ -21,6 +21,53 @@ let run ?(backend = `Tgd) ?(minimum_cardinality = true) (m : Mapping.t) source =
     in
     Clip_xquery.Eval.run_document ~input:source query
 
+let run_result ?limits ?(backend = `Tgd) ?(minimum_cardinality = true)
+    (m : Mapping.t) source =
+  match Compile.to_tgd_result m with
+  | Error ds -> Error ds
+  | Ok tgd ->
+    let target_root = m.target.root.name in
+    (match backend with
+     | `Tgd ->
+       Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ~source ~target_root
+         tgd
+     | (`Xquery | `Xquery_text) as backend ->
+       if not minimum_cardinality then
+         invalid_arg
+           "Engine.run_result: the universal-solution ablation is only \
+            available on the tgd backend";
+       (match To_xquery.translate_result ~target_root tgd with
+        | Error ds -> Error ds
+        | Ok query ->
+          let query =
+            match backend with
+            | `Xquery -> Ok query
+            | `Xquery_text ->
+              Clip_xquery.Parser.parse_string_result ?limits
+                (Clip_xquery.Pretty.query_to_string query)
+          in
+          (match query with
+           | Error ds -> Error ds
+           | Ok query ->
+             Clip_xquery.Eval.run_document_result ?limits ~input:source query)))
+
+(* Every diagnostic for a mapping, in one pass: all validity issues
+   (warnings included), then — when validity allows compiling — any
+   compile- or XQuery-translation-stage errors. *)
+let diagnose (m : Mapping.t) =
+  let issues = List.map Compile.issue_to_diag (Validity.check m) in
+  let later =
+    if Clip_diag.has_errors issues then []
+    else
+      match Compile.to_tgd_unchecked_result m with
+      | Error ds -> ds
+      | Ok tgd ->
+        (match To_xquery.translate_result ~target_root:m.target.root.name tgd with
+         | Error ds -> ds
+         | Ok _ -> [])
+  in
+  issues @ later
+
 let run_traced ?(minimum_cardinality = true) (m : Mapping.t) source =
   let tgd = Compile.to_tgd m in
   Clip_tgd.Eval.run_traced ~minimum_cardinality ~source

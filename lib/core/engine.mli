@@ -27,6 +27,25 @@ val run :
   Clip_xml.Node.t ->
   Clip_xml.Node.t
 
+(** [run_result mapping source] — like {!run}, reporting every failure
+    stage as diagnostics instead of exceptions: [CLIP-VAL-*] validity
+    errors, [CLIP-CMP-*] compile errors, [CLIP-XQG-001] translation
+    gaps, [CLIP-TGD-001]/[CLIP-XQ-*] dynamic errors and [CLIP-LIM-004]
+    exhausted step budgets. *)
+val run_result :
+  ?limits:Clip_diag.Limits.t ->
+  ?backend:backend ->
+  ?minimum_cardinality:bool ->
+  Mapping.t ->
+  Clip_xml.Node.t ->
+  (Clip_xml.Node.t, Clip_diag.t list) result
+
+(** [diagnose mapping] — every diagnostic for a mapping in one pass:
+    all validity issues (warnings included) and, when the mapping is
+    valid enough to compile, any compile- or translation-stage
+    errors. Empty means clean. *)
+val diagnose : Mapping.t -> Clip_diag.t list
+
 (** [run_traced mapping source] — run on the tgd backend and also
     return instance-level lineage: which source elements each created
     target element came from (see {!Clip_tgd.Eval.run_traced}). *)

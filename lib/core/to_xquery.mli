@@ -19,8 +19,15 @@
 
 exception Unsupported of string
 
-(** [translate ~target_root tgd] — the full query: an element
-    constructor for the target root enclosing the top mapping.
-    @raise Unsupported on tgd shapes the fragment cannot express
-    (e.g. non-equality target conditions). *)
+(** [translate_result ~target_root tgd] — the full query: an element
+    constructor for the target root enclosing the top mapping. Tgd
+    shapes the fragment cannot express (e.g. non-equality target
+    conditions) are reported as [CLIP-XQG-001] diagnostics. *)
+val translate_result :
+  target_root:string ->
+  Clip_tgd.Tgd.t ->
+  (Clip_xquery.Ast.expr, Clip_diag.t list) result
+
+(** [translate ~target_root tgd] — like {!translate_result}.
+    @raise Unsupported on tgd shapes the fragment cannot express. *)
 val translate : target_root:string -> Clip_tgd.Tgd.t -> Clip_xquery.Ast.expr

@@ -14,7 +14,7 @@ type t = {
 let p s =
   match Path.of_string s with
   | Ok p -> p
-  | Error m -> failwith (Printf.sprintf "bad path %S: %s" s m)
+  | Error m -> invalid_arg (Printf.sprintf "bad path %S: %s" s m)
 
 let xml = Clip_xml.Parser.parse_string
 

@@ -36,7 +36,7 @@ let target =
 let p s =
   match Path.of_string s with
   | Ok p -> p
-  | Error m -> failwith m
+  | Error m -> invalid_arg m
 
 let mapping =
   Mapping.make ~source ~target

@@ -12,7 +12,7 @@ type scenario = {
 let p s =
   match Path.of_string s with
   | Ok p -> p
-  | Error m -> failwith m
+  | Error m -> invalid_arg m
 
 let xml = Clip_xml.Parser.parse_string
 

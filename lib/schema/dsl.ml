@@ -7,7 +7,7 @@ let error_to_string = function
     Printf.sprintf "schema lexical error at line %d, column %d: %s" line column message
   | e -> Printexc.to_string e
 
-type state = { mutable toks : Lexer.spanned list }
+type state = { mutable toks : Lexer.spanned list; mutable depth : int; max_depth : int }
 
 let peek st =
   match st.toks with
@@ -19,8 +19,43 @@ let next st =
   (match st.toks with _ :: rest when t.token <> Lexer.Eof -> st.toks <- rest | _ -> ());
   t
 
-let fail (t : Lexer.spanned) message =
-  raise (Syntax_error { line = t.line; column = t.column; message })
+let span_of_token (t : Lexer.spanned) =
+  let width = max 1 (String.length (Lexer.token_to_string t.token)) in
+  Clip_diag.span ~line:t.line ~col:t.column ~end_col:(t.column + width) ()
+
+let fail_code code (t : Lexer.spanned) message =
+  Clip_diag.fail (Clip_diag.error ~code ~span:(span_of_token t) message)
+
+let fail t message = fail_code Clip_diag.Codes.schema_syntax t message
+
+let enter st =
+  st.depth <- st.depth + 1;
+  if st.depth > st.max_depth then
+    fail_code Clip_diag.Codes.limit_recursion (peek st)
+      (Printf.sprintf "schema nesting exceeds the limit of %d" st.max_depth)
+
+let leave st = st.depth <- st.depth - 1
+
+(* Re-raise tokenizer diagnostics through the same channel. *)
+let tokens_exn src =
+  match Lexer.tokenize_result src with
+  | Ok toks -> toks
+  | Error ds -> Clip_diag.fail_all ds
+
+let state_of ?(limits = Clip_diag.Limits.default) toks =
+  { toks; depth = 0; max_depth = limits.Clip_diag.Limits.max_parser_recursion }
+
+(* Raise the pre-diagnostics exceptions for the compatibility wrappers. *)
+let raise_legacy (ds : Clip_diag.t list) =
+  let d = List.hd ds in
+  let line, column =
+    match d.Clip_diag.span with
+    | Some sp -> (sp.Clip_diag.line, sp.Clip_diag.col)
+    | None -> (1, 1)
+  in
+  if String.equal d.Clip_diag.code Clip_diag.Codes.schema_lexical then
+    raise (Lexer.Lex_error { line; column; message = d.Clip_diag.message })
+  else raise (Syntax_error { line; column; message = d.Clip_diag.message })
 
 let expect_sym st s =
   let t = next st in
@@ -89,7 +124,14 @@ let parse_card st =
                          (Lexer.token_to_string tok))
     in
     expect_sym st "]";
-    Cardinality.make min max
+    (match Cardinality.make min max with
+     | card -> card
+     | exception Invalid_argument _ ->
+       fail t
+         (Printf.sprintf "invalid cardinality [%d..%s]" min
+            (match max with
+             | Cardinality.Bounded m -> string_of_int m
+             | Cardinality.Unbounded -> "*")))
   | _ -> Cardinality.required
 
 (* A relative path written without the schema root: [dept.regEmp.@pid]. *)
@@ -170,9 +212,11 @@ and parse_element_tail st root_name name =
   let items =
     match (peek st).token with
     | Lexer.Sym "{" ->
+      enter st;
       ignore (next st);
       let items = parse_items st root_name in
       expect_sym st "}";
+      leave st;
       items
     | _ -> []
   in
@@ -208,22 +252,30 @@ let parse_schema st =
   let value = List.find_map (function I_value ty -> Some ty | _ -> None) items in
   let children = List.filter_map (function I_child c -> Some c | _ -> None) items in
   let refs = List.filter_map (function I_ref r -> Some r | _ -> None) items in
-  Schema.make ~refs (Schema.element ~attrs ?value name children)
+  match Schema.make ~refs (Schema.element ~attrs ?value name children) with
+  | s -> s
+  | exception Invalid_argument msg ->
+    Clip_diag.fail (Clip_diag.error ~code:Clip_diag.Codes.schema_invalid msg)
 
-let parse_tokens toks =
-  let st = { toks } in
+let parse_tokens ?limits toks =
+  let st = state_of ?limits toks in
   let s = parse_schema st in
   (s, st.toks)
 
-let parse src =
-  let st = { toks = Lexer.tokenize src } in
-  let s = parse_schema st in
-  (match (peek st).token with
-   | Lexer.Eof -> ()
-   | tok ->
-     fail (peek st)
-       (Printf.sprintf "trailing input after the schema: %s" (Lexer.token_to_string tok)));
-  s
+let parse_result ?limits src =
+  Clip_diag.guard (fun () ->
+      let st = state_of ?limits (tokens_exn src) in
+      let s = parse_schema st in
+      (match (peek st).token with
+       | Lexer.Eof -> ()
+       | tok ->
+         fail (peek st)
+           (Printf.sprintf "trailing input after the schema: %s"
+              (Lexer.token_to_string tok)));
+      s)
+
+let parse ?limits src =
+  match parse_result ?limits src with Ok s -> s | Error ds -> raise_legacy ds
 
 let to_string (s : Schema.t) =
   let buf = Buffer.create 256 in
@@ -274,12 +326,16 @@ let to_string (s : Schema.t) =
   add "}\n";
   Buffer.contents buf
 
-let parse_many src =
-  let st = { toks = Lexer.tokenize src } in
-  let rec go acc =
-    skip_semis st;
-    match (peek st).token with
-    | Lexer.Eof -> List.rev acc
-    | _ -> go (parse_schema st :: acc)
-  in
-  go []
+let parse_many_result ?limits src =
+  Clip_diag.guard (fun () ->
+      let st = state_of ?limits (tokens_exn src) in
+      let rec go acc =
+        skip_semis st;
+        match (peek st).token with
+        | Lexer.Eof -> List.rev acc
+        | _ -> go (parse_schema st :: acc)
+      in
+      go [])
+
+let parse_many ?limits src =
+  match parse_many_result ?limits src with Ok s -> s | Error ds -> raise_legacy ds

@@ -30,18 +30,32 @@
 
 exception Syntax_error of { line : int; column : int; message : string }
 
+(** [parse_result s] parses one [schema name { ... }] declaration, or
+    reports spanned diagnostics: [CLIP-SCH-001] (lexical),
+    [CLIP-SCH-002] (syntax), [CLIP-SCH-004] (ill-formed schema) or
+    [CLIP-LIM-003] (nesting deeper than
+    [limits.max_parser_recursion]). *)
+val parse_result :
+  ?limits:Clip_diag.Limits.t -> string -> (Schema.t, Clip_diag.t list) result
+
 (** [parse s] parses one [schema name { ... }] declaration.
-    @raise Syntax_error on malformed input. *)
-val parse : string -> Schema.t
+    @raise Syntax_error on malformed input (thin wrapper over
+    {!parse_result}; lexical errors raise {!Lexer.Lex_error}). *)
+val parse : ?limits:Clip_diag.Limits.t -> string -> Schema.t
 
 (** [parse_many s] parses any number of schema declarations — a mapping
     file typically carries a source and a target schema. *)
-val parse_many : string -> Schema.t list
+val parse_many : ?limits:Clip_diag.Limits.t -> string -> Schema.t list
+
+val parse_many_result :
+  ?limits:Clip_diag.Limits.t -> string -> (Schema.t list, Clip_diag.t list) result
 
 (** [parse_tokens toks] parses one schema declaration from a token
     stream and returns the remaining tokens — used by the mapping DSL,
-    whose files embed schema declarations. *)
-val parse_tokens : Lexer.spanned list -> Schema.t * Lexer.spanned list
+    whose files embed schema declarations. Raises {!Clip_diag.Fail} on
+    error; callers are expected to run under {!Clip_diag.guard}. *)
+val parse_tokens :
+  ?limits:Clip_diag.Limits.t -> Lexer.spanned list -> Schema.t * Lexer.spanned list
 
 val error_to_string : exn -> string
 

@@ -28,13 +28,17 @@ let is_ident_start c =
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize src =
+let tokenize_result src =
   let n = String.length src in
   let line = ref 1 and bol = ref 0 in
   let tokens = ref [] in
   let error pos message =
-    raise (Lex_error { line = !line; column = pos - !bol + 1; message })
+    Clip_diag.fail
+      (Clip_diag.error ~code:Clip_diag.Codes.schema_lexical
+         ~span:(Clip_diag.span ~offset:pos ~line:!line ~col:(pos - !bol + 1) ())
+         message)
   in
+  Clip_diag.guard @@ fun () ->
   let emit pos token =
     tokens := { token; line = !line; column = pos - !bol + 1 } :: !tokens
   in
@@ -73,9 +77,14 @@ let tokenize src =
         while !i < n && is_digit src.[!i] do
           incr i
         done;
-        emit start (Float_lit (float_of_string (String.sub src start (!i - start))))
+        match float_of_string_opt (String.sub src start (!i - start)) with
+        | Some f -> emit start (Float_lit f)
+        | None -> error start "malformed number literal"
       end
-      else emit start (Int_lit (int_of_string (String.sub src start (!i - start))))
+      else
+        match int_of_string_opt (String.sub src start (!i - start)) with
+        | Some v -> emit start (Int_lit v)
+        | None -> error start "integer literal out of range"
     end
     else if c = '"' then begin
       let start = !i in
@@ -118,3 +127,15 @@ let tokenize src =
   done;
   emit n Eof;
   List.rev !tokens
+
+let tokenize src =
+  match tokenize_result src with
+  | Ok toks -> toks
+  | Error ds ->
+    let d = List.hd ds in
+    let line, column =
+      match d.Clip_diag.span with
+      | Some sp -> (sp.Clip_diag.line, sp.Clip_diag.col)
+      | None -> (1, 1)
+    in
+    raise (Lex_error { line; column; message = d.Clip_diag.message })

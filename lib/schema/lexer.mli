@@ -20,8 +20,14 @@ type spanned = { token : token; line : int; column : int }
 
 exception Lex_error of { line : int; column : int; message : string }
 
+(** [tokenize_result s] is the token stream of [s], ending with [Eof],
+    or spanned [CLIP-SCH-001] diagnostics on an unrecognised character
+    or an out-of-range literal. *)
+val tokenize_result : string -> (spanned list, Clip_diag.t list) result
+
 (** [tokenize s] is the token stream of [s], ending with [Eof].
-    @raise Lex_error on an unrecognised character. *)
+    @raise Lex_error on an unrecognised character (a thin wrapper over
+    {!tokenize_result}). *)
 val tokenize : string -> spanned list
 
 val token_to_string : token -> string

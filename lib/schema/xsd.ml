@@ -210,8 +210,7 @@ let parse_identity (root_elem : Node.element) schema =
       { Schema.ref_from = read_sel_field kr; ref_to })
     (children_tagged root_elem "keyref")
 
-let of_string text =
-  let doc = Xml.Parser.parse_string text in
+let of_doc doc =
   let root = Node.as_element doc in
   if not (is_tag "schema" root) then unsupported "root element is not xs:schema";
   match children_tagged root "element" with
@@ -222,6 +221,37 @@ let of_string text =
     Schema.make ~refs element
   | [] -> unsupported "no global xs:element"
   | _ -> unsupported "several global elements (Clip schemas have one root)"
+
+let of_string_result ?limits text =
+  Clip_diag.guard (fun () ->
+      match Xml.Parser.parse_string_result ?limits text with
+      | Error ds -> Clip_diag.fail_all ds
+      | Ok doc ->
+        (match of_doc doc with
+         | s -> s
+         | exception Unsupported msg ->
+           Clip_diag.fail (Clip_diag.error ~code:Clip_diag.Codes.xsd_unsupported msg)
+         | exception Invalid_argument msg ->
+           Clip_diag.fail (Clip_diag.error ~code:Clip_diag.Codes.schema_invalid msg)))
+
+let of_string ?limits text =
+  match of_string_result ?limits text with
+  | Ok s -> s
+  | Error ds ->
+    let d = List.hd ds in
+    if
+      String.length d.Clip_diag.code >= 8
+      && String.equal (String.sub d.Clip_diag.code 0 8) "CLIP-XML"
+      || Clip_diag.is_resource_limit d
+    then begin
+      let line, column =
+        match d.Clip_diag.span with
+        | Some sp -> (sp.Clip_diag.line, sp.Clip_diag.col)
+        | None -> (1, 1)
+      in
+      raise (Xml.Parser.Parse_error { line; column; message = d.Clip_diag.message })
+    end
+    else raise (Unsupported d.Clip_diag.message)
 
 (* --- Export -------------------------------------------------------------- *)
 

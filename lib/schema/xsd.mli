@@ -19,10 +19,17 @@
 
 exception Unsupported of string
 
+(** [of_string_result text] parses an XSD document, or reports
+    diagnostics: the XML parser's spanned diagnostics, [CLIP-SCH-003]
+    for constructs outside the subset, [CLIP-SCH-004] for ill-formed
+    schemas. *)
+val of_string_result :
+  ?limits:Clip_diag.Limits.t -> string -> (Schema.t, Clip_diag.t list) result
+
 (** [of_string text] parses an XSD document.
     @raise Unsupported on constructs outside the subset
     @raise Clip_xml.Parser.Parse_error on malformed XML. *)
-val of_string : string -> Schema.t
+val of_string : ?limits:Clip_diag.Limits.t -> string -> Schema.t
 
 (** [to_string s] renders the schema as an XSD document. *)
 val to_string : Schema.t -> string

@@ -4,7 +4,25 @@ module Value = Clip_xquery.Value
 
 exception Error of string
 
-let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+let error fmt =
+  Printf.ksprintf
+    (fun s -> Clip_diag.fail (Clip_diag.error ~code:Clip_diag.Codes.tgd_eval s))
+    fmt
+
+(* Evaluation context: the source document plus the step budget that
+   bounds runaway mappings (CLIP-LIM-004); each source-expression or
+   scalar evaluation counts one step, so deep cross products hit the
+   budget instead of hanging. *)
+type ctx = { source : Xml.Node.t; steps : int ref; max_steps : int }
+
+let tick ctx =
+  incr ctx.steps;
+  if !(ctx.steps) > ctx.max_steps then
+    Clip_diag.fail
+      (Clip_diag.error ~code:Clip_diag.Codes.limit_eval_steps
+         ~hints:
+           [ "raise [limits.max_eval_steps] if the mapping is expected to be this large" ]
+         (Printf.sprintf "evaluation exceeded the budget of %d steps" ctx.max_steps))
 
 (* Mutable target tree under construction. *)
 type bnode = {
@@ -56,11 +74,12 @@ let step_items (item : Value.item) (step : Path.step) : Value.item list =
     (match Xml.Node.text_value e with Some a -> [ Value.Atomic a ] | None -> [])
   | (Value.Node (Xml.Node.Text _) | Value.Atomic _), _ -> []
 
-let rec eval_src ~source env (e : Term.expr) : Value.item list =
+let rec eval_src ctx env (e : Term.expr) : Value.item list =
+  tick ctx;
   match e with
   | Term.Root s ->
-    (match source with
-     | Xml.Node.Element root when String.equal root.tag s -> [ Value.Node source ]
+    (match ctx.source with
+     | Xml.Node.Element root when String.equal root.tag s -> [ Value.Node ctx.source ]
      | Xml.Node.Element root ->
        error "source root is <%s>, the mapping expects <%s>" root.tag s
      | Xml.Node.Text _ -> error "source document root is a text node")
@@ -70,7 +89,7 @@ let rec eval_src ~source env (e : Term.expr) : Value.item list =
      | Some (Tgt _) -> error "variable %s is a target variable in a source position" x
      | None -> error "unbound source variable %s" x)
   | Term.Proj (e, step) ->
-    List.concat_map (fun item -> step_items item step) (eval_src ~source env e)
+    List.concat_map (fun item -> step_items item step) (eval_src ctx env e)
 
 let scalar_functions = [ "concat"; "add"; "sub"; "mul"; "div"; "upper"; "lower" ]
 
@@ -117,15 +136,16 @@ let atomize_items items =
            Xml.Atom.of_string (Value.string_value (Value.Node n))))
     items
 
-let rec eval_scalar ~source env (s : Term.scalar) : Xml.Atom.t list =
+let rec eval_scalar ctx env (s : Term.scalar) : Xml.Atom.t list =
+  tick ctx;
   match s with
-  | Term.E e -> atomize_items (eval_src ~source env e)
+  | Term.E e -> atomize_items (eval_src ctx env e)
   | Term.Const a -> [ a ]
   | Term.Fn (name, args) ->
     let arg_atoms =
       List.map
         (fun arg ->
-          match eval_scalar ~source env arg with
+          match eval_scalar ctx env arg with
           | [ a ] -> a
           | [] -> error "%s: an argument evaluates to the empty sequence" name
           | _ -> error "%s: an argument evaluates to multiple values" name)
@@ -143,9 +163,9 @@ let compare_atoms op a b =
   | Tgd.Gt -> compare a b > 0
   | Tgd.Ge -> compare a b >= 0
 
-let holds ~source env (c : Tgd.comparison) =
-  let ls = eval_scalar ~source env c.left in
-  let rs = eval_scalar ~source env c.right in
+let holds ctx env (c : Tgd.comparison) =
+  let ls = eval_scalar ctx env c.left in
+  let rs = eval_scalar ctx env c.right in
   List.exists (fun a -> List.exists (compare_atoms c.op a) rs) ls
 
 (* --- Target-side construction ---------------------------------------- *)
@@ -239,13 +259,13 @@ let set_leaf b (step : Path.step) atom =
 
 (* --- The engine ------------------------------------------------------- *)
 
-let cartesian_bindings ~source env (gens : Tgd.source_gen list) =
+let cartesian_bindings ctx env (gens : Tgd.source_gen list) =
   (* Enumerate environments extending [env] with one item per generator,
      left to right (later generators may reference earlier variables). *)
   let rec go env = function
     | [] -> [ env ]
     | (g : Tgd.source_gen) :: rest ->
-      let items = eval_src ~source env g.sexpr in
+      let items = eval_src ctx env g.sexpr in
       List.concat_map (fun item -> go (Env.add g.svar (Src item) env) rest) items
   in
   go env gens
@@ -288,7 +308,11 @@ let record_provenance node env =
       | Src (Value.Node (Xml.Node.Text _) | Value.Atomic _) | Tgt _ -> ())
     env
 
-let execute ?(minimum_cardinality = true) ~source ~target_root (m : Tgd.t) =
+let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
+    ~source ~target_root (m : Tgd.t) =
+  let ctx =
+    { source; steps = ref 0; max_steps = limits.Clip_diag.Limits.max_eval_steps }
+  in
   let bld =
     {
       root = fresh_bnode target_root;
@@ -319,7 +343,7 @@ let execute ?(minimum_cardinality = true) ~source ~target_root (m : Tgd.t) =
           let key =
             List.map
               (fun k ->
-                match eval_scalar ~source env k with
+                match eval_scalar ctx env k with
                 | [ a ] -> a
                 | [] -> error "grouping key evaluates to the empty sequence"
                 | _ -> error "grouping key evaluates to multiple values")
@@ -333,7 +357,7 @@ let execute ?(minimum_cardinality = true) ~source ~target_root (m : Tgd.t) =
   let apply_assertion env (a : Tgd.assertion) =
     match a with
     | Tgd.St_eq (e, s) ->
-      (match eval_scalar ~source env s with
+      (match eval_scalar ctx env s with
        | [] -> () (* optional source data absent: nothing to copy *)
        | [ atom ] ->
          let base, steps = resolve_target bld ~target_root env e in
@@ -358,7 +382,7 @@ let execute ?(minimum_cardinality = true) ~source ~target_root (m : Tgd.t) =
        | _ ->
          error "only equality target conditions are enforceable at build time")
     | Tgd.Agg (e, kind, arg) ->
-      let items = eval_src ~source env arg in
+      let items = eval_src ctx env arg in
       (match aggregate kind items with
        | None -> ()
        | Some atom ->
@@ -383,10 +407,11 @@ let execute ?(minimum_cardinality = true) ~source ~target_root (m : Tgd.t) =
       in
       ignore (pre env m.exists)
     end;
-    let bindings = cartesian_bindings ~source env m.foralls in
+    let bindings = cartesian_bindings ctx env m.foralls in
     List.iter
       (fun env ->
-        if List.for_all (holds ~source env) m.cond then begin
+        tick ctx;
+        if List.for_all (holds ctx env) m.cond then begin
           let env = List.fold_left instantiate_target env m.exists in
           List.iter (apply_assertion env) m.assertions;
           List.iter (eval_mapping env) m.children
@@ -396,16 +421,26 @@ let execute ?(minimum_cardinality = true) ~source ~target_root (m : Tgd.t) =
   eval_mapping Env.empty m;
   bld.root
 
-let run ?minimum_cardinality ~source ~target_root m =
-  bnode_to_node (execute ?minimum_cardinality ~source ~target_root m)
+let reraise_legacy ds =
+  let d = match ds with d :: _ -> d | [] -> assert false in
+  raise (Error d.Clip_diag.message)
+
+let run_result ?limits ?minimum_cardinality ~source ~target_root m =
+  Clip_diag.guard (fun () ->
+    bnode_to_node (execute ?limits ?minimum_cardinality ~source ~target_root m))
+
+let run ?limits ?minimum_cardinality ~source ~target_root m =
+  match run_result ?limits ?minimum_cardinality ~source ~target_root m with
+  | Ok n -> n
+  | Error ds -> reraise_legacy ds
 
 type trace_entry = {
   target_path : int list;
   sources : Xml.Node.t list;
 }
 
-let run_traced ?minimum_cardinality ~source ~target_root m =
-  let root = execute ?minimum_cardinality ~source ~target_root m in
+let run_traced_unguarded ?limits ?minimum_cardinality ~source ~target_root m =
+  let root = execute ?limits ?minimum_cardinality ~source ~target_root m in
   let trace = ref [] in
   let rec walk path b =
     trace :=
@@ -418,3 +453,12 @@ let run_traced ?minimum_cardinality ~source ~target_root m =
   in
   walk [] root;
   (bnode_to_node root, List.rev !trace)
+
+let run_traced_result ?limits ?minimum_cardinality ~source ~target_root m =
+  Clip_diag.guard (fun () ->
+    run_traced_unguarded ?limits ?minimum_cardinality ~source ~target_root m)
+
+let run_traced ?limits ?minimum_cardinality ~source ~target_root m =
+  match run_traced_result ?limits ?minimum_cardinality ~source ~target_root m with
+  | Ok r -> r
+  | Error ds -> reraise_legacy ds

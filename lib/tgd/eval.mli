@@ -28,10 +28,24 @@ exception Error of string
     [lower]. *)
 val scalar_functions : string list
 
-(** [run ~source ~target_root m] builds the target document.
-    @raise Error on unbound variables, conflicting leaf assignments,
-    non-singleton grouping keys, or unknown scalar functions. *)
+(** [run_result ~source ~target_root m] builds the target document.
+    Dynamic errors — unbound variables, conflicting leaf assignments,
+    non-singleton grouping keys, unknown scalar functions — are
+    reported as [CLIP-TGD-001] diagnostics; exhausting the step budget
+    ([limits.max_eval_steps], counting one step per source-expression
+    or scalar evaluation) as [CLIP-LIM-004]. *)
+val run_result :
+  ?limits:Clip_diag.Limits.t ->
+  ?minimum_cardinality:bool ->
+  source:Clip_xml.Node.t ->
+  target_root:string ->
+  Tgd.t ->
+  (Clip_xml.Node.t, Clip_diag.t list) result
+
+(** [run ~source ~target_root m] — like {!run_result}.
+    @raise Error on any reported diagnostic. *)
 val run :
+  ?limits:Clip_diag.Limits.t ->
   ?minimum_cardinality:bool ->
   source:Clip_xml.Node.t ->
   target_root:string ->
@@ -49,9 +63,20 @@ type trace_entry = {
   sources : Clip_xml.Node.t list; (** source elements, in binding order *)
 }
 
+(** [run_traced_result ~source ~target_root m] — like {!run_result},
+    also returning the lineage of every target element, preorder. *)
+val run_traced_result :
+  ?limits:Clip_diag.Limits.t ->
+  ?minimum_cardinality:bool ->
+  source:Clip_xml.Node.t ->
+  target_root:string ->
+  Tgd.t ->
+  (Clip_xml.Node.t * trace_entry list, Clip_diag.t list) result
+
 (** [run_traced ~source ~target_root m] — like {!run}, also returning
     the lineage of every target element, preorder. *)
 val run_traced :
+  ?limits:Clip_diag.Limits.t ->
   ?minimum_cardinality:bool ->
   source:Clip_xml.Node.t ->
   target_root:string ->

@@ -5,10 +5,17 @@ type state = {
   mutable pos : int;
   mutable line : int;
   mutable bol : int; (* offset of the beginning of the current line *)
+  mutable depth : int; (* current element-nesting depth *)
+  limits : Clip_diag.Limits.t;
 }
 
-let error st message =
-  raise (Parse_error { line = st.line; column = st.pos - st.bol + 1; message })
+let here st =
+  Clip_diag.span ~offset:st.pos ~line:st.line ~col:(st.pos - st.bol + 1) ()
+
+let error_at ?(code = Clip_diag.Codes.xml_syntax) ?hints st message =
+  Clip_diag.fail (Clip_diag.error ~span:(here st) ?hints ~code message)
+
+let error st message = error_at st message
 
 let error_to_string = function
   | Parse_error { line; column; message } ->
@@ -178,6 +185,17 @@ let parse_attrs st =
   loop []
 
 let rec parse_element st =
+  st.depth <- st.depth + 1;
+  if st.depth > st.limits.Clip_diag.Limits.max_xml_depth then
+    error_at st ~code:Clip_diag.Codes.limit_xml_depth
+      ~hints:[ "raise Limits.max_xml_depth to accept deeper documents" ]
+      (Printf.sprintf "element nesting exceeds the limit of %d"
+         st.limits.Clip_diag.Limits.max_xml_depth);
+  let node = parse_element_guarded st in
+  st.depth <- st.depth - 1;
+  node
+
+and parse_element_guarded st =
   expect st "<";
   let tagname = parse_name st in
   let attrs = parse_attrs st in
@@ -243,16 +261,32 @@ and parse_content st tagname =
   in
   loop []
 
-let parse_string s =
-  let st = { src = s; pos = 0; line = 1; bol = 0 } in
-  skip_misc st;
-  if eof st then error st "empty document";
-  let root = parse_element st in
-  skip_misc st;
-  if not (eof st) then error st "trailing content after the root element";
-  root
+let parse_string_result ?(limits = Clip_diag.Limits.default) s =
+  Clip_diag.guard (fun () ->
+      let st = { src = s; pos = 0; line = 1; bol = 0; depth = 0; limits } in
+      if String.length s > limits.Clip_diag.Limits.max_input_bytes then
+        error_at st ~code:Clip_diag.Codes.limit_input_bytes
+          ~hints:[ "raise Limits.max_input_bytes to accept larger documents" ]
+          (Printf.sprintf "input is %d bytes, larger than the limit of %d"
+             (String.length s) limits.Clip_diag.Limits.max_input_bytes);
+      skip_misc st;
+      if eof st then error st "empty document";
+      let root = parse_element st in
+      skip_misc st;
+      if not (eof st) then error st "trailing content after the root element";
+      root)
 
-let parse_string_opt s =
-  match parse_string s with
-  | root -> Some root
-  | exception Parse_error _ -> None
+let parse_string ?limits s =
+  match parse_string_result ?limits s with
+  | Ok root -> root
+  | Error ds ->
+    let d = List.hd ds in
+    let line, column =
+      match d.Clip_diag.span with
+      | Some sp -> (sp.Clip_diag.line, sp.Clip_diag.col)
+      | None -> (1, 1)
+    in
+    raise (Parse_error { line; column; message = d.Clip_diag.message })
+
+let parse_string_opt ?limits s =
+  match parse_string_result ?limits s with Ok root -> Some root | Error _ -> None

@@ -2,9 +2,31 @@ module Xml = Clip_xml
 
 exception Error of string
 
-let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+let error fmt =
+  Printf.ksprintf
+    (fun s -> Clip_diag.fail (Clip_diag.error ~code:Clip_diag.Codes.xquery_eval s))
+    fmt
 
 module Env = Map.Make (String)
+
+(* Evaluation context: the input document plus the step budget that
+   bounds runaway queries (CLIP-LIM-004). *)
+type ctx = { input : Xml.Node.t; steps : int ref; max_steps : int }
+
+let tick ctx =
+  incr ctx.steps;
+  if !(ctx.steps) > ctx.max_steps then
+    Clip_diag.fail
+      (Clip_diag.error ~code:Clip_diag.Codes.limit_eval_steps
+         ~hints:[ "raise [limits.max_eval_steps] if the query is expected to be this large" ]
+         (Printf.sprintf "evaluation exceeded the budget of %d steps" ctx.max_steps))
+
+(* Effective boolean value, with the multi-item case reported as a
+   dynamic error instead of [Invalid_argument]. *)
+let ebool v =
+  match Value.effective_bool v with
+  | b -> b
+  | exception Invalid_argument m -> error "%s" m
 
 let step_nodes (item : Value.item) (step : Ast.step) : Value.t =
   match item, step with
@@ -48,26 +70,27 @@ let numeric name v =
   | Some f -> f
   | None -> error "%s: non-numeric value %S" name (Xml.Atom.to_string v)
 
-let rec eval ~input env (e : Ast.expr) : Value.t =
+let rec eval ctx env (e : Ast.expr) : Value.t =
+  tick ctx;
   match e with
   | Ast.Var x ->
     (match Env.find_opt x env with
      | Some v -> v
      | None -> error "unbound variable $%s" x)
   | Ast.Doc tag ->
-    (match input with
-     | Xml.Node.Element e when String.equal e.tag tag -> Value.of_node input
+    (match ctx.input with
+     | Xml.Node.Element e when String.equal e.tag tag -> Value.of_node ctx.input
      | Xml.Node.Element e ->
        error "input document root is <%s>, query expects <%s>" e.tag tag
      | Xml.Node.Text _ -> error "input document root is a text node")
   | Ast.Literal a -> Value.of_atom a
-  | Ast.Path (base, steps) -> apply_steps (eval ~input env base) steps
-  | Ast.Seq es -> List.concat_map (eval ~input env) es
+  | Ast.Path (base, steps) -> apply_steps (eval ctx env base) steps
+  | Ast.Seq es -> List.concat_map (eval ctx env) es
   | Ast.Elem { tag; attrs; content } ->
     let attrs =
       List.filter_map
         (fun (name, e) ->
-          match Value.atomize (eval ~input env e) with
+          match Value.atomize (eval ctx env e) with
           | [] -> None
           | [ a ] -> Some (name, a)
           | many ->
@@ -84,32 +107,32 @@ let rec eval ~input env (e : Ast.expr) : Value.t =
             (function
               | Value.Node n -> n
               | Value.Atomic a -> Xml.Node.text a)
-            (eval ~input env e))
+            (eval ctx env e))
         content
     in
     Value.of_node (Xml.Node.elem ~attrs tag children)
-  | Ast.Flwor f -> eval_flwor ~input env f.clauses f.where f.return
+  | Ast.Flwor f -> eval_flwor ctx env f.clauses f.where f.return
   | Ast.If (c, t, e) ->
-    if Value.effective_bool (eval ~input env c) then eval ~input env t
-    else eval ~input env e
+    if ebool (eval ctx env c) then eval ctx env t
+    else eval ctx env e
   | Ast.Cmp (op, l, r) ->
-    let ls = Value.atomize (eval ~input env l) in
-    let rs = Value.atomize (eval ~input env r) in
+    let ls = Value.atomize (eval ctx env l) in
+    let rs = Value.atomize (eval ctx env r) in
     let holds = List.exists (fun a -> List.exists (compare_atoms op a) rs) ls in
     Value.of_atom (Xml.Atom.Bool holds)
   | Ast.And (l, r) ->
     Value.of_atom
       (Xml.Atom.Bool
-         (Value.effective_bool (eval ~input env l)
-          && Value.effective_bool (eval ~input env r)))
+         (ebool (eval ctx env l)
+          && ebool (eval ctx env r)))
   | Ast.Or (l, r) ->
     Value.of_atom
       (Xml.Atom.Bool
-         (Value.effective_bool (eval ~input env l)
-          || Value.effective_bool (eval ~input env r)))
+         (ebool (eval ctx env l)
+          || ebool (eval ctx env r)))
   | Ast.Arith (op, l, r) ->
     let one side e =
-      match Value.atomize (eval ~input env e) with
+      match Value.atomize (eval ctx env e) with
       | [ a ] -> a
       | [] -> error "arithmetic on the empty sequence (%s operand)" side
       | _ -> error "arithmetic on a multi-item sequence (%s operand)" side
@@ -130,30 +153,30 @@ let rec eval ~input env (e : Ast.expr) : Value.t =
            if y = 0. then error "division by zero" else Xml.Atom.Float (x /. y))
     in
     Value.of_atom result
-  | Ast.Call (name, args) -> eval_call ~input env name args
+  | Ast.Call (name, args) -> eval_call ctx env name args
 
-and eval_flwor ~input env clauses where return =
+and eval_flwor ctx env clauses where return =
   match clauses with
   | [] ->
     let keep =
       match where with
       | None -> true
-      | Some w -> Value.effective_bool (eval ~input env w)
+      | Some w -> ebool (eval ctx env w)
     in
-    if keep then eval ~input env return else Value.empty
+    if keep then eval ctx env return else Value.empty
   | Ast.Let (x, e) :: rest ->
-    let v = eval ~input env e in
-    eval_flwor ~input (Env.add x v env) rest where return
+    let v = eval ctx env e in
+    eval_flwor ctx (Env.add x v env) rest where return
   | Ast.For (x, e) :: rest ->
-    let v = eval ~input env e in
+    let v = eval ctx env e in
     List.concat_map
-      (fun item -> eval_flwor ~input (Env.add x [ item ] env) rest where return)
+      (fun item -> eval_flwor ctx (Env.add x [ item ] env) rest where return)
       v
 
-and eval_call ~input env name args =
+and eval_call ctx env name args =
   let arg i =
     match List.nth_opt args i with
-    | Some e -> eval ~input env e
+    | Some e -> eval ctx env e
     | None -> error "%s: missing argument %d" name (i + 1)
   in
   let arity n =
@@ -194,7 +217,7 @@ and eval_call ~input env name args =
     let parts =
       List.map
         (fun e ->
-          String.concat "" (List.map Xml.Atom.to_string (Value.atomize (eval ~input env e))))
+          String.concat "" (List.map Xml.Atom.to_string (Value.atomize (eval ctx env e))))
         args
     in
     Value.of_atom (Xml.Atom.String (String.concat "" parts))
@@ -222,12 +245,35 @@ and eval_call ~input env name args =
     Value.of_atom (Xml.Atom.Bool (arg 0 <> []))
   | "not" ->
     arity 1;
-    Value.of_atom (Xml.Atom.Bool (not (Value.effective_bool (arg 0))))
+    Value.of_atom (Xml.Atom.Bool (not (ebool (arg 0))))
   | name -> error "unknown function %s#%d" name (List.length args)
 
-let run ~input expr = eval ~input Env.empty expr
+let make_ctx limits input =
+  { input;
+    steps = ref 0;
+    max_steps = limits.Clip_diag.Limits.max_eval_steps }
 
-let run_document ~input expr =
-  match run ~input expr with
-  | [ Value.Node (Xml.Node.Element _ as n) ] -> n
-  | v -> error "query result is not a single element: %s" (Format.asprintf "%a" Value.pp v)
+let run_result ?(limits = Clip_diag.Limits.default) ~input expr =
+  Clip_diag.guard (fun () -> eval (make_ctx limits input) Env.empty expr)
+
+let reraise_legacy ds =
+  let d = match ds with d :: _ -> d | [] -> assert false in
+  raise (Error d.Clip_diag.message)
+
+let run ?limits ~input expr =
+  match run_result ?limits ~input expr with
+  | Ok v -> v
+  | Error ds -> reraise_legacy ds
+
+let run_document_result ?(limits = Clip_diag.Limits.default) ~input expr =
+  Clip_diag.guard (fun () ->
+    match eval (make_ctx limits input) Env.empty expr with
+    | [ Value.Node (Xml.Node.Element _ as n) ] -> n
+    | v ->
+      error "query result is not a single element: %s"
+        (Format.asprintf "%a" Value.pp v))
+
+let run_document ?limits ~input expr =
+  match run_document_result ?limits ~input expr with
+  | Ok n -> n
+  | Error ds -> reraise_legacy ds

@@ -1,14 +1,38 @@
-(** Evaluator for the XQuery fragment of {!Ast} over {!Clip_xml} data. *)
+(** Evaluator for the XQuery fragment of {!Ast} over {!Clip_xml} data.
+
+    Evaluation is metered: every expression node visited counts one
+    step against [limits.max_eval_steps], so a runaway query (e.g. a
+    fuzzed FLWOR over a large cross product) reports [CLIP-LIM-004]
+    instead of hanging. *)
 
 exception Error of string
 
-(** [run ~input expr] evaluates [expr]; [Ast.Doc tag] resolves to
-    [input] when tags match (the generated queries reference the source
-    document by its root tag, e.g. [source/dept]).
-    @raise Error on unbound variables, unknown functions or dynamic
-    type errors. *)
-val run : input:Clip_xml.Node.t -> Ast.expr -> Value.t
+(** [run_result ~input expr] evaluates [expr]; [Ast.Doc tag] resolves
+    to [input] when tags match (the generated queries reference the
+    source document by its root tag, e.g. [source/dept]). Dynamic
+    errors — unbound variables, unknown functions, type errors — are
+    reported as [CLIP-XQ-002] diagnostics; exhausting the step budget
+    as [CLIP-LIM-004]. *)
+val run_result :
+  ?limits:Clip_diag.Limits.t ->
+  input:Clip_xml.Node.t ->
+  Ast.expr ->
+  (Value.t, Clip_diag.t list) result
 
-(** [run_document ~input expr] — like {!run} but expects the result to
-    be exactly one element node (the constructed target document). *)
-val run_document : input:Clip_xml.Node.t -> Ast.expr -> Clip_xml.Node.t
+(** [run ~input expr] — like {!run_result}.
+    @raise Error on any reported diagnostic. *)
+val run : ?limits:Clip_diag.Limits.t -> input:Clip_xml.Node.t -> Ast.expr -> Value.t
+
+(** [run_document_result ~input expr] — like {!run_result} but expects
+    the result to be exactly one element node (the constructed target
+    document). *)
+val run_document_result :
+  ?limits:Clip_diag.Limits.t ->
+  input:Clip_xml.Node.t ->
+  Ast.expr ->
+  (Clip_xml.Node.t, Clip_diag.t list) result
+
+(** [run_document ~input expr] — like {!run_document_result}.
+    @raise Error on any reported diagnostic. *)
+val run_document :
+  ?limits:Clip_diag.Limits.t -> input:Clip_xml.Node.t -> Ast.expr -> Clip_xml.Node.t

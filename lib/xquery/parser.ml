@@ -5,10 +5,24 @@ let error_to_string = function
     Printf.sprintf "XQuery parse error at offset %d: %s" position message
   | e -> Printexc.to_string e
 
-type state = { src : string; mutable pos : int }
+type state = { src : string; mutable pos : int; mutable depth : int; max_depth : int }
 
-let error st fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { position = st.pos; message })) fmt
+let error_code code st fmt =
+  Printf.ksprintf
+    (fun message ->
+      Clip_diag.fail
+        (Clip_diag.error ~code ~span:(Clip_diag.span_of_offset st.src st.pos) message))
+    fmt
+
+let error st fmt = error_code Clip_diag.Codes.xquery_syntax st fmt
+
+let enter st =
+  st.depth <- st.depth + 1;
+  if st.depth > st.max_depth then
+    error_code Clip_diag.Codes.limit_recursion st
+      "expression nesting exceeds the limit of %d" st.max_depth
+
+let leave st = st.depth <- st.depth - 1
 
 let eof st = st.pos >= String.length st.src
 let peek_at st k = if st.pos + k >= String.length st.src then '\000' else st.src.[st.pos + k]
@@ -115,11 +129,22 @@ let read_number st =
     done;
     Clip_xml.Atom.Float (float_of_string (String.sub st.src start (st.pos - start)))
   end
-  else Clip_xml.Atom.Int (int_of_string (String.sub st.src start (st.pos - start)))
+  else begin
+    let digits = String.sub st.src start (st.pos - start) in
+    match int_of_string_opt digits with
+    | Some n -> Clip_xml.Atom.Int n
+    | None -> error st "integer literal out of range: %s" digits
+  end
 
 (* ------------------------------------------------------------------ *)
 
 let rec parse_expr st : Ast.expr =
+  enter st;
+  let e = parse_expr_guarded st in
+  leave st;
+  e
+
+and parse_expr_guarded st : Ast.expr =
   skip_ws st;
   if looking_at_kw st "for" || looking_at_kw st "let" then parse_flwor st
   else if looking_at_kw st "if" then parse_if st
@@ -354,6 +379,12 @@ and parse_primary st =
 (* Direct element constructors, accepting both [attr={expr}] (the
    paper's notation) and [attr="literal"] / [attr="{expr}"]. *)
 and parse_constructor st =
+  enter st;
+  let e = parse_constructor_guarded st in
+  leave st;
+  e
+
+and parse_constructor_guarded st =
   eat st "<";
   let tag = read_name st in
   let attrs = ref [] in
@@ -449,14 +480,32 @@ and parse_constructor st =
     Ast.Elem { tag; attrs = List.rev !attrs; content = List.rev !content }
   end
 
-let parse_string s =
-  let st = { src = s; pos = 0 } in
-  let e = parse_expr st in
-  skip_ws st;
-  if not (eof st) then error st "trailing input after the expression";
-  e
+let parse_string_result ?(limits = Clip_diag.Limits.default) s =
+  Clip_diag.guard (fun () ->
+    let st =
+      { src = s;
+        pos = 0;
+        depth = 0;
+        max_depth = limits.Clip_diag.Limits.max_parser_recursion }
+    in
+    if String.length s > limits.Clip_diag.Limits.max_input_bytes then
+      error_code Clip_diag.Codes.limit_input_bytes st
+        "input is %d bytes, which exceeds the limit of %d bytes"
+        (String.length s) limits.Clip_diag.Limits.max_input_bytes;
+    let e = parse_expr st in
+    skip_ws st;
+    if not (eof st) then error st "trailing input after the expression";
+    e)
 
-let parse_string_opt s =
-  match parse_string s with
-  | e -> Some e
-  | exception Parse_error _ -> None
+let parse_string ?limits s =
+  match parse_string_result ?limits s with
+  | Ok e -> e
+  | Error ds ->
+    let d = match ds with d :: _ -> d | [] -> assert false in
+    let position =
+      match d.Clip_diag.span with Some sp -> sp.Clip_diag.offset | None -> 0
+    in
+    raise (Parse_error { position; message = d.Clip_diag.message })
+
+let parse_string_opt ?limits s =
+  match parse_string_result ?limits s with Ok e -> Some e | Error _ -> None

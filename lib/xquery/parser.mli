@@ -16,10 +16,19 @@
 
 exception Parse_error of { position : int; message : string }
 
-(** [parse_string s] parses one expression.
-    @raise Parse_error on malformed input. *)
-val parse_string : string -> Ast.expr
+(** [parse_string_result s] parses one expression, or reports spanned
+    diagnostics: [CLIP-XQ-001] for syntax errors, [CLIP-LIM-001] for
+    oversized inputs and [CLIP-LIM-003] when expression nesting
+    exceeds [limits.max_parser_recursion]. Never raises on any
+    input. *)
+val parse_string_result :
+  ?limits:Clip_diag.Limits.t -> string -> (Ast.expr, Clip_diag.t list) result
 
-val parse_string_opt : string -> Ast.expr option
+(** [parse_string s] parses one expression.
+    @raise Parse_error on malformed input (thin wrapper over
+    {!parse_string_result}). *)
+val parse_string : ?limits:Clip_diag.Limits.t -> string -> Ast.expr
+
+val parse_string_opt : ?limits:Clip_diag.Limits.t -> string -> Ast.expr option
 
 val error_to_string : exn -> string

@@ -1,0 +1,113 @@
+Failure modes: every error is a diagnostic with a stable CLIP-* code,
+rendered with a source span and caret where one exists. Exit code 1
+means "input read but rejected"; cmdliner usage errors are 124.
+
+A mapping file with a syntax error — the diagnostic points at the line:
+
+  $ cat > syntax.clip <<'EOF'
+  > schema source { a [0..*] { v: int } }
+  > schema target { t [0..*] { @x: int } }
+  > mapping {
+  >   node n: source.a as -> target.t
+  > }
+  > EOF
+  $ clip compile syntax.clip
+  error[CLIP-MAP-001]: expected "$", found ->
+    --> line 4, column 23
+     |
+   4 |   node n: source.a as -> target.t
+     |                       ^^
+  [1]
+
+A schema error inside the mapping file keeps its own code:
+
+  $ cat > badcard.clip <<'EOF'
+  > schema source { a [9..1] { v: int } }
+  > schema target { t [0..*] { @x: int } }
+  > mapping {
+  >   node n: source.a as $p -> target.t
+  > }
+  > EOF
+  $ clip validate badcard.clip
+  error[CLIP-SCH-002]: invalid cardinality [9..1]
+    --> line 1, column 23
+     |
+   1 | schema source { a [9..1] { v: int } }
+     |                       ^
+  [1]
+
+`check FILE` prints every diagnostic without stopping at the first:
+
+  $ cat > multi.clip <<'EOF'
+  > schema s { a [0..*] { x: string  b [0..*] { y: string } } }
+  > schema t { c [0..*] { @y: string  @z: string } }
+  > mapping {
+  >   node n: s.a as $a -> t.c
+  >   value s.a.b.y.value -> t.c.@y
+  >   value s.a.b.y.value -> t.c.@z
+  > }
+  > EOF
+  $ clip check multi.clip
+  error[CLIP-VAL-unanchored-source]: value mapping to t.c.@y: source s.a.b.y.value sits inside a repeating element not bounded by a builder
+  
+  error[CLIP-VAL-unanchored-source]: value mapping to t.c.@z: source s.a.b.y.value sits inside a repeating element not bounded by a builder
+  [1]
+
+A clean mapping reports success and exits 0:
+
+  $ cat > ok.clip <<'EOF'
+  > schema s { a [0..*] { x: string } }
+  > schema t { c [0..*] { @x: string } }
+  > mapping {
+  >   node n: s.a as $a -> t.c
+  >   value s.a.x.value -> t.c.@x
+  > }
+  > EOF
+  $ clip check ok.clip
+  ok: no diagnostics
+
+Malformed XML input to `run` is a spanned CLIP-XML-001:
+
+  $ cat > broken.xml <<'EOF'
+  > <s><a><x>hello</x></a>
+  > EOF
+  $ clip run ok.clip -i broken.xml
+  error[CLIP-XML-001]: unterminated element <s>
+    --> line 2, column 1
+     |
+   2 | 
+     | ^
+  [1]
+
+A source instance whose root does not match the mapping is caught at
+execution time with a tgd-engine diagnostic:
+
+  $ printf '<wrong/>' > wrong.xml
+  $ clip run ok.clip -i wrong.xml
+  error[CLIP-TGD-001]: source root is <wrong>, the mapping expects <s>
+  [1]
+
+A missing file is caught by cmdliner's argument validation, so it is a
+usage error (124), not a diagnostic:
+
+  $ clip validate does-not-exist.clip
+  clip: MAPPING argument: no 'does-not-exist.clip' file or directory
+  Usage: clip validate [OPTION]… MAPPING
+  Try 'clip validate --help' or 'clip --help' for more information.
+  [124]
+
+An unsupported XSD construct:
+
+  $ cat > bad.xsd <<'EOF'
+  > <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  >   <xs:element name="r" maxOccurs="lots" type="xs:string"/>
+  > </xs:schema>
+  > EOF
+  $ clip schema bad.xsd --to dsl
+  error[CLIP-SCH-003]: bad maxOccurs "lots"
+  [1]
+
+Usage errors (unknown subcommand) exit 124:
+
+  $ clip frobnicate 2>/dev/null
+  [124]

@@ -1,0 +1,63 @@
+(* Source lint: forbid [failwith] and [Obj.magic] in [lib/].
+
+   Library code reports failures as [Clip_diag] diagnostics (or typed
+   exceptions); [failwith] erases the code, span and hints. The only
+   permitted sites are the legacy-compat wrappers that reconstruct
+   [Failure] from the first diagnostic, listed in [allowlist] below
+   with the number of occurrences each may contain. [Obj.magic] is
+   never allowed.
+
+   Run as [lint.exe LIBDIR]; wired into [dune runtest]. *)
+
+let allowlist = [ ("clio/generate.ml", 1); ("clio/enumerate.ml", 1); ("core/compile.ml", 1) ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let count_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let count = ref 0 in
+  for i = 0 to nh - nn do
+    if String.equal (String.sub hay i nn) needle then incr count
+  done;
+  !count
+
+let rec ml_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun f ->
+         let p = Filename.concat dir f in
+         if Sys.is_directory p then ml_files p
+         else if Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+         then [ p ]
+         else [])
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
+  let errors = ref 0 in
+  let complain fmt = Printf.ksprintf (fun s -> incr errors; prerr_endline s) fmt in
+  List.iter
+    (fun path ->
+      let src = read_file path in
+      (* Path relative to the lib root, for allowlist matching. *)
+      let rel =
+        let prefix = root ^ Filename.dir_sep in
+        if String.length path > String.length prefix
+           && String.equal (String.sub path 0 (String.length prefix)) prefix
+        then String.sub path (String.length prefix) (String.length path - String.length prefix)
+        else path
+      in
+      let magic = count_substring src "Obj.magic" in
+      if magic > 0 then
+        complain "lint: %s: %d use(s) of Obj.magic (never allowed in lib/)" rel magic;
+      let fw = count_substring src "failwith" in
+      let allowed = match List.assoc_opt rel allowlist with Some n -> n | None -> 0 in
+      if fw > allowed then
+        complain
+          "lint: %s: %d use(s) of failwith, %d allowed — report a Clip_diag \
+           diagnostic instead (see lib/diag)"
+          rel fw allowed)
+    (ml_files root);
+  if !errors > 0 then exit 1 else print_endline "lint: lib/ is clean"
