@@ -244,6 +244,165 @@ let scaling_experiment () =
       Printf.printf "%-8d | %-10d | %9.3f ms\n" depts (Node.size doc) (t *. 1000.))
     [ 10; 50; 100; 500 ]
 
+(* --- Plan layer: naive vs indexed (ours) -------------------------------------------- *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* One measured row: a scenario run on one backend in both plan modes. *)
+type plan_row = {
+  r_figure : string;
+  r_backend : string;
+  r_scale : int; (* 0 = the paper instance *)
+  r_src_nodes : int;
+  r_identical : bool; (* Node.equal, exact sibling order *)
+  r_agree : bool; (* Node.equal_unordered *)
+  r_naive_ms : float;
+  r_indexed_ms : float;
+  r_naive_steps : int;
+  r_indexed_steps : int;
+}
+
+let speedup r = r.r_naive_ms /. Float.max r.r_indexed_ms 1e-6
+
+let plan_experiment ?(smoke = false) () =
+  rule
+    (Printf.sprintf "Plan layer — naive vs indexed execution%s"
+       (if smoke then " (smoke)" else ""));
+  let limits = Clip_diag.Limits.unlimited in
+  let run_mode (sc : S.Figures.t) ~backend ~plan doc =
+    let steps = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    match
+      Engine.run_result ~limits ~backend
+        ~minimum_cardinality:sc.minimum_cardinality ~plan ~steps_out:steps
+        sc.mapping doc
+    with
+    | Ok out -> (out, (Unix.gettimeofday () -. t0) *. 1000., !steps)
+    | Error ds ->
+      List.iter (fun d -> prerr_endline (Clip_diag.to_string d)) ds;
+      Printf.eprintf "plan bench: %s failed\n" sc.name;
+      exit 1
+  in
+  let measure (sc : S.Figures.t) ~(backend : Engine.backend) ~scale doc =
+    let bname =
+      match backend with
+      | `Tgd -> "tgd"
+      | `Xquery -> "xquery"
+      | `Xquery_text -> "xquery-text"
+    in
+    let out_n, ms_n, steps_n = run_mode sc ~backend ~plan:`Naive doc in
+    let out_i, ms_i, steps_i = run_mode sc ~backend ~plan:`Indexed doc in
+    {
+      r_figure = sc.name;
+      r_backend = bname;
+      r_scale = scale;
+      r_src_nodes = Node.size doc;
+      r_identical = Node.equal out_n out_i;
+      r_agree = Node.equal_unordered out_n out_i;
+      r_naive_ms = ms_n;
+      r_indexed_ms = ms_i;
+      r_naive_steps = steps_n;
+      r_indexed_steps = steps_i;
+    }
+  in
+  subrule "figure scenarios on the paper instance (output agreement)";
+  let figure_rows =
+    List.concat_map
+      (fun (sc : S.Figures.t) ->
+        let backends =
+          if sc.minimum_cardinality then [ `Tgd; `Xquery ] else [ `Tgd ]
+        in
+        List.map
+          (fun backend -> measure sc ~backend ~scale:0 S.Deptdb.instance)
+          backends)
+      S.Figures.all
+  in
+  Printf.printf "%-18s | %-7s | %-9s | %-11s | %-13s\n" "figure" "backend"
+    "identical" "naive steps" "indexed steps";
+  print_endline (String.make 68 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s | %-7s | %-9b | %-11d | %-13d\n" r.r_figure
+        r.r_backend r.r_identical r.r_naive_steps r.r_indexed_steps)
+    figure_rows;
+  subrule "scaled synthetic deptdb (wall-clock, step counts)";
+  let scales = if smoke then [ 1; 10 ] else [ 1; 10; 100 ] in
+  let scaling_rows =
+    List.concat_map
+      (fun ((sc : S.Figures.t), backends) ->
+        List.concat_map
+          (fun scale ->
+            let doc =
+              S.Deptdb.synthetic_instance ~depts:(2 * scale) ~projs:5 ~emps:10
+            in
+            List.map (fun backend -> measure sc ~backend ~scale doc) backends)
+          scales)
+      [
+        (S.Figures.fig5, [ `Tgd ]);
+        (S.Figures.fig6, [ `Tgd; `Xquery ]);
+        (S.Figures.fig6_join_global, [ `Tgd; `Xquery ]);
+        (S.Figures.fig7, [ `Tgd ]);
+      ]
+  in
+  Printf.printf "%-8s | %-7s | %-6s | %-11s | %-11s | %-8s | %-11s | %s\n"
+    "figure" "backend" "scale" "naive ms" "indexed ms" "speedup" "naive steps"
+    "indexed steps";
+  print_endline (String.make 96 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s | %-7s | %-6d | %11.3f | %11.3f | %7.1fx | %-11d | %d\n"
+        r.r_figure r.r_backend r.r_scale r.r_naive_ms r.r_indexed_ms (speedup r)
+        r.r_naive_steps r.r_indexed_steps)
+    scaling_rows;
+  let all_agree = List.for_all (fun r -> r.r_agree) (figure_rows @ scaling_rows) in
+  let best =
+    List.fold_left
+      (fun acc r -> if speedup r > speedup acc then r else acc)
+      (List.hd scaling_rows) scaling_rows
+  in
+  Printf.printf "\nall outputs agree (order-insensitive): %b\n" all_agree;
+  Printf.printf "best speedup: %.1fx (%s/%s at scale %dx)\n" (speedup best)
+    best.r_figure best.r_backend best.r_scale;
+  let row_json r =
+    Printf.sprintf
+      "{\"figure\": %s, \"backend\": %s, \"scale\": %d, \"src_nodes\": %d, \
+       \"identical\": %b, \"agree\": %b, \"naive_ms\": %.3f, \"indexed_ms\": \
+       %.3f, \"speedup\": %.2f, \"naive_steps\": %d, \"indexed_steps\": %d}"
+      (json_string r.r_figure) (json_string r.r_backend) r.r_scale r.r_src_nodes
+      r.r_identical r.r_agree r.r_naive_ms r.r_indexed_ms (speedup r)
+      r.r_naive_steps r.r_indexed_steps
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf (Printf.sprintf "  \"all_agree\": %b,\n" all_agree);
+  Buffer.add_string buf "  \"figures\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map (fun r -> "    " ^ row_json r) figure_rows));
+  Buffer.add_string buf "\n  ],\n  \"scaling\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map (fun r -> "    " ^ row_json r) scaling_rows));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_plan.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_plan.json (%d rows)\n"
+    (List.length figure_rows + List.length scaling_rows)
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
 
 let perf_experiment () =
@@ -360,12 +519,14 @@ let experiments =
     ("xquery", xquery_experiment);
     ("ablations", ablation_experiment);
     ("scaling", scaling_experiment);
+    ("plan", plan_experiment ?smoke:None);
     ("perf", perf_experiment);
   ]
 
 let () =
   match Sys.argv with
   | [| _ |] -> List.iter (fun (_, f) -> f ()) experiments
+  | [| _; "plan"; "--smoke" |] -> plan_experiment ~smoke:true ()
   | [| _; name |] ->
     (match List.assoc_opt name experiments with
      | Some f -> f ()
@@ -374,5 +535,5 @@ let () =
          (String.concat ", " (List.map fst experiments));
        exit 1)
   | _ ->
-    prerr_endline "usage: main.exe [experiment]";
+    prerr_endline "usage: main.exe [experiment] | plan --smoke";
     exit 1

@@ -1,10 +1,12 @@
 type backend = [ `Tgd | `Xquery | `Xquery_text ]
 
-let run ?(backend = `Tgd) ?(minimum_cardinality = true) (m : Mapping.t) source =
+let run ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?steps_out
+    (m : Mapping.t) source =
   let tgd = Compile.to_tgd m in
   let target_root = m.target.root.name in
   match backend with
-  | `Tgd -> Clip_tgd.Eval.run ~minimum_cardinality ~source ~target_root tgd
+  | `Tgd ->
+    Clip_tgd.Eval.run ~minimum_cardinality ?plan ?steps_out ~source ~target_root tgd
   | (`Xquery | `Xquery_text) as backend ->
     if not minimum_cardinality then
       invalid_arg
@@ -19,18 +21,18 @@ let run ?(backend = `Tgd) ?(minimum_cardinality = true) (m : Mapping.t) source =
            XQuery processor would receive. *)
         Clip_xquery.Parser.parse_string (Clip_xquery.Pretty.query_to_string query)
     in
-    Clip_xquery.Eval.run_document ~input:source query
+    Clip_xquery.Eval.run_document ?plan ?steps_out ~input:source query
 
-let run_result ?limits ?(backend = `Tgd) ?(minimum_cardinality = true)
-    (m : Mapping.t) source =
+let run_result ?limits ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan
+    ?steps_out (m : Mapping.t) source =
   match Compile.to_tgd_result m with
   | Error ds -> Error ds
   | Ok tgd ->
     let target_root = m.target.root.name in
     (match backend with
      | `Tgd ->
-       Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ~source ~target_root
-         tgd
+       Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan ?steps_out
+         ~source ~target_root tgd
      | (`Xquery | `Xquery_text) as backend ->
        if not minimum_cardinality then
          invalid_arg
@@ -49,7 +51,8 @@ let run_result ?limits ?(backend = `Tgd) ?(minimum_cardinality = true)
           (match query with
            | Error ds -> Error ds
            | Ok query ->
-             Clip_xquery.Eval.run_document_result ?limits ~input:source query)))
+             Clip_xquery.Eval.run_document_result ?limits ?plan ?steps_out
+               ~input:source query)))
 
 (* Every diagnostic for a mapping, in one pass: all validity issues
    (warnings included), then — when validity allows compiling — any
@@ -68,9 +71,9 @@ let diagnose (m : Mapping.t) =
   in
   issues @ later
 
-let run_traced ?(minimum_cardinality = true) (m : Mapping.t) source =
+let run_traced ?(minimum_cardinality = true) ?plan (m : Mapping.t) source =
   let tgd = Compile.to_tgd m in
-  Clip_tgd.Eval.run_traced ~minimum_cardinality ~source
+  Clip_tgd.Eval.run_traced ~minimum_cardinality ?plan ~source
     ~target_root:m.target.root.name tgd
 
 let xquery_text (m : Mapping.t) =

@@ -11,18 +11,29 @@
       would receive.
 
     The test suite asserts all backends agree on every scenario; the
-    benchmark harness compares their cost. *)
+    benchmark harness compares their cost.
+
+    Orthogonally to the backend, [?plan] selects the physical
+    evaluation strategy: [`Indexed] (the default) runs through the
+    shared {!Clip_plan} layer — per-run tag index, condition pushdown,
+    hash joins, streaming — while [`Naive] runs the original
+    interpreters, kept as differential-testing oracles. Both produce
+    identical target instances. [?steps_out], when given, receives the
+    number of evaluation-budget steps consumed. *)
 
 type backend = [ `Tgd | `Xquery | `Xquery_text ]
 
 (** [run ?backend ?minimum_cardinality mapping source] — the target
-    instance. Default backend [`Tgd]; default minimum-cardinality on.
+    instance. Default backend [`Tgd]; default minimum-cardinality on;
+    default plan [`Indexed].
     @raise Compile.Invalid when the mapping is invalid
     @raise Clip_tgd.Eval.Error / Clip_xquery.Eval.Error on dynamic
     failures. *)
 val run :
   ?backend:backend ->
   ?minimum_cardinality:bool ->
+  ?plan:Clip_plan.mode ->
+  ?steps_out:int ref ->
   Mapping.t ->
   Clip_xml.Node.t ->
   Clip_xml.Node.t
@@ -36,6 +47,8 @@ val run_result :
   ?limits:Clip_diag.Limits.t ->
   ?backend:backend ->
   ?minimum_cardinality:bool ->
+  ?plan:Clip_plan.mode ->
+  ?steps_out:int ref ->
   Mapping.t ->
   Clip_xml.Node.t ->
   (Clip_xml.Node.t, Clip_diag.t list) result
@@ -51,6 +64,7 @@ val diagnose : Mapping.t -> Clip_diag.t list
     target element came from (see {!Clip_tgd.Eval.run_traced}). *)
 val run_traced :
   ?minimum_cardinality:bool ->
+  ?plan:Clip_plan.mode ->
   Mapping.t ->
   Clip_xml.Node.t ->
   Clip_xml.Node.t * Clip_tgd.Eval.trace_entry list

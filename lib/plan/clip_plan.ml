@@ -1,0 +1,395 @@
+(* A backend-agnostic physical-plan layer.
+
+   Both execution backends (the nested-tgd engine and the XQuery
+   evaluator) share the same inner loop: a chain of generators binding
+   variables to items, a conjunction of filter conditions, and a
+   per-binding action. The naive interpreters enumerate the full
+   Cartesian product of the generators and only then filter; this
+   module separates that logical shape from a physical evaluation plan:
+
+   - condition pushdown: each condition is checked at the earliest
+     generator position at which all its variables are bound;
+   - hash joins: an equality condition between earlier-bound variables
+     and a later generator turns that generator — together with the
+     contiguous chain of generators feeding it, when that chain is
+     independent of the probe side — into a hash-table probe, built
+     once per environment in which the segment's inputs are fixed;
+   - streaming execution: bindings are folded into an [emit] callback
+     instead of being materialised as a list.
+
+   The planner works on an abstract description — variable-dependency
+   sets plus evaluation closures — so it does not depend on either
+   backend's expression language. Enumeration order is preserved
+   exactly: pushdown never reorders generators, and a hash probe
+   yields its matches in build-side (document) order, so a plan-based
+   run is byte-identical to the naive interpreter on every input whose
+   evaluation does not raise. (Error behaviour may differ: pushdown
+   can evaluate a failing condition that the naive interpreter would
+   never reach because a later generator is empty, and vice versa.) *)
+
+module Key = struct
+  (* Hashable join/dedup keys over atoms, normalised so that key
+     equality coincides with [Clip_xml.Atom.equal]: [Int i] and
+     [Float f] are the same key when [float_of_int i = f], all NaNs
+     collapse to one key, and [0.] and [-0.] stay distinct (matching
+     [Float.equal]). Integers beyond the 2^53 float range coarsen onto
+     their nearest float — callers that must be exact re-check the
+     original condition on each probe hit. *)
+  type norm =
+    | KString of string
+    | KNum of int64 (* IEEE bits; NaNs canonicalised *)
+    | KBool of bool
+
+  type t = norm list
+
+  let norm_atom (a : Clip_xml.Atom.t) : norm =
+    match a with
+    | Clip_xml.Atom.String s -> KString s
+    | Clip_xml.Atom.Bool b -> KBool b
+    | Clip_xml.Atom.Int i -> KNum (Int64.bits_of_float (float_of_int i))
+    | Clip_xml.Atom.Float f ->
+      KNum (Int64.bits_of_float (if Float.is_nan f then Float.nan else f))
+
+  let of_atom a = [ norm_atom a ]
+  let of_atoms atoms = List.map norm_atom atoms
+  let equal (a : t) (b : t) = a = b
+  let hash (k : t) = Hashtbl.hash k
+end
+
+type mode = [ `Naive | `Indexed ]
+
+(* --- Planner input ----------------------------------------------------- *)
+
+type ('env, 'item) gen = {
+  var : string;  (** the variable this generator binds *)
+  deps : string list;  (** variables its expression reads *)
+  eval : 'env -> 'item list;  (** enumerate the items, in order *)
+  bind : 'env -> 'item -> 'env;
+}
+
+type 'env pred = {
+  pvars : string list;  (** variables the predicate reads *)
+  test : 'env -> bool;
+}
+
+(* One side of an equality condition, as hashable keys. [keys] returns
+   one key per atom of the (possibly multi-valued) side; the condition
+   holds when the two sides share at least one key. *)
+type 'env keyed = {
+  kvars : string list;
+  keys : 'env -> Key.t list;
+}
+
+type 'env cond =
+  | Eq of { left : 'env keyed; right : 'env keyed; orig : 'env pred }
+  | Other of 'env pred
+
+(* --- Physical plan ----------------------------------------------------- *)
+
+(* A step covers one generator (Scan) or a contiguous run of
+   generators (Probe) replaced wholesale by a hash-table lookup: the
+   table enumerates the whole segment once per build environment and
+   stores the bound item tuples, so probing restores every segment
+   variable at once. A single-generator hash join is the segment of
+   length one. *)
+type ('env, 'item) stage =
+  | Scan of { gen : ('env, 'item) gen; preds : 'env pred list }
+  | Probe of {
+      gens : ('env, 'item) gen array;
+          (** the segment's generators, in enumeration order *)
+      slot : int;  (** table slot, unique per probe *)
+      build_at : int;  (** step index at whose entry the table is built *)
+      build_keys : 'env -> Key.t list;
+          (** keys of one build-side tuple (evaluated with the whole
+              segment bound) *)
+      probe_keys : 'env -> Key.t list;
+      preds : 'env pred list;
+          (** residual predicates, including the original equality —
+              re-checked so key coarsening can never widen the join —
+              and every condition pushdown placed inside the segment *)
+    }
+
+type ('env, 'item) t = {
+  pre : 'env pred list;  (** conditions decided by the outer environment *)
+  stages : ('env, 'item) stage array;  (** steps, in enumeration order *)
+  builds : int list array;
+      (** [builds.(i)]: probe steps whose table is built on entry to
+          step [i] (once per binding of the steps [< i]) *)
+  nslots : int;
+}
+
+let stage_gens = function Scan { gen; _ } -> [| gen |] | Probe { gens; _ } -> gens
+
+let describe t =
+  String.concat " "
+    (Array.to_list
+       (Array.map
+          (function
+            | Scan { gen; preds } ->
+              Printf.sprintf "scan(%s%s)" gen.var
+                (if preds = [] then "" else Printf.sprintf "/%d" (List.length preds))
+            | Probe { gens; build_at; _ } ->
+              Printf.sprintf "probe(%s@%d)"
+                (String.concat "." (Array.to_list (Array.map (fun g -> g.var) gens)))
+                build_at)
+          t.stages))
+
+(* --- Planning ---------------------------------------------------------- *)
+
+let plan ~bound ~gens ~conds =
+  let gens = Array.of_list gens in
+  let n = Array.length gens in
+  (* Pushdown and joins rely on each variable having exactly one
+     binding site; if a generator shadows an outer variable or a
+     sibling generator, fall back to checking every condition at the
+     innermost position, exactly like the naive interpreters. *)
+  let shadowed =
+    let seen = Hashtbl.create 8 in
+    List.iter (fun v -> Hashtbl.replace seen v ()) bound;
+    Array.exists
+      (fun g ->
+        Hashtbl.mem seen g.var
+        ||
+        (Hashtbl.replace seen g.var ();
+         false))
+      gens
+  in
+  (* [level vars] — the smallest stage count [i] such that every
+     variable is bound by the outer environment or by generators
+     [0..i-1]; [n] when some variable is never bound (the predicate
+     then fails or errors at the innermost position, as it would
+     naively). *)
+  let level vars =
+    let rec go i remaining =
+      match remaining with
+      | [] -> i
+      | _ when i >= n -> n
+      | _ ->
+        go (i + 1)
+          (List.filter (fun v -> not (String.equal v gens.(i).var)) remaining)
+    in
+    go 0 (List.filter (fun v -> not (List.mem v bound)) vars)
+  in
+  let preds_at = Array.make (n + 1) [] in
+  let attach j p = preds_at.(j) <- p :: preds_at.(j) in
+  (* A chosen join claims the contiguous generator range [g..s]; the
+     probe replaces the whole segment. [seg_start.(g)] records the
+     segment's extent and sides; [claimed.(t)] marks every covered
+     stage so segments never overlap. *)
+  let claimed = Array.make (max 1 n) false in
+  let seg_start = Array.make (max 1 n) None in
+  let nslots = ref 0 in
+  List.iter
+    (fun cond ->
+      match cond with
+      | Other p -> attach (if shadowed then n else min (level p.pvars) n) p
+      | Eq { left; right; orig } ->
+        let j = if shadowed then n else level orig.pvars in
+        attach j orig;
+        if (not shadowed) && j >= 1 && j <= n && not claimed.(j - 1) then begin
+          let s = j - 1 in
+          let ll = level left.kvars and lr = level right.kvars in
+          (* The build side is the one that reads the stage-[s]
+             variable; the probe side must be decided earlier. *)
+          let sides =
+            if ll = j && lr < j then Some (left, right)
+            else if lr = j && ll < j then Some (right, left)
+            else None
+          in
+          match sides with
+          | None -> ()
+          | Some (build, probe) ->
+            (* Try segments [g..s], shortest first. [ext g] is what
+               the segment reads from outside itself — the generators'
+               dependencies plus the build keys, minus the segment's
+               own variables — and [bp] the level at which all of that
+               is bound. The join pays off only when the table
+               survives at least one generator outside the segment
+               ([bp < g]; [bp = g] would rebuild it per probe), and is
+               only possible when the probe keys are decided by then
+               ([level probe.kvars <= g]). Growing the segment
+               downward absorbs feeder generators (e.g. [d2] in
+               [d2 in source.dept, r in d2.regEmp]) whose presence
+               would otherwise pin [bp] to [s]. *)
+            let lp = level probe.kvars in
+            let ext g =
+              let seg_var v =
+                let rec mem t = t <= s && (String.equal gens.(t).var v || mem (t + 1)) in
+                mem g
+              in
+              let vars = ref (List.filter (fun v -> not (seg_var v)) build.kvars) in
+              for t = g to s do
+                vars := List.filter (fun v -> not (seg_var v)) gens.(t).deps @ !vars
+              done;
+              !vars
+            in
+            let rec pick g =
+              if g < 1 || g < lp || claimed.(g) then None
+              else if level (ext g) < g then Some g
+              else pick (g - 1)
+            in
+            (match pick s with
+            | None -> ()
+            | Some g ->
+              let slot = !nslots in
+              incr nslots;
+              for t = g to s do
+                claimed.(t) <- true
+              done;
+              seg_start.(g) <- Some (s, slot, level (ext g), build, probe))
+        end)
+    conds;
+  (* Lay out the steps: each segment collapses to one probe step whose
+     residual predicates are every condition pushdown placed inside it
+     (they run after the whole segment binds — same surviving
+     bindings, though a failing predicate may be evaluated on tuples
+     the naive order would have pruned, and vice versa). *)
+  let steps_rev = ref [] in
+  let starts_rev = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    starts_rev := !i :: !starts_rev;
+    (match seg_start.(!i) with
+    | Some (s, slot, bp, build, probe) ->
+      let preds = ref [] in
+      for t = s + 1 downto !i + 1 do
+        preds := List.rev_append preds_at.(t) !preds
+      done;
+      steps_rev :=
+        Probe
+          {
+            gens = Array.sub gens !i (s - !i + 1);
+            slot;
+            build_at = bp (* a generator level for now; mapped below *);
+            build_keys = build.keys;
+            probe_keys = probe.keys;
+            preds = !preds;
+          }
+        :: !steps_rev;
+      i := s + 1
+    | None ->
+      steps_rev := Scan { gen = gens.(!i); preds = List.rev preds_at.(!i + 1) } :: !steps_rev;
+      incr i)
+  done;
+  let stages = Array.of_list (List.rev !steps_rev) in
+  let starts = Array.of_list (List.rev !starts_rev) in
+  (* Map each probe's build point — a generator level — onto the first
+     step boundary that binds at least that many generators. (A build
+     point inside another segment rounds up past it: the segment binds
+     atomically, so the earliest usable entry is the next step.) *)
+  let step_of_level lvl =
+    let k = ref (Array.length starts) in
+    for idx = Array.length starts - 1 downto 0 do
+      if starts.(idx) >= lvl then k := idx
+    done;
+    !k
+  in
+  Array.iteri
+    (fun idx step ->
+      match step with
+      | Probe p -> stages.(idx) <- Probe { p with build_at = step_of_level p.build_at }
+      | Scan _ -> ())
+    stages;
+  let builds = Array.make (Array.length stages + 1) [] in
+  Array.iteri
+    (fun idx stage ->
+      match stage with
+      | Probe { build_at; _ } -> builds.(build_at) <- idx :: builds.(build_at)
+      | Scan _ -> ())
+    stages;
+  Array.iteri (fun idx l -> builds.(idx) <- List.rev l) builds;
+  { pre = List.rev preds_at.(0); stages; builds; nslots = !nslots }
+
+(* --- Execution --------------------------------------------------------- *)
+
+module KeyTbl = Hashtbl.Make (Key)
+
+let execute (t : ('env, 'item) t) ~(tick : unit -> unit) ~(env : 'env)
+    ~(emit : 'env -> unit) : unit =
+  let n = Array.length t.stages in
+  let tables : (int * 'item list) KeyTbl.t option array =
+    Array.make (max 1 t.nslots) None
+  in
+  let build env k =
+    match t.stages.(k) with
+    | Scan _ -> ()
+    | Probe { gens; slot; build_keys; _ } ->
+      (* Enumerate the whole segment once, collecting each bound tuple
+         with its keys (reversed enumeration order). *)
+      let m = Array.length gens in
+      let entries = ref [] in
+      let rec enum d env tuple_rev =
+        if d = m then
+          entries :=
+            (List.sort_uniq compare (build_keys env), List.rev tuple_rev) :: !entries
+        else
+          List.iter
+            (fun item -> enum (d + 1) (gens.(d).bind env item) (item :: tuple_rev))
+            (gens.(d).eval env)
+      in
+      enum 0 env [];
+      let tbl = KeyTbl.create (2 * List.length !entries + 1) in
+      (* [Hashtbl.add] stacks, so insert back-to-front: [find_all]
+         then yields enumeration (document) order. Sequence numbers
+         recover a global order for multi-key probes. Keys are deduped
+         per tuple so a multi-valued build side never yields the same
+         tuple twice. *)
+      let seq = ref (List.length !entries) in
+      List.iter
+        (fun (keys, tuple) ->
+          decr seq;
+          List.iter (fun key -> KeyTbl.add tbl key (!seq, tuple)) keys)
+        !entries;
+      tables.(slot) <- Some tbl
+  in
+  let rec go i env =
+    if i = n then emit env
+    else begin
+      List.iter (build env) t.builds.(i);
+      match t.stages.(i) with
+      | Scan { gen; preds } ->
+        List.iter
+          (fun item ->
+            tick ();
+            let env' = gen.bind env item in
+            if List.for_all (fun p -> p.test env') preds then go (i + 1) env')
+          (gen.eval env)
+      | Probe { gens; slot; probe_keys; preds; _ } ->
+        let tbl = match tables.(slot) with Some tbl -> tbl | None -> assert false in
+        let keys = List.sort_uniq compare (probe_keys env) in
+        let tuples =
+          match keys with
+          | [] -> []
+          | [ k ] -> List.map snd (KeyTbl.find_all tbl k)
+          | ks ->
+            (* Multi-valued side: union the per-key hits, dedup by
+               sequence number, restore document order. *)
+            let hits = List.concat_map (fun k -> KeyTbl.find_all tbl k) ks in
+            let seen = Hashtbl.create 16 in
+            let uniq =
+              List.filter
+                (fun (s, _) ->
+                  if Hashtbl.mem seen s then false
+                  else begin
+                    Hashtbl.add seen s ();
+                    true
+                  end)
+                hits
+            in
+            List.map snd
+              (List.sort (fun (a, _) (b, _) -> compare a b) uniq)
+        in
+        List.iter
+          (fun tuple ->
+            tick ();
+            let env' =
+              List.fold_left
+                (fun (d, env) item -> (d + 1, gens.(d).bind env item))
+                (0, env) tuple
+              |> snd
+            in
+            if List.for_all (fun p -> p.test env') preds then go (i + 1) env')
+          tuples
+    end
+  in
+  if List.for_all (fun p -> p.test env) t.pre then go 0 env

@@ -1,0 +1,138 @@
+(** A backend-agnostic physical-plan layer shared by the nested-tgd
+    engine and the XQuery evaluator.
+
+    Both backends' inner loop is a chain of generators (variables bound
+    to items enumerated by an expression), a conjunction of filter
+    conditions, and a per-binding action. The planner turns that
+    logical shape into a physical plan:
+
+    - {b condition pushdown} — each condition is checked at the
+      earliest generator position at which all its variables are bound
+      (conditions decided by the outer environment are checked once,
+      before any enumeration);
+    - {b hash joins} — an equality condition linking earlier-bound
+      variables to a later generator turns that generator — together
+      with the contiguous chain of feeder generators it depends on,
+      when that chain is independent of the probe side — into a
+      hash-table probe; the table enumerates the segment once per
+      environment in which its inputs are fixed and is probed with the
+      earlier side's key;
+    - {b streaming execution} — bindings are folded into an [emit]
+      callback; the full Cartesian product is never materialised.
+
+    The planner is language-agnostic: it sees only variable-dependency
+    sets and evaluation closures, so both backends plug their own
+    expression evaluators in. Enumeration order is preserved exactly
+    (probes yield matches in build-side document order), so plan-based
+    runs are output-identical to the naive interpreters. *)
+
+(** Hashable join/dedup keys over XML atoms, normalised so key equality
+    coincides with {!Clip_xml.Atom.equal} ([Int 3] and [Float 3.] are
+    one key; all NaNs are one key; [0.] and [-0.] stay distinct).
+    Integers beyond the 2^53 float range coarsen onto their nearest
+    float — exact consumers re-check the original condition per hit. *)
+module Key : sig
+  type norm
+
+  type t = norm list
+
+  val norm_atom : Clip_xml.Atom.t -> norm
+
+  (** Singleton key of one atom. *)
+  val of_atom : Clip_xml.Atom.t -> t
+
+  (** Composite key of an atom tuple (grouping keys). *)
+  val of_atoms : Clip_xml.Atom.t list -> t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+(** The engine switch threaded from {!Clip_core.Engine.run} down to
+    both backends: [`Naive] runs the legacy interpreters (kept as
+    differential-testing oracles), [`Indexed] runs through the plan
+    layer and the {!Clip_xml.Index} tag index. *)
+type mode = [ `Naive | `Indexed ]
+
+(** {1 Planner input} *)
+
+type ('env, 'item) gen = {
+  var : string;  (** the variable this generator binds *)
+  deps : string list;  (** variables its expression reads *)
+  eval : 'env -> 'item list;  (** enumerate the items, in order *)
+  bind : 'env -> 'item -> 'env;
+}
+
+type 'env pred = {
+  pvars : string list;  (** variables the predicate reads *)
+  test : 'env -> bool;
+}
+
+(** One side of an equality condition as hashable keys: one key per
+    atom of the (possibly multi-valued) side. The condition holds when
+    the sides share at least one key. *)
+type 'env keyed = {
+  kvars : string list;
+  keys : 'env -> Key.t list;
+}
+
+type 'env cond =
+  | Eq of { left : 'env keyed; right : 'env keyed; orig : 'env pred }
+      (** an equality the planner may turn into a hash join; [orig] is
+          the exact original test, re-checked on every probe hit *)
+  | Other of 'env pred
+
+(** {1 Physical plans} *)
+
+(** A step covers one generator ([Scan]) or a contiguous segment of
+    generators ([Probe]) replaced wholesale by a hash-table lookup
+    storing bound item tuples; a plain single-generator hash join is
+    the segment of length one. [build_at] is the step index at whose
+    entry the table is built; [preds] are re-checked on every hit
+    (they include the original equality, so key coarsening can never
+    widen the join). *)
+type ('env, 'item) stage =
+  | Scan of { gen : ('env, 'item) gen; preds : 'env pred list }
+  | Probe of {
+      gens : ('env, 'item) gen array;
+      slot : int;
+      build_at : int;
+      build_keys : 'env -> Key.t list;
+      probe_keys : 'env -> Key.t list;
+      preds : 'env pred list;
+    }
+
+type ('env, 'item) t = {
+  pre : 'env pred list;
+  stages : ('env, 'item) stage array;
+  builds : int list array;
+  nslots : int;
+}
+
+val stage_gens : ('env, 'item) stage -> ('env, 'item) gen array
+
+(** One-line plan rendering, e.g. ["scan(p) probe(d.e@0)"] — for tests
+    and debugging. *)
+val describe : ('env, 'item) t -> string
+
+(** [plan ~bound ~gens ~conds] — the physical plan for one generator
+    chain. [bound] lists the variables already bound by the outer
+    environment. If a generator shadows an outer variable or a sibling
+    generator, the planner degrades to checking every condition at the
+    innermost position (naive semantics are always preserved). *)
+val plan :
+  bound:string list ->
+  gens:('env, 'item) gen list ->
+  conds:'env cond list ->
+  ('env, 'item) t
+
+(** [execute t ~tick ~env ~emit] streams every surviving binding of
+    the chain into [emit], in exactly the naive enumeration order.
+    [tick] is called once per item enumerated at every stage, so step
+    budgets keep metering enumerated bindings (CLIP-LIM-004). *)
+val execute :
+  ('env, 'item) t ->
+  tick:(unit -> unit) ->
+  env:'env ->
+  emit:('env -> unit) ->
+  unit

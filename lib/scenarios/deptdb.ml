@@ -120,6 +120,10 @@ let instance =
 let synthetic_instance ~depts ~projs ~emps =
   let open Clip_xml in
   let state = Random.State.make [| depts; projs; emps; 7 |] in
+  (* Project ids are globally unique (department [i] owns the pid range
+     [i*projs+1 .. (i+1)*projs]) and each employee references a project
+     of its own department, so joins on [@pid] — per-department or
+     global — produce output linear in instance size. *)
   let dept i =
     let proj j =
       Node.elem
@@ -128,7 +132,7 @@ let synthetic_instance ~depts ~projs ~emps =
         [ Node.leaf "pname" (Atom.String (Printf.sprintf "project-%d" (j mod 17))) ]
     in
     let emp k =
-      let pid = 1 + Random.State.int state (max 1 projs) in
+      let pid = (i * projs) + 1 + Random.State.int state (max 1 projs) in
       Node.elem
         ~attrs:[ ("pid", Atom.Int pid) ]
         "regEmp"
@@ -139,7 +143,7 @@ let synthetic_instance ~depts ~projs ~emps =
     in
     Node.elem "dept"
       (Node.leaf "dname" (Atom.String (Printf.sprintf "dept-%d" i))
-       :: List.init projs (fun j -> proj (j + 1))
+       :: List.init projs (fun j -> proj ((i * projs) + j + 1))
       @ List.init emps (fun k -> emp k))
   in
   Node.elem "source" (List.init depts dept)

@@ -290,6 +290,22 @@ let fig6_global =
     expected = None;
   }
 
+(* The join of Fig. 6 but ranging over every department's projects and
+   employees at once: the prose variant whose naive evaluation is a
+   full cross product of the two element sets (quadratic in instance
+   size), which the physical-plan layer executes as a hash join. *)
+let fig6_join_global =
+  {
+    fig6 with
+    name = "fig6-join-global";
+    title = "Fig. 6's join without the enclosing build node (global join)";
+    mapping =
+      Mapping.make ~source:Deptdb.source ~target:Deptdb.target_fig6
+        ~roots:[ fig6_node ~join:true ]
+        fig6_values;
+    expected = None;
+  }
+
 (* --- Figure 7: grouping and join --------------------------------------- *)
 
 let fig7 =
@@ -468,6 +484,7 @@ let all =
     fig6;
     fig6_cartesian;
     fig6_global;
+    fig6_join_global;
     fig7;
     fig8;
     fig9;

@@ -29,6 +29,10 @@ val fig6_cartesian : t (** Fig. 6 without the join condition *)
 
 val fig6_global : t (** Fig. 6 without the top-level build node *)
 
+val fig6_join_global : t
+(** Fig. 6's join ranging over every department at once — naive
+    evaluation is quadratic, the plan layer runs it as a hash join *)
+
 val fig7 : t
 val fig8 : t
 val fig9 : t

@@ -12,8 +12,14 @@ let error fmt =
 (* Evaluation context: the source document plus the step budget that
    bounds runaway mappings (CLIP-LIM-004); each source-expression or
    scalar evaluation counts one step, so deep cross products hit the
-   budget instead of hanging. *)
-type ctx = { source : Xml.Node.t; steps : int ref; max_steps : int }
+   budget instead of hanging. In [`Indexed] mode the context also
+   carries the per-run tag index over the source document. *)
+type ctx = {
+  source : Xml.Node.t;
+  index : Xml.Index.t option;
+  steps : int ref;
+  max_steps : int;
+}
 
 let tick ctx =
   incr ctx.steps;
@@ -24,7 +30,10 @@ let tick ctx =
            [ "raise [limits.max_eval_steps] if the mapping is expected to be this large" ]
          (Printf.sprintf "evaluation exceeded the budget of %d steps" ctx.max_steps))
 
-(* Mutable target tree under construction. *)
+(* Mutable target tree under construction. [bseen] is the identity
+   seen-set backing [bprov], so recording provenance is O(1) per
+   binding instead of a [List.memq] scan over everything recorded so
+   far. *)
 type bnode = {
   id : int;
   btag : string;
@@ -32,13 +41,22 @@ type bnode = {
   mutable btext : Xml.Atom.t option;
   mutable bchildren : bnode list; (* reversed *)
   mutable bprov : Xml.Node.element list; (* contributing source elements, reversed *)
+  mutable bseen : unit Xml.Index.Tbl.t option;
 }
 
 let next_id = ref 0
 
 let fresh_bnode btag =
   incr next_id;
-  { id = !next_id; btag; battrs = []; btext = None; bchildren = []; bprov = [] }
+  {
+    id = !next_id;
+    btag;
+    battrs = [];
+    btext = None;
+    bchildren = [];
+    bprov = [];
+    bseen = None;
+  }
 
 let rec bnode_to_node b =
   let children =
@@ -57,17 +75,31 @@ type binding = Src of Value.item | Tgt of bnode
 
 module Env = Map.Make (String)
 
+(* A mapping tree with each universal part compiled to a physical plan
+   (condition pushdown + hash joins, see {!Clip_plan}). Planning only
+   needs the statically known set of outer variables, so the tree is
+   compiled once per [execute]. *)
+type planned = {
+  pm : Tgd.t;
+  pplan : (binding Env.t, Value.item) Clip_plan.t;
+  pchildren : planned list;
+}
+
 (* --- Source-side evaluation ------------------------------------------ *)
 
-let step_items (item : Value.item) (step : Path.step) : Value.item list =
+let step_items ctx (item : Value.item) (step : Path.step) : Value.item list =
   match item, step with
   | Value.Node (Xml.Node.Element e), Path.Child tag ->
-    List.filter_map
-      (function
-        | Xml.Node.Element c when String.equal c.tag tag ->
-          Some (Value.Node (Xml.Node.Element c))
-        | Xml.Node.Element _ | Xml.Node.Text _ -> None)
-      e.children
+    (match ctx.index with
+     | None ->
+       List.filter_map
+         (function
+           | Xml.Node.Element c when String.equal c.tag tag ->
+             Some (Value.Node (Xml.Node.Element c))
+           | Xml.Node.Element _ | Xml.Node.Text _ -> None)
+         e.children
+     | Some idx ->
+       List.map (fun n -> Value.Node n) (Xml.Index.children_by_tag idx e tag))
   | Value.Node (Xml.Node.Element e), Path.Attr name ->
     (match Xml.Node.attr e name with Some a -> [ Value.Atomic a ] | None -> [])
   | Value.Node (Xml.Node.Element e), Path.Value ->
@@ -89,7 +121,7 @@ let rec eval_src ctx env (e : Term.expr) : Value.item list =
      | Some (Tgt _) -> error "variable %s is a target variable in a source position" x
      | None -> error "unbound source variable %s" x)
   | Term.Proj (e, step) ->
-    List.concat_map (fun item -> step_items item step) (eval_src ctx env e)
+    List.concat_map (fun item -> step_items ctx item step) (eval_src ctx env e)
 
 let scalar_functions = [ "concat"; "add"; "sub"; "mul"; "div"; "upper"; "lower" ]
 
@@ -173,7 +205,7 @@ let holds ctx env (c : Tgd.comparison) =
 type builder = {
   root : bnode;
   completion : (int * string, bnode) Hashtbl.t;
-  groups : (int * string * Xml.Atom.t list, bnode) Hashtbl.t;
+  groups : (int * string * Clip_plan.Key.t, bnode) Hashtbl.t;
   min_card : bool;
 }
 
@@ -298,21 +330,40 @@ let aggregate kind (items : Value.item list) : Xml.Atom.t option =
   | Tgd.Max -> condense (fun x xs -> List.fold_left max x xs)
 
 (* Record which source elements were bound when a target element was
-   created (or re-reached, for completion/group elements). *)
+   created (or re-reached, for completion/group elements). The identity
+   table mirrors [bprov], keeping each recording O(1). *)
 let record_provenance node env =
+  let seen =
+    match node.bseen with
+    | Some t -> t
+    | None ->
+      let t = Xml.Index.Tbl.create 8 in
+      node.bseen <- Some t;
+      t
+  in
   Env.iter
     (fun _ binding ->
       match binding with
       | Src (Value.Node (Xml.Node.Element e)) ->
-        if not (List.memq e node.bprov) then node.bprov <- e :: node.bprov
+        if not (Xml.Index.Tbl.mem seen e) then begin
+          Xml.Index.Tbl.add seen e ();
+          node.bprov <- e :: node.bprov
+        end
       | Src (Value.Node (Xml.Node.Text _) | Value.Atomic _) | Tgt _ -> ())
     env
 
 let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
-    ~source ~target_root (m : Tgd.t) =
-  let ctx =
-    { source; steps = ref 0; max_steps = limits.Clip_diag.Limits.max_eval_steps }
+    ?(plan = `Indexed) ?steps_out ~source ~target_root (m : Tgd.t) =
+  let index =
+    match plan with `Indexed -> Some (Xml.Index.build source) | `Naive -> None
   in
+  let ctx =
+    { source; index; steps = ref 0; max_steps = limits.Clip_diag.Limits.max_eval_steps }
+  in
+  let record_steps () =
+    match steps_out with Some r -> r := !(ctx.steps) | None -> ()
+  in
+  Fun.protect ~finally:record_steps @@ fun () ->
   let bld =
     {
       root = fresh_bnode target_root;
@@ -349,7 +400,9 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
                 | _ -> error "grouping key evaluates to multiple values")
               keys
           in
-          grouped_child bld parent tag key
+          (* Keys are normalised so tgd grouping and the generated
+             XQuery's value comparisons agree on mixed-type data. *)
+          grouped_child bld parent tag (Clip_plan.Key.of_atoms key)
       in
       record_provenance node env;
       Env.add g.tvar (Tgt node) env
@@ -393,12 +446,12 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
             let parent = descend_completion bld base intermediate in
             set_leaf parent last atom))
   in
-  let rec eval_mapping env (m : Tgd.t) =
-    (* Leading completion generators are the paper's constant tags: they
-       exist once per parent context even when no binding survives, so
-       instantiate them before enumerating bindings. (They only depend
-       on outer variables; memoisation makes the per-binding
-       re-instantiation below a no-op.) *)
+  (* Leading completion generators are the paper's constant tags: they
+     exist once per parent context even when no binding survives, so
+     instantiate them before enumerating bindings. (They only depend
+     on outer variables; memoisation makes the per-binding
+     re-instantiation below a no-op.) *)
+  let pre_instantiate env (m : Tgd.t) =
     if bld.min_card then begin
       let rec pre env = function
         | ({ Tgd.mode = Tgd.Completion; _ } as g) :: rest ->
@@ -406,31 +459,91 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
         | _ -> env
       in
       ignore (pre env m.exists)
-    end;
+    end
+  in
+  let emit_binding children env (m : Tgd.t) =
+    let env = List.fold_left instantiate_target env m.exists in
+    List.iter (apply_assertion env) m.assertions;
+    children env
+  in
+  (* The naive interpreter, kept verbatim as the differential-testing
+     oracle for the plan-based path below. *)
+  let rec eval_mapping env (m : Tgd.t) =
+    pre_instantiate env m;
     let bindings = cartesian_bindings ctx env m.foralls in
     List.iter
       (fun env ->
         tick ctx;
-        if List.for_all (holds ctx env) m.cond then begin
-          let env = List.fold_left instantiate_target env m.exists in
-          List.iter (apply_assertion env) m.assertions;
-          List.iter (eval_mapping env) m.children
-        end)
+        if List.for_all (holds ctx env) m.cond then
+          emit_binding (fun env -> List.iter (eval_mapping env) m.children) env m)
       bindings
   in
-  eval_mapping Env.empty m;
+  (* The plan-based path: compile each mapping's universal part once
+     (conditions pushed down, equality conditions turned into hash
+     joins where profitable), then stream bindings into the same
+     per-binding body the naive interpreter runs. *)
+  let gen_of (g : Tgd.source_gen) =
+    {
+      Clip_plan.var = g.svar;
+      deps = Term.expr_vars g.sexpr;
+      eval = (fun env -> eval_src ctx env g.sexpr);
+      bind = (fun env item -> Env.add g.svar (Src item) env);
+    }
+  in
+  let cond_of (c : Tgd.comparison) =
+    let pvars = Term.scalar_vars c.left @ Term.scalar_vars c.right in
+    let orig = { Clip_plan.pvars; test = (fun env -> holds ctx env c) } in
+    match c.op with
+    | Tgd.Eq | Tgd.In ->
+      let keyed s =
+        {
+          Clip_plan.kvars = Term.scalar_vars s;
+          keys =
+            (fun env -> List.map Clip_plan.Key.of_atom (eval_scalar ctx env s));
+        }
+      in
+      Clip_plan.Eq { left = keyed c.left; right = keyed c.right; orig }
+    | Tgd.Ne | Tgd.Lt | Tgd.Le | Tgd.Gt | Tgd.Ge -> Clip_plan.Other orig
+  in
+  let rec plan_mapping bound (m : Tgd.t) =
+    let pplan =
+      Clip_plan.plan ~bound
+        ~gens:(List.map gen_of m.foralls)
+        ~conds:(List.map cond_of m.cond)
+    in
+    let bound' =
+      bound
+      @ List.map (fun (g : Tgd.source_gen) -> g.svar) m.foralls
+      @ List.map (fun (g : Tgd.target_gen) -> g.tvar) m.exists
+    in
+    { pm = m; pplan; pchildren = List.map (plan_mapping bound') m.children }
+  in
+  let rec eval_planned env (p : planned) =
+    pre_instantiate env p.pm;
+    Clip_plan.execute p.pplan
+      ~tick:(fun () -> tick ctx)
+      ~env
+      ~emit:(fun env ->
+        emit_binding
+          (fun env -> List.iter (eval_planned env) p.pchildren)
+          env p.pm)
+  in
+  (match plan with
+   | `Naive -> eval_mapping Env.empty m
+   | `Indexed -> eval_planned Env.empty (plan_mapping [] m));
   bld.root
 
 let reraise_legacy ds =
   let d = match ds with d :: _ -> d | [] -> assert false in
   raise (Error d.Clip_diag.message)
 
-let run_result ?limits ?minimum_cardinality ~source ~target_root m =
+let run_result ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m =
   Clip_diag.guard (fun () ->
-    bnode_to_node (execute ?limits ?minimum_cardinality ~source ~target_root m))
+    bnode_to_node
+      (execute ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m))
 
-let run ?limits ?minimum_cardinality ~source ~target_root m =
-  match run_result ?limits ?minimum_cardinality ~source ~target_root m with
+let run ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m =
+  match run_result ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m with
   | Ok n -> n
   | Error ds -> reraise_legacy ds
 
@@ -439,8 +552,11 @@ type trace_entry = {
   sources : Xml.Node.t list;
 }
 
-let run_traced_unguarded ?limits ?minimum_cardinality ~source ~target_root m =
-  let root = execute ?limits ?minimum_cardinality ~source ~target_root m in
+let run_traced_unguarded ?limits ?minimum_cardinality ?plan ?steps_out ~source
+    ~target_root m =
+  let root =
+    execute ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m
+  in
   let trace = ref [] in
   let rec walk path b =
     trace :=
@@ -454,11 +570,16 @@ let run_traced_unguarded ?limits ?minimum_cardinality ~source ~target_root m =
   walk [] root;
   (bnode_to_node root, List.rev !trace)
 
-let run_traced_result ?limits ?minimum_cardinality ~source ~target_root m =
+let run_traced_result ?limits ?minimum_cardinality ?plan ?steps_out ~source
+    ~target_root m =
   Clip_diag.guard (fun () ->
-    run_traced_unguarded ?limits ?minimum_cardinality ~source ~target_root m)
+    run_traced_unguarded ?limits ?minimum_cardinality ?plan ?steps_out ~source
+      ~target_root m)
 
-let run_traced ?limits ?minimum_cardinality ~source ~target_root m =
-  match run_traced_result ?limits ?minimum_cardinality ~source ~target_root m with
+let run_traced ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m =
+  match
+    run_traced_result ?limits ?minimum_cardinality ?plan ?steps_out ~source
+      ~target_root m
+  with
   | Ok r -> r
   | Error ds -> reraise_legacy ds

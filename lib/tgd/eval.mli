@@ -19,7 +19,18 @@
     Passing [~minimum_cardinality:false] turns [Completion] generators
     into [Driven] ones, yielding the naive universal-solution behaviour
     the paper contrasts against (one [department] per mapped value in
-    the Fig. 3 discussion). *)
+    the Fig. 3 discussion).
+
+    Every entry point takes [?plan]: [`Indexed] (the default) compiles
+    each mapping's universal part to a {!Clip_plan} physical plan —
+    conditions pushed to their earliest position, equality conditions
+    executed as hash joins, bindings streamed — over a per-run
+    {!Clip_xml.Index} tag index; [`Naive] runs the original
+    interpreter, kept as the differential-testing oracle. The two
+    modes produce identical documents; only error behaviour may differ
+    (pushdown can evaluate a failing condition the naive order would
+    never reach, and vice versa). [?steps_out], when given, receives
+    the number of budget steps consumed, even when evaluation fails. *)
 
 exception Error of string
 
@@ -37,6 +48,8 @@ val scalar_functions : string list
 val run_result :
   ?limits:Clip_diag.Limits.t ->
   ?minimum_cardinality:bool ->
+  ?plan:Clip_plan.mode ->
+  ?steps_out:int ref ->
   source:Clip_xml.Node.t ->
   target_root:string ->
   Tgd.t ->
@@ -47,6 +60,8 @@ val run_result :
 val run :
   ?limits:Clip_diag.Limits.t ->
   ?minimum_cardinality:bool ->
+  ?plan:Clip_plan.mode ->
+  ?steps_out:int ref ->
   source:Clip_xml.Node.t ->
   target_root:string ->
   Tgd.t ->
@@ -68,6 +83,8 @@ type trace_entry = {
 val run_traced_result :
   ?limits:Clip_diag.Limits.t ->
   ?minimum_cardinality:bool ->
+  ?plan:Clip_plan.mode ->
+  ?steps_out:int ref ->
   source:Clip_xml.Node.t ->
   target_root:string ->
   Tgd.t ->
@@ -78,6 +95,8 @@ val run_traced_result :
 val run_traced :
   ?limits:Clip_diag.Limits.t ->
   ?minimum_cardinality:bool ->
+  ?plan:Clip_plan.mode ->
+  ?steps_out:int ref ->
   source:Clip_xml.Node.t ->
   target_root:string ->
   Tgd.t ->

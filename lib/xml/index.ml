@@ -1,0 +1,88 @@
+(* A per-document tag index.
+
+   Makes [Child tag] path steps O(matches) instead of O(children) by
+   memoising a children-by-tag grouping per element, keyed by the
+   element's hash-consed allocation id ([Node.element.id], an O(1)
+   exact hash under physical equality). Descendant tables are memoised
+   the same way.
+
+   The index is entirely lazy: creation is O(1), and an element's
+   children are grouped the first time it is probed. Laziness matters
+   because the index lives for one engine run and many runs (pure
+   value mappings, small documents) never probe the same element
+   twice — an eager whole-document build would cost more than it
+   saves. It also means the index answers for {e any} element — nodes
+   of the source document and nodes constructed during evaluation
+   alike — so callers need no foreign-element fallback. Memoisation is
+   sound because nodes are immutable and allocation ids are never
+   reused. *)
+
+module Tbl = Hashtbl.Make (struct
+  type t = Node.element
+
+  let equal = ( == )
+  let hash (e : Node.element) = e.Node.id
+end)
+
+type t = {
+  children : (string * Node.t list) list Tbl.t; (* document order per tag *)
+  descendants : (int * string, Node.t list) Hashtbl.t;
+}
+
+let build _doc = { children = Tbl.create 256; descendants = Hashtbl.create 16 }
+
+(* Elements with few children are scanned directly, unmemoised: the
+   scan is bounded by the threshold, and skipping the grouping keeps
+   single-visit runs from paying for an index they never reuse. Only
+   wide elements (large fan-out, where O(children) per probe hurts)
+   are grouped. *)
+let small = 8
+
+let rec shorter_than l n =
+  n > 0 && match l with [] -> true | _ :: tl -> shorter_than tl (n - 1)
+
+let scan_children e tag =
+  List.filter
+    (function
+      | Node.Element ce -> String.equal ce.Node.tag tag
+      | Node.Text _ -> false)
+    e.Node.children
+
+let children_by_tag t e tag =
+  match Tbl.find_opt t.children e with
+  | Some groups ->
+    (match List.assoc_opt tag groups with Some nodes -> nodes | None -> [])
+  | None when shorter_than e.Node.children small -> scan_children e tag
+  | None ->
+      (* Group the element's children by tag, document order, in one
+         pass; the per-element tag variety is small in schema-shaped
+         documents, so assoc lists beat per-element hash tables. *)
+      let by_tag = ref [] in
+      List.iter
+        (fun c ->
+          match c with
+          | Node.Element ce ->
+            (match List.assoc_opt ce.Node.tag !by_tag with
+             | Some cur -> cur := c :: !cur
+             | None -> by_tag := (ce.Node.tag, ref [ c ]) :: !by_tag)
+          | Node.Text _ -> ())
+        e.Node.children;
+    let groups = List.rev_map (fun (tag, cur) -> (tag, List.rev !cur)) !by_tag in
+    Tbl.add t.children e groups;
+    (match List.assoc_opt tag groups with Some nodes -> nodes | None -> [])
+
+let descendants_by_tag t e tag =
+  match Hashtbl.find_opt t.descendants (e.Node.id, tag) with
+  | Some nodes -> nodes
+  | None ->
+    let acc = ref [] in
+    let rec walk = function
+      | Node.Text _ -> ()
+      | Node.Element ce ->
+        if String.equal ce.Node.tag tag then acc := Node.Element ce :: !acc;
+        List.iter walk ce.Node.children
+    in
+    List.iter walk e.Node.children;
+    let nodes = List.rev !acc in
+    Hashtbl.replace t.descendants (e.Node.id, tag) nodes;
+    nodes

@@ -1,0 +1,31 @@
+(** A per-document tag index: children-by-tag and descendants-by-tag
+    groupings memoised per element over hash-consed element ids
+    ({!Node.element.id}), so repeated [Child tag] path steps cost
+    O(matches) instead of O(children).
+
+    The index is entirely lazy — {!build} is O(1) and an element's
+    grouping is computed on its first probe — so runs that never
+    revisit an element pay (almost) nothing. It answers for any
+    element, including nodes constructed during evaluation;
+    memoisation is sound because nodes are immutable and allocation
+    ids are never reused. One index should live for exactly one engine
+    run. *)
+
+type t
+
+(** An identity-keyed element table ([==], hashed by the allocation
+    id) — also used for provenance seen-sets. *)
+module Tbl : Hashtbl.S with type key = Node.element
+
+(** [build doc] — a fresh (empty, lazy) index for a run over [doc].
+    O(1); the argument documents intent and keeps room for eager
+    pre-indexing later. *)
+val build : Node.t -> t
+
+(** [children_by_tag t e tag] — the child elements of [e] tagged
+    [tag], in document order; memoised per element. *)
+val children_by_tag : t -> Node.element -> string -> Node.t list
+
+(** [descendants_by_tag t e tag] — proper descendant elements of [e]
+    tagged [tag], preorder; memoised per [(element, tag)]. *)
+val descendants_by_tag : t -> Node.element -> string -> Node.t list

@@ -3,12 +3,20 @@ type t =
   | Text of Atom.t
 
 and element = {
+  id : int;
   tag : string;
   attrs : (string * Atom.t) list;
   children : t list;
 }
 
-let elem ?(attrs = []) tag children = Element { tag; attrs; children }
+(* Element ids are allocation-unique (the hash-consed identity behind
+   {!Index} and provenance seen-sets); they carry no document meaning
+   and are ignored by comparison. *)
+let next_id = ref 0
+
+let elem ?(attrs = []) tag children =
+  incr next_id;
+  Element { id = !next_id; tag; attrs; children }
 let text a = Text a
 let text_string s = Text (Atom.String s)
 let leaf ?attrs tag a = elem ?attrs tag [ Text a ]

@@ -12,6 +12,10 @@ type t =
   | Text of Atom.t
 
 and element = {
+  id : int;
+      (** allocation-unique element identity (assigned by {!elem}),
+          used by {!Index} and provenance seen-sets; ignored by
+          {!equal}/{!compare} *)
   tag : string;
   attrs : (string * Atom.t) list;
   children : t list;

@@ -46,6 +46,37 @@ let path e steps =
   | e -> Path (e, steps)
 
 let flwor ?where clauses return = Flwor { clauses; where; return }
+
+module Vars = Set.Make (String)
+
+let free_vars e =
+  let rec go bound acc e =
+    match e with
+    | Var x -> if Vars.mem x bound then acc else Vars.add x acc
+    | Doc _ | Literal _ -> acc
+    | Path (b, _) -> go bound acc b
+    | Seq es -> List.fold_left (go bound) acc es
+    | Elem { tag = _; attrs; content } ->
+      let acc = List.fold_left (fun acc (_, e) -> go bound acc e) acc attrs in
+      List.fold_left (go bound) acc content
+    | Flwor { clauses; where; return } ->
+      let bound, acc =
+        List.fold_left
+          (fun (bound, acc) clause ->
+            match clause with
+            | For (x, e) | Let (x, e) ->
+              let acc = go bound acc e in
+              (Vars.add x bound, acc))
+          (bound, acc) clauses
+      in
+      let acc = match where with None -> acc | Some w -> go bound acc w in
+      go bound acc return
+    | If (c, t, e) -> go bound (go bound (go bound acc c) t) e
+    | Cmp (_, l, r) | And (l, r) | Or (l, r) | Arith (_, l, r) ->
+      go bound (go bound acc l) r
+    | Call (_, args) -> List.fold_left (go bound) acc args
+  in
+  Vars.elements (go Vars.empty Vars.empty e)
 let elem ?(attrs = []) tag content = Elem { tag; attrs; content }
 let call name args = Call (name, args)
 let str s = Literal (Clip_xml.Atom.String s)

@@ -46,6 +46,12 @@ and clause =
   | For of string * expr (** [for $x in e] *)
   | Let of string * expr (** [let $x := e] *)
 
+(** [free_vars e] — the variables [e] reads but does not bind (FLWOR
+    clauses bind their variable for the remaining clauses, the [where]
+    and the [return]), sorted. Drives the planner's dependency
+    analysis. *)
+val free_vars : expr -> string list
+
 (** {1 Convenience constructors} *)
 
 val var : string -> expr

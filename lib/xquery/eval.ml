@@ -10,8 +10,16 @@ let error fmt =
 module Env = Map.Make (String)
 
 (* Evaluation context: the input document plus the step budget that
-   bounds runaway queries (CLIP-LIM-004). *)
-type ctx = { input : Xml.Node.t; steps : int ref; max_steps : int }
+   bounds runaway queries (CLIP-LIM-004). In [`Indexed] mode it also
+   carries the per-run tag index over the input document, and FLWOR
+   blocks run through {!Clip_plan} instead of the naive recursion. *)
+type ctx = {
+  input : Xml.Node.t;
+  index : Xml.Index.t option;
+  plan : Clip_plan.mode;
+  steps : int ref;
+  max_steps : int;
+}
 
 let tick ctx =
   incr ctx.steps;
@@ -28,15 +36,19 @@ let ebool v =
   | b -> b
   | exception Invalid_argument m -> error "%s" m
 
-let step_nodes (item : Value.item) (step : Ast.step) : Value.t =
+let step_nodes ctx (item : Value.item) (step : Ast.step) : Value.t =
   match item, step with
   | Value.Node (Xml.Node.Element e), Ast.Child_step tag ->
-    List.filter_map
-      (function
-        | Xml.Node.Element c when String.equal c.tag tag ->
-          Some (Value.Node (Xml.Node.Element c))
-        | Xml.Node.Element _ | Xml.Node.Text _ -> None)
-      e.children
+    (match ctx.index with
+     | None ->
+       List.filter_map
+         (function
+           | Xml.Node.Element c when String.equal c.tag tag ->
+             Some (Value.Node (Xml.Node.Element c))
+           | Xml.Node.Element _ | Xml.Node.Text _ -> None)
+         e.children
+     | Some idx ->
+       List.map (fun n -> Value.Node n) (Xml.Index.children_by_tag idx e tag))
   | Value.Node (Xml.Node.Element e), Ast.Attr_step name ->
     (match Xml.Node.attr e name with
      | Some a -> [ Value.Atomic a ]
@@ -47,9 +59,9 @@ let step_nodes (item : Value.item) (step : Ast.step) : Value.t =
       e.children
   | (Value.Node (Xml.Node.Text _) | Value.Atomic _), _ -> []
 
-let apply_steps v steps =
+let apply_steps ctx v steps =
   List.fold_left
-    (fun items step -> List.concat_map (fun it -> step_nodes it step) items)
+    (fun items step -> List.concat_map (fun it -> step_nodes ctx it step) items)
     v steps
 
 let compare_atoms op a b =
@@ -84,7 +96,7 @@ let rec eval ctx env (e : Ast.expr) : Value.t =
        error "input document root is <%s>, query expects <%s>" e.tag tag
      | Xml.Node.Text _ -> error "input document root is a text node")
   | Ast.Literal a -> Value.of_atom a
-  | Ast.Path (base, steps) -> apply_steps (eval ctx env base) steps
+  | Ast.Path (base, steps) -> apply_steps ctx (eval ctx env base) steps
   | Ast.Seq es -> List.concat_map (eval ctx env) es
   | Ast.Elem { tag; attrs; content } ->
     let attrs =
@@ -156,6 +168,13 @@ let rec eval ctx env (e : Ast.expr) : Value.t =
   | Ast.Call (name, args) -> eval_call ctx env name args
 
 and eval_flwor ctx env clauses where return =
+  match ctx.plan with
+  | `Naive -> eval_flwor_naive ctx env clauses where return
+  | `Indexed -> eval_flwor_planned ctx env clauses where return
+
+(* The original clause-by-clause recursion, kept as the
+   differential-testing oracle for the plan-based path below. *)
+and eval_flwor_naive ctx env clauses where return =
   match clauses with
   | [] ->
     let keep =
@@ -166,12 +185,67 @@ and eval_flwor ctx env clauses where return =
     if keep then eval ctx env return else Value.empty
   | Ast.Let (x, e) :: rest ->
     let v = eval ctx env e in
-    eval_flwor ctx (Env.add x v env) rest where return
+    eval_flwor_naive ctx (Env.add x v env) rest where return
   | Ast.For (x, e) :: rest ->
     let v = eval ctx env e in
     List.concat_map
-      (fun item -> eval_flwor ctx (Env.add x [ item ] env) rest where return)
+      (fun item -> eval_flwor_naive ctx (Env.add x [ item ] env) rest where return)
       v
+
+(* Plan-based FLWOR evaluation: the clause chain becomes a generator
+   chain ([for] enumerates the items of its sequence, [let] a single
+   whole-sequence item), the [where] splits into conjuncts pushed to
+   their earliest position ([ebool (And (a, b)) = ebool a && ebool b],
+   so the split is exact), and equality conjuncts become hash joins.
+   Bindings stream into the [return] in the naive enumeration order. *)
+and eval_flwor_planned ctx env clauses where return =
+  let gen_of (clause : Ast.clause) =
+    match clause with
+    | Ast.For (x, e) ->
+      {
+        Clip_plan.var = x;
+        deps = Ast.free_vars e;
+        eval = (fun env -> List.map (fun it -> [ it ]) (eval ctx env e));
+        bind = (fun env v -> Env.add x v env);
+      }
+    | Ast.Let (x, e) ->
+      {
+        Clip_plan.var = x;
+        deps = Ast.free_vars e;
+        eval = (fun env -> [ eval ctx env e ]);
+        bind = (fun env v -> Env.add x v env);
+      }
+  in
+  let rec conjuncts = function
+    | Ast.And (a, b) -> conjuncts a @ conjuncts b
+    | w -> [ w ]
+  in
+  let cond_of w =
+    let orig =
+      { Clip_plan.pvars = Ast.free_vars w; test = (fun env -> ebool (eval ctx env w)) }
+    in
+    match w with
+    | Ast.Cmp (Ast.Eq, l, r) ->
+      let keyed e =
+        {
+          Clip_plan.kvars = Ast.free_vars e;
+          keys =
+            (fun env ->
+              List.map Clip_plan.Key.of_atom (Value.atomize (eval ctx env e)));
+        }
+      in
+      Clip_plan.Eq { left = keyed l; right = keyed r; orig }
+    | _ -> Clip_plan.Other orig
+  in
+  let conds = match where with None -> [] | Some w -> List.map cond_of (conjuncts w) in
+  let bound = Env.fold (fun x _ acc -> x :: acc) env [] in
+  let p = Clip_plan.plan ~bound ~gens:(List.map gen_of clauses) ~conds in
+  let acc = ref [] in
+  Clip_plan.execute p
+    ~tick:(fun () -> tick ctx)
+    ~env
+    ~emit:(fun env -> acc := eval ctx env return :: !acc);
+  List.concat (List.rev !acc)
 
 and eval_call ctx env name args =
   let arg i =
@@ -201,18 +275,19 @@ and eval_call ctx env name args =
      | x :: xs, _ -> Value.of_atom (Xml.Atom.Float (List.fold_left max x xs)))
   | "distinct-values" ->
     arity 1;
-    let seen = ref [] in
-    let out =
-      List.filter_map
-        (fun a ->
-          if List.exists (Xml.Atom.equal a) !seen then None
-          else begin
-            seen := a :: !seen;
-            Some (Value.Atomic a)
-          end)
-        (Value.atomize (arg 0))
-    in
-    out
+    (* The seen-set is keyed by normalised atoms ({!Clip_plan.Key}
+       agrees with [Xml.Atom.equal]), so dedup is O(n) instead of the
+       former O(n²) list scan. First occurrences are kept, in order. *)
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun a ->
+        let k = Clip_plan.Key.of_atom a in
+        if Hashtbl.mem seen k then None
+        else begin
+          Hashtbl.add seen k ();
+          Some (Value.Atomic a)
+        end)
+      (Value.atomize (arg 0))
   | "concat" ->
     let parts =
       List.map
@@ -248,32 +323,45 @@ and eval_call ctx env name args =
     Value.of_atom (Xml.Atom.Bool (not (ebool (arg 0))))
   | name -> error "unknown function %s#%d" name (List.length args)
 
-let make_ctx limits input =
+let make_ctx plan limits input =
   { input;
+    index = (match plan with `Indexed -> Some (Xml.Index.build input) | `Naive -> None);
+    plan;
     steps = ref 0;
     max_steps = limits.Clip_diag.Limits.max_eval_steps }
 
-let run_result ?(limits = Clip_diag.Limits.default) ~input expr =
-  Clip_diag.guard (fun () -> eval (make_ctx limits input) Env.empty expr)
+let with_ctx plan limits steps_out input f =
+  let ctx = make_ctx plan limits input in
+  let record_steps () =
+    match steps_out with Some r -> r := !(ctx.steps) | None -> ()
+  in
+  Fun.protect ~finally:record_steps (fun () -> f ctx)
+
+let run_result ?(limits = Clip_diag.Limits.default) ?(plan = `Indexed) ?steps_out
+    ~input expr =
+  Clip_diag.guard (fun () ->
+    with_ctx plan limits steps_out input (fun ctx -> eval ctx Env.empty expr))
 
 let reraise_legacy ds =
   let d = match ds with d :: _ -> d | [] -> assert false in
   raise (Error d.Clip_diag.message)
 
-let run ?limits ~input expr =
-  match run_result ?limits ~input expr with
+let run ?limits ?plan ?steps_out ~input expr =
+  match run_result ?limits ?plan ?steps_out ~input expr with
   | Ok v -> v
   | Error ds -> reraise_legacy ds
 
-let run_document_result ?(limits = Clip_diag.Limits.default) ~input expr =
+let run_document_result ?(limits = Clip_diag.Limits.default) ?(plan = `Indexed)
+    ?steps_out ~input expr =
   Clip_diag.guard (fun () ->
-    match eval (make_ctx limits input) Env.empty expr with
-    | [ Value.Node (Xml.Node.Element _ as n) ] -> n
-    | v ->
-      error "query result is not a single element: %s"
-        (Format.asprintf "%a" Value.pp v))
+    with_ctx plan limits steps_out input (fun ctx ->
+      match eval ctx Env.empty expr with
+      | [ Value.Node (Xml.Node.Element _ as n) ] -> n
+      | v ->
+        error "query result is not a single element: %s"
+          (Format.asprintf "%a" Value.pp v)))
 
-let run_document ?limits ~input expr =
-  match run_document_result ?limits ~input expr with
+let run_document ?limits ?plan ?steps_out ~input expr =
+  match run_document_result ?limits ?plan ?steps_out ~input expr with
   | Ok n -> n
   | Error ds -> reraise_legacy ds

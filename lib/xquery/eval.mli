@@ -3,7 +3,19 @@
     Evaluation is metered: every expression node visited counts one
     step against [limits.max_eval_steps], so a runaway query (e.g. a
     fuzzed FLWOR over a large cross product) reports [CLIP-LIM-004]
-    instead of hanging. *)
+    instead of hanging.
+
+    Every entry point takes [?plan]: [`Indexed] (the default) runs
+    FLWOR blocks through the shared {!Clip_plan} physical-plan layer —
+    [where] conjuncts pushed to their earliest clause, equality
+    conjuncts executed as hash joins, bindings streamed — with child
+    path steps answered by a per-run {!Clip_xml.Index}; [`Naive] is
+    the original clause-by-clause recursion, kept as the
+    differential-testing oracle. The two modes produce identical
+    values; only error behaviour may differ (pushdown can evaluate a
+    failing conjunct the naive order would never reach, and vice
+    versa). [?steps_out], when given, receives the number of budget
+    steps consumed, even when evaluation fails. *)
 
 exception Error of string
 
@@ -15,19 +27,29 @@ exception Error of string
     as [CLIP-LIM-004]. *)
 val run_result :
   ?limits:Clip_diag.Limits.t ->
+  ?plan:Clip_plan.mode ->
+  ?steps_out:int ref ->
   input:Clip_xml.Node.t ->
   Ast.expr ->
   (Value.t, Clip_diag.t list) result
 
 (** [run ~input expr] — like {!run_result}.
     @raise Error on any reported diagnostic. *)
-val run : ?limits:Clip_diag.Limits.t -> input:Clip_xml.Node.t -> Ast.expr -> Value.t
+val run :
+  ?limits:Clip_diag.Limits.t ->
+  ?plan:Clip_plan.mode ->
+  ?steps_out:int ref ->
+  input:Clip_xml.Node.t ->
+  Ast.expr ->
+  Value.t
 
 (** [run_document_result ~input expr] — like {!run_result} but expects
     the result to be exactly one element node (the constructed target
     document). *)
 val run_document_result :
   ?limits:Clip_diag.Limits.t ->
+  ?plan:Clip_plan.mode ->
+  ?steps_out:int ref ->
   input:Clip_xml.Node.t ->
   Ast.expr ->
   (Clip_xml.Node.t, Clip_diag.t list) result
@@ -35,4 +57,9 @@ val run_document_result :
 (** [run_document ~input expr] — like {!run_document_result}.
     @raise Error on any reported diagnostic. *)
 val run_document :
-  ?limits:Clip_diag.Limits.t -> input:Clip_xml.Node.t -> Ast.expr -> Clip_xml.Node.t
+  ?limits:Clip_diag.Limits.t ->
+  ?plan:Clip_plan.mode ->
+  ?steps_out:int ref ->
+  input:Clip_xml.Node.t ->
+  Ast.expr ->
+  Clip_xml.Node.t

@@ -4,10 +4,13 @@
    The harness asserts TOTALITY: each [*_result] entry point must
    return [Ok _] or [Error diagnostics] on arbitrary bytes — any other
    exception (including [Stack_overflow] and [Invalid_argument]) is a
-   bug and fails the run. A fixed pre-pass additionally checks the
-   resource guards: a 100k-deep XML document (and equally deep schema
-   DSL, mapping DSL and XQuery nestings) must come back as CLIP-LIM-*
-   diagnostics, never a crash.
+   bug and fails the run. The engine target is additionally
+   DIFFERENTIAL: every mapping that runs is evaluated under both the
+   [`Naive] and [`Indexed] physical plans on a random valid instance
+   of its own source schema, and the outputs must agree. A fixed
+   pre-pass additionally checks the resource guards: a 100k-deep XML
+   document (and equally deep schema DSL, mapping DSL and XQuery
+   nestings) must come back as CLIP-LIM-* diagnostics, never a crash.
 
    Runs are reproducible: the PRNG is our own (no [Random]), seeded
    from [--seed], so a failing input can be replayed by seed +
@@ -171,6 +174,14 @@ let limits =
     max_eval_steps = 50_000;
   }
 
+let failures = ref 0
+
+let report_failure name input exn =
+  incr failures;
+  let prefix = String.sub input 0 (min 160 (String.length input)) in
+  Printf.eprintf "FAILURE [%s]: raised %s\n  input prefix: %S\n" name
+    (Printexc.to_string exn) prefix
+
 let targets : (string * (string -> unit)) list =
   [
     ("xml", fun s -> ignore (Clip_xml.Parser.parse_string_result ~limits s));
@@ -180,22 +191,37 @@ let targets : (string * (string -> unit)) list =
     ("mapping-dsl", fun s -> ignore (Clip_core.Dsl.parse_result ~limits s));
     ("xquery", fun s -> ignore (Clip_xquery.Parser.parse_string_result ~limits s));
     ( "engine",
+      (* Beyond totality, the engine target is differential: the same
+         run under [`Naive] and [`Indexed] plans must agree (unordered
+         node equality — target sibling order is pinned separately by
+         the plan test suite) whenever both succeed. The source
+         document is a random valid instance of the parsed mapping's
+         own source schema, so generators actually enumerate. *)
       fun s ->
         match Clip_core.Dsl.parse_result ~limits s with
         | Error _ -> ()
         | Ok m ->
-          let doc = Clip_xml.Node.elem m.source.root.name [] in
-          (match Clip_core.Engine.run_result ~limits m doc with
-           | Ok _ | Error _ -> ()) );
+          let doc =
+            match
+              Clip_schema.Generate.instance_with_refs
+                ~state:(Random.State.make [| next () |])
+                ~fanout:3 m.source
+            with
+            | doc -> doc
+            | exception _ -> Clip_xml.Node.elem m.source.root.name []
+          in
+          let run plan = Clip_core.Engine.run_result ~limits ~plan m doc in
+          (match (run `Naive, run `Indexed) with
+           | Ok a, Ok b ->
+             if not (Clip_xml.Node.equal_unordered a b) then begin
+               incr failures;
+               Printf.eprintf
+                 "FAILURE [engine]: naive and indexed plans disagree\n\
+                 \  mapping prefix: %S\n"
+                 (String.sub s 0 (min 160 (String.length s)))
+             end
+           | (Ok _ | Error _), (Ok _ | Error _) -> ()) );
   ]
-
-let failures = ref 0
-
-let report_failure name input exn =
-  incr failures;
-  let prefix = String.sub input 0 (min 160 (String.length input)) in
-  Printf.eprintf "FAILURE [%s]: raised %s\n  input prefix: %S\n" name
-    (Printexc.to_string exn) prefix
 
 let run_target name f input =
   match f input with () -> () | exception e -> report_failure name input e

@@ -244,6 +244,39 @@ let limit_tests =
         in
         checkb "limit diagnostics carry a hint" true (d.D.hints <> []);
         checkb "is_resource_limit recognises it" true (D.is_resource_limit d));
+    Alcotest.test_case "step budget meters both plan modes (CLIP-LIM-004)" `Quick
+      (fun () ->
+        (* The indexed streaming executor must keep ticking the step
+           budget per enumerated binding, exactly like the naive
+           interpreter — a hash join may *lower* the count (skipped
+           bindings are never enumerated), never disable metering. *)
+        let src =
+          "schema source { a [0..*] { v: int } }\n\
+           schema target { t [0..*] { u [0..*] { @x: int } } }\n\
+           mapping {\n\
+          \  node n: source.a as $p, source.a as $q, source.a as $r -> target.t\n\
+           }\n"
+        in
+        let m =
+          match Clip_core.Dsl.parse_result src with
+          | Ok m -> m
+          | Error ds -> Alcotest.failf "fixture does not parse: %s" (D.render_list ds)
+        in
+        let items =
+          List.init 60 (fun i -> Node.elem "a" [ Node.elem "v" [ Node.text (Atom.Int i) ] ])
+        in
+        let doc = Node.elem "source" items in
+        let limits = { D.Limits.default with D.Limits.max_eval_steps = 10_000 } in
+        List.iter
+          (fun plan ->
+            let steps = ref 0 in
+            let d =
+              expect_code D.Codes.limit_eval_steps
+                (Clip_core.Engine.run_result ~limits ~plan ~steps_out:steps m doc)
+            in
+            checkb "budget diagnostics carry a hint" true (d.D.hints <> []);
+            checkb "steps_out reports the enumerated bindings" true (!steps >= 10_000))
+          [ `Naive; `Indexed ]);
     Alcotest.test_case "xquery eval step budget is CLIP-LIM-004" `Quick (fun () ->
         let q =
           "for $a in d/x for $b in d/x for $c in d/x for $e in d/x return 1"

@@ -1,0 +1,323 @@
+(* The physical-plan layer: planner decisions (pushdown, hash joins,
+   segment joins), key normalisation, the lazy tag index, and the
+   differential guarantee that `Indexed runs are output-identical to
+   the `Naive oracles on every figure scenario. *)
+
+module P = Clip_plan
+module Node = Clip_xml.Node
+module Atom = Clip_xml.Atom
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let checki = Alcotest.(check int)
+
+(* --- A toy planner environment ---------------------------------------- *)
+
+(* Environments are assoc lists of ints; generators enumerate integer
+   lists. Enough to exercise every planner decision without either
+   backend. *)
+type env = (string * int) list
+
+let lookup env x = List.assoc x env
+
+let gen ?(deps = []) var eval : (env, int) P.gen =
+  { P.var; deps; eval; bind = (fun env v -> (var, v) :: env) }
+
+let const var items = gen var (fun _ -> items)
+
+let pred pvars test : env P.pred = { P.pvars; test }
+
+let eq ~left ~lkeys ~right ~rkeys : env P.cond =
+  P.Eq
+    {
+      left = { P.kvars = left; keys = (fun env -> [ lkeys env ]) };
+      right = { P.kvars = right; keys = (fun env -> [ rkeys env ]) };
+      orig =
+        pred (left @ right) (fun env ->
+            P.Key.equal (lkeys env) (rkeys env));
+    }
+
+let key1 x env = P.Key.of_atom (Atom.Int (lookup env x))
+
+let run_plan p =
+  let acc = ref [] in
+  let ticks = ref 0 in
+  P.execute p
+    ~tick:(fun () -> incr ticks)
+    ~env:[]
+    ~emit:(fun env -> acc := env :: !acc);
+  (List.rev !acc, !ticks)
+
+(* The naive reference: full cross product, all conditions innermost. *)
+let run_naive gens conds =
+  let test env = function
+    | P.Other p -> p.P.test env
+    | P.Eq { orig; _ } -> orig.P.test env
+  in
+  let acc = ref [] in
+  let rec go env = function
+    | [] -> if List.for_all (test env) conds then acc := env :: !acc
+    | g :: rest ->
+      List.iter (fun v -> go (g.P.bind env v) rest) (g.P.eval env)
+  in
+  go [] gens;
+  List.rev !acc
+
+let planner_tests =
+  [
+    Alcotest.test_case "pushdown: a condition runs at its earliest stage" `Quick
+      (fun () ->
+        let gens = [ const "x" [ 1; 2; 3 ]; const "y" [ 1; 2; 3 ] ] in
+        let conds = [ P.Other (pred [ "x" ] (fun env -> lookup env "x" > 1)) ] in
+        let p = P.plan ~bound:[] ~gens ~conds in
+        checks "shape" "scan(x/1) scan(y)" (P.describe p);
+        let got, ticks = run_plan p in
+        checki "bindings" 6 (List.length got);
+        (* x=1 is pruned before y enumerates: 3 (x) + 2*3 (y) ticks *)
+        checki "ticks" 9 ticks);
+    Alcotest.test_case "an equality between adjacent stages is a hash join" `Quick
+      (fun () ->
+        let gens = [ const "x" [ 1; 2; 2 ]; const "y" [ 2; 2; 3 ] ] in
+        let conds = [ eq ~left:[ "x" ] ~lkeys:(key1 "x") ~right:[ "y" ] ~rkeys:(key1 "y") ] in
+        let p = P.plan ~bound:[] ~gens ~conds in
+        checks "shape" "scan(x) probe(y@0)" (P.describe p);
+        let got, _ = run_plan p in
+        checkb "same bindings as naive" true (got = run_naive gens conds));
+    Alcotest.test_case "probe hits come back in build-side order" `Quick (fun () ->
+        let gens = [ const "x" [ 7 ]; const "y" [ 5; 7; 6; 7; 7; 1 ] ] in
+        let conds = [ eq ~left:[ "x" ] ~lkeys:(key1 "x") ~right:[ "y" ] ~rkeys:(key1 "y") ] in
+        let p = P.plan ~bound:[] ~gens ~conds in
+        let got, ticks = run_plan p in
+        checkb "order preserved" true (got = run_naive gens conds);
+        (* 1 (x) + 3 probe hits; the misses are never enumerated *)
+        checki "ticks" 4 ticks);
+    Alcotest.test_case "a feeder chain is absorbed into a segment join" `Quick
+      (fun () ->
+        (* r ranges over d's items, d over a constant — the paper's
+           [d2 in source.dept, r in d2.regEmp] shape. The probe must
+           cover both stages so the table outlives the x loop. *)
+        let gens =
+          [
+            const "x" [ 1; 2; 3 ];
+            const "d" [ 10; 20 ];
+            gen ~deps:[ "d" ] "r" (fun env -> [ lookup env "d" + 1; lookup env "d" + 2 ]);
+          ]
+        in
+        let conds =
+          [ eq ~left:[ "x" ] ~lkeys:(key1 "x")
+              ~right:[ "r" ]
+              ~rkeys:(fun env -> P.Key.of_atom (Atom.Int (lookup env "r" mod 10))) ]
+        in
+        let p = P.plan ~bound:[] ~gens ~conds in
+        checks "shape" "scan(x) probe(d.r@0)" (P.describe p);
+        let got, _ = run_plan p in
+        checkb "same bindings as naive" true (got = run_naive gens conds));
+    Alcotest.test_case "no join when the table would rebuild per probe" `Quick
+      (fun () ->
+        (* y depends on x (the probe side): the table cannot outlive
+           any generator, so the equality stays a pushed-down filter. *)
+        let gens =
+          [ const "x" [ 1; 2 ]; gen ~deps:[ "x" ] "y" (fun env -> [ lookup env "x"; 9 ]) ]
+        in
+        let conds = [ eq ~left:[ "x" ] ~lkeys:(key1 "x") ~right:[ "y" ] ~rkeys:(key1 "y") ] in
+        let p = P.plan ~bound:[] ~gens ~conds in
+        checks "shape" "scan(x) scan(y/1)" (P.describe p);
+        let got, _ = run_plan p in
+        checkb "same bindings as naive" true (got = run_naive gens conds));
+    Alcotest.test_case "shadowed variables disable pushdown" `Quick (fun () ->
+        let gens = [ const "x" [ 1; 2 ]; const "x" [ 3; 4 ] ] in
+        let conds = [ P.Other (pred [ "x" ] (fun env -> lookup env "x" > 3)) ] in
+        let p = P.plan ~bound:[] ~gens ~conds in
+        checks "shape" "scan(x) scan(x/1)" (P.describe p);
+        let got, _ = run_plan p in
+        checki "bindings" 2 (List.length got));
+    Alcotest.test_case "outer-bound conditions run once, before any stage" `Quick
+      (fun () ->
+        let gens = [ const "x" [ 1; 2; 3 ] ] in
+        let conds = [ P.Other (pred [ "b" ] (fun _ -> false)) ] in
+        let p = P.plan ~bound:[ "b" ] ~gens ~conds in
+        let got, ticks = run_plan p in
+        checki "bindings" 0 (List.length got);
+        checki "ticks" 0 ticks);
+  ]
+
+(* --- Key normalisation ------------------------------------------------- *)
+
+let key_tests =
+  [
+    Alcotest.test_case "Int 3 and Float 3.0 are one key" `Quick (fun () ->
+        checkb "equal" true
+          (P.Key.equal (P.Key.of_atom (Atom.Int 3)) (P.Key.of_atom (Atom.Float 3.0)));
+        checki "hash agrees" 0
+          (compare
+             (P.Key.hash (P.Key.of_atom (Atom.Int 3)))
+             (P.Key.hash (P.Key.of_atom (Atom.Float 3.0)))));
+    Alcotest.test_case "all NaNs collapse to one key" `Quick (fun () ->
+        checkb "equal" true
+          (P.Key.equal
+             (P.Key.of_atom (Atom.Float Float.nan))
+             (P.Key.of_atom (Atom.Float (Float.neg Float.nan)))));
+    Alcotest.test_case "0. and -0. stay distinct (Float.equal semantics)" `Quick
+      (fun () ->
+        checkb "distinct" false
+          (P.Key.equal (P.Key.of_atom (Atom.Float 0.)) (P.Key.of_atom (Atom.Float (-0.)))));
+    Alcotest.test_case "strings, bools and numbers never collide" `Quick (fun () ->
+        let keys =
+          [
+            P.Key.of_atom (Atom.String "1");
+            P.Key.of_atom (Atom.Int 1);
+            P.Key.of_atom (Atom.Bool true);
+          ]
+        in
+        List.iteri
+          (fun i a ->
+            List.iteri (fun j b -> if i <> j then checkb "distinct" false (P.Key.equal a b)) keys)
+          keys);
+    Alcotest.test_case "composite keys compare per position" `Quick (fun () ->
+        checkb "equal" true
+          (P.Key.equal
+             (P.Key.of_atoms [ Atom.Int 1; Atom.String "a" ])
+             (P.Key.of_atoms [ Atom.Float 1.; Atom.String "a" ]));
+        checkb "length matters" false
+          (P.Key.equal (P.Key.of_atoms [ Atom.Int 1 ]) (P.Key.of_atoms [ Atom.Int 1; Atom.Int 1 ])));
+  ]
+
+(* --- The lazy tag index ------------------------------------------------ *)
+
+let index_tests =
+  let wide n tag =
+    (* [n] children alternating [tag] and <other>, with text noise *)
+    Node.elem "root"
+      (List.concat_map
+         (fun i ->
+           [
+             Node.elem (if i mod 2 = 0 then tag else "other") [];
+             Node.text (Atom.Int i);
+           ])
+         (List.init n Fun.id))
+  in
+  let elem_of = function Node.Element e -> e | Node.Text _ -> assert false in
+  [
+    Alcotest.test_case "children_by_tag matches a scan, in document order" `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            let doc = wide n "a" in
+            let idx = Clip_xml.Index.build doc in
+            let e = elem_of doc in
+            let scan =
+              List.filter
+                (function Node.Element c -> String.equal c.Node.tag "a" | _ -> false)
+                e.Node.children
+            in
+            (* twice: the second probe exercises the memoised path *)
+            checkb "first probe" true (Clip_xml.Index.children_by_tag idx e "a" = scan);
+            checkb "memoised probe" true (Clip_xml.Index.children_by_tag idx e "a" = scan);
+            checkb "absent tag" true (Clip_xml.Index.children_by_tag idx e "zzz" = []))
+          (* below and above the small-children fast-path threshold *)
+          [ 0; 3; 100 ]);
+    Alcotest.test_case "the index answers for constructed elements too" `Quick
+      (fun () ->
+        let doc = Node.elem "doc" [] in
+        let idx = Clip_xml.Index.build doc in
+        let foreign = Node.elem "f" [ Node.elem "kid" []; Node.elem "kid" [] ] in
+        checki "foreign children" 2
+          (List.length (Clip_xml.Index.children_by_tag idx (elem_of foreign) "kid")));
+    Alcotest.test_case "descendants_by_tag is preorder and memoised" `Quick (fun () ->
+        let doc =
+          Node.elem "r"
+            [
+              Node.elem "a" [ Node.elem "x" []; Node.elem "a" [ Node.elem "x" [] ] ];
+              Node.elem "x" [];
+            ]
+        in
+        let idx = Clip_xml.Index.build doc in
+        let e = elem_of doc in
+        checki "count" 3 (List.length (Clip_xml.Index.descendants_by_tag idx e "x"));
+        checkb "memoised" true
+          (Clip_xml.Index.descendants_by_tag idx e "x"
+          == Clip_xml.Index.descendants_by_tag idx e "x"));
+  ]
+
+(* --- Differential: `Indexed against the `Naive oracles ----------------- *)
+
+module S = Clip_scenarios
+module Engine = Clip_core.Engine
+
+let run_mode sc ~backend ~plan doc =
+  match
+    Engine.run_result ~limits:Clip_diag.Limits.unlimited ~backend
+      ~minimum_cardinality:sc.S.Figures.minimum_cardinality ~plan sc.S.Figures.mapping doc
+  with
+  | Ok d -> d
+  | Error ds ->
+    Alcotest.failf "%s/%s did not run: %s" sc.S.Figures.name
+      (match backend with `Tgd -> "tgd" | _ -> "xquery")
+      (Clip_diag.render_list ds)
+
+let differential_tests =
+  let backends sc = if sc.S.Figures.minimum_cardinality then [ `Tgd; `Xquery ] else [ `Tgd ] in
+  List.concat_map
+    (fun (sc : S.Figures.t) ->
+      List.map
+        (fun backend ->
+          let bname = match backend with `Tgd -> "tgd" | _ -> "xquery" in
+          Alcotest.test_case
+            (Printf.sprintf "%s/%s: indexed ≡ naive" sc.S.Figures.name bname)
+            `Quick
+            (fun () ->
+              let doc = S.Deptdb.instance in
+              let naive = run_mode sc ~backend ~plan:`Naive doc in
+              let indexed = run_mode sc ~backend ~plan:`Indexed doc in
+              (* byte-identical, not just unordered-equal: the plan
+                 layer promises exact enumeration order *)
+              checkb "identical documents" true (Node.equal naive indexed)))
+        (backends sc))
+    S.Figures.all
+
+let scaled_differential_tests =
+  [
+    Alcotest.test_case "scaled synthetic instances agree on the join figures" `Quick
+      (fun () ->
+        let doc = S.Deptdb.synthetic_instance ~depts:6 ~projs:3 ~emps:5 in
+        List.iter
+          (fun (sc : S.Figures.t) ->
+            List.iter
+              (fun backend ->
+                let naive = run_mode sc ~backend ~plan:`Naive doc in
+                let indexed = run_mode sc ~backend ~plan:`Indexed doc in
+                checkb
+                  (Printf.sprintf "%s identical" sc.S.Figures.name)
+                  true (Node.equal naive indexed))
+              [ `Tgd; `Xquery ])
+          S.Figures.[ fig5; fig6; fig6_join_global; fig7 ]);
+  ]
+
+(* Random mapping programs would need a generator for the mapping DSL;
+   random *data* under the deptdb schema is cheap and exercises the
+   same decision points (empty generators, duplicate keys, missing
+   referents), so fuzz the instance and keep the figure mappings. *)
+let fuzz_differential =
+  QCheck.Test.make ~count:60 ~name:"indexed ≡ naive on random deptdb instances"
+    QCheck.(triple (int_range 1 5) (int_range 0 4) (int_range 0 6))
+    (fun (depts, projs, emps) ->
+      let doc = S.Deptdb.synthetic_instance ~depts ~projs ~emps in
+      List.for_all
+        (fun (sc : S.Figures.t) ->
+          List.for_all
+            (fun backend ->
+              Node.equal (run_mode sc ~backend ~plan:`Naive doc)
+                (run_mode sc ~backend ~plan:`Indexed doc))
+            [ `Tgd; `Xquery ])
+        S.Figures.[ fig6; fig6_join_global; fig7 ])
+
+let () =
+  Alcotest.run "plan"
+    [
+      ("planner", planner_tests);
+      ("keys", key_tests);
+      ("index", index_tests);
+      ("differential", differential_tests);
+      ("scaled-differential", scaled_differential_tests);
+      ("fuzz-differential", [ QCheck_alcotest.to_alcotest fuzz_differential ]);
+    ]
