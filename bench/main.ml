@@ -262,36 +262,216 @@ let json_string s =
   Buffer.add_char b '"';
   Buffer.contents b
 
-(* One measured row: a scenario run on one backend in both plan modes. *)
+(* The current git commit, so BENCH_plan.json is traceable to the tree
+   that produced it. Read straight from [.git] — the harness must not
+   depend on a [git] binary being present. *)
+let git_commit () =
+  let read_file path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+  in
+  match read_file ".git/HEAD" with
+  | exception _ -> "unknown"
+  | head ->
+    let head = String.trim head in
+    (match String.length head >= 5 && String.sub head 0 5 = "ref: " with
+     | false -> head (* detached HEAD *)
+     | true ->
+       let r = String.sub head 5 (String.length head - 5) in
+       (match String.trim (read_file (".git/" ^ r)) with
+        | sha -> sha
+        | exception _ ->
+          (* loose ref absent: scan packed-refs *)
+          (match
+             let ic = open_in ".git/packed-refs" in
+             Fun.protect
+               ~finally:(fun () -> close_in ic)
+               (fun () ->
+                 let found = ref "unknown" in
+                 (try
+                    while true do
+                      let line = input_line ic in
+                      match String.index_opt line ' ' with
+                      | Some i when String.sub line (i + 1) (String.length line - i - 1) = r ->
+                        found := String.sub line 0 i
+                      | _ -> ()
+                    done
+                  with End_of_file -> ());
+                 !found)
+           with
+           | sha -> sha
+           | exception _ -> "unknown")))
+
+let median_of ts =
+  let sorted = List.sort compare ts in
+  List.nth sorted (List.length ts / 2)
+
+let min_of ts = List.fold_left Float.min Float.infinity ts
+
+(* Per-rep speedup of [den] over [num], summarised by its median. The
+   two time lists are aligned rep-by-rep (candidates of one rep run
+   back-to-back), so machine-load drift hits both sides of each ratio
+   and cancels — far more robust than a ratio of medians. *)
+let paired_speedup num den =
+  median_of (List.map2 (fun n d -> n /. Float.max d 1e-9) num den)
+
+(* Per-call ms for each of [fs], per timed repetition (aligned lists,
+   one per candidate, oldest rep first). Precautions against
+   systematic error: each rep batches enough calls to last ~2 ms, so
+   microsecond-scale scenarios are not measured at clock resolution;
+   each rep times every candidate before the next rep starts, so slow
+   drift (heap growth, frequency scaling) spreads over all candidates;
+   and the in-rep order rotates, so no candidate always runs last. *)
+let interleaved_reps n fs =
+  let calibrated =
+    List.map
+      (fun f ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        let once = Unix.gettimeofday () -. t0 in
+        (f, max 1 (min 512 (int_of_float (0.002 /. Float.max once 1e-9)))))
+      fs
+  in
+  let items = List.mapi (fun i (f, inner) -> (i, f, inner)) calibrated in
+  let times = Array.make (List.length fs) [] in
+  for r = 0 to n - 1 do
+    let k = r mod List.length items in
+    let rotated =
+      List.filteri (fun j _ -> j >= k) items
+      @ List.filteri (fun j _ -> j < k) items
+    in
+    List.iter
+      (fun (i, f, inner) ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to inner do
+          ignore (f ())
+        done;
+        let per_call =
+          (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int inner
+        in
+        times.(i) <- per_call :: times.(i))
+      rotated
+  done;
+  Array.to_list (Array.map List.rev times)
+
+
+(* One measured row: a scenario run on one backend in all three plan
+   modes, [reps] times each; times are medians with the min kept. *)
 type plan_row = {
   r_figure : string;
   r_backend : string;
   r_scale : int; (* 0 = the paper instance *)
   r_src_nodes : int;
-  r_identical : bool; (* Node.equal, exact sibling order *)
+  r_identical : bool; (* Node.equal across all three modes *)
   r_agree : bool; (* Node.equal_unordered *)
   r_naive_ms : float;
   r_indexed_ms : float;
+  r_auto_ms : float;
+  r_naive_min_ms : float;
+  r_indexed_min_ms : float;
+  r_auto_min_ms : float;
   r_naive_steps : int;
   r_indexed_steps : int;
+  r_auto_steps : int;
+  r_speedup : float; (* naive vs forced-index, paired median *)
+  r_auto_speedup : float; (* naive vs auto, paired median *)
+  r_auto_speedup_min : float; (* naive vs auto, ratio of minima *)
+  r_auto_vs_best : float; (* per-rep best forced mode vs auto, paired *)
 }
 
-let speedup r = r.r_naive_ms /. Float.max r.r_indexed_ms 1e-6
+let speedup r = r.r_speedup
+let auto_speedup r = r.r_auto_speedup
 
-let plan_experiment ?(smoke = false) () =
+(* The regression guard takes the better of the paired-median and
+   min-based estimates, so a single noisy outlier rep cannot fail
+   CI. *)
+let auto_speedup_min r = r.r_auto_speedup_min
+
+type session_row = {
+  s_figure : string;
+  s_backend : string;
+  s_scale : int;
+  s_cold_ms : float; (* fresh session, first run: full analysis *)
+  s_warm_ms : float; (* median warm run on the same session *)
+  s_warm_min_ms : float;
+  s_speedup : float; (* cold vs warm, paired median *)
+  s_identical : bool; (* warm output = cold output, byte-identical *)
+}
+
+let session_speedup s = s.s_speedup
+
+let measure_sessions ~reps ~scales =
+  let scenario = S.Figures.fig6_join_global in
+  List.map
+    (fun scale ->
+      let doc =
+        if scale = 0 then S.Deptdb.instance
+        else S.Deptdb.synthetic_instance ~depts:(2 * scale) ~projs:5 ~emps:10
+      in
+      (* The xquery backend has the longest per-mapping analysis
+         pipeline (compile, then translation), so it is where sessions
+         have the most to amortise. *)
+      let session = Engine.Session.create doc in
+      let cold =
+        Engine.Session.run ~backend:`Xquery session scenario.S.Figures.mapping
+      in
+      let warm = ref cold in
+      (* cold = fresh session + first run (full analysis), every call *)
+      let cold_f () =
+        Engine.Session.run ~backend:`Xquery (Engine.Session.create doc)
+          scenario.S.Figures.mapping
+      in
+      let warm_f () =
+        warm :=
+          Engine.Session.run ~backend:`Xquery session scenario.S.Figures.mapping;
+        !warm
+      in
+      let tc, tw =
+        match interleaved_reps reps [ cold_f; warm_f ] with
+        | [ c; w ] -> (c, w)
+        | _ -> assert false
+      in
+      {
+        s_figure = scenario.S.Figures.name;
+        s_backend = "xquery";
+        s_scale = scale;
+        s_cold_ms = median_of tc;
+        s_warm_ms = median_of tw;
+        s_warm_min_ms = min_of tw;
+        s_speedup = paired_speedup tc tw;
+        s_identical = Node.equal cold !warm;
+      })
+    scales
+
+let session_experiment () =
+  rule "Sessions — warm vs cold runs over one source document";
+  let rows = measure_sessions ~reps:5 ~scales:[ 0; 1; 10 ] in
+  Printf.printf "%-18s | %-7s | %-6s | %-10s | %-10s | %-11s | %s\n" "figure"
+    "backend" "scale" "cold ms" "warm ms" "warm min ms" "speedup";
+  print_endline (String.make 84 '-');
+  List.iter
+    (fun s ->
+      Printf.printf "%-18s | %-7s | %-6d | %10.3f | %10.3f | %11.3f | %6.1fx\n"
+        s.s_figure s.s_backend s.s_scale s.s_cold_ms s.s_warm_ms s.s_warm_min_ms
+        (session_speedup s))
+    rows;
+  Printf.printf "\nwarm outputs identical to cold: %b\n"
+    (List.for_all (fun s -> s.s_identical) rows)
+
+let plan_experiment ?(smoke = false) ?(check = false) () =
   rule
-    (Printf.sprintf "Plan layer — naive vs indexed execution%s"
+    (Printf.sprintf "Plan layer — naive vs indexed vs auto execution%s"
        (if smoke then " (smoke)" else ""));
+  let reps = if smoke then 3 else 9 in
   let limits = Clip_diag.Limits.unlimited in
   let run_mode (sc : S.Figures.t) ~backend ~plan doc =
     let steps = ref 0 in
-    let t0 = Unix.gettimeofday () in
     match
       Engine.run_result ~limits ~backend
         ~minimum_cardinality:sc.minimum_cardinality ~plan ~steps_out:steps
         sc.mapping doc
     with
-    | Ok out -> (out, (Unix.gettimeofday () -. t0) *. 1000., !steps)
+    | Ok out -> (out, !steps)
     | Error ds ->
       List.iter (fun d -> prerr_endline (Clip_diag.to_string d)) ds;
       Printf.eprintf "plan bench: %s failed\n" sc.name;
@@ -304,19 +484,46 @@ let plan_experiment ?(smoke = false) () =
       | `Xquery -> "xquery"
       | `Xquery_text -> "xquery-text"
     in
-    let out_n, ms_n, steps_n = run_mode sc ~backend ~plan:`Naive doc in
-    let out_i, ms_i, steps_i = run_mode sc ~backend ~plan:`Indexed doc in
+    let out_n, steps_n = run_mode sc ~backend ~plan:`Naive doc in
+    let out_i, steps_i = run_mode sc ~backend ~plan:`Indexed doc in
+    let out_a, steps_a = run_mode sc ~backend ~plan:`Auto doc in
+    let timed plan () = run_mode sc ~backend ~plan doc in
+    let tn, ti, ta =
+      match interleaved_reps reps [ timed `Naive; timed `Indexed; timed `Auto ] with
+      | [ n; i; a ] -> (n, i, a)
+      | _ -> assert false
+    in
     {
       r_figure = sc.name;
       r_backend = bname;
       r_scale = scale;
       r_src_nodes = Node.size doc;
-      r_identical = Node.equal out_n out_i;
-      r_agree = Node.equal_unordered out_n out_i;
-      r_naive_ms = ms_n;
-      r_indexed_ms = ms_i;
+      r_identical = Node.equal out_n out_i && Node.equal out_n out_a;
+      r_agree =
+        Node.equal_unordered out_n out_i && Node.equal_unordered out_n out_a;
+      r_naive_ms = median_of tn;
+      r_indexed_ms = median_of ti;
+      r_auto_ms = median_of ta;
+      r_naive_min_ms = min_of tn;
+      r_indexed_min_ms = min_of ti;
+      r_auto_min_ms = min_of ta;
       r_naive_steps = steps_n;
       r_indexed_steps = steps_i;
+      r_auto_steps = steps_a;
+      r_speedup = paired_speedup tn ti;
+      r_auto_speedup = paired_speedup tn ta;
+      r_auto_speedup_min = min_of tn /. Float.max (min_of ta) 1e-9;
+      (* Pick the better forced mode first (by median), then compare
+         against that mode only. A per-rep min of the two forced modes
+         would bias the baseline low — the minimum of two noisy
+         measurements systematically underestimates. Interference on
+         this machine only ever adds time, so alongside the paired
+         median we take each side's min rep (its least-contaminated
+         measurement) and keep the better of the two estimates. *)
+      r_auto_vs_best =
+        (let best = if median_of tn <= median_of ti then tn else ti in
+         Float.max (paired_speedup best ta)
+           (min_of best /. Float.max (min_of ta) 1e-9));
     }
   in
   subrule "figure scenarios on the paper instance (output agreement)";
@@ -331,15 +538,18 @@ let plan_experiment ?(smoke = false) () =
           backends)
       S.Figures.all
   in
-  Printf.printf "%-18s | %-7s | %-9s | %-11s | %-13s\n" "figure" "backend"
-    "identical" "naive steps" "indexed steps";
-  print_endline (String.make 68 '-');
+  Printf.printf "%-18s | %-7s | %-9s | %-11s | %-13s | %-10s | %s\n" "figure"
+    "backend" "identical" "naive steps" "indexed steps" "auto steps"
+    "auto speedup";
+  print_endline (String.make 100 '-');
   List.iter
     (fun r ->
-      Printf.printf "%-18s | %-7s | %-9b | %-11d | %-13d\n" r.r_figure
-        r.r_backend r.r_identical r.r_naive_steps r.r_indexed_steps)
+      Printf.printf "%-18s | %-7s | %-9b | %-11d | %-13d | %-10d | %6.2fx\n"
+        r.r_figure r.r_backend r.r_identical r.r_naive_steps r.r_indexed_steps
+        r.r_auto_steps
+        (Float.max (auto_speedup r) (auto_speedup_min r)))
     figure_rows;
-  subrule "scaled synthetic deptdb (wall-clock, step counts)";
+  subrule "scaled synthetic deptdb (medians of wall-clock, step counts)";
   let scales = if smoke then [ 1; 10 ] else [ 1; 10; 100 ] in
   let scaling_rows =
     List.concat_map
@@ -358,37 +568,68 @@ let plan_experiment ?(smoke = false) () =
         (S.Figures.fig7, [ `Tgd ]);
       ]
   in
-  Printf.printf "%-8s | %-7s | %-6s | %-11s | %-11s | %-8s | %-11s | %s\n"
-    "figure" "backend" "scale" "naive ms" "indexed ms" "speedup" "naive steps"
-    "indexed steps";
-  print_endline (String.make 96 '-');
+  Printf.printf
+    "%-8s | %-7s | %-6s | %-10s | %-10s | %-10s | %-9s | %-9s | %-9s | %s\n"
+    "figure" "backend" "scale" "naive ms" "indexed ms" "auto ms" "idx spdup"
+    "auto spdup" "vs best" "auto steps";
+  print_endline (String.make 112 '-');
   List.iter
     (fun r ->
-      Printf.printf "%-8s | %-7s | %-6d | %11.3f | %11.3f | %7.1fx | %-11d | %d\n"
-        r.r_figure r.r_backend r.r_scale r.r_naive_ms r.r_indexed_ms (speedup r)
-        r.r_naive_steps r.r_indexed_steps)
+      Printf.printf
+        "%-8s | %-7s | %-6d | %10.3f | %10.3f | %10.3f | %8.1fx | %8.1fx | \
+         %8.2fx | %d\n"
+        r.r_figure r.r_backend r.r_scale r.r_naive_ms r.r_indexed_ms r.r_auto_ms
+        (speedup r) (auto_speedup r) r.r_auto_vs_best r.r_auto_steps)
     scaling_rows;
-  let all_agree = List.for_all (fun r -> r.r_agree) (figure_rows @ scaling_rows) in
+  subrule "sessions (warm vs cold, repeated fig6-join-global)";
+  let session_rows = measure_sessions ~reps ~scales:[ 0 ] in
+  List.iter
+    (fun s ->
+      Printf.printf
+        "%-18s | scale %-4d | cold %8.3f ms | warm %8.3f ms | %6.1fx | identical %b\n"
+        s.s_figure s.s_scale s.s_cold_ms s.s_warm_ms (session_speedup s)
+        s.s_identical)
+    session_rows;
+  let all_agree =
+    List.for_all (fun r -> r.r_agree) (figure_rows @ scaling_rows)
+    && List.for_all (fun s -> s.s_identical) session_rows
+  in
   let best =
     List.fold_left
-      (fun acc r -> if speedup r > speedup acc then r else acc)
+      (fun acc r -> if auto_speedup r > auto_speedup acc then r else acc)
       (List.hd scaling_rows) scaling_rows
   in
+  let commit = git_commit () in
   Printf.printf "\nall outputs agree (order-insensitive): %b\n" all_agree;
-  Printf.printf "best speedup: %.1fx (%s/%s at scale %dx)\n" (speedup best)
-    best.r_figure best.r_backend best.r_scale;
+  Printf.printf "best auto speedup: %.1fx (%s/%s at scale %dx)\n"
+    (auto_speedup best) best.r_figure best.r_backend best.r_scale;
   let row_json r =
     Printf.sprintf
       "{\"figure\": %s, \"backend\": %s, \"scale\": %d, \"src_nodes\": %d, \
        \"identical\": %b, \"agree\": %b, \"naive_ms\": %.3f, \"indexed_ms\": \
-       %.3f, \"speedup\": %.2f, \"naive_steps\": %d, \"indexed_steps\": %d}"
+       %.3f, \"auto_ms\": %.3f, \"naive_min_ms\": %.3f, \"indexed_min_ms\": \
+       %.3f, \"auto_min_ms\": %.3f, \"speedup\": %.2f, \"auto_speedup\": %.2f, \
+       \"auto_speedup_min\": %.2f, \"auto_vs_best\": %.2f, \"naive_steps\": \
+       %d, \"indexed_steps\": %d, \"auto_steps\": %d}"
       (json_string r.r_figure) (json_string r.r_backend) r.r_scale r.r_src_nodes
-      r.r_identical r.r_agree r.r_naive_ms r.r_indexed_ms (speedup r)
-      r.r_naive_steps r.r_indexed_steps
+      r.r_identical r.r_agree r.r_naive_ms r.r_indexed_ms r.r_auto_ms
+      r.r_naive_min_ms r.r_indexed_min_ms r.r_auto_min_ms (speedup r)
+      (auto_speedup r) (auto_speedup_min r) r.r_auto_vs_best r.r_naive_steps
+      r.r_indexed_steps r.r_auto_steps
+  in
+  let session_json s =
+    Printf.sprintf
+      "{\"figure\": %s, \"backend\": %s, \"scale\": %d, \"cold_ms\": %.3f, \
+       \"warm_ms\": %.3f, \"warm_min_ms\": %.3f, \"warm_speedup\": %.2f, \
+       \"identical\": %b}"
+      (json_string s.s_figure) (json_string s.s_backend) s.s_scale s.s_cold_ms
+      s.s_warm_ms s.s_warm_min_ms (session_speedup s) s.s_identical
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf (Printf.sprintf "  \"commit\": %s,\n" (json_string commit));
+  Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);
   Buffer.add_string buf (Printf.sprintf "  \"all_agree\": %b,\n" all_agree);
   Buffer.add_string buf "  \"figures\": [\n";
   Buffer.add_string buf
@@ -396,12 +637,41 @@ let plan_experiment ?(smoke = false) () =
   Buffer.add_string buf "\n  ],\n  \"scaling\": [\n";
   Buffer.add_string buf
     (String.concat ",\n" (List.map (fun r -> "    " ^ row_json r) scaling_rows));
+  Buffer.add_string buf "\n  ],\n  \"session\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map (fun s -> "    " ^ session_json s) session_rows));
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out "BENCH_plan.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "wrote BENCH_plan.json (%d rows)\n"
-    (List.length figure_rows + List.length scaling_rows)
+  Printf.printf "wrote BENCH_plan.json (%d rows, commit %s)\n"
+    (List.length figure_rows + List.length scaling_rows + List.length session_rows)
+    commit;
+  if check then begin
+    (* The CI regression guard: every output must agree across modes,
+       and [`Auto] must stay within 0.8x of naive on every paper-scale
+       figure row (the better of median- and min-based speedups, so
+       one preempted run cannot flake the build). *)
+    let slow =
+      List.filter
+        (fun r -> Float.max (auto_speedup r) (auto_speedup_min r) < 0.8)
+        figure_rows
+    in
+    if not all_agree then begin
+      prerr_endline "plan bench check FAILED: outputs disagree across plan modes";
+      exit 1
+    end;
+    if slow <> [] then begin
+      List.iter
+        (fun r ->
+          Printf.eprintf
+            "plan bench check FAILED: %s/%s auto %.2fx (min-based %.2fx) < 0.8x of naive\n"
+            r.r_figure r.r_backend (auto_speedup r) (auto_speedup_min r))
+        slow;
+      exit 1
+    end;
+    print_endline "plan bench check passed"
+  end
 
 (* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
 
@@ -519,15 +789,22 @@ let experiments =
     ("xquery", xquery_experiment);
     ("ablations", ablation_experiment);
     ("scaling", scaling_experiment);
-    ("plan", plan_experiment ?smoke:None);
+    ("plan", plan_experiment ?smoke:None ?check:None);
+    ("session", session_experiment);
     ("perf", perf_experiment);
   ]
 
 let () =
-  match Sys.argv with
-  | [| _ |] -> List.iter (fun (_, f) -> f ()) experiments
-  | [| _; "plan"; "--smoke" |] -> plan_experiment ~smoke:true ()
-  | [| _; name |] ->
+  match Array.to_list Sys.argv with
+  | [ _ ] -> List.iter (fun (_, f) -> f ()) experiments
+  | _ :: "plan" :: flags
+    when flags <> []
+         && List.for_all (fun f -> f = "--smoke" || f = "--check") flags ->
+    plan_experiment
+      ~smoke:(List.mem "--smoke" flags)
+      ~check:(List.mem "--check" flags)
+      ()
+  | [ _; name ] ->
     (match List.assoc_opt name experiments with
      | Some f -> f ()
      | None ->
@@ -535,5 +812,5 @@ let () =
          (String.concat ", " (List.map fst experiments));
        exit 1)
   | _ ->
-    prerr_endline "usage: main.exe [experiment] | plan --smoke";
+    prerr_endline "usage: main.exe [experiment] | plan [--smoke] [--check]";
     exit 1

@@ -1,58 +1,194 @@
 type backend = [ `Tgd | `Xquery | `Xquery_text ]
 
-let run ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?steps_out
-    (m : Mapping.t) source =
-  let tgd = Compile.to_tgd m in
-  let target_root = m.target.root.name in
-  match backend with
-  | `Tgd ->
-    Clip_tgd.Eval.run ~minimum_cardinality ?plan ?steps_out ~source ~target_root tgd
-  | (`Xquery | `Xquery_text) as backend ->
-    if not minimum_cardinality then
-      invalid_arg
-        "Engine.run: the universal-solution ablation is only available on the \
-         tgd backend";
-    let query = To_xquery.translate ~target_root tgd in
-    let query =
-      match backend with
-      | `Xquery -> query
-      | `Xquery_text ->
-        (* Round-trip through the concrete syntax: what an external
-           XQuery processor would receive. *)
-        Clip_xquery.Parser.parse_string (Clip_xquery.Pretty.query_to_string query)
-    in
-    Clip_xquery.Eval.run_document ?plan ?steps_out ~input:source query
+(* --- Sessions ---------------------------------------------------------- *)
 
-let run_result ?limits ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan
-    ?steps_out (m : Mapping.t) source =
-  match Compile.to_tgd_result m with
-  | Error ds -> Error ds
-  | Ok tgd ->
+(* A session pins one source document and amortises everything that is
+   per-document or per-mapping rather than per-run: the backends'
+   sessions (tag index, instance statistics, compiled physical plans)
+   and this layer's own compile caches (mapping -> tgd, tgd -> XQuery).
+   Mapping and tgd values are pure data, so structural hashing is
+   sound; a NaN-bearing mapping never hits its cache entry and is
+   simply recompiled. *)
+type session = {
+  ssource : Clip_xml.Node.t;
+  stgd : Clip_tgd.Eval.Session.t;
+  sxq : Clip_xquery.Eval.Session.t;
+  scompiled : (Mapping.t, Clip_tgd.Tgd.t) Hashtbl.t;
+  stranslated : (string * Clip_tgd.Tgd.t, Clip_xquery.Ast.expr) Hashtbl.t;
+  (* One-slot physical-identity fast paths in front of the structural
+     tables: re-running the same mapping value skips the deep hash and
+     equality, which on small documents costs as much as the run. *)
+  mutable slast_tgd : (Mapping.t * Clip_tgd.Tgd.t) option;
+  mutable slast_xq : (string * Clip_tgd.Tgd.t * Clip_xquery.Ast.expr) option;
+}
+
+module Session = struct
+  type t = session
+
+  let create source =
+    {
+      ssource = source;
+      stgd = Clip_tgd.Eval.Session.create source;
+      sxq = Clip_xquery.Eval.Session.create source;
+      scompiled = Hashtbl.create 8;
+      stranslated = Hashtbl.create 8;
+      slast_tgd = None;
+      slast_xq = None;
+    }
+
+  let source s = s.ssource
+
+  let memo tbl key compute =
+    match Hashtbl.find_opt tbl key with
+    | Some v -> v
+    | None ->
+      let v = compute () in
+      Hashtbl.add tbl key v;
+      v
+
+  let to_tgd s m =
+    match s.slast_tgd with
+    | Some (m', tgd) when m' == m -> tgd
+    | _ ->
+      let tgd = memo s.scompiled m (fun () -> Compile.to_tgd m) in
+      s.slast_tgd <- Some (m, tgd);
+      tgd
+
+  let to_tgd_result s m =
+    match s.slast_tgd with
+    | Some (m', tgd) when m' == m -> Ok tgd
+    | _ ->
+      (match Hashtbl.find_opt s.scompiled m with
+       | Some tgd ->
+         s.slast_tgd <- Some (m, tgd);
+         Ok tgd
+       | None ->
+         (match Compile.to_tgd_result m with
+          | Error _ as e -> e
+          | Ok tgd ->
+            Hashtbl.add s.scompiled m tgd;
+            s.slast_tgd <- Some (m, tgd);
+            Ok tgd))
+
+  let to_xquery s ~target_root tgd =
+    match s.slast_xq with
+    | Some (r, tgd', q) when r = target_root && tgd' == tgd -> q
+    | _ ->
+      let q =
+        memo s.stranslated (target_root, tgd) (fun () ->
+          To_xquery.translate ~target_root tgd)
+      in
+      s.slast_xq <- Some (target_root, tgd, q);
+      q
+
+  let to_xquery_result s ~target_root tgd =
+    match s.slast_xq with
+    | Some (r, tgd', q) when r = target_root && tgd' == tgd -> Ok q
+    | _ ->
+      (match Hashtbl.find_opt s.stranslated (target_root, tgd) with
+       | Some q ->
+         s.slast_xq <- Some (target_root, tgd, q);
+         Ok q
+       | None ->
+         (match To_xquery.translate_result ~target_root tgd with
+          | Error _ as e -> e
+          | Ok q ->
+            Hashtbl.add s.stranslated (target_root, tgd) q;
+            s.slast_xq <- Some (target_root, tgd, q);
+            Ok q))
+
+  let run ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?steps_out s
+      (m : Mapping.t) =
+    let tgd = to_tgd s m in
     let target_root = m.target.root.name in
-    (match backend with
-     | `Tgd ->
-       Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan ?steps_out
-         ~source ~target_root tgd
-     | (`Xquery | `Xquery_text) as backend ->
-       if not minimum_cardinality then
-         invalid_arg
-           "Engine.run_result: the universal-solution ablation is only \
-            available on the tgd backend";
-       (match To_xquery.translate_result ~target_root tgd with
-        | Error ds -> Error ds
-        | Ok query ->
-          let query =
-            match backend with
-            | `Xquery -> Ok query
-            | `Xquery_text ->
-              Clip_xquery.Parser.parse_string_result ?limits
-                (Clip_xquery.Pretty.query_to_string query)
-          in
-          (match query with
-           | Error ds -> Error ds
-           | Ok query ->
-             Clip_xquery.Eval.run_document_result ?limits ?plan ?steps_out
-               ~input:source query)))
+    match backend with
+    | `Tgd ->
+      Clip_tgd.Eval.run ~minimum_cardinality ?plan ~session:s.stgd ?steps_out
+        ~source:s.ssource ~target_root tgd
+    | (`Xquery | `Xquery_text) as backend ->
+      if not minimum_cardinality then
+        invalid_arg
+          "Engine.Session.run: the universal-solution ablation is only \
+           available on the tgd backend";
+      let query = to_xquery s ~target_root tgd in
+      let query =
+        match backend with
+        | `Xquery -> query
+        | `Xquery_text ->
+          (* Round-trip through the concrete syntax; parsing is
+             deliberately not cached — it stands in for what an
+             external processor would do per request. *)
+          Clip_xquery.Parser.parse_string (Clip_xquery.Pretty.query_to_string query)
+      in
+      Clip_xquery.Eval.run_document ?plan ~session:s.sxq ?steps_out
+        ~input:s.ssource query
+
+  let run_result ?limits ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan
+      ?steps_out s (m : Mapping.t) =
+    match to_tgd_result s m with
+    | Error ds -> Error ds
+    | Ok tgd ->
+      let target_root = m.target.root.name in
+      (match backend with
+       | `Tgd ->
+         Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan
+           ~session:s.stgd ?steps_out ~source:s.ssource ~target_root tgd
+       | (`Xquery | `Xquery_text) as backend ->
+         if not minimum_cardinality then
+           invalid_arg
+             "Engine.Session.run_result: the universal-solution ablation is \
+              only available on the tgd backend";
+         (match to_xquery_result s ~target_root tgd with
+          | Error ds -> Error ds
+          | Ok query ->
+            let query =
+              match backend with
+              | `Xquery -> Ok query
+              | `Xquery_text ->
+                Clip_xquery.Parser.parse_string_result ?limits
+                  (Clip_xquery.Pretty.query_to_string query)
+            in
+            (match query with
+             | Error ds -> Error ds
+             | Ok query ->
+               Clip_xquery.Eval.run_document_result ?limits ?plan
+                 ~session:s.sxq ?steps_out ~input:s.ssource query)))
+end
+
+(* --- One-shot entry points --------------------------------------------- *)
+
+(* A one-slot weak memo holding the most recent source document's
+   session. Repeated one-shot runs over the same document — the common
+   CLI and benchmark pattern — then reuse its statistics, tag index,
+   compiled tgds and physical plans without the caller managing a
+   {!Session}. Keyed by physical identity; the ephemeron lets the
+   document (and with it the session) be collected once the caller
+   drops it, even though the session itself retains the document.
+   Like sessions, this memo is not thread-safe. *)
+let last_session : (Clip_xml.Node.t, session) Ephemeron.K1.t option ref =
+  ref None
+
+let session_for source =
+  let hit =
+    match !last_session with
+    | Some e -> Ephemeron.K1.query e source
+    | None -> None
+  in
+  match hit with
+  | Some s -> s
+  | None ->
+    let s = Session.create source in
+    last_session := Some (Ephemeron.K1.make source s);
+    s
+
+let run ?backend ?minimum_cardinality ?plan ?steps_out (m : Mapping.t) source =
+  Session.run ?backend ?minimum_cardinality ?plan ?steps_out
+    (session_for source) m
+
+let run_result ?limits ?backend ?minimum_cardinality ?plan ?steps_out
+    (m : Mapping.t) source =
+  Session.run_result ?limits ?backend ?minimum_cardinality ?plan ?steps_out
+    (session_for source) m
 
 (* Every diagnostic for a mapping, in one pass: all validity issues
    (warnings included), then — when validity allows compiling — any

@@ -14,18 +14,61 @@
     benchmark harness compares their cost.
 
     Orthogonally to the backend, [?plan] selects the physical
-    evaluation strategy: [`Indexed] (the default) runs through the
-    shared {!Clip_plan} layer — per-run tag index, condition pushdown,
-    hash joins, streaming — while [`Naive] runs the original
-    interpreters, kept as differential-testing oracles. Both produce
-    identical target instances. [?steps_out], when given, receives the
-    number of evaluation-budget steps consumed. *)
+    evaluation strategy: [`Auto] (the default) runs through the shared
+    {!Clip_plan} layer with cost-based join selection (from
+    {!Clip_xml.Stats} cardinalities) and adaptive tag indexing;
+    [`Indexed] forces every eligible hash join and the index
+    unconditionally; [`Naive] runs the original interpreters, kept as
+    differential-testing oracles. All three produce identical target
+    instances. [?steps_out], when given, receives the number of
+    evaluation-budget steps consumed.
+
+    For repeated runs against one source instance, a {!Session}
+    amortises the per-document and per-mapping analysis — compile,
+    translation, statistics, tag index, physical plans — across
+    runs. *)
 
 type backend = [ `Tgd | `Xquery | `Xquery_text ]
 
+(** A per-source-document cache: the backends' sessions (tag index,
+    instance statistics, compiled physical plans) plus this layer's
+    compile caches (mapping to tgd, tgd to XQuery). Create one per
+    document and hand every run to it; repeated runs of the same
+    mapping pay analysis once and only re-execute. Sessions are not
+    thread-safe. *)
+module Session : sig
+  type t
+
+  val create : Clip_xml.Node.t -> t
+  val source : t -> Clip_xml.Node.t
+
+  (** [run session mapping] — like {!val-run} over the session's
+      document, reusing every cached artifact. *)
+  val run :
+    ?backend:backend ->
+    ?minimum_cardinality:bool ->
+    ?plan:Clip_plan.mode ->
+    ?steps_out:int ref ->
+    t ->
+    Mapping.t ->
+    Clip_xml.Node.t
+
+  (** [run_result session mapping] — like {!val-run_result} over the
+      session's document. *)
+  val run_result :
+    ?limits:Clip_diag.Limits.t ->
+    ?backend:backend ->
+    ?minimum_cardinality:bool ->
+    ?plan:Clip_plan.mode ->
+    ?steps_out:int ref ->
+    t ->
+    Mapping.t ->
+    (Clip_xml.Node.t, Clip_diag.t list) result
+end
+
 (** [run ?backend ?minimum_cardinality mapping source] — the target
     instance. Default backend [`Tgd]; default minimum-cardinality on;
-    default plan [`Indexed].
+    default plan [`Auto].
     @raise Compile.Invalid when the mapping is invalid
     @raise Clip_tgd.Eval.Error / Clip_xquery.Eval.Error on dynamic
     failures. *)

@@ -56,13 +56,17 @@ module Key = struct
   let hash (k : t) = Hashtbl.hash k
 end
 
-type mode = [ `Naive | `Indexed ]
+type mode = [ `Naive | `Indexed | `Auto ]
+type policy = [ `Force | `Cost ]
 
 (* --- Planner input ----------------------------------------------------- *)
 
 type ('env, 'item) gen = {
   var : string;  (** the variable this generator binds *)
   deps : string list;  (** variables its expression reads *)
+  est : int option;
+      (** estimated items per evaluation (from {!Clip_xml.Stats});
+          [None] = unknown, priced as large *)
   eval : 'env -> 'item list;  (** enumerate the items, in order *)
   bind : 'env -> 'item -> 'env;
 }
@@ -134,9 +138,27 @@ let describe t =
                 build_at)
           t.stages))
 
+(* --- Cost model --------------------------------------------------------- *)
+
+(* Estimates are capped so products cannot overflow; the cap is far
+   above any threshold the model compares against. *)
+let est_cap = 1_000_000
+
+(* [join_pays ~outer ~seg] — is a hash join over a segment of
+   estimated cardinality [seg], probed once per binding of the
+   [outer] estimated prefix, cheaper than re-enumerating the segment
+   per prefix binding? Naive cost ~ outer*seg enumerations; join cost
+   ~ seg (build) + outer (probes), with a constant-factor tax for
+   hashing and tuple allocation. [None] (unknown) is priced as large:
+   unknown inputs are exactly the ones a quadratic blow-up hurts. *)
+let join_pays ~outer ~seg =
+  match outer, seg with
+  | Some o, Some s -> o * s >= (2 * (o + s)) + 16
+  | None, _ | _, None -> true
+
 (* --- Planning ---------------------------------------------------------- *)
 
-let plan ~bound ~gens ~conds =
+let plan ?(policy = `Force) ~bound ~gens ~conds () =
   let gens = Array.of_list gens in
   let n = Array.length gens in
   (* Pushdown and joins rely on each variable having exactly one
@@ -212,31 +234,57 @@ let plan ~bound ~gens ~conds =
                [d2 in source.dept, r in d2.regEmp]) whose presence
                would otherwise pin [bp] to [s]. *)
             let lp = level probe.kvars in
-            let ext g =
-              let seg_var v =
-                let rec mem t = t <= s && (String.equal gens.(t).var v || mem (t + 1)) in
-                mem g
+            (* Structural guard, independent of the cost model: the
+               probe side must read at least one variable bound by a
+               generator of this chain ([lp >= 1]). An equality whose
+               probe side is decided entirely by the outer environment
+               or by constants (e.g. [y.a = 5]) carries no equi-join
+               key between generators — turning it into a table build
+               would trade a pushed-down filter for allocation. *)
+            if lp >= 1 then begin
+              let ext g =
+                let seg_var v =
+                  let rec mem t = t <= s && (String.equal gens.(t).var v || mem (t + 1)) in
+                  mem g
+                in
+                let vars = ref (List.filter (fun v -> not (seg_var v)) build.kvars) in
+                for t = g to s do
+                  vars := List.filter (fun v -> not (seg_var v)) gens.(t).deps @ !vars
+                done;
+                !vars
               in
-              let vars = ref (List.filter (fun v -> not (seg_var v)) build.kvars) in
-              for t = g to s do
-                vars := List.filter (fun v -> not (seg_var v)) gens.(t).deps @ !vars
-              done;
-              !vars
-            in
-            let rec pick g =
-              if g < 1 || g < lp || claimed.(g) then None
-              else if level (ext g) < g then Some g
-              else pick (g - 1)
-            in
-            (match pick s with
-            | None -> ()
-            | Some g ->
-              let slot = !nslots in
-              incr nslots;
-              for t = g to s do
-                claimed.(t) <- true
-              done;
-              seg_start.(g) <- Some (s, slot, level (ext g), build, probe))
+              (* Estimated bindings of generators [lo..hi]; [None]
+                 when any member is unknown. *)
+              let est_range lo hi =
+                let rec go i acc =
+                  if i > hi then Some acc
+                  else
+                    match gens.(i).est with
+                    | None -> None
+                    | Some e -> go (i + 1) (min est_cap (acc * min (max e 0) est_cap))
+                in
+                go lo 1
+              in
+              let cost_ok g =
+                match policy with
+                | `Force -> true
+                | `Cost -> join_pays ~outer:(est_range 0 (g - 1)) ~seg:(est_range g s)
+              in
+              let rec pick g =
+                if g < 1 || g < lp || claimed.(g) then None
+                else if level (ext g) < g && cost_ok g then Some g
+                else pick (g - 1)
+              in
+              match pick s with
+              | None -> ()
+              | Some g ->
+                let slot = !nslots in
+                incr nslots;
+                for t = g to s do
+                  claimed.(t) <- true
+                done;
+                seg_start.(g) <- Some (s, slot, level (ext g), build, probe)
+            end
         end)
     conds;
   (* Lay out the steps: each segment collapses to one probe step whose
@@ -299,6 +347,32 @@ let plan ~bound ~gens ~conds =
     stages;
   Array.iteri (fun idx l -> builds.(idx) <- List.rev l) builds;
   { pre = List.rev preds_at.(0); stages; builds; nslots = !nslots }
+
+(* [revisit_prone t] — can executing [t] enumerate the same parent
+   element more than once? This is what decides whether the lazy tag
+   index ({!Clip_xml.Index}) can pay for itself: a grouping is only
+   reused when some element's children are listed at least twice.
+   That happens when a probe table is rebuilt per outer binding, or
+   when a scan at stage [i >= 1] does not depend on the variable bound
+   immediately before it — its expression then re-enumerates the same
+   elements once per binding of that variable. A straight-line chain
+   (every scan reads the previous stage's variable) never revisits, so
+   indexing it only adds memoisation overhead. *)
+let revisit_prone t =
+  let n = Array.length t.stages in
+  let last_var i =
+    let gens = stage_gens t.stages.(i) in
+    gens.(Array.length gens - 1).var
+  in
+  let rec go i =
+    i < n
+    &&
+    match t.stages.(i) with
+    | Probe _ -> true
+    | Scan { gen; _ } ->
+      (i >= 1 && not (List.mem (last_var (i - 1)) gen.deps)) || go (i + 1)
+  in
+  go 0
 
 (* --- Execution --------------------------------------------------------- *)
 

@@ -50,15 +50,31 @@ end
 
 (** The engine switch threaded from {!Clip_core.Engine.run} down to
     both backends: [`Naive] runs the legacy interpreters (kept as
-    differential-testing oracles), [`Indexed] runs through the plan
-    layer and the {!Clip_xml.Index} tag index. *)
-type mode = [ `Naive | `Indexed ]
+    differential-testing oracles), [`Indexed] forces the plan layer —
+    every eligible equality becomes a hash join and the
+    {!Clip_xml.Index} tag index is always on, [`Auto] (the default)
+    also runs through the plan layer but lets the cost model decide
+    per chain, from {!Clip_xml.Stats} cardinalities, whether each join
+    and the tag index pay for themselves. All three modes are
+    output-identical on every input whose evaluation does not raise. *)
+type mode = [ `Naive | `Indexed | `Auto ]
+
+(** Join policy given to {!val-plan}: [`Force] turns every eligible
+    equality into a hash join (the [`Indexed] behaviour, and the
+    strongest differential oracle); [`Cost] builds a table only when
+    {!join_pays} says the estimated work saved beats the build. *)
+type policy = [ `Force | `Cost ]
 
 (** {1 Planner input} *)
 
 type ('env, 'item) gen = {
   var : string;  (** the variable this generator binds *)
   deps : string list;  (** variables its expression reads *)
+  est : int option;
+      (** estimated items per evaluation, from {!Clip_xml.Stats}
+          cardinalities; [None] = unknown, priced as large by the cost
+          model (unknown inputs are the ones a quadratic blow-up
+          hurts) *)
   eval : 'env -> 'item list;  (** enumerate the items, in order *)
   bind : 'env -> 'item -> 'env;
 }
@@ -115,16 +131,47 @@ val stage_gens : ('env, 'item) stage -> ('env, 'item) gen array
     and debugging. *)
 val describe : ('env, 'item) t -> string
 
-(** [plan ~bound ~gens ~conds] — the physical plan for one generator
-    chain. [bound] lists the variables already bound by the outer
-    environment. If a generator shadows an outer variable or a sibling
-    generator, the planner degrades to checking every condition at the
-    innermost position (naive semantics are always preserved). *)
+(** {1 Cost model} *)
+
+(** Estimate cap; products of per-generator estimates saturate here so
+    they cannot overflow. *)
+val est_cap : int
+
+(** [join_pays ~outer ~seg] — is a hash join over a segment of
+    estimated cardinality [seg], probed once per binding of the
+    estimated [outer] prefix, cheaper than re-enumerating the segment
+    per prefix binding? Compares [outer * seg] (naive enumerations)
+    against [seg + outer] builds/probes with a constant-factor tax for
+    hashing and tuple allocation. [None] (unknown) is priced as large,
+    i.e. the join is taken. *)
+val join_pays : outer:int option -> seg:int option -> bool
+
+(** [plan ?policy ~bound ~gens ~conds] — the physical plan for one
+    generator chain. [bound] lists the variables already bound by the
+    outer environment. [policy] (default [`Force]) selects between
+    forced and cost-based join selection; condition pushdown is free
+    and happens under both. Regardless of policy, an equality whose
+    probe side reads no chain generator variable (a constant or
+    outer-bound key) is never turned into a join — it stays a
+    pushed-down filter. If a generator shadows an outer variable or a
+    sibling generator, the planner degrades to checking every
+    condition at the innermost position (naive semantics are always
+    preserved). *)
 val plan :
+  ?policy:policy ->
   bound:string list ->
   gens:('env, 'item) gen list ->
   conds:'env cond list ->
+  unit ->
   ('env, 'item) t
+
+(** [revisit_prone t] — can executing [t] enumerate the same parent
+    element more than once? True when some stage is a probe (its table
+    may be rebuilt per outer binding) or some later scan is
+    independent of the variable bound immediately before it. The lazy
+    tag index only pays on such plans; straight-line chains never
+    reuse a grouping. *)
+val revisit_prone : ('env, 'item) t -> bool
 
 (** [execute t ~tick ~env ~emit] streams every surviving binding of
     the chain into [emit], in exactly the naive enumeration order.

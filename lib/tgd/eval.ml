@@ -12,14 +12,33 @@ let error fmt =
 (* Evaluation context: the source document plus the step budget that
    bounds runaway mappings (CLIP-LIM-004); each source-expression or
    scalar evaluation counts one step, so deep cross products hit the
-   budget instead of hanging. In [`Indexed] mode the context also
-   carries the per-run tag index over the source document. *)
+   budget instead of hanging.
+
+   The context outlives a single run when held by a {!Session}: the
+   lazy tag index and instance statistics are per-document, so reusing
+   the context lets repeated runs pay the index groupings and the
+   stats walk once. [index] is the per-run view — set at run start to
+   the shared index ([`Indexed], or [`Auto] when indexing is judged to
+   pay) or to [None] — while [xindex] owns the index itself. [steps]
+   and [max_steps] are reset per run. *)
 type ctx = {
   source : Xml.Node.t;
-  index : Xml.Index.t option;
+  mutable index : Xml.Index.t option;
+  xindex : Xml.Index.t Lazy.t;
+  stats : Xml.Stats.t Lazy.t;
   steps : int ref;
-  max_steps : int;
+  mutable max_steps : int;
 }
+
+let make_ctx source =
+  {
+    source;
+    index = None;
+    xindex = lazy (Xml.Index.build source);
+    stats = lazy (Xml.Stats.collect source);
+    steps = ref 0;
+    max_steps = max_int;
+  }
 
 let tick ctx =
   incr ctx.steps;
@@ -90,16 +109,19 @@ type planned = {
 let step_items ctx (item : Value.item) (step : Path.step) : Value.item list =
   match item, step with
   | Value.Node (Xml.Node.Element e), Path.Child tag ->
+    (* Intern once per step evaluation; per-child comparisons are then
+       int compares instead of string equality. *)
+    let sym = Xml.Symbol.intern tag in
     (match ctx.index with
      | None ->
        List.filter_map
          (function
-           | Xml.Node.Element c when String.equal c.tag tag ->
+           | Xml.Node.Element c when Xml.Symbol.equal c.sym sym ->
              Some (Value.Node (Xml.Node.Element c))
            | Xml.Node.Element _ | Xml.Node.Text _ -> None)
          e.children
      | Some idx ->
-       List.map (fun n -> Value.Node n) (Xml.Index.children_by_tag idx e tag))
+       List.map (fun n -> Value.Node n) (Xml.Index.children_by_tag idx e sym))
   | Value.Node (Xml.Node.Element e), Path.Attr name ->
     (match Xml.Node.attr e name with Some a -> [ Value.Atomic a ] | None -> [])
   | Value.Node (Xml.Node.Element e), Path.Value ->
@@ -352,14 +374,172 @@ let record_provenance node env =
       | Src (Value.Node (Xml.Node.Text _) | Value.Atomic _) | Tgt _ -> ())
     env
 
+(* --- Planning ---------------------------------------------------------- *)
+
+(* Estimated items of one evaluation of [e] under the [`Cost] policy,
+   from per-tag cardinalities: a [Child t] step under a parent tagged
+   [p] yields ~count(t)/count(p) items (ceil; at least 1 when [t]
+   occurs at all, exactly 0 when it never does), attribute and value
+   steps yield at most one. [var_tags] maps chain variables to the tag
+   of the element they range over; a [Child t] under a variable of
+   unknown tag falls back to the global count of [t] — an upper bound.
+   Returns the estimate and the result's tag (for threading through
+   [var_tags]). *)
+let est_expr ctx var_tags (e : Term.expr) : int option * Xml.Symbol.t option =
+  let stats = Lazy.force ctx.stats in
+  let cap = Clip_plan.est_cap in
+  let rec go = function
+    | Term.Root s -> (Some 1, Some (Xml.Symbol.intern s))
+    | Term.Var x -> (Some 1, Option.join (List.assoc_opt x var_tags))
+    | Term.Proj (e, step) ->
+      let est, ptag = go e in
+      (match (step : Path.step) with
+       | Path.Attr _ | Path.Value -> (est, None)
+       | Path.Child t ->
+         let sym = Xml.Symbol.intern t in
+         let ct = Xml.Stats.tag_count stats sym in
+         let est' =
+           if ct = 0 then Some 0
+           else
+             match est, ptag with
+             | Some e0, Some p when Xml.Stats.tag_count stats p > 0 ->
+               let cp = Xml.Stats.tag_count stats p in
+               let fan = max 1 ((ct + cp - 1) / cp) in
+               Some (min cap (e0 * fan))
+             | Some e0, _ -> Some (min cap (max e0 1 * ct))
+             | None, _ -> Some ct
+         in
+         (est', Some sym))
+  in
+  go e
+
+let cond_of ctx (c : Tgd.comparison) =
+  let pvars = Term.scalar_vars c.left @ Term.scalar_vars c.right in
+  let orig = { Clip_plan.pvars; test = (fun env -> holds ctx env c) } in
+  match c.op with
+  | Tgd.Eq | Tgd.In ->
+    let keyed s =
+      {
+        Clip_plan.kvars = Term.scalar_vars s;
+        keys = (fun env -> List.map Clip_plan.Key.of_atom (eval_scalar ctx env s));
+      }
+    in
+    Clip_plan.Eq { left = keyed c.left; right = keyed c.right; orig }
+  | Tgd.Ne | Tgd.Lt | Tgd.Le | Tgd.Gt | Tgd.Ge -> Clip_plan.Other orig
+
+(* Compile a mapping tree to physical plans. Planning needs only the
+   statically known outer variables (and, under [`Cost], the instance
+   statistics), so a compiled tree is a per-(policy, mapping) artifact:
+   its closures capture the context but none of a run's builder state,
+   which is what lets a {!Session} cache it across runs. *)
+let rec plan_mapping ctx policy bound var_tags (m : Tgd.t) =
+  let gens_rev, var_tags' =
+    List.fold_left
+      (fun (acc, vt) (g : Tgd.source_gen) ->
+        let est, tag =
+          match policy with
+          | `Force -> (None, None)
+          | `Cost -> est_expr ctx vt g.sexpr
+        in
+        let gen =
+          {
+            Clip_plan.var = g.svar;
+            deps = Term.expr_vars g.sexpr;
+            est;
+            eval = (fun env -> eval_src ctx env g.sexpr);
+            bind = (fun env item -> Env.add g.svar (Src item) env);
+          }
+        in
+        (gen :: acc, (g.svar, tag) :: vt))
+      ([], var_tags) m.foralls
+  in
+  let pplan =
+    Clip_plan.plan ~policy ~bound ~gens:(List.rev gens_rev)
+      ~conds:(List.map (cond_of ctx) m.cond) ()
+  in
+  let bound' =
+    bound
+    @ List.map (fun (g : Tgd.source_gen) -> g.svar) m.foralls
+    @ List.map (fun (g : Tgd.target_gen) -> g.tvar) m.exists
+  in
+  { pm = m; pplan; pchildren = List.map (plan_mapping ctx policy bound' var_tags') m.children }
+
+(* Can evaluating this tree list some element's children twice? Within
+   a chain {!Clip_plan.revisit_prone} answers; across nesting, a child
+   chain runs once per parent binding, so its first generator
+   re-enumerates the same elements whenever it does not read the
+   parent chain's innermost variable. Only then can the lazy tag
+   index's memoised groupings ever be reused. *)
+let rec tree_revisits ~outer_last (p : planned) =
+  let stages = (p.pplan : (_, _) Clip_plan.t).stages in
+  let nst = Array.length stages in
+  let first_indep =
+    nst > 0
+    &&
+    match outer_last with
+    | None -> false
+    | Some v ->
+      let gens = Clip_plan.stage_gens stages.(0) in
+      not (List.mem v gens.(0).Clip_plan.deps)
+  in
+  let last =
+    if nst = 0 then outer_last
+    else begin
+      let gens = Clip_plan.stage_gens stages.(nst - 1) in
+      Some gens.(Array.length gens - 1).Clip_plan.var
+    end
+  in
+  first_indep
+  || Clip_plan.revisit_prone p.pplan
+  || List.exists (tree_revisits ~outer_last:last) p.pchildren
+
+(* Documents smaller than this never amortise index groupings; [`Auto]
+   leaves the index off below the threshold even for revisit-prone
+   plans. *)
+let index_threshold = 256
+
+(* Documents smaller than this don't repay even the plan layer itself:
+   every join the cost model could pick is over segments of a handful
+   of nodes, so [`Auto] runs the direct interpreter outright. *)
+let naive_threshold = 128
+
+(* --- Sessions ---------------------------------------------------------- *)
+
+(* A session pins one source document and keeps everything that is
+   per-document rather than per-run: the evaluation context (whose
+   lazy index and statistics then survive across runs) and the
+   compiled plan trees, keyed by (policy, mapping). Mapping values are
+   pure data, so structural hashing is sound; a mapping containing a
+   NaN constant never hits the cache (NaN <> NaN) and is simply
+   re-planned. *)
+type session = {
+  sctx : ctx;
+  splans : (bool * Tgd.t, planned) Hashtbl.t; (* key: (cost-policy?, mapping) *)
+  (* One-slot physical-identity fast path in front of [splans]: a
+     caller re-running the same mapping value skips the structural
+     hash and deep equality, which on small documents costs as much as
+     the run itself. *)
+  mutable slast : (bool * Tgd.t * planned) option;
+}
+
+module Session = struct
+  type t = session
+
+  let create source =
+    { sctx = make_ctx source; splans = Hashtbl.create 8; slast = None }
+  let source s = s.sctx.source
+  let stats s = Lazy.force s.sctx.stats
+end
+
 let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
-    ?(plan = `Indexed) ?steps_out ~source ~target_root (m : Tgd.t) =
-  let index =
-    match plan with `Indexed -> Some (Xml.Index.build source) | `Naive -> None
-  in
+    ?(plan = `Auto) ?session ?steps_out ~source ~target_root (m : Tgd.t) =
   let ctx =
-    { source; index; steps = ref 0; max_steps = limits.Clip_diag.Limits.max_eval_steps }
+    match session with
+    | Some s when s.sctx.source == source -> s.sctx
+    | _ -> make_ctx source
   in
+  ctx.steps := 0;
+  ctx.max_steps <- limits.Clip_diag.Limits.max_eval_steps;
   let record_steps () =
     match steps_out with Some r -> r := !(ctx.steps) | None -> ()
   in
@@ -481,42 +661,29 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
   (* The plan-based path: compile each mapping's universal part once
      (conditions pushed down, equality conditions turned into hash
      joins where profitable), then stream bindings into the same
-     per-binding body the naive interpreter runs. *)
-  let gen_of (g : Tgd.source_gen) =
-    {
-      Clip_plan.var = g.svar;
-      deps = Term.expr_vars g.sexpr;
-      eval = (fun env -> eval_src ctx env g.sexpr);
-      bind = (fun env item -> Env.add g.svar (Src item) env);
-    }
-  in
-  let cond_of (c : Tgd.comparison) =
-    let pvars = Term.scalar_vars c.left @ Term.scalar_vars c.right in
-    let orig = { Clip_plan.pvars; test = (fun env -> holds ctx env c) } in
-    match c.op with
-    | Tgd.Eq | Tgd.In ->
-      let keyed s =
-        {
-          Clip_plan.kvars = Term.scalar_vars s;
-          keys =
-            (fun env -> List.map Clip_plan.Key.of_atom (eval_scalar ctx env s));
-        }
-      in
-      Clip_plan.Eq { left = keyed c.left; right = keyed c.right; orig }
-    | Tgd.Ne | Tgd.Lt | Tgd.Le | Tgd.Gt | Tgd.Ge -> Clip_plan.Other orig
-  in
-  let rec plan_mapping bound (m : Tgd.t) =
-    let pplan =
-      Clip_plan.plan ~bound
-        ~gens:(List.map gen_of m.foralls)
-        ~conds:(List.map cond_of m.cond)
-    in
-    let bound' =
-      bound
-      @ List.map (fun (g : Tgd.source_gen) -> g.svar) m.foralls
-      @ List.map (fun (g : Tgd.target_gen) -> g.tvar) m.exists
-    in
-    { pm = m; pplan; pchildren = List.map (plan_mapping bound') m.children }
+     per-binding body the naive interpreter runs. With a session the
+     compiled tree is fetched from (or added to) the per-document
+     cache instead of recompiled. *)
+  let planned_for policy =
+    let build () = plan_mapping ctx policy [] [] m in
+    match session with
+    | Some s when s.sctx == ctx ->
+      let cost = match policy with `Cost -> true | `Force -> false in
+      (match s.slast with
+       | Some (c, m', p) when c = cost && m' == m -> p
+       | _ ->
+         let p =
+           let key = (cost, m) in
+           match Hashtbl.find_opt s.splans key with
+           | Some p -> p
+           | None ->
+             let p = build () in
+             Hashtbl.add s.splans key p;
+             p
+         in
+         s.slast <- Some (cost, m, p);
+         p)
+    | _ -> build ()
   in
   let rec eval_planned env (p : planned) =
     pre_instantiate env p.pm;
@@ -529,21 +696,47 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
           env p.pm)
   in
   (match plan with
-   | `Naive -> eval_mapping Env.empty m
-   | `Indexed -> eval_planned Env.empty (plan_mapping [] m));
+   | `Naive ->
+     ctx.index <- None;
+     eval_mapping Env.empty m
+   | `Indexed ->
+     ctx.index <- Some (Lazy.force ctx.xindex);
+     eval_planned Env.empty (planned_for `Force)
+   | `Auto ->
+     if Xml.Stats.node_count (Lazy.force ctx.stats) < naive_threshold then begin
+       ctx.index <- None;
+       eval_mapping Env.empty m
+     end
+     else begin
+       let p = planned_for `Cost in
+       (* The tag index pays only when some element's children are
+          listed twice and the document is big enough to amortise the
+          groupings; otherwise leave it off and scan. *)
+       let use_index =
+         tree_revisits ~outer_last:None p
+         && Xml.Stats.node_count (Lazy.force ctx.stats) >= index_threshold
+       in
+       ctx.index <- (if use_index then Some (Lazy.force ctx.xindex) else None);
+       eval_planned Env.empty p
+     end);
   bld.root
 
 let reraise_legacy ds =
   let d = match ds with d :: _ -> d | [] -> assert false in
   raise (Error d.Clip_diag.message)
 
-let run_result ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m =
+let run_result ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source
+    ~target_root m =
   Clip_diag.guard (fun () ->
     bnode_to_node
-      (execute ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m))
+      (execute ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source
+         ~target_root m))
 
-let run ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m =
-  match run_result ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m with
+let run ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source ~target_root m =
+  match
+    run_result ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source
+      ~target_root m
+  with
   | Ok n -> n
   | Error ds -> reraise_legacy ds
 
@@ -552,10 +745,11 @@ type trace_entry = {
   sources : Xml.Node.t list;
 }
 
-let run_traced_unguarded ?limits ?minimum_cardinality ?plan ?steps_out ~source
-    ~target_root m =
+let run_traced_unguarded ?limits ?minimum_cardinality ?plan ?session ?steps_out
+    ~source ~target_root m =
   let root =
-    execute ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m
+    execute ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source
+      ~target_root m
   in
   let trace = ref [] in
   let rec walk path b =
@@ -570,16 +764,17 @@ let run_traced_unguarded ?limits ?minimum_cardinality ?plan ?steps_out ~source
   walk [] root;
   (bnode_to_node root, List.rev !trace)
 
-let run_traced_result ?limits ?minimum_cardinality ?plan ?steps_out ~source
-    ~target_root m =
+let run_traced_result ?limits ?minimum_cardinality ?plan ?session ?steps_out
+    ~source ~target_root m =
   Clip_diag.guard (fun () ->
-    run_traced_unguarded ?limits ?minimum_cardinality ?plan ?steps_out ~source
-      ~target_root m)
+    run_traced_unguarded ?limits ?minimum_cardinality ?plan ?session ?steps_out
+      ~source ~target_root m)
 
-let run_traced ?limits ?minimum_cardinality ?plan ?steps_out ~source ~target_root m =
+let run_traced ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source
+    ~target_root m =
   match
-    run_traced_result ?limits ?minimum_cardinality ?plan ?steps_out ~source
-      ~target_root m
+    run_traced_result ?limits ?minimum_cardinality ?plan ?session ?steps_out
+      ~source ~target_root m
   with
   | Ok r -> r
   | Error ds -> reraise_legacy ds

@@ -1,15 +1,18 @@
 (** A per-document tag index: children-by-tag and descendants-by-tag
     groupings memoised per element over hash-consed element ids
     ({!Node.element.id}), so repeated [Child tag] path steps cost
-    O(matches) instead of O(children).
+    O(matches) instead of O(children). Tags are interned {!Symbol}s —
+    every grouping and lookup is an int compare.
 
     The index is entirely lazy — {!build} is O(1) and an element's
     grouping is computed on its first probe — so runs that never
     revisit an element pay (almost) nothing. It answers for any
     element, including nodes constructed during evaluation;
-    memoisation is sound because nodes are immutable and allocation
-    ids are never reused. One index should live for exactly one engine
-    run. *)
+    memoisation is sound because nodes are immutable, allocation ids
+    are never reused, and symbols never change meaning — which also
+    makes it sound for one index to serve {e many} runs over the same
+    document (a session holds one and amortises the grouping across
+    requests). *)
 
 type t
 
@@ -22,10 +25,10 @@ module Tbl : Hashtbl.S with type key = Node.element
     pre-indexing later. *)
 val build : Node.t -> t
 
-(** [children_by_tag t e tag] — the child elements of [e] tagged
-    [tag], in document order; memoised per element. *)
-val children_by_tag : t -> Node.element -> string -> Node.t list
+(** [children_by_tag t e sym] — the child elements of [e] tagged
+    [sym], in document order; memoised per element. *)
+val children_by_tag : t -> Node.element -> Symbol.t -> Node.t list
 
-(** [descendants_by_tag t e tag] — proper descendant elements of [e]
-    tagged [tag], preorder; memoised per [(element, tag)]. *)
-val descendants_by_tag : t -> Node.element -> string -> Node.t list
+(** [descendants_by_tag t e sym] — proper descendant elements of [e]
+    tagged [sym], preorder; memoised per [(element, tag)]. *)
+val descendants_by_tag : t -> Node.element -> Symbol.t -> Node.t list

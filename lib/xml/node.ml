@@ -5,18 +5,21 @@ type t =
 and element = {
   id : int;
   tag : string;
+  sym : Symbol.t;
   attrs : (string * Atom.t) list;
   children : t list;
 }
 
 (* Element ids are allocation-unique (the hash-consed identity behind
    {!Index} and provenance seen-sets); they carry no document meaning
-   and are ignored by comparison. *)
+   and are ignored by comparison. [sym] is the interned [tag] —
+   cached at construction so every downstream tag test is an int
+   compare. *)
 let next_id = ref 0
 
 let elem ?(attrs = []) tag children =
   incr next_id;
-  Element { id = !next_id; tag; attrs; children }
+  Element { id = !next_id; tag; sym = Symbol.intern tag; attrs; children }
 let text a = Text a
 let text_string s = Text (Atom.String s)
 let leaf ?attrs tag a = elem ?attrs tag [ Text a ]
@@ -33,7 +36,8 @@ let child_elements e =
   List.filter_map (function Element c -> Some c | Text _ -> None) e.children
 
 let children_named e name =
-  List.filter (fun c -> String.equal c.tag name) (child_elements e)
+  let sym = Symbol.intern name in
+  List.filter (fun c -> Symbol.equal c.sym sym) (child_elements e)
 
 let attr e name = List.assoc_opt name e.attrs
 
@@ -52,7 +56,7 @@ let rec compare a b =
   | Text _, Element _ -> -1
   | Element _, Text _ -> 1
   | Element x, Element y ->
-    let r = String.compare x.tag y.tag in
+    let r = if Symbol.equal x.sym y.sym then 0 else String.compare x.tag y.tag in
     if r <> 0 then r
     else
       let r = compare_attrs x.attrs y.attrs in
@@ -101,12 +105,16 @@ let rec depth = function
   | Text _ -> 1
   | Element e -> 1 + List.fold_left (fun d c -> max d (depth c)) 0 e.children
 
-let rec count_elements n tagname =
-  match n with
-  | Text _ -> 0
-  | Element e ->
-    let self = if String.equal e.tag tagname then 1 else 0 in
-    List.fold_left (fun n c -> n + count_elements c tagname) self e.children
+let count_elements n tagname =
+  let sym = Symbol.intern tagname in
+  let rec go n =
+    match n with
+    | Text _ -> 0
+    | Element e ->
+      let self = if Symbol.equal e.sym sym then 1 else 0 in
+      List.fold_left (fun n c -> n + go c) self e.children
+  in
+  go n
 
 let rec pp fmt = function
   | Text a -> Atom.pp fmt a

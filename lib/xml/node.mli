@@ -17,6 +17,9 @@ and element = {
           used by {!Index} and provenance seen-sets; ignored by
           {!equal}/{!compare} *)
   tag : string;
+  sym : Symbol.t;
+      (** the interned [tag] (cached at construction): tag tests on
+          hot paths are int compares, see {!Symbol} *)
   attrs : (string * Atom.t) list;
   children : t list;
 }

@@ -1,0 +1,69 @@
+(* A one-pass statistics summary of an instance document.
+
+   The adaptive planner ({!Clip_plan} with the [`Cost] policy) prices
+   generator chains with per-tag cardinalities: the estimated size of
+   [source.dept.Proj] is the Proj count, the estimated per-department
+   fan-out of [d.Proj] is Proj count / dept count, and so on. One
+   preorder walk collects everything; with a session cache the walk
+   runs once per document, not once per run. *)
+
+type t = {
+  nodes : int; (* elements + attributes + texts, like Node.size *)
+  elements : int;
+  depth : int;
+  max_fanout : int; (* most element children under one element *)
+  counts : (Symbol.t, int) Hashtbl.t; (* elements per tag *)
+}
+
+let collect doc =
+  let counts = Hashtbl.create 64 in
+  let nodes = ref 0 and elements = ref 0 and max_fanout = ref 0 in
+  let bump sym =
+    Hashtbl.replace counts sym (1 + Option.value ~default:0 (Hashtbl.find_opt counts sym))
+  in
+  let rec walk depth n =
+    match n with
+    | Node.Text _ ->
+      incr nodes;
+      depth
+    | Node.Element e ->
+      incr nodes;
+      incr elements;
+      nodes := !nodes + List.length e.Node.attrs;
+      bump e.Node.sym;
+      let fanout = ref 0 in
+      let deepest =
+        List.fold_left
+          (fun acc c ->
+            (match c with Node.Element _ -> incr fanout | Node.Text _ -> ());
+            max acc (walk (depth + 1) c))
+          depth e.Node.children
+      in
+      if !fanout > !max_fanout then max_fanout := !fanout;
+      deepest
+  in
+  let depth = walk 1 doc in
+  {
+    nodes = !nodes;
+    elements = !elements;
+    depth;
+    max_fanout = !max_fanout;
+    counts;
+  }
+
+let tag_count t sym = Option.value ~default:0 (Hashtbl.find_opt t.counts sym)
+let node_count t = t.nodes
+let element_count t = t.elements
+let depth t = t.depth
+let max_fanout t = t.max_fanout
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>nodes %d, elements %d, depth %d, max fan-out %d"
+    t.nodes t.elements t.depth t.max_fanout;
+  let tags =
+    Hashtbl.fold (fun sym n acc -> (Symbol.name sym, n) :: acc) t.counts []
+  in
+  List.iter
+    (fun (tag, n) -> Format.fprintf fmt "@,  %s: %d" tag n)
+    (List.sort compare tags);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,44 @@
+(* A global element-tag symbol table.
+
+   Tags are interned into dense non-negative ints so that the hot
+   paths of both backends — child scans, the tag index, statistics —
+   compare tags with an int equality instead of hashing or walking a
+   string. Interning is append-only: a symbol, once assigned, never
+   changes meaning, which is what makes it sound to store symbols
+   inside immutable nodes ({!Node.element.sym}) and inside caches that
+   outlive a single run ({!Index}, {!Stats}, session plan caches).
+
+   The table is global and grows monotonically. That is deliberate:
+   tag vocabularies are schema-sized (dozens of names, not millions),
+   so a process-wide table costs nothing and lets symbols flow between
+   documents, sessions and plans without translation. *)
+
+type t = int
+
+let names : string array ref = ref (Array.make 64 "")
+let count = ref 0
+let ids : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let intern s =
+  match Hashtbl.find_opt ids s with
+  | Some i -> i
+  | None ->
+    let i = !count in
+    if i = Array.length !names then begin
+      let bigger = Array.make (2 * i) "" in
+      Array.blit !names 0 bigger 0 i;
+      names := bigger
+    end;
+    !names.(i) <- s;
+    incr count;
+    Hashtbl.add ids s i;
+    i
+
+let name i =
+  if i < 0 || i >= !count then invalid_arg "Symbol.name: unknown symbol";
+  !names.(i)
+
+let interned () = !count
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (i : t) = i

@@ -1,0 +1,25 @@
+(** A global element-tag symbol table: tags interned into dense ints.
+
+    Hot paths (child scans, the tag index, statistics, plan keys)
+    compare interned symbols with an int equality instead of hashing
+    or walking strings. The table is process-wide and append-only — a
+    symbol never changes meaning — so symbols may be stored inside
+    immutable nodes and inside caches that outlive a single run. *)
+
+type t = private int
+
+(** [intern s] — the symbol of tag [s]; assigns the next dense id on
+    first sight. *)
+val intern : string -> t
+
+(** [name sym] — the tag string the symbol was interned from.
+    @raise Invalid_argument on an id that was never assigned. *)
+val name : t -> string
+
+(** Number of symbols interned so far (also the next fresh id —
+    usable as the size of a dense per-symbol array). *)
+val interned : unit -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int

@@ -10,15 +10,31 @@ let error fmt =
 module Env = Map.Make (String)
 
 (* Evaluation context: the input document plus the step budget that
-   bounds runaway queries (CLIP-LIM-004). In [`Indexed] mode it also
-   carries the per-run tag index over the input document, and FLWOR
-   blocks run through {!Clip_plan} instead of the naive recursion. *)
+   bounds runaway queries (CLIP-LIM-004). Under [`Indexed] and [`Auto]
+   FLWOR blocks run through {!Clip_plan} instead of the naive
+   recursion.
+
+   The context outlives one run when held by a {!Session}: the lazy
+   tag index, the instance statistics and the FLWOR plan memo are
+   per-document, so a session pays them once. [index] is the per-run
+   (for [`Auto]: adaptive, see [eval_flwor_planned]) view; [xindex]
+   owns the index itself. [plans] memoises compiled FLWOR plans keyed
+   by the physical identity of the clause list — the same FLWOR block
+   re-entered once per outer binding (the hot path of nested queries)
+   then replans zero times — plus the outer-variable set and policy,
+   which both affect planning. *)
 type ctx = {
   input : Xml.Node.t;
-  index : Xml.Index.t option;
-  plan : Clip_plan.mode;
+  mutable index : Xml.Index.t option;
+  xindex : Xml.Index.t Lazy.t;
+  stats : Xml.Stats.t Lazy.t;
+  mutable plan : Clip_plan.mode;
+  plans :
+    (Ast.clause list * string list * bool * (Value.t Env.t, Value.t) Clip_plan.t)
+    list
+    ref;
   steps : int ref;
-  max_steps : int;
+  mutable max_steps : int;
 }
 
 let tick ctx =
@@ -39,16 +55,19 @@ let ebool v =
 let step_nodes ctx (item : Value.item) (step : Ast.step) : Value.t =
   match item, step with
   | Value.Node (Xml.Node.Element e), Ast.Child_step tag ->
+    (* Intern once per step evaluation; per-child comparisons are then
+       int compares instead of string equality. *)
+    let sym = Xml.Symbol.intern tag in
     (match ctx.index with
      | None ->
        List.filter_map
          (function
-           | Xml.Node.Element c when String.equal c.tag tag ->
+           | Xml.Node.Element c when Xml.Symbol.equal c.sym sym ->
              Some (Value.Node (Xml.Node.Element c))
            | Xml.Node.Element _ | Xml.Node.Text _ -> None)
          e.children
      | Some idx ->
-       List.map (fun n -> Value.Node n) (Xml.Index.children_by_tag idx e tag))
+       List.map (fun n -> Value.Node n) (Xml.Index.children_by_tag idx e sym))
   | Value.Node (Xml.Node.Element e), Ast.Attr_step name ->
     (match Xml.Node.attr e name with
      | Some a -> [ Value.Atomic a ]
@@ -81,6 +100,59 @@ let numeric name v =
   match Xml.Atom.to_float v with
   | Some f -> f
   | None -> error "%s: non-numeric value %S" name (Xml.Atom.to_string v)
+
+(* Estimated items of one evaluation of [e] under the [`Cost] policy,
+   from per-tag cardinalities (see {!Clip_xml.Stats}): a [Child_step t]
+   under a parent tagged [p] yields ~count(t)/count(p) items (ceil; at
+   least 1 when [t] occurs, exactly 0 when it never does); attribute
+   and text steps yield at most one value. [var_tags] maps chain-local
+   variables to (estimated items when enumerated, element tag);
+   variables bound outside the chain are priced as single items of
+   unknown tag, and a child step under an unknown tag falls back to
+   the global count of its tag — an upper bound. Returns the estimate
+   and the result tag. *)
+let est_flwor_expr ctx var_tags (e : Ast.expr) : int option * Xml.Symbol.t option =
+  let stats = Lazy.force ctx.stats in
+  let cap = Clip_plan.est_cap in
+  let rec go = function
+    | Ast.Doc tag -> (Some 1, Some (Xml.Symbol.intern tag))
+    | Ast.Var x ->
+      (match List.assoc_opt x var_tags with
+       | Some (est, tag) -> (est, tag)
+       | None -> (Some 1, None))
+    | Ast.Path (base, steps) ->
+      List.fold_left
+        (fun (est, ptag) step ->
+          match (step : Ast.step) with
+          | Ast.Attr_step _ | Ast.Text_step -> (est, None)
+          | Ast.Child_step t ->
+            let sym = Xml.Symbol.intern t in
+            let ct = Xml.Stats.tag_count stats sym in
+            let est' =
+              if ct = 0 then Some 0
+              else
+                match est, ptag with
+                | Some e0, Some p when Xml.Stats.tag_count stats p > 0 ->
+                  let cp = Xml.Stats.tag_count stats p in
+                  let fan = max 1 ((ct + cp - 1) / cp) in
+                  Some (min cap (e0 * fan))
+                | Some e0, _ -> Some (min cap (max e0 1 * ct))
+                | None, _ -> Some ct
+            in
+            (est', Some sym))
+        (go base) steps
+    | _ -> (None, None)
+  in
+  go e
+
+(* Documents smaller than this never amortise index groupings; [`Auto]
+   leaves the tag index off below the threshold. *)
+let index_threshold = 256
+
+(* Documents smaller than this don't repay even the plan layer itself:
+   every join the cost model could pick is over segments of a handful
+   of nodes, so [`Auto] downgrades to the direct interpreter. *)
+let naive_threshold = 128
 
 let rec eval ctx env (e : Ast.expr) : Value.t =
   tick ctx;
@@ -170,7 +242,7 @@ let rec eval ctx env (e : Ast.expr) : Value.t =
 and eval_flwor ctx env clauses where return =
   match ctx.plan with
   | `Naive -> eval_flwor_naive ctx env clauses where return
-  | `Indexed -> eval_flwor_planned ctx env clauses where return
+  | `Indexed | `Auto -> eval_flwor_planned ctx env clauses where return
 
 (* The original clause-by-clause recursion, kept as the
    differential-testing oracle for the plan-based path below. *)
@@ -199,47 +271,99 @@ and eval_flwor_naive ctx env clauses where return =
    so the split is exact), and equality conjuncts become hash joins.
    Bindings stream into the [return] in the naive enumeration order. *)
 and eval_flwor_planned ctx env clauses where return =
-  let gen_of (clause : Ast.clause) =
-    match clause with
-    | Ast.For (x, e) ->
-      {
-        Clip_plan.var = x;
-        deps = Ast.free_vars e;
-        eval = (fun env -> List.map (fun it -> [ it ]) (eval ctx env e));
-        bind = (fun env v -> Env.add x v env);
-      }
-    | Ast.Let (x, e) ->
-      {
-        Clip_plan.var = x;
-        deps = Ast.free_vars e;
-        eval = (fun env -> [ eval ctx env e ]);
-        bind = (fun env v -> Env.add x v env);
-      }
+  let policy =
+    match ctx.plan with `Auto -> `Cost | `Naive | `Indexed -> `Force
   in
-  let rec conjuncts = function
-    | Ast.And (a, b) -> conjuncts a @ conjuncts b
-    | w -> [ w ]
-  in
-  let cond_of w =
-    let orig =
-      { Clip_plan.pvars = Ast.free_vars w; test = (fun env -> ebool (eval ctx env w)) }
-    in
-    match w with
-    | Ast.Cmp (Ast.Eq, l, r) ->
-      let keyed e =
-        {
-          Clip_plan.kvars = Ast.free_vars e;
-          keys =
-            (fun env ->
-              List.map Clip_plan.Key.of_atom (Value.atomize (eval ctx env e)));
-        }
-      in
-      Clip_plan.Eq { left = keyed l; right = keyed r; orig }
-    | _ -> Clip_plan.Other orig
-  in
-  let conds = match where with None -> [] | Some w -> List.map cond_of (conjuncts w) in
+  let cost = match policy with `Cost -> true | `Force -> false in
+  (* [Env.fold] lists keys in increasing order, so [bound] is
+     deterministic for a given environment domain and usable as part
+     of the memo key. *)
   let bound = Env.fold (fun x _ acc -> x :: acc) env [] in
-  let p = Clip_plan.plan ~bound ~gens:(List.map gen_of clauses) ~conds in
+  let p =
+    let rec find = function
+      | [] -> None
+      | (cs, b, c, p) :: rest ->
+        if cs == clauses && c = cost && List.equal String.equal b bound then Some p
+        else find rest
+    in
+    match find !(ctx.plans) with
+    | Some p -> p
+    | None ->
+      let gens_rev, _ =
+        List.fold_left
+          (fun (acc, vt) (clause : Ast.clause) ->
+            match clause with
+            | Ast.For (x, e) ->
+              let est, tag =
+                if cost then est_flwor_expr ctx vt e else (None, None)
+              in
+              let gen =
+                {
+                  Clip_plan.var = x;
+                  deps = Ast.free_vars e;
+                  est;
+                  eval = (fun env -> List.map (fun it -> [ it ]) (eval ctx env e));
+                  bind = (fun env v -> Env.add x v env);
+                }
+              in
+              (* The for-variable itself ranges over single items. *)
+              (gen :: acc, (x, (Some 1, tag)) :: vt)
+            | Ast.Let (x, e) ->
+              let seq_est =
+                if cost then est_flwor_expr ctx vt e else (None, None)
+              in
+              let gen =
+                {
+                  Clip_plan.var = x;
+                  deps = Ast.free_vars e;
+                  est = Some 1 (* binds the whole sequence as one item *);
+                  eval = (fun env -> [ eval ctx env e ]);
+                  bind = (fun env v -> Env.add x v env);
+                }
+              in
+              (gen :: acc, (x, seq_est) :: vt))
+          ([], []) clauses
+      in
+      let rec conjuncts = function
+        | Ast.And (a, b) -> conjuncts a @ conjuncts b
+        | w -> [ w ]
+      in
+      let cond_of w =
+        let orig =
+          { Clip_plan.pvars = Ast.free_vars w; test = (fun env -> ebool (eval ctx env w)) }
+        in
+        match w with
+        | Ast.Cmp (Ast.Eq, l, r) ->
+          let keyed e =
+            {
+              Clip_plan.kvars = Ast.free_vars e;
+              keys =
+                (fun env ->
+                  List.map Clip_plan.Key.of_atom (Value.atomize (eval ctx env e)));
+            }
+          in
+          Clip_plan.Eq { left = keyed l; right = keyed r; orig }
+        | _ -> Clip_plan.Other orig
+      in
+      let conds =
+        match where with None -> [] | Some w -> List.map cond_of (conjuncts w)
+      in
+      let p = Clip_plan.plan ~policy ~bound ~gens:(List.rev gens_rev) ~conds () in
+      ctx.plans := (clauses, bound, cost, p) :: !(ctx.plans);
+      p
+  in
+  (* Adaptive indexing: FLWOR plans materialise lazily during
+     evaluation, so [`Auto] turns the tag index on the moment a
+     revisit-prone plan shows up over a large-enough document (the
+     index's memoised groupings stay sound mid-run — nodes are
+     immutable). Straight-line queries never pay for it. *)
+  (match ctx.plan, ctx.index with
+   | `Auto, None ->
+     if
+       Clip_plan.revisit_prone p
+       && Xml.Stats.node_count (Lazy.force ctx.stats) >= index_threshold
+     then ctx.index <- Some (Lazy.force ctx.xindex)
+   | _ -> ());
   let acc = ref [] in
   Clip_plan.execute p
     ~tick:(fun () -> tick ctx)
@@ -323,45 +447,81 @@ and eval_call ctx env name args =
     Value.of_atom (Xml.Atom.Bool (not (ebool (arg 0))))
   | name -> error "unknown function %s#%d" name (List.length args)
 
-let make_ctx plan limits input =
-  { input;
-    index = (match plan with `Indexed -> Some (Xml.Index.build input) | `Naive -> None);
-    plan;
+let make_ctx input =
+  {
+    input;
+    index = None;
+    xindex = lazy (Xml.Index.build input);
+    stats = lazy (Xml.Stats.collect input);
+    plan = `Auto;
+    plans = ref [];
     steps = ref 0;
-    max_steps = limits.Clip_diag.Limits.max_eval_steps }
+    max_steps = max_int;
+  }
 
-let with_ctx plan limits steps_out input f =
-  let ctx = make_ctx plan limits input in
+(* A session pins one input document and keeps its per-document
+   artifacts — lazy tag index, instance statistics, FLWOR plan memo —
+   alive across runs. Ignored (a fresh context is made) when handed a
+   different document. *)
+type session = { sctx : ctx }
+
+module Session = struct
+  type t = session
+
+  let create input = { sctx = make_ctx input }
+  let input s = s.sctx.input
+end
+
+let with_ctx ?session plan limits steps_out input f =
+  let ctx =
+    match session with
+    | Some s when s.sctx.input == input -> s.sctx
+    | _ -> make_ctx input
+  in
+  (* Tiny documents don't repay planning: run [`Auto] as [`Naive]. *)
+  let plan =
+    match plan with
+    | `Auto when Xml.Stats.node_count (Lazy.force ctx.stats) < naive_threshold
+      -> `Naive
+    | p -> p
+  in
+  ctx.plan <- plan;
+  ctx.index <-
+    (match plan with
+     | `Indexed -> Some (Lazy.force ctx.xindex)
+     | `Naive | `Auto -> None (* [`Auto] switches it on adaptively *));
+  ctx.steps := 0;
+  ctx.max_steps <- limits.Clip_diag.Limits.max_eval_steps;
   let record_steps () =
     match steps_out with Some r -> r := !(ctx.steps) | None -> ()
   in
   Fun.protect ~finally:record_steps (fun () -> f ctx)
 
-let run_result ?(limits = Clip_diag.Limits.default) ?(plan = `Indexed) ?steps_out
-    ~input expr =
+let run_result ?(limits = Clip_diag.Limits.default) ?(plan = `Auto) ?session
+    ?steps_out ~input expr =
   Clip_diag.guard (fun () ->
-    with_ctx plan limits steps_out input (fun ctx -> eval ctx Env.empty expr))
+    with_ctx ?session plan limits steps_out input (fun ctx -> eval ctx Env.empty expr))
 
 let reraise_legacy ds =
   let d = match ds with d :: _ -> d | [] -> assert false in
   raise (Error d.Clip_diag.message)
 
-let run ?limits ?plan ?steps_out ~input expr =
-  match run_result ?limits ?plan ?steps_out ~input expr with
+let run ?limits ?plan ?session ?steps_out ~input expr =
+  match run_result ?limits ?plan ?session ?steps_out ~input expr with
   | Ok v -> v
   | Error ds -> reraise_legacy ds
 
-let run_document_result ?(limits = Clip_diag.Limits.default) ?(plan = `Indexed)
-    ?steps_out ~input expr =
+let run_document_result ?(limits = Clip_diag.Limits.default) ?(plan = `Auto)
+    ?session ?steps_out ~input expr =
   Clip_diag.guard (fun () ->
-    with_ctx plan limits steps_out input (fun ctx ->
+    with_ctx ?session plan limits steps_out input (fun ctx ->
       match eval ctx Env.empty expr with
       | [ Value.Node (Xml.Node.Element _ as n) ] -> n
       | v ->
         error "query result is not a single element: %s"
           (Format.asprintf "%a" Value.pp v)))
 
-let run_document ?limits ?plan ?steps_out ~input expr =
-  match run_document_result ?limits ?plan ?steps_out ~input expr with
+let run_document ?limits ?plan ?session ?steps_out ~input expr =
+  match run_document_result ?limits ?plan ?session ?steps_out ~input expr with
   | Ok n -> n
   | Error ds -> reraise_legacy ds

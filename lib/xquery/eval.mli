@@ -5,19 +5,37 @@
     fuzzed FLWOR over a large cross product) reports [CLIP-LIM-004]
     instead of hanging.
 
-    Every entry point takes [?plan]: [`Indexed] (the default) runs
-    FLWOR blocks through the shared {!Clip_plan} physical-plan layer —
+    Every entry point takes [?plan]: [`Auto] (the default) runs FLWOR
+    blocks through the shared {!Clip_plan} physical-plan layer —
     [where] conjuncts pushed to their earliest clause, equality
-    conjuncts executed as hash joins, bindings streamed — with child
-    path steps answered by a per-run {!Clip_xml.Index}; [`Naive] is
-    the original clause-by-clause recursion, kept as the
-    differential-testing oracle. The two modes produce identical
-    values; only error behaviour may differ (pushdown can evaluate a
-    failing conjunct the naive order would never reach, and vice
-    versa). [?steps_out], when given, receives the number of budget
-    steps consumed, even when evaluation fails. *)
+    conjuncts executed as hash joins {e when the cost model says the
+    table pays for itself} — and switches the {!Clip_xml.Index} tag
+    index on adaptively, the moment a revisit-prone plan appears over
+    a large-enough document. [`Indexed] forces every eligible join and
+    the index unconditionally; [`Naive] is the original
+    clause-by-clause recursion, kept as the differential-testing
+    oracle. All modes produce identical values; only error behaviour
+    may differ (pushdown can evaluate a failing conjunct the naive
+    order would never reach, and vice versa). [?steps_out], when
+    given, receives the number of budget steps consumed, even when
+    evaluation fails.
+
+    A {!Session} pins one input document and carries its per-document
+    artifacts — tag index, instance statistics, compiled FLWOR plans —
+    across runs. *)
 
 exception Error of string
+
+(** A per-document cache reused by every run handed the session
+    together with the {e same} (physically equal) input document;
+    with a different document the session is simply ignored. Sessions
+    are not thread-safe. *)
+module Session : sig
+  type t
+
+  val create : Clip_xml.Node.t -> t
+  val input : t -> Clip_xml.Node.t
+end
 
 (** [run_result ~input expr] evaluates [expr]; [Ast.Doc tag] resolves
     to [input] when tags match (the generated queries reference the
@@ -28,6 +46,7 @@ exception Error of string
 val run_result :
   ?limits:Clip_diag.Limits.t ->
   ?plan:Clip_plan.mode ->
+  ?session:Session.t ->
   ?steps_out:int ref ->
   input:Clip_xml.Node.t ->
   Ast.expr ->
@@ -38,6 +57,7 @@ val run_result :
 val run :
   ?limits:Clip_diag.Limits.t ->
   ?plan:Clip_plan.mode ->
+  ?session:Session.t ->
   ?steps_out:int ref ->
   input:Clip_xml.Node.t ->
   Ast.expr ->
@@ -49,6 +69,7 @@ val run :
 val run_document_result :
   ?limits:Clip_diag.Limits.t ->
   ?plan:Clip_plan.mode ->
+  ?session:Session.t ->
   ?steps_out:int ref ->
   input:Clip_xml.Node.t ->
   Ast.expr ->
@@ -59,6 +80,7 @@ val run_document_result :
 val run_document :
   ?limits:Clip_diag.Limits.t ->
   ?plan:Clip_plan.mode ->
+  ?session:Session.t ->
   ?steps_out:int ref ->
   input:Clip_xml.Node.t ->
   Ast.expr ->

@@ -192,11 +192,12 @@ let targets : (string * (string -> unit)) list =
     ("xquery", fun s -> ignore (Clip_xquery.Parser.parse_string_result ~limits s));
     ( "engine",
       (* Beyond totality, the engine target is differential: the same
-         run under [`Naive] and [`Indexed] plans must agree (unordered
-         node equality — target sibling order is pinned separately by
-         the plan test suite) whenever both succeed. The source
-         document is a random valid instance of the parsed mapping's
-         own source schema, so generators actually enumerate. *)
+         run under [`Naive], [`Indexed] and [`Auto] plans must agree
+         (unordered node equality — target sibling order is pinned
+         separately by the plan test suite) whenever both succeed. The
+         source document is a random valid instance of the parsed
+         mapping's own source schema, so generators actually
+         enumerate. *)
       fun s ->
         match Clip_core.Dsl.parse_result ~limits s with
         | Error _ -> ()
@@ -211,16 +212,23 @@ let targets : (string * (string -> unit)) list =
             | exception _ -> Clip_xml.Node.elem m.source.root.name []
           in
           let run plan = Clip_core.Engine.run_result ~limits ~plan m doc in
-          (match (run `Naive, run `Indexed) with
-           | Ok a, Ok b ->
-             if not (Clip_xml.Node.equal_unordered a b) then begin
-               incr failures;
-               Printf.eprintf
-                 "FAILURE [engine]: naive and indexed plans disagree\n\
-                 \  mapping prefix: %S\n"
-                 (String.sub s 0 (min 160 (String.length s)))
-             end
-           | (Ok _ | Error _), (Ok _ | Error _) -> ()) );
+          (match run `Naive with
+           | Error _ -> ()
+           | Ok a ->
+             List.iter
+               (fun (name, plan) ->
+                 match run plan with
+                 | Error _ -> ()
+                 | Ok b ->
+                   if not (Clip_xml.Node.equal_unordered a b) then begin
+                     incr failures;
+                     Printf.eprintf
+                       "FAILURE [engine]: naive and %s plans disagree\n\
+                       \  mapping prefix: %S\n"
+                       name
+                       (String.sub s 0 (min 160 (String.length s)))
+                   end)
+               [ ("indexed", `Indexed); ("auto", `Auto) ]) );
   ]
 
 let run_target name f input =

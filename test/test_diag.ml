@@ -276,7 +276,7 @@ let limit_tests =
             in
             checkb "budget diagnostics carry a hint" true (d.D.hints <> []);
             checkb "steps_out reports the enumerated bindings" true (!steps >= 10_000))
-          [ `Naive; `Indexed ]);
+          [ `Naive; `Indexed; `Auto ]);
     Alcotest.test_case "xquery eval step budget is CLIP-LIM-004" `Quick (fun () ->
         let q =
           "for $a in d/x for $b in d/x for $c in d/x for $e in d/x return 1"

@@ -20,10 +20,10 @@ type env = (string * int) list
 
 let lookup env x = List.assoc x env
 
-let gen ?(deps = []) var eval : (env, int) P.gen =
-  { P.var; deps; eval; bind = (fun env v -> (var, v) :: env) }
+let gen ?(deps = []) ?est var eval : (env, int) P.gen =
+  { P.var; deps; est; eval; bind = (fun env v -> (var, v) :: env) }
 
-let const var items = gen var (fun _ -> items)
+let const ?est var items = gen ?est var (fun _ -> items)
 
 let pred pvars test : env P.pred = { P.pvars; test }
 
@@ -69,7 +69,7 @@ let planner_tests =
       (fun () ->
         let gens = [ const "x" [ 1; 2; 3 ]; const "y" [ 1; 2; 3 ] ] in
         let conds = [ P.Other (pred [ "x" ] (fun env -> lookup env "x" > 1)) ] in
-        let p = P.plan ~bound:[] ~gens ~conds in
+        let p = P.plan ~bound:[] ~gens ~conds () in
         checks "shape" "scan(x/1) scan(y)" (P.describe p);
         let got, ticks = run_plan p in
         checki "bindings" 6 (List.length got);
@@ -79,14 +79,14 @@ let planner_tests =
       (fun () ->
         let gens = [ const "x" [ 1; 2; 2 ]; const "y" [ 2; 2; 3 ] ] in
         let conds = [ eq ~left:[ "x" ] ~lkeys:(key1 "x") ~right:[ "y" ] ~rkeys:(key1 "y") ] in
-        let p = P.plan ~bound:[] ~gens ~conds in
+        let p = P.plan ~bound:[] ~gens ~conds () in
         checks "shape" "scan(x) probe(y@0)" (P.describe p);
         let got, _ = run_plan p in
         checkb "same bindings as naive" true (got = run_naive gens conds));
     Alcotest.test_case "probe hits come back in build-side order" `Quick (fun () ->
         let gens = [ const "x" [ 7 ]; const "y" [ 5; 7; 6; 7; 7; 1 ] ] in
         let conds = [ eq ~left:[ "x" ] ~lkeys:(key1 "x") ~right:[ "y" ] ~rkeys:(key1 "y") ] in
-        let p = P.plan ~bound:[] ~gens ~conds in
+        let p = P.plan ~bound:[] ~gens ~conds () in
         let got, ticks = run_plan p in
         checkb "order preserved" true (got = run_naive gens conds);
         (* 1 (x) + 3 probe hits; the misses are never enumerated *)
@@ -108,7 +108,7 @@ let planner_tests =
               ~right:[ "r" ]
               ~rkeys:(fun env -> P.Key.of_atom (Atom.Int (lookup env "r" mod 10))) ]
         in
-        let p = P.plan ~bound:[] ~gens ~conds in
+        let p = P.plan ~bound:[] ~gens ~conds () in
         checks "shape" "scan(x) probe(d.r@0)" (P.describe p);
         let got, _ = run_plan p in
         checkb "same bindings as naive" true (got = run_naive gens conds));
@@ -120,14 +120,14 @@ let planner_tests =
           [ const "x" [ 1; 2 ]; gen ~deps:[ "x" ] "y" (fun env -> [ lookup env "x"; 9 ]) ]
         in
         let conds = [ eq ~left:[ "x" ] ~lkeys:(key1 "x") ~right:[ "y" ] ~rkeys:(key1 "y") ] in
-        let p = P.plan ~bound:[] ~gens ~conds in
+        let p = P.plan ~bound:[] ~gens ~conds () in
         checks "shape" "scan(x) scan(y/1)" (P.describe p);
         let got, _ = run_plan p in
         checkb "same bindings as naive" true (got = run_naive gens conds));
     Alcotest.test_case "shadowed variables disable pushdown" `Quick (fun () ->
         let gens = [ const "x" [ 1; 2 ]; const "x" [ 3; 4 ] ] in
         let conds = [ P.Other (pred [ "x" ] (fun env -> lookup env "x" > 3)) ] in
-        let p = P.plan ~bound:[] ~gens ~conds in
+        let p = P.plan ~bound:[] ~gens ~conds () in
         checks "shape" "scan(x) scan(x/1)" (P.describe p);
         let got, _ = run_plan p in
         checki "bindings" 2 (List.length got));
@@ -135,10 +135,88 @@ let planner_tests =
       (fun () ->
         let gens = [ const "x" [ 1; 2; 3 ] ] in
         let conds = [ P.Other (pred [ "b" ] (fun _ -> false)) ] in
-        let p = P.plan ~bound:[ "b" ] ~gens ~conds in
+        let p = P.plan ~bound:[ "b" ] ~gens ~conds () in
         let got, ticks = run_plan p in
         checki "bindings" 0 (List.length got);
         checki "ticks" 0 ticks);
+  ]
+
+(* --- The cost model and the [`Cost] policy ----------------------------- *)
+
+let cost_tests =
+  let join_conds =
+    [ eq ~left:[ "x" ] ~lkeys:(key1 "x") ~right:[ "y" ] ~rkeys:(key1 "y") ]
+  in
+  [
+    Alcotest.test_case "join_pays: tiny inputs scan, large inputs join" `Quick
+      (fun () ->
+        checkb "2x2 scans" false (P.join_pays ~outer:(Some 2) ~seg:(Some 2));
+        checkb "100x100 joins" true (P.join_pays ~outer:(Some 100) ~seg:(Some 100));
+        checkb "unknown outer joins" true (P.join_pays ~outer:None ~seg:(Some 2));
+        checkb "unknown seg joins" true (P.join_pays ~outer:(Some 2) ~seg:None));
+    Alcotest.test_case "`Cost keeps a tiny join as scans, `Force builds it" `Quick
+      (fun () ->
+        let gens = [ const ~est:2 "x" [ 1; 2 ]; const ~est:2 "y" [ 2; 3 ] ] in
+        checks "forced" "scan(x) probe(y@0)"
+          (P.describe (P.plan ~policy:`Force ~bound:[] ~gens ~conds:join_conds ()));
+        let costed = P.plan ~policy:`Cost ~bound:[] ~gens ~conds:join_conds () in
+        checks "costed" "scan(x) scan(y/1)" (P.describe costed);
+        let got, _ = run_plan costed in
+        checkb "same bindings as naive" true (got = run_naive gens join_conds));
+    Alcotest.test_case "`Cost builds the table when the product is large" `Quick
+      (fun () ->
+        let xs = List.init 40 Fun.id in
+        let gens = [ const ~est:40 "x" xs; const ~est:40 "y" xs ] in
+        let costed = P.plan ~policy:`Cost ~bound:[] ~gens ~conds:join_conds () in
+        checks "costed" "scan(x) probe(y@0)" (P.describe costed);
+        let got, _ = run_plan costed in
+        checkb "same bindings as naive" true (got = run_naive gens join_conds));
+    Alcotest.test_case "`Cost prices unknown estimates as large (joins)" `Quick
+      (fun () ->
+        let gens = [ const "x" [ 1; 2 ]; const "y" [ 2; 3 ] ] in
+        checks "costed" "scan(x) probe(y@0)"
+          (P.describe (P.plan ~policy:`Cost ~bound:[] ~gens ~conds:join_conds ())));
+    Alcotest.test_case "a key-less equality never becomes a join, any policy" `Quick
+      (fun () ->
+        (* the [y.a = 5] shape: one side is a constant, so there is no
+           equi-join key between generators *)
+        let gens = [ const "x" [ 1; 2; 5 ]; const "y" [ 5; 7 ] ] in
+        let conds =
+          [
+            P.Eq
+              {
+                left = { P.kvars = [ "y" ]; keys = (fun env -> [ key1 "y" env ]) };
+                right = { P.kvars = []; keys = (fun _ -> [ P.Key.of_atom (Atom.Int 5) ]) };
+                orig = pred [ "y" ] (fun env -> lookup env "y" = 5);
+              };
+          ]
+        in
+        List.iter
+          (fun policy ->
+            let p = P.plan ~policy ~bound:[] ~gens ~conds () in
+            checks "stays a filter" "scan(x) scan(y/1)" (P.describe p);
+            let got, _ = run_plan p in
+            checkb "same bindings as naive" true (got = run_naive gens conds))
+          [ `Force; `Cost ]);
+    Alcotest.test_case "revisit_prone: probes and independent rescans only" `Quick
+      (fun () ->
+        let straight =
+          P.plan ~bound:[]
+            ~gens:
+              [ const "x" [ 1 ]; gen ~deps:[ "x" ] "y" (fun env -> [ lookup env "x" ]) ]
+            ~conds:[] ()
+        in
+        checkb "straight-line chain" false (P.revisit_prone straight);
+        let rescan =
+          P.plan ~bound:[] ~gens:[ const "x" [ 1; 2 ]; const "y" [ 3 ] ] ~conds:[] ()
+        in
+        checkb "independent rescan" true (P.revisit_prone rescan);
+        let joined =
+          P.plan ~bound:[]
+            ~gens:[ const "x" [ 1 ]; const "y" [ 1 ] ]
+            ~conds:join_conds ()
+        in
+        checkb "probe" true (P.revisit_prone joined));
   ]
 
 (* --- Key normalisation ------------------------------------------------- *)
@@ -211,9 +289,9 @@ let index_tests =
                 e.Node.children
             in
             (* twice: the second probe exercises the memoised path *)
-            checkb "first probe" true (Clip_xml.Index.children_by_tag idx e "a" = scan);
-            checkb "memoised probe" true (Clip_xml.Index.children_by_tag idx e "a" = scan);
-            checkb "absent tag" true (Clip_xml.Index.children_by_tag idx e "zzz" = []))
+            checkb "first probe" true (Clip_xml.Index.children_by_tag idx e (Clip_xml.Symbol.intern "a") = scan);
+            checkb "memoised probe" true (Clip_xml.Index.children_by_tag idx e (Clip_xml.Symbol.intern "a") = scan);
+            checkb "absent tag" true (Clip_xml.Index.children_by_tag idx e (Clip_xml.Symbol.intern "zzz") = []))
           (* below and above the small-children fast-path threshold *)
           [ 0; 3; 100 ]);
     Alcotest.test_case "the index answers for constructed elements too" `Quick
@@ -222,7 +300,7 @@ let index_tests =
         let idx = Clip_xml.Index.build doc in
         let foreign = Node.elem "f" [ Node.elem "kid" []; Node.elem "kid" [] ] in
         checki "foreign children" 2
-          (List.length (Clip_xml.Index.children_by_tag idx (elem_of foreign) "kid")));
+          (List.length (Clip_xml.Index.children_by_tag idx (elem_of foreign) (Clip_xml.Symbol.intern "kid"))));
     Alcotest.test_case "descendants_by_tag is preorder and memoised" `Quick (fun () ->
         let doc =
           Node.elem "r"
@@ -233,10 +311,10 @@ let index_tests =
         in
         let idx = Clip_xml.Index.build doc in
         let e = elem_of doc in
-        checki "count" 3 (List.length (Clip_xml.Index.descendants_by_tag idx e "x"));
+        checki "count" 3 (List.length (Clip_xml.Index.descendants_by_tag idx e (Clip_xml.Symbol.intern "x")));
         checkb "memoised" true
-          (Clip_xml.Index.descendants_by_tag idx e "x"
-          == Clip_xml.Index.descendants_by_tag idx e "x"));
+          (Clip_xml.Index.descendants_by_tag idx e (Clip_xml.Symbol.intern "x")
+          == Clip_xml.Index.descendants_by_tag idx e (Clip_xml.Symbol.intern "x")));
   ]
 
 (* --- Differential: `Indexed against the `Naive oracles ----------------- *)
@@ -268,10 +346,13 @@ let differential_tests =
             (fun () ->
               let doc = S.Deptdb.instance in
               let naive = run_mode sc ~backend ~plan:`Naive doc in
-              let indexed = run_mode sc ~backend ~plan:`Indexed doc in
               (* byte-identical, not just unordered-equal: the plan
                  layer promises exact enumeration order *)
-              checkb "identical documents" true (Node.equal naive indexed)))
+              List.iter
+                (fun plan ->
+                  checkb "identical documents" true
+                    (Node.equal naive (run_mode sc ~backend ~plan doc)))
+                [ `Indexed; `Auto ]))
         (backends sc))
     S.Figures.all
 
@@ -285,10 +366,13 @@ let scaled_differential_tests =
             List.iter
               (fun backend ->
                 let naive = run_mode sc ~backend ~plan:`Naive doc in
-                let indexed = run_mode sc ~backend ~plan:`Indexed doc in
-                checkb
-                  (Printf.sprintf "%s identical" sc.S.Figures.name)
-                  true (Node.equal naive indexed))
+                List.iter
+                  (fun plan ->
+                    checkb
+                      (Printf.sprintf "%s identical" sc.S.Figures.name)
+                      true
+                      (Node.equal naive (run_mode sc ~backend ~plan doc)))
+                  [ `Indexed; `Auto ])
               [ `Tgd; `Xquery ])
           S.Figures.[ fig5; fig6; fig6_join_global; fig7 ]);
   ]
@@ -298,7 +382,8 @@ let scaled_differential_tests =
    same decision points (empty generators, duplicate keys, missing
    referents), so fuzz the instance and keep the figure mappings. *)
 let fuzz_differential =
-  QCheck.Test.make ~count:60 ~name:"indexed ≡ naive on random deptdb instances"
+  QCheck.Test.make ~count:60
+    ~name:"indexed ≡ auto ≡ naive on random deptdb instances"
     QCheck.(triple (int_range 1 5) (int_range 0 4) (int_range 0 6))
     (fun (depts, projs, emps) ->
       let doc = S.Deptdb.synthetic_instance ~depts ~projs ~emps in
@@ -306,18 +391,126 @@ let fuzz_differential =
         (fun (sc : S.Figures.t) ->
           List.for_all
             (fun backend ->
-              Node.equal (run_mode sc ~backend ~plan:`Naive doc)
-                (run_mode sc ~backend ~plan:`Indexed doc))
+              let naive = run_mode sc ~backend ~plan:`Naive doc in
+              List.for_all
+                (fun plan -> Node.equal naive (run_mode sc ~backend ~plan doc))
+                [ `Indexed; `Auto ])
             [ `Tgd; `Xquery ])
         S.Figures.[ fig6; fig6_join_global; fig7 ])
+
+(* --- [`Auto] picks the join where it matters --------------------------- *)
+
+let steps_of (sc : S.Figures.t) ~plan doc =
+  let steps = ref 0 in
+  match
+    Engine.run_result ~limits:Clip_diag.Limits.unlimited
+      ~minimum_cardinality:sc.S.Figures.minimum_cardinality ~plan ~steps_out:steps
+      sc.S.Figures.mapping doc
+  with
+  | Ok _ -> !steps
+  | Error ds ->
+    Alcotest.failf "%s did not run: %s" sc.S.Figures.name (Clip_diag.render_list ds)
+
+let auto_steps_tests =
+  [
+    Alcotest.test_case "`Auto hash-joins the scaled global join" `Quick (fun () ->
+        let doc = S.Deptdb.synthetic_instance ~depts:40 ~projs:5 ~emps:10 in
+        let naive = steps_of S.Figures.fig6_join_global ~plan:`Naive doc in
+        let auto = steps_of S.Figures.fig6_join_global ~plan:`Auto doc in
+        (* the probe enumerates only matches, so the quadratic naive
+           step count collapses; a generous factor keeps this stable *)
+        checkb
+          (Printf.sprintf "auto steps %d < naive steps %d / 2" auto naive)
+          true
+          (auto < naive / 2));
+    Alcotest.test_case "`Auto never enumerates more than the forced join" `Quick
+      (fun () ->
+        (* on the paper instances every figure is small — `Auto scans,
+           and its step count stays within the naive oracle's ballpark
+           (streaming adds at most one tick per stage item) *)
+        let doc = S.Deptdb.instance in
+        List.iter
+          (fun (sc : S.Figures.t) ->
+            let naive = steps_of sc ~plan:`Naive doc in
+            let auto = steps_of sc ~plan:`Auto doc in
+            checkb
+              (Printf.sprintf "%s: auto %d <= 2 * naive %d" sc.S.Figures.name auto naive)
+              true
+              (auto <= 2 * naive))
+          S.Figures.all);
+  ]
+
+(* --- Sessions ----------------------------------------------------------- *)
+
+let session_tests =
+  [
+    Alcotest.test_case "warm session runs are identical to cold runs" `Quick
+      (fun () ->
+        let doc = S.Deptdb.synthetic_instance ~depts:6 ~projs:3 ~emps:5 in
+        let session = Engine.Session.create doc in
+        List.iter
+          (fun (sc : S.Figures.t) ->
+            let cold = run_mode sc ~backend:`Tgd ~plan:`Auto doc in
+            (* twice: the second run exercises every cache hit *)
+            List.iter
+              (fun label ->
+                let warm =
+                  Engine.Session.run
+                    ~minimum_cardinality:sc.S.Figures.minimum_cardinality
+                    ~plan:`Auto session sc.S.Figures.mapping
+                in
+                checkb
+                  (Printf.sprintf "%s %s run" sc.S.Figures.name label)
+                  true (Node.equal cold warm))
+              [ "first"; "second" ])
+          S.Figures.[ fig5; fig6; fig6_join_global ]);
+    Alcotest.test_case "sessions serve every backend and plan mode" `Quick
+      (fun () ->
+        let doc = S.Deptdb.instance in
+        let session = Engine.Session.create doc in
+        List.iter
+          (fun plan ->
+            List.iter
+              (fun backend ->
+                let direct = run_mode S.Figures.fig6 ~backend ~plan doc in
+                let via =
+                  Engine.Session.run ~backend ~plan session
+                    S.Figures.fig6.S.Figures.mapping
+                in
+                checkb "session agrees with direct run" true (Node.equal direct via))
+              [ `Tgd; `Xquery ])
+          [ `Naive; `Indexed; `Auto ]);
+    Alcotest.test_case "a session ignores a foreign document safely" `Quick
+      (fun () ->
+        (* the backend sessions key on physical equality; handing the
+           session's caches a different document must not corrupt
+           results (they are simply bypassed) *)
+        let doc = S.Deptdb.instance in
+        let other = S.Deptdb.synthetic_instance ~depts:2 ~projs:1 ~emps:1 in
+        let tgd_session = Clip_tgd.Eval.Session.create other in
+        let sc = S.Figures.fig6 in
+        let tgd = Clip_core.Compile.to_tgd sc.S.Figures.mapping in
+        let direct =
+          Clip_tgd.Eval.run ~source:doc
+            ~target_root:sc.S.Figures.mapping.Clip_core.Mapping.target.root.name tgd
+        in
+        let via =
+          Clip_tgd.Eval.run ~session:tgd_session ~source:doc
+            ~target_root:sc.S.Figures.mapping.Clip_core.Mapping.target.root.name tgd
+        in
+        checkb "identical" true (Node.equal direct via));
+  ]
 
 let () =
   Alcotest.run "plan"
     [
       ("planner", planner_tests);
+      ("cost", cost_tests);
       ("keys", key_tests);
       ("index", index_tests);
       ("differential", differential_tests);
       ("scaled-differential", scaled_differential_tests);
+      ("auto-steps", auto_steps_tests);
+      ("sessions", session_tests);
       ("fuzz-differential", [ QCheck_alcotest.to_alcotest fuzz_differential ]);
     ]
