@@ -106,33 +106,47 @@ let xquery_cmd =
 
 (* --- run ---------------------------------------------------------------- *)
 
+let input_file =
+  let doc = "Source XML instance." in
+  Arg.(required & opt (some file) None & info [ "i"; "input" ] ~docv:"XML" ~doc)
+
+let backend_arg =
+  let doc =
+    "Execution backend: tgd (direct), xquery (generated query), or \
+     xquery-text (generated query round-tripped through its concrete \
+     syntax)."
+  in
+  Arg.(value
+       & opt
+           (enum
+              [ ("tgd", `Tgd); ("xquery", `Xquery); ("xquery-text", `Xquery_text) ])
+           `Tgd
+       & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let plan_arg =
+  let doc =
+    "Physical evaluation strategy: auto (cost-based, the default), indexed \
+     (force hash joins and the tag index), or naive (the legacy \
+     interpreters)."
+  in
+  Arg.(value
+       & opt (enum [ ("auto", `Auto); ("indexed", `Indexed); ("naive", `Naive) ]) `Auto
+       & info [ "plan" ] ~docv:"PLAN" ~doc)
+
 let run_cmd =
-  let input_file =
-    let doc = "Source XML instance." in
-    Arg.(required & opt (some file) None & info [ "i"; "input" ] ~docv:"XML" ~doc)
-  in
-  let backend =
-    let doc =
-      "Execution backend: tgd (direct), xquery (generated query), or \
-       xquery-text (generated query round-tripped through its concrete \
-       syntax)."
-    in
-    Arg.(value
-         & opt
-             (enum
-                [ ("tgd", `Tgd); ("xquery", `Xquery); ("xquery-text", `Xquery_text) ])
-             `Tgd
-         & info [ "backend" ] ~docv:"BACKEND" ~doc)
-  in
   let tree_flag =
     let doc = "Print the paper's ASCII-tree rendering instead of XML." in
     Arg.(value & flag & info [ "tree" ] ~doc)
   in
   let trace_flag =
-    let doc = "Also print instance-level lineage (which source elements each target element came from)." in
+    let doc =
+      "Also print instance-level lineage (which source elements each target \
+       element came from) on stdout, plus phase timings and execution \
+       counters on stderr."
+    in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let run file input backend tree trace =
+  let run file input backend plan tree trace =
     let m = load_mapping file in
     let xml_src = read_file input in
     match Clip_xml.Parser.parse_string_result xml_src with
@@ -140,7 +154,21 @@ let run_cmd =
       report ~src:xml_src ds;
       1
     | Ok source ->
-      (match Clip_core.Engine.run_result ~backend m source with
+      (* Under --trace, run with a span tracer and a counter sink
+         installed; both reports go to stderr so stdout stays exactly
+         the transformation output. *)
+      let tracer =
+        if trace then Some (Clip_obs.Trace.create ~now:Unix.gettimeofday ())
+        else None
+      in
+      let counters = if trace then Some (Clip_obs.Counters.create ()) else None in
+      let observed f =
+        match tracer, counters with
+        | Some t, Some c ->
+          Clip_obs.Trace.with_tracer t (fun () -> Clip_obs.with_counters c f)
+        | _ -> f ()
+      in
+      (match observed (fun () -> Clip_core.Engine.run_result ~backend ~plan m source) with
        | Error ds ->
          report ds;
          1
@@ -148,7 +176,7 @@ let run_cmd =
          if tree then print_endline (Clip_xml.Printer.to_tree_string out)
          else print_string (Clip_xml.Printer.to_pretty_string out);
          if trace then begin
-           let _, entries = Clip_core.Engine.run_traced m source in
+           let _, entries = Clip_core.Engine.run_traced ~plan m source in
            print_endline "";
            List.iter
              (fun (t : Clip_tgd.Eval.trace_entry) ->
@@ -162,13 +190,45 @@ let run_cmd =
                            | Clip_xml.Node.Element e -> "<" ^ e.tag ^ ">"
                            | Clip_xml.Node.Text a -> Clip_xml.Atom.to_string a)
                          t.sources)))
-             entries
+             entries;
+           (match tracer, counters with
+            | Some t, Some c ->
+              prerr_string ("phases:\n" ^ Clip_obs.Trace.render t);
+              prerr_string ("counters:\n" ^ Clip_obs.Counters.to_string c)
+            | _ -> ())
          end;
          0)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Transform a source instance into a target instance")
-    Term.(const run $ mapping_file $ input_file $ backend $ tree_flag $ trace_flag)
+    Term.(const run $ mapping_file $ input_file $ backend_arg $ plan_arg $ tree_flag $ trace_flag)
+
+(* --- explain ------------------------------------------------------------ *)
+
+let explain_cmd =
+  let run file input backend plan =
+    let m = load_mapping file in
+    let xml_src = read_file input in
+    match Clip_xml.Parser.parse_string_result xml_src with
+    | Error ds ->
+      report ~src:xml_src ds;
+      1
+    | Ok source ->
+      (match Clip_core.Engine.explain_result ~backend ~plan m source with
+       | Error ds ->
+         report ds;
+         1
+       | Ok text ->
+         print_string text;
+         0)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the physical plan for running the mapping over an instance: \
+          per source clause the chosen strategy (scan, pushed-down filter, \
+          hash join) and the cost-model inputs that justified it")
+    Term.(const run $ mapping_file $ input_file $ backend_arg $ plan_arg)
 
 (* --- render ------------------------------------------------------------- *)
 
@@ -418,6 +478,7 @@ let main =
       compile_cmd;
       xquery_cmd;
       run_cmd;
+      explain_cmd;
       render_cmd;
       generate_cmd;
       schema_cmd;

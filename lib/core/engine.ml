@@ -40,7 +40,9 @@ module Session = struct
 
   let memo tbl key compute =
     match Hashtbl.find_opt tbl key with
-    | Some v -> v
+    | Some v ->
+      Clip_obs.session_hit ();
+      v
     | None ->
       let v = compute () in
       Hashtbl.add tbl key v;
@@ -48,7 +50,9 @@ module Session = struct
 
   let to_tgd s m =
     match s.slast_tgd with
-    | Some (m', tgd) when m' == m -> tgd
+    | Some (m', tgd) when m' == m ->
+      Clip_obs.session_hit ();
+      tgd
     | _ ->
       let tgd = memo s.scompiled m (fun () -> Compile.to_tgd m) in
       s.slast_tgd <- Some (m, tgd);
@@ -56,10 +60,13 @@ module Session = struct
 
   let to_tgd_result s m =
     match s.slast_tgd with
-    | Some (m', tgd) when m' == m -> Ok tgd
+    | Some (m', tgd) when m' == m ->
+      Clip_obs.session_hit ();
+      Ok tgd
     | _ ->
       (match Hashtbl.find_opt s.scompiled m with
        | Some tgd ->
+         Clip_obs.session_hit ();
          s.slast_tgd <- Some (m, tgd);
          Ok tgd
        | None ->
@@ -72,7 +79,9 @@ module Session = struct
 
   let to_xquery s ~target_root tgd =
     match s.slast_xq with
-    | Some (r, tgd', q) when r = target_root && tgd' == tgd -> q
+    | Some (r, tgd', q) when r = target_root && tgd' == tgd ->
+      Clip_obs.session_hit ();
+      q
     | _ ->
       let q =
         memo s.stranslated (target_root, tgd) (fun () ->
@@ -83,10 +92,13 @@ module Session = struct
 
   let to_xquery_result s ~target_root tgd =
     match s.slast_xq with
-    | Some (r, tgd', q) when r = target_root && tgd' == tgd -> Ok q
+    | Some (r, tgd', q) when r = target_root && tgd' == tgd ->
+      Clip_obs.session_hit ();
+      Ok q
     | _ ->
       (match Hashtbl.find_opt s.stranslated (target_root, tgd) with
        | Some q ->
+         Clip_obs.session_hit ();
          s.slast_xq <- Some (target_root, tgd, q);
          Ok q
        | None ->
@@ -99,18 +111,21 @@ module Session = struct
 
   let run ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?steps_out s
       (m : Mapping.t) =
-    let tgd = to_tgd s m in
+    let tgd = Clip_obs.Trace.span "compile" (fun () -> to_tgd s m) in
     let target_root = m.target.root.name in
     match backend with
     | `Tgd ->
-      Clip_tgd.Eval.run ~minimum_cardinality ?plan ~session:s.stgd ?steps_out
-        ~source:s.ssource ~target_root tgd
+      Clip_obs.Trace.span "execute" (fun () ->
+        Clip_tgd.Eval.run ~minimum_cardinality ?plan ~session:s.stgd ?steps_out
+          ~source:s.ssource ~target_root tgd)
     | (`Xquery | `Xquery_text) as backend ->
       if not minimum_cardinality then
         invalid_arg
           "Engine.Session.run: the universal-solution ablation is only \
            available on the tgd backend";
-      let query = to_xquery s ~target_root tgd in
+      let query =
+        Clip_obs.Trace.span "translate" (fun () -> to_xquery s ~target_root tgd)
+      in
       let query =
         match backend with
         | `Xquery -> query
@@ -118,41 +133,50 @@ module Session = struct
           (* Round-trip through the concrete syntax; parsing is
              deliberately not cached — it stands in for what an
              external processor would do per request. *)
-          Clip_xquery.Parser.parse_string (Clip_xquery.Pretty.query_to_string query)
+          Clip_obs.Trace.span "parse" (fun () ->
+            Clip_xquery.Parser.parse_string
+              (Clip_xquery.Pretty.query_to_string query))
       in
-      Clip_xquery.Eval.run_document ?plan ~session:s.sxq ?steps_out
-        ~input:s.ssource query
+      Clip_obs.Trace.span "execute" (fun () ->
+        Clip_xquery.Eval.run_document ?plan ~session:s.sxq ?steps_out
+          ~input:s.ssource query)
 
   let run_result ?limits ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan
       ?steps_out s (m : Mapping.t) =
-    match to_tgd_result s m with
+    match Clip_obs.Trace.span "compile" (fun () -> to_tgd_result s m) with
     | Error ds -> Error ds
     | Ok tgd ->
       let target_root = m.target.root.name in
       (match backend with
        | `Tgd ->
-         Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan
-           ~session:s.stgd ?steps_out ~source:s.ssource ~target_root tgd
+         Clip_obs.Trace.span "execute" (fun () ->
+           Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan
+             ~session:s.stgd ?steps_out ~source:s.ssource ~target_root tgd)
        | (`Xquery | `Xquery_text) as backend ->
          if not minimum_cardinality then
            invalid_arg
              "Engine.Session.run_result: the universal-solution ablation is \
               only available on the tgd backend";
-         (match to_xquery_result s ~target_root tgd with
+         (match
+            Clip_obs.Trace.span "translate" (fun () ->
+              to_xquery_result s ~target_root tgd)
+          with
           | Error ds -> Error ds
           | Ok query ->
             let query =
               match backend with
               | `Xquery -> Ok query
               | `Xquery_text ->
-                Clip_xquery.Parser.parse_string_result ?limits
-                  (Clip_xquery.Pretty.query_to_string query)
+                Clip_obs.Trace.span "parse" (fun () ->
+                  Clip_xquery.Parser.parse_string_result ?limits
+                    (Clip_xquery.Pretty.query_to_string query))
             in
             (match query with
              | Error ds -> Error ds
              | Ok query ->
-               Clip_xquery.Eval.run_document_result ?limits ?plan
-                 ~session:s.sxq ?steps_out ~input:s.ssource query)))
+               Clip_obs.Trace.span "execute" (fun () ->
+                 Clip_xquery.Eval.run_document_result ?limits ?plan
+                   ~session:s.sxq ?steps_out ~input:s.ssource query))))
 end
 
 (* --- One-shot entry points --------------------------------------------- *)
@@ -175,7 +199,9 @@ let session_for source =
     | None -> None
   in
   match hit with
-  | Some s -> s
+  | Some s ->
+    Clip_obs.session_hit ();
+    s
   | None ->
     let s = Session.create source in
     last_session := Some (Ephemeron.K1.make source s);
@@ -211,6 +237,23 @@ let run_traced ?(minimum_cardinality = true) ?plan (m : Mapping.t) source =
   let tgd = Compile.to_tgd m in
   Clip_tgd.Eval.run_traced ~minimum_cardinality ?plan ~source
     ~target_root:m.target.root.name tgd
+
+(* EXPLAIN: compile (or translate) like a run would, then hand off to
+   the backend's static plan renderer. Uses the same one-shot session
+   memo as [run], so an explain right before or after a run over the
+   same document shares its statistics instead of re-walking it. *)
+let explain ?(backend = `Tgd) ?plan (m : Mapping.t) source =
+  let s = session_for source in
+  let tgd = Session.to_tgd s m in
+  let target_root = m.target.root.name in
+  match backend with
+  | `Tgd -> Clip_tgd.Eval.explain ?plan ~session:s.stgd ~source tgd
+  | `Xquery | `Xquery_text ->
+    let query = Session.to_xquery s ~target_root tgd in
+    Clip_xquery.Eval.explain ?plan ~session:s.sxq ~input:source query
+
+let explain_result ?backend ?plan (m : Mapping.t) source =
+  Clip_diag.guard (fun () -> explain ?backend ?plan m source)
 
 let xquery_text (m : Mapping.t) =
   let tgd = Compile.to_tgd m in

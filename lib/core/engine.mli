@@ -35,7 +35,22 @@ type backend = [ `Tgd | `Xquery | `Xquery_text ]
     compile caches (mapping to tgd, tgd to XQuery). Create one per
     document and hand every run to it; repeated runs of the same
     mapping pay analysis once and only re-execute. Sessions are not
-    thread-safe. *)
+    thread-safe.
+
+    {b Document identity and mutation.} A session pins the exact
+    document {e value} passed to {!create}: every cached artifact
+    (statistics, tag index, plan cardinality estimates) describes that
+    value, and reuse is keyed by {e physical} identity ([==]).
+    {!Clip_xml.Node.t} values are immutable, so a document can never
+    change under a live session — "mutating" a document means building
+    a new [Node.t], and the correct move is a {b new session} for it.
+    Both safety nets are automatic: a session handed a run against a
+    different (even structurally equal) document simply bypasses its
+    per-document caches, and a rebuilt document is a new allocation,
+    so it can never be mistaken for the pinned one and served stale
+    statistics or plans. What a session does {e not} do is notice that
+    the new document is "the same file, edited" — cross-document cache
+    reuse is deliberately out of scope. *)
 module Session : sig
   type t
 
@@ -95,6 +110,32 @@ val run_result :
   Mapping.t ->
   Clip_xml.Node.t ->
   (Clip_xml.Node.t, Clip_diag.t list) result
+
+(** [explain ?backend ?plan mapping source] — a static, deterministic
+    EXPLAIN of how a run with the same arguments would execute: the
+    resolved strategy (e.g. [`Auto] dropping to the direct interpreter
+    below the planning threshold), then per source clause the chosen
+    physical step (nested-loop scan, pushed-down filter, hash join)
+    with the cost-model inputs that justified it — estimated
+    outer/inner cardinalities, {!Clip_plan.join_pays} verdicts,
+    threshold triggers. Nothing is executed and no timings appear, so
+    output is golden-testable.
+    @raise Compile.Invalid when the mapping is invalid. *)
+val explain :
+  ?backend:backend ->
+  ?plan:Clip_plan.mode ->
+  Mapping.t ->
+  Clip_xml.Node.t ->
+  string
+
+(** [explain_result mapping source] — like {!explain}, reporting
+    failures as diagnostics. *)
+val explain_result :
+  ?backend:backend ->
+  ?plan:Clip_plan.mode ->
+  Mapping.t ->
+  Clip_xml.Node.t ->
+  (string, Clip_diag.t list) result
 
 (** [diagnose mapping] — every diagnostic for a mapping in one pass:
     all validity issues (warnings included) and, when the mapping is

@@ -1,0 +1,190 @@
+(* Ambient observability sinks. Both facilities are one mutable global
+   slot: the engines are documented non-thread-safe, and a single slot
+   keeps the disabled path down to a load and a branch — no closure,
+   no option allocation, nothing the GC ever sees. *)
+
+module Counters = struct
+  type t = {
+    mutable nodes_scanned : int;
+    mutable child_steps : int;
+    mutable index_probes : int;
+    mutable index_hits : int;
+    mutable hash_join_builds : int;
+    mutable hash_join_probes : int;
+    mutable memo_hits : int;
+    mutable session_hits : int;
+    mutable lim_ticks : int;
+  }
+
+  let create () =
+    {
+      nodes_scanned = 0;
+      child_steps = 0;
+      index_probes = 0;
+      index_hits = 0;
+      hash_join_builds = 0;
+      hash_join_probes = 0;
+      memo_hits = 0;
+      session_hits = 0;
+      lim_ticks = 0;
+    }
+
+  let reset c =
+    c.nodes_scanned <- 0;
+    c.child_steps <- 0;
+    c.index_probes <- 0;
+    c.index_hits <- 0;
+    c.hash_join_builds <- 0;
+    c.hash_join_probes <- 0;
+    c.memo_hits <- 0;
+    c.session_hits <- 0;
+    c.lim_ticks <- 0
+
+  let copy c = { c with nodes_scanned = c.nodes_scanned }
+
+  let work_assoc c =
+    [
+      ("nodes_scanned", c.nodes_scanned);
+      ("child_steps", c.child_steps);
+      ("index_probes", c.index_probes);
+      ("index_hits", c.index_hits);
+      ("hash_join_builds", c.hash_join_builds);
+      ("hash_join_probes", c.hash_join_probes);
+      ("lim_ticks", c.lim_ticks);
+    ]
+
+  let to_assoc c =
+    work_assoc c
+    @ [ ("memo_hits", c.memo_hits); ("session_hits", c.session_hits) ]
+
+  let to_string c =
+    String.concat ""
+      (List.filter_map
+         (fun (name, v) ->
+           if v = 0 then None else Some (Printf.sprintf "  %-16s = %d\n" name v))
+         (to_assoc c))
+
+  let to_json c =
+    Printf.sprintf "{%s}"
+      (String.concat ", "
+         (List.map
+            (fun (name, v) -> Printf.sprintf "\"%s\": %d" name v)
+            (to_assoc c)))
+end
+
+let sink : Counters.t option ref = ref None
+let enabled () = !sink <> None
+let counters () = !sink
+
+let with_counters c f =
+  let prev = !sink in
+  sink := Some c;
+  Fun.protect ~finally:(fun () -> sink := prev) f
+
+let scanned n =
+  match !sink with
+  | None -> ()
+  | Some c -> c.Counters.nodes_scanned <- c.Counters.nodes_scanned + n
+
+let child_step () =
+  match !sink with
+  | None -> ()
+  | Some c -> c.Counters.child_steps <- c.Counters.child_steps + 1
+
+let index_probe () =
+  match !sink with
+  | None -> ()
+  | Some c -> c.Counters.index_probes <- c.Counters.index_probes + 1
+
+let index_hit () =
+  match !sink with
+  | None -> ()
+  | Some c -> c.Counters.index_hits <- c.Counters.index_hits + 1
+
+let hash_join_build () =
+  match !sink with
+  | None -> ()
+  | Some c -> c.Counters.hash_join_builds <- c.Counters.hash_join_builds + 1
+
+let hash_join_probe () =
+  match !sink with
+  | None -> ()
+  | Some c -> c.Counters.hash_join_probes <- c.Counters.hash_join_probes + 1
+
+let memo_hit () =
+  match !sink with
+  | None -> ()
+  | Some c -> c.Counters.memo_hits <- c.Counters.memo_hits + 1
+
+let session_hit () =
+  match !sink with
+  | None -> ()
+  | Some c -> c.Counters.session_hits <- c.Counters.session_hits + 1
+
+let lim_tick () =
+  match !sink with
+  | None -> ()
+  | Some c -> c.Counters.lim_ticks <- c.Counters.lim_ticks + 1
+
+module Trace = struct
+  type span = { sname : string; sstart : float; sdur : float; sdepth : int }
+
+  type t = {
+    now : unit -> float;
+    t0 : float;
+    mutable depth : int;
+    mutable done_rev : span list; (* completion order, reversed *)
+  }
+
+  let create ?(now = Sys.time) () = { now; t0 = now (); depth = 0; done_rev = [] }
+
+  let tracer : t option ref = ref None
+
+  let with_tracer t f =
+    let prev = !tracer in
+    tracer := Some t;
+    Fun.protect ~finally:(fun () -> tracer := prev) f
+
+  let span name f =
+    match !tracer with
+    | None -> f ()
+    | Some t ->
+      let depth = t.depth in
+      let start = t.now () in
+      t.depth <- depth + 1;
+      let finish () =
+        t.depth <- depth;
+        t.done_rev <-
+          { sname = name; sstart = start -. t.t0; sdur = t.now () -. start; sdepth = depth }
+          :: t.done_rev
+      in
+      Fun.protect ~finally:finish f
+
+  let spans t =
+    List.sort
+      (fun a b ->
+        (* start order; a parent starting with its first child sorts
+           before it (smaller depth first) *)
+        match compare a.sstart b.sstart with
+        | 0 -> compare a.sdepth b.sdepth
+        | c -> c)
+      (List.rev t.done_rev)
+
+  let render t =
+    String.concat ""
+      (List.map
+         (fun s ->
+           Printf.sprintf "  %-*s%-*s %8.3f ms\n" (2 * s.sdepth) "" (24 - (2 * s.sdepth))
+             s.sname (1000. *. s.sdur))
+         (spans t))
+
+  let to_json t =
+    Printf.sprintf "[%s]"
+      (String.concat ", "
+         (List.map
+            (fun s ->
+              Printf.sprintf
+                "{\"name\": \"%s\", \"start_ms\": %.3f, \"dur_ms\": %.3f, \"depth\": %d}"
+                s.sname (1000. *. s.sstart) (1000. *. s.sdur) s.sdepth)
+            (spans t)))
+end

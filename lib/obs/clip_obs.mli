@@ -1,0 +1,129 @@
+(** Zero-dependency observability: execution counters and trace spans.
+
+    Every execution layer — the tgd engine, the XQuery evaluator, the
+    shared physical-plan executor, the tag index and the engine's
+    session caches — reports cheap monotonic counters through an
+    ambient {e sink}. The sink is off by default: every increment is a
+    single mutable-ref load plus a branch, and the disabled path
+    allocates nothing (call {!enabled} before computing an expensive
+    increment argument such as a list length). Install a sink with
+    {!with_counters} around a run to collect its counters.
+
+    Trace spans time coarse phases (compile / plan / execute / render)
+    against an injected wall clock, so this library needs neither
+    [unix] nor any other dependency. Both facilities are ambient
+    single-slot state, matching the engine's documented
+    non-thread-safety.
+
+    Nothing here affects semantics: the same bindings flow whether or
+    not a sink is installed — which is exactly what makes the counters
+    usable as a cross-backend test oracle (e.g. an [`Indexed] run must
+    never scan more nodes than the [`Naive] oracle on the same
+    input). *)
+
+(** {1 Counters} *)
+
+module Counters : sig
+  (** One set of monotonic execution counters. All counts are
+      per-sink: install a fresh value around each measured run. *)
+  type t = {
+    mutable nodes_scanned : int;
+        (** child nodes visited (naive [Child] steps) or matches
+            enumerated (indexed steps and probe hits) *)
+    mutable child_steps : int;  (** [Child]-step evaluations, both backends *)
+    mutable index_probes : int;  (** {!Clip_xml.Index} lookups *)
+    mutable index_hits : int;  (** lookups answered by a memoised grouping *)
+    mutable hash_join_builds : int;  (** hash-join tables built *)
+    mutable hash_join_probes : int;  (** hash-join table lookups *)
+    mutable memo_hits : int;  (** compiled-plan memo hits (per-document) *)
+    mutable session_hits : int;
+        (** engine session-cache hits (compiled tgds, generated
+            queries, reused sessions) *)
+    mutable lim_ticks : int;
+        (** CLIP-LIM-004 budget ticks; equals the [?steps_out] count *)
+  }
+
+  val create : unit -> t
+  val reset : t -> unit
+  val copy : t -> t
+
+  (** Stable field order, for reports and tests. *)
+  val to_assoc : t -> (string * int) list
+
+  (** The counters that describe {e execution work} (everything except
+      the cache-warming [memo_hits]/[session_hits]) — the subset two
+      runs must agree on to be "the same physical execution". *)
+  val work_assoc : t -> (string * int) list
+
+  (** One line per non-zero counter, ["  <name> = <n>"]. *)
+  val to_string : t -> string
+
+  (** A flat JSON object with every counter. *)
+  val to_json : t -> string
+end
+
+(** [enabled ()] — is a counter sink installed? Check before computing
+    a non-constant increment (keeps the disabled path allocation- and
+    traversal-free). *)
+val enabled : unit -> bool
+
+(** The installed sink, if any. *)
+val counters : unit -> Counters.t option
+
+(** [with_counters c f] — install [c] as the ambient sink for the
+    duration of [f], restoring the previous sink afterwards (also on
+    exceptions). *)
+val with_counters : Counters.t -> (unit -> 'a) -> 'a
+
+(** {2 Increment points} (no-ops when no sink is installed) *)
+
+val scanned : int -> unit
+val child_step : unit -> unit
+val index_probe : unit -> unit
+val index_hit : unit -> unit
+val hash_join_build : unit -> unit
+val hash_join_probe : unit -> unit
+val memo_hit : unit -> unit
+val session_hit : unit -> unit
+val lim_tick : unit -> unit
+
+(** {1 Trace spans} *)
+
+module Trace : sig
+  (** A completed phase timing. [depth] is the nesting level at entry
+      (0 = outermost); spans are listed in completion order and
+      re-ordered to start order by {!render}. *)
+  type span = {
+    sname : string;
+    sstart : float;  (** clock value at entry *)
+    sdur : float;  (** seconds spent inside the span *)
+    sdepth : int;
+  }
+
+  type t
+
+  (** [create ~now ()] — a tracer reading the injected clock (pass
+      [Unix.gettimeofday]; the default [Sys.time] only measures CPU
+      seconds). *)
+  val create : ?now:(unit -> float) -> unit -> t
+
+  (** [with_tracer t f] — install [t] as the ambient tracer for the
+      duration of [f] (restores the previous tracer, also on
+      exceptions). *)
+  val with_tracer : t -> (unit -> 'a) -> 'a
+
+  (** [span name f] — run [f], timing it as a span of the ambient
+      tracer; calls [f] directly when tracing is off. Exceptions
+      propagate; the span is still recorded. *)
+  val span : string -> (unit -> 'a) -> 'a
+
+  (** Completed spans, in start order. *)
+  val spans : t -> span list
+
+  (** An indented tree, one line per span:
+      ["execute              12.345 ms"]. *)
+  val render : t -> string
+
+  (** A JSON array of [{"name", "start_ms", "dur_ms", "depth"}]. *)
+  val to_json : t -> string
+end

@@ -120,9 +120,13 @@ type ('env, 'item) t = {
       (** [builds.(i)]: probe steps whose table is built on entry to
           step [i] (once per binding of the steps [< i]) *)
   nslots : int;
+  notes : string list;
+      (** planner decisions, one line per equality condition: the
+          chosen strategy plus the cost-model inputs that justified it *)
 }
 
 let stage_gens = function Scan { gen; _ } -> [| gen |] | Probe { gens; _ } -> gens
+let est_str = function Some e -> string_of_int e | None -> "?"
 
 let describe t =
   String.concat " "
@@ -155,6 +159,44 @@ let join_pays ~outer ~seg =
   match outer, seg with
   | Some o, Some s -> o * s >= (2 * (o + s)) + 16
   | None, _ | _, None -> true
+
+(* Saturating product of a segment's per-generator estimates; [None]
+   when any member is unknown — mirrors the planner's [est_range]. *)
+let est_product gens =
+  Array.fold_left
+    (fun acc g ->
+      match acc, g.est with
+      | Some a, Some e -> Some (min est_cap (a * min (max e 0) est_cap))
+      | None, _ | _, None -> None)
+    (Some 1) gens
+
+let explain t =
+  let b = Buffer.create 256 in
+  if t.pre <> [] then
+    Printf.bprintf b "  pre: %d condition(s) decided by the outer environment\n"
+      (List.length t.pre);
+  let filters label = function
+    | 0 -> ""
+    | 1 -> Printf.sprintf " [1 %s]" label
+    | k -> Printf.sprintf " [%d %ss]" k label
+  in
+  Array.iteri
+    (fun i stage ->
+      match stage with
+      | Scan { gen; preds } ->
+        Printf.bprintf b "  stage %d: scan %s (est %s)%s\n" i gen.var
+          (est_str gen.est)
+          (filters "filter" (List.length preds))
+      | Probe { gens; build_at; preds; _ } ->
+        Printf.bprintf b "  stage %d: hash probe %s (built at step %d, est %s)%s\n"
+          i
+          (String.concat "." (Array.to_list (Array.map (fun g -> g.var) gens)))
+          build_at
+          (est_str (est_product gens))
+          (filters "residual filter" (List.length preds)))
+    t.stages;
+  List.iter (fun line -> Printf.bprintf b "  note: %s\n" line) t.notes;
+  Buffer.contents b
 
 (* --- Planning ---------------------------------------------------------- *)
 
@@ -201,6 +243,10 @@ let plan ?(policy = `Force) ~bound ~gens ~conds () =
   let claimed = Array.make (max 1 n) false in
   let seg_start = Array.make (max 1 n) None in
   let nslots = ref 0 in
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  if shadowed && n > 0 then
+    note "variable shadowing: every condition is checked at the innermost position";
   List.iter
     (fun cond ->
       match cond with
@@ -208,6 +254,12 @@ let plan ?(policy = `Force) ~bound ~gens ~conds () =
       | Eq { left; right; orig } ->
         let j = if shadowed then n else level orig.pvars in
         attach j orig;
+        let vars = String.concat "," (List.sort_uniq compare orig.pvars) in
+        if (not shadowed) && j = 0 then
+          note "eq(%s): decided by the outer environment, checked before any enumeration"
+            vars;
+        if (not shadowed) && j >= 1 && j <= n && claimed.(j - 1) then
+          note "eq(%s): generator already covered by a join, kept as filter" vars;
         if (not shadowed) && j >= 1 && j <= n && not claimed.(j - 1) then begin
           let s = j - 1 in
           let ll = level left.kvars and lr = level right.kvars in
@@ -219,7 +271,8 @@ let plan ?(policy = `Force) ~bound ~gens ~conds () =
             else None
           in
           match sides with
-          | None -> ()
+          | None ->
+            note "eq(%s): no build/probe orientation, kept as pushed-down filter" vars
           | Some (build, probe) ->
             (* Try segments [g..s], shortest first. [ext g] is what
                the segment reads from outside itself — the generators'
@@ -265,10 +318,16 @@ let plan ?(policy = `Force) ~bound ~gens ~conds () =
                 in
                 go lo 1
               in
+              let cost_rejected = ref None in
               let cost_ok g =
                 match policy with
                 | `Force -> true
-                | `Cost -> join_pays ~outer:(est_range 0 (g - 1)) ~seg:(est_range g s)
+                | `Cost ->
+                  let outer = est_range 0 (g - 1) and seg = est_range g s in
+                  join_pays ~outer ~seg
+                  ||
+                  (if !cost_rejected = None then cost_rejected := Some (outer, seg);
+                   false)
               in
               let rec pick g =
                 if g < 1 || g < lp || claimed.(g) then None
@@ -276,8 +335,26 @@ let plan ?(policy = `Force) ~bound ~gens ~conds () =
                 else pick (g - 1)
               in
               match pick s with
-              | None -> ()
+              | None ->
+                (match !cost_rejected with
+                 | Some (outer, seg) ->
+                   note
+                     "eq(%s): hash join rejected by cost model (outer~%s, seg~%s: join does not pay)"
+                     vars (est_str outer) (est_str seg)
+                 | None ->
+                   note "eq(%s): no independent feeder segment, kept as pushed-down filter"
+                     vars)
               | Some g ->
+                let seg_vars =
+                  String.concat "."
+                    (List.init (s - g + 1) (fun t -> gens.(g + t).var))
+                in
+                (match policy with
+                 | `Force -> note "eq(%s): hash join over %s (forced)" vars seg_vars
+                 | `Cost ->
+                   let outer = est_range 0 (g - 1) and seg = est_range g s in
+                   note "eq(%s): hash join over %s (outer~%s, seg~%s: join pays)" vars
+                     seg_vars (est_str outer) (est_str seg));
                 let slot = !nslots in
                 incr nslots;
                 for t = g to s do
@@ -285,6 +362,9 @@ let plan ?(policy = `Force) ~bound ~gens ~conds () =
                 done;
                 seg_start.(g) <- Some (s, slot, level (ext g), build, probe)
             end
+            else
+              note "eq(%s): probe side reads no chain generator, kept as pushed-down filter"
+                vars
         end)
     conds;
   (* Lay out the steps: each segment collapses to one probe step whose
@@ -346,7 +426,7 @@ let plan ?(policy = `Force) ~bound ~gens ~conds () =
       | Scan _ -> ())
     stages;
   Array.iteri (fun idx l -> builds.(idx) <- List.rev l) builds;
-  { pre = List.rev preds_at.(0); stages; builds; nslots = !nslots }
+  { pre = List.rev preds_at.(0); stages; builds; nslots = !nslots; notes = List.rev !notes }
 
 (* [revisit_prone t] — can executing [t] enumerate the same parent
    element more than once? This is what decides whether the lazy tag
@@ -388,6 +468,7 @@ let execute (t : ('env, 'item) t) ~(tick : unit -> unit) ~(env : 'env)
     match t.stages.(k) with
     | Scan _ -> ()
     | Probe { gens; slot; build_keys; _ } ->
+      Clip_obs.hash_join_build ();
       (* Enumerate the whole segment once, collecting each bound tuple
          with its keys (reversed enumeration order). *)
       let m = Array.length gens in
@@ -429,6 +510,7 @@ let execute (t : ('env, 'item) t) ~(tick : unit -> unit) ~(env : 'env)
             if List.for_all (fun p -> p.test env') preds then go (i + 1) env')
           (gen.eval env)
       | Probe { gens; slot; probe_keys; preds; _ } ->
+        Clip_obs.hash_join_probe ();
         let tbl = match tables.(slot) with Some tbl -> tbl | None -> assert false in
         let keys = List.sort_uniq compare (probe_keys env) in
         let tuples =

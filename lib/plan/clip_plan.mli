@@ -123,6 +123,11 @@ type ('env, 'item) t = {
   stages : ('env, 'item) stage array;
   builds : int list array;
   nslots : int;
+  notes : string list;
+      (** planner decisions, one line per equality condition: the
+          chosen strategy (hash join / pushed-down filter) plus the
+          cost-model inputs that justified it (estimated outer/inner
+          cardinalities, {!join_pays} verdict, structural guards) *)
 }
 
 val stage_gens : ('env, 'item) stage -> ('env, 'item) gen array
@@ -130,6 +135,13 @@ val stage_gens : ('env, 'item) stage -> ('env, 'item) gen array
 (** One-line plan rendering, e.g. ["scan(p) probe(d.e@0)"] — for tests
     and debugging. *)
 val describe : ('env, 'item) t -> string
+
+(** Multi-line EXPLAIN rendering: one line per stage (strategy,
+    cardinality estimate, pushed-down filter count) followed by the
+    planner's decision {!field-notes}. Purely static — no timings, no
+    execution — so the output is stable for golden tests. Every line
+    is indented two spaces and newline-terminated. *)
+val explain : ('env, 'item) t -> string
 
 (** {1 Cost model} *)
 

@@ -42,6 +42,7 @@ let make_ctx source =
 
 let tick ctx =
   incr ctx.steps;
+  Clip_obs.lim_tick ();
   if !(ctx.steps) > ctx.max_steps then
     Clip_diag.fail
       (Clip_diag.error ~code:Clip_diag.Codes.limit_eval_steps
@@ -112,8 +113,14 @@ let step_items ctx (item : Value.item) (step : Path.step) : Value.item list =
     (* Intern once per step evaluation; per-child comparisons are then
        int compares instead of string equality. *)
     let sym = Xml.Symbol.intern tag in
+    Clip_obs.child_step ();
     (match ctx.index with
      | None ->
+       (* Naive scan visits every child; the indexed path below only
+          touches the matches. The [nodes_scanned] counter records
+          exactly that asymmetry, so indexed runs can never report
+          more scanned nodes than the naive oracle. *)
+       if Clip_obs.enabled () then Clip_obs.scanned (List.length e.children);
        List.filter_map
          (function
            | Xml.Node.Element c when Xml.Symbol.equal c.sym sym ->
@@ -121,7 +128,9 @@ let step_items ctx (item : Value.item) (step : Path.step) : Value.item list =
            | Xml.Node.Element _ | Xml.Node.Text _ -> None)
          e.children
      | Some idx ->
-       List.map (fun n -> Value.Node n) (Xml.Index.children_by_tag idx e sym))
+       let matches = Xml.Index.children_by_tag idx e sym in
+       if Clip_obs.enabled () then Clip_obs.scanned (List.length matches);
+       List.map (fun n -> Value.Node n) matches)
   | Value.Node (Xml.Node.Element e), Path.Attr name ->
     (match Xml.Node.attr e name with Some a -> [ Value.Atomic a ] | None -> [])
   | Value.Node (Xml.Node.Element e), Path.Value ->
@@ -670,12 +679,16 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
     | Some s when s.sctx == ctx ->
       let cost = match policy with `Cost -> true | `Force -> false in
       (match s.slast with
-       | Some (c, m', p) when c = cost && m' == m -> p
+       | Some (c, m', p) when c = cost && m' == m ->
+         Clip_obs.memo_hit ();
+         p
        | _ ->
          let p =
            let key = (cost, m) in
            match Hashtbl.find_opt s.splans key with
-           | Some p -> p
+           | Some p ->
+             Clip_obs.memo_hit ();
+             p
            | None ->
              let p = build () in
              Hashtbl.add s.splans key p;
@@ -739,6 +752,101 @@ let run ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source ~target_r
   with
   | Ok n -> n
   | Error ds -> reraise_legacy ds
+
+(* --- EXPLAIN ----------------------------------------------------------- *)
+
+(* Static plan rendering: everything here mirrors the dispatch in
+   [execute] — same thresholds, same policies, same planner — but only
+   plans, never evaluates, so the output is deterministic and free of
+   timings (golden-testable). *)
+let explain ?(plan = `Auto) ?session ~source (m : Tgd.t) : string =
+  let ctx =
+    match session with
+    | Some s when s.sctx.source == source -> s.sctx
+    | _ -> make_ctx source
+  in
+  let b = Buffer.create 512 in
+  let nodes = Xml.Stats.node_count (Lazy.force ctx.stats) in
+  Printf.bprintf b "backend: tgd\nplan: %s\ndocument: %d nodes\n"
+    (match plan with `Naive -> "naive" | `Indexed -> "indexed" | `Auto -> "auto")
+    nodes;
+  let chain (m : Tgd.t) =
+    match m.foralls with
+    | [] -> "(no source generators)"
+    | gens ->
+      "for "
+      ^ String.concat ", "
+          (List.map
+             (fun (g : Tgd.source_gen) ->
+               Printf.sprintf "%s in %s" g.svar (Term.expr_to_string g.sexpr))
+             gens)
+  in
+  let conds (m : Tgd.t) =
+    match m.cond with
+    | [] -> ""
+    | cs ->
+      " where "
+      ^ String.concat " and "
+          (List.map
+             (fun (c : Tgd.comparison) ->
+               Printf.sprintf "%s %s %s"
+                 (Term.scalar_to_string c.left)
+                 (Tgd.cmp_op_to_string c.op)
+                 (Term.scalar_to_string c.right))
+             cs)
+  in
+  let rule_header path m =
+    Printf.bprintf b "rule %s: %s%s\n"
+      (if String.equal path "" then "/" else path)
+      (chain m) (conds m)
+  in
+  let rec naive_rules path (m : Tgd.t) =
+    rule_header path m;
+    if m.foralls <> [] then
+      Buffer.add_string b
+        "  every generator: nested-loop scan; conditions checked innermost\n";
+    List.iteri
+      (fun i c -> naive_rules (Printf.sprintf "%s/%d" path i) c)
+      m.children
+  in
+  let rec planned_rules path (p : planned) =
+    rule_header path p.pm;
+    if p.pm.foralls <> [] then
+      Printf.bprintf b "  plan: %s\n" (Clip_plan.describe p.pplan);
+    Buffer.add_string b (Clip_plan.explain p.pplan);
+    List.iteri
+      (fun i c -> planned_rules (Printf.sprintf "%s/%d" path i) c)
+      p.pchildren
+  in
+  (match plan with
+   | `Naive ->
+     Buffer.add_string b "strategy: naive interpreter (forced)\n";
+     naive_rules "" m
+   | `Indexed ->
+     Buffer.add_string b
+       "strategy: physical plans, forced hash joins, tag index on\n";
+     planned_rules "" (plan_mapping ctx `Force [] [] m)
+   | `Auto ->
+     if nodes < naive_threshold then begin
+       Printf.bprintf b
+         "strategy: direct interpreter (%d nodes, below the %d-node planning threshold)\n"
+         nodes naive_threshold;
+       naive_rules "" m
+     end
+     else begin
+       let p = plan_mapping ctx `Cost [] [] m in
+       let revisits = tree_revisits ~outer_last:None p in
+       let use_index = revisits && nodes >= index_threshold in
+       Printf.bprintf b
+         "strategy: physical plans, cost-based joins; tag index %s\n"
+         (if use_index then "on (revisit-prone plan)"
+          else if revisits then
+            Printf.sprintf "off (document below the %d-node index threshold)"
+              index_threshold
+          else "off (straight-line plan, no element revisits)");
+       planned_rules "" p
+     end);
+  Buffer.contents b
 
 type trace_entry = {
   target_path : int list;

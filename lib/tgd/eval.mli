@@ -93,6 +93,22 @@ val run :
   Tgd.t ->
   Clip_xml.Node.t
 
+(** [explain ~source m] — a static, deterministic EXPLAIN of how
+    [?plan] (default [`Auto]) would execute [m] over [source]: a
+    header stating the resolved strategy (for [`Auto]: direct
+    interpreter below the planning threshold, else cost-based plans
+    with the tag-index decision), then one block per mapping rule with
+    its physical stages, cardinality estimates and the planner's
+    per-equality decision notes (see {!Clip_plan.explain}). Nothing is
+    evaluated and no timing appears in the output, so it is stable for
+    golden tests. *)
+val explain :
+  ?plan:Clip_plan.mode ->
+  ?session:Session.t ->
+  source:Clip_xml.Node.t ->
+  Tgd.t ->
+  string
+
 (** Instance-level data lineage: for each created target element,
     the source elements that were bound when it was created (completion
     and group elements accumulate the bindings of every contributing

@@ -57,8 +57,10 @@ let rec assq_opt sym = function
   | (s, nodes) :: rest -> if Symbol.equal s sym then Some nodes else assq_opt sym rest
 
 let children_by_tag t e sym =
+  Clip_obs.index_probe ();
   match Tbl.find_opt t.children e with
   | Some groups ->
+    Clip_obs.index_hit ();
     (match assq_opt sym groups with Some nodes -> nodes | None -> [])
   | None when shorter_than e.Node.children small -> scan_children e sym
   | None ->
@@ -80,8 +82,11 @@ let children_by_tag t e sym =
     (match assq_opt sym groups with Some nodes -> nodes | None -> [])
 
 let descendants_by_tag t e sym =
+  Clip_obs.index_probe ();
   match Hashtbl.find_opt t.descendants (e.Node.id, sym) with
-  | Some nodes -> nodes
+  | Some nodes ->
+    Clip_obs.index_hit ();
+    nodes
   | None ->
     let acc = ref [] in
     let rec walk = function

@@ -39,6 +39,7 @@ type ctx = {
 
 let tick ctx =
   incr ctx.steps;
+  Clip_obs.lim_tick ();
   if !(ctx.steps) > ctx.max_steps then
     Clip_diag.fail
       (Clip_diag.error ~code:Clip_diag.Codes.limit_eval_steps
@@ -58,8 +59,13 @@ let step_nodes ctx (item : Value.item) (step : Ast.step) : Value.t =
     (* Intern once per step evaluation; per-child comparisons are then
        int compares instead of string equality. *)
     let sym = Xml.Symbol.intern tag in
+    Clip_obs.child_step ();
     (match ctx.index with
      | None ->
+       (* Naive scan visits every child; the indexed path below only
+          touches the matches — [nodes_scanned] records exactly that
+          asymmetry (indexed can never exceed naive). *)
+       if Clip_obs.enabled () then Clip_obs.scanned (List.length e.children);
        List.filter_map
          (function
            | Xml.Node.Element c when Xml.Symbol.equal c.sym sym ->
@@ -67,7 +73,9 @@ let step_nodes ctx (item : Value.item) (step : Ast.step) : Value.t =
            | Xml.Node.Element _ | Xml.Node.Text _ -> None)
          e.children
      | Some idx ->
-       List.map (fun n -> Value.Node n) (Xml.Index.children_by_tag idx e sym))
+       let matches = Xml.Index.children_by_tag idx e sym in
+       if Clip_obs.enabled () then Clip_obs.scanned (List.length matches);
+       List.map (fun n -> Value.Node n) matches)
   | Value.Node (Xml.Node.Element e), Ast.Attr_step name ->
     (match Xml.Node.attr e name with
      | Some a -> [ Value.Atomic a ]
@@ -270,6 +278,76 @@ and eval_flwor_naive ctx env clauses where return =
    their earliest position ([ebool (And (a, b)) = ebool a && ebool b],
    so the split is exact), and equality conjuncts become hash joins.
    Bindings stream into the [return] in the naive enumeration order. *)
+(* Compile one FLWOR block to a physical plan: the clause chain
+   becomes a generator chain ([for] enumerates the items of its
+   sequence, [let] a single whole-sequence item), the [where] splits
+   into conjuncts pushed to their earliest position and equality
+   conjuncts become hash-join candidates. Purely static — the
+   closures capture [ctx] but nothing is evaluated here — which is
+   what lets [explain] below reuse it without running the query. *)
+and flwor_plan ctx ~policy ~bound clauses where =
+  let cost = match policy with `Cost -> true | `Force -> false in
+  let gens_rev, _ =
+    List.fold_left
+      (fun (acc, vt) (clause : Ast.clause) ->
+        match clause with
+        | Ast.For (x, e) ->
+          let est, tag =
+            if cost then est_flwor_expr ctx vt e else (None, None)
+          in
+          let gen =
+            {
+              Clip_plan.var = x;
+              deps = Ast.free_vars e;
+              est;
+              eval = (fun env -> List.map (fun it -> [ it ]) (eval ctx env e));
+              bind = (fun env v -> Env.add x v env);
+            }
+          in
+          (* The for-variable itself ranges over single items. *)
+          (gen :: acc, (x, (Some 1, tag)) :: vt)
+        | Ast.Let (x, e) ->
+          let seq_est =
+            if cost then est_flwor_expr ctx vt e else (None, None)
+          in
+          let gen =
+            {
+              Clip_plan.var = x;
+              deps = Ast.free_vars e;
+              est = Some 1 (* binds the whole sequence as one item *);
+              eval = (fun env -> [ eval ctx env e ]);
+              bind = (fun env v -> Env.add x v env);
+            }
+          in
+          (gen :: acc, (x, seq_est) :: vt))
+      ([], []) clauses
+  in
+  let rec conjuncts = function
+    | Ast.And (a, b) -> conjuncts a @ conjuncts b
+    | w -> [ w ]
+  in
+  let cond_of w =
+    let orig =
+      { Clip_plan.pvars = Ast.free_vars w; test = (fun env -> ebool (eval ctx env w)) }
+    in
+    match w with
+    | Ast.Cmp (Ast.Eq, l, r) ->
+      let keyed e =
+        {
+          Clip_plan.kvars = Ast.free_vars e;
+          keys =
+            (fun env ->
+              List.map Clip_plan.Key.of_atom (Value.atomize (eval ctx env e)));
+        }
+      in
+      Clip_plan.Eq { left = keyed l; right = keyed r; orig }
+    | _ -> Clip_plan.Other orig
+  in
+  let conds =
+    match where with None -> [] | Some w -> List.map cond_of (conjuncts w)
+  in
+  Clip_plan.plan ~policy ~bound ~gens:(List.rev gens_rev) ~conds ()
+
 and eval_flwor_planned ctx env clauses where return =
   let policy =
     match ctx.plan with `Auto -> `Cost | `Naive | `Indexed -> `Force
@@ -287,68 +365,11 @@ and eval_flwor_planned ctx env clauses where return =
         else find rest
     in
     match find !(ctx.plans) with
-    | Some p -> p
+    | Some p ->
+      Clip_obs.memo_hit ();
+      p
     | None ->
-      let gens_rev, _ =
-        List.fold_left
-          (fun (acc, vt) (clause : Ast.clause) ->
-            match clause with
-            | Ast.For (x, e) ->
-              let est, tag =
-                if cost then est_flwor_expr ctx vt e else (None, None)
-              in
-              let gen =
-                {
-                  Clip_plan.var = x;
-                  deps = Ast.free_vars e;
-                  est;
-                  eval = (fun env -> List.map (fun it -> [ it ]) (eval ctx env e));
-                  bind = (fun env v -> Env.add x v env);
-                }
-              in
-              (* The for-variable itself ranges over single items. *)
-              (gen :: acc, (x, (Some 1, tag)) :: vt)
-            | Ast.Let (x, e) ->
-              let seq_est =
-                if cost then est_flwor_expr ctx vt e else (None, None)
-              in
-              let gen =
-                {
-                  Clip_plan.var = x;
-                  deps = Ast.free_vars e;
-                  est = Some 1 (* binds the whole sequence as one item *);
-                  eval = (fun env -> [ eval ctx env e ]);
-                  bind = (fun env v -> Env.add x v env);
-                }
-              in
-              (gen :: acc, (x, seq_est) :: vt))
-          ([], []) clauses
-      in
-      let rec conjuncts = function
-        | Ast.And (a, b) -> conjuncts a @ conjuncts b
-        | w -> [ w ]
-      in
-      let cond_of w =
-        let orig =
-          { Clip_plan.pvars = Ast.free_vars w; test = (fun env -> ebool (eval ctx env w)) }
-        in
-        match w with
-        | Ast.Cmp (Ast.Eq, l, r) ->
-          let keyed e =
-            {
-              Clip_plan.kvars = Ast.free_vars e;
-              keys =
-                (fun env ->
-                  List.map Clip_plan.Key.of_atom (Value.atomize (eval ctx env e)));
-            }
-          in
-          Clip_plan.Eq { left = keyed l; right = keyed r; orig }
-        | _ -> Clip_plan.Other orig
-      in
-      let conds =
-        match where with None -> [] | Some w -> List.map cond_of (conjuncts w)
-      in
-      let p = Clip_plan.plan ~policy ~bound ~gens:(List.rev gens_rev) ~conds () in
+      let p = flwor_plan ctx ~policy ~bound clauses where in
       ctx.plans := (clauses, bound, cost, p) :: !(ctx.plans);
       p
   in
@@ -471,6 +492,97 @@ module Session = struct
   let create input = { sctx = make_ctx input }
   let input s = s.sctx.input
 end
+
+(* Static plan rendering for every FLWOR block of a query, numbered in
+   preorder. Mirrors the dispatch of [with_ctx]/[eval_flwor] — same
+   thresholds, same policies, same planner — but never evaluates, so
+   the output is deterministic (golden-testable). *)
+let explain ?(plan = `Auto) ?session ~input (expr : Ast.expr) : string =
+  let ctx =
+    match session with
+    | Some s when s.sctx.input == input -> s.sctx
+    | _ -> make_ctx input
+  in
+  let b = Buffer.create 512 in
+  let nodes = Xml.Stats.node_count (Lazy.force ctx.stats) in
+  Printf.bprintf b "backend: xquery\nplan: %s\ndocument: %d nodes\n"
+    (match plan with `Naive -> "naive" | `Indexed -> "indexed" | `Auto -> "auto")
+    nodes;
+  let resolved =
+    match plan with
+    | `Auto when nodes < naive_threshold -> `Naive
+    | p -> p
+  in
+  (match plan, resolved with
+   | `Auto, `Naive ->
+     Printf.bprintf b
+       "strategy: direct interpreter (%d nodes, below the %d-node planning threshold)\n"
+       nodes naive_threshold
+   | _, `Naive ->
+     Buffer.add_string b "strategy: naive interpreter (forced)\n"
+   | _, `Indexed ->
+     Buffer.add_string b
+       "strategy: physical plans, forced hash joins, tag index on\n"
+   | _, `Auto ->
+     Printf.bprintf b
+       "strategy: physical plans, cost-based joins; tag index adaptive (on at the first revisit-prone plan over >= %d nodes)\n"
+       index_threshold);
+  (match resolved with
+   | `Naive ->
+     Buffer.add_string b
+       "every FLWOR block: clause-by-clause recursion, conditions checked innermost\n"
+   | (`Indexed | `Auto) as r ->
+     let policy = match r with `Auto -> `Cost | `Indexed -> `Force in
+     let counter = ref 0 in
+     let rec walk bound (e : Ast.expr) =
+       match e with
+       | Ast.Var _ | Ast.Doc _ | Ast.Literal _ -> ()
+       | Ast.Path (base, _) -> walk bound base
+       | Ast.Seq es -> List.iter (walk bound) es
+       | Ast.Elem { attrs; content; _ } ->
+         List.iter (fun (_, e) -> walk bound e) attrs;
+         List.iter (walk bound) content
+       | Ast.If (c, t, e) ->
+         walk bound c;
+         walk bound t;
+         walk bound e
+       | Ast.Cmp (_, l, r) | Ast.And (l, r) | Ast.Or (l, r) | Ast.Arith (_, l, r) ->
+         walk bound l;
+         walk bound r
+       | Ast.Call (_, args) -> List.iter (walk bound) args
+       | Ast.Flwor { clauses; where; return } ->
+         incr counter;
+         let header =
+           String.concat ", "
+             (List.map
+                (function
+                  | Ast.For (x, e) ->
+                    Printf.sprintf "for $%s in %s" x (Pretty.expr_to_string e)
+                  | Ast.Let (x, e) ->
+                    Printf.sprintf "let $%s := %s" x (Pretty.expr_to_string e))
+                clauses)
+         in
+         Printf.bprintf b "flwor #%d: %s%s\n" !counter header
+           (match where with
+            | None -> ""
+            | Some w -> " where " ^ Pretty.expr_to_string w);
+         let p = flwor_plan ctx ~policy ~bound clauses where in
+         Printf.bprintf b "  plan: %s\n" (Clip_plan.describe p);
+         Buffer.add_string b (Clip_plan.explain p);
+         let bound' =
+           List.fold_left
+             (fun bd clause ->
+               match (clause : Ast.clause) with
+               | Ast.For (x, e) | Ast.Let (x, e) ->
+                 walk bd e;
+                 x :: bd)
+             bound clauses
+         in
+         (match where with Some w -> walk bound' w | None -> ());
+         walk bound' return
+     in
+     walk [] expr);
+  Buffer.contents b
 
 let with_ctx ?session plan limits steps_out input f =
   let ctx =

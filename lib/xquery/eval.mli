@@ -37,6 +37,21 @@ module Session : sig
   val input : t -> Clip_xml.Node.t
 end
 
+(** [explain ~input expr] — a static, deterministic EXPLAIN of how
+    [?plan] (default [`Auto]) would evaluate [expr] over [input]: a
+    header stating the resolved strategy (for [`Auto]: direct
+    interpreter below the planning threshold), then one block per
+    FLWOR (preorder-numbered) with its physical stages, cardinality
+    estimates and the planner's per-equality decision notes (see
+    {!Clip_plan.explain}). Nothing is evaluated and no timing appears
+    in the output, so it is stable for golden tests. *)
+val explain :
+  ?plan:Clip_plan.mode ->
+  ?session:Session.t ->
+  input:Clip_xml.Node.t ->
+  Ast.expr ->
+  string
+
 (** [run_result ~input expr] evaluates [expr]; [Ast.Doc tag] resolves
     to [input] when tags match (the generated queries reference the
     source document by its root tag, e.g. [source/dept]). Dynamic

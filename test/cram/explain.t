@@ -1,0 +1,120 @@
+EXPLAIN is static: it prints the resolved strategy and the per-rule
+physical plan without executing anything, so its output is pinned here
+verbatim. Write the paper's Fig. 7-style join mapping and a source
+instance:
+
+  $ cat > join.clip <<'EOF'
+  > schema source {
+  >   dept [1..*] {
+  >     dname: string
+  >     Proj [0..*] { @pid: int  pname: string }
+  >     regEmp [0..*] { @pid: int  ename: string  sal: int }
+  >   }
+  >   ref dept.regEmp.@pid -> dept.Proj.@pid
+  > }
+  > schema target {
+  >   department [1..*] {
+  >     project [0..*] { @name: string }
+  >     employee [0..*] { @name: string }
+  >   }
+  > }
+  > mapping {
+  >   node d: source.dept as $d -> target.department {
+  >     node e: source.dept.Proj as $p, source.dept.regEmp as $r -> target.department.employee
+  >       where $p.@pid = $r.@pid
+  >   }
+  >   value source.dept.regEmp.ename.value -> target.department.employee.@name
+  > }
+  > EOF
+
+  $ cat > source.xml <<'EOF'
+  > <source>
+  >   <dept><dname>ICT</dname>
+  >     <Proj pid="1"><pname>Appliances</pname></Proj>
+  >     <regEmp pid="1"><ename>John Smith</ename><sal>10000</sal></regEmp>
+  >     <regEmp pid="1"><ename>Andrew Clarence</ename><sal>12000</sal></regEmp>
+  >   </dept>
+  > </source>
+  > EOF
+
+The default [auto] mode sees a paper-sized document and claims the
+direct interpreter:
+
+  $ clip explain join.clip -i source.xml
+  backend: tgd
+  plan: auto
+  document: 20 nodes
+  strategy: direct interpreter (20 nodes, below the 128-node planning threshold)
+  rule /: for d in source.dept
+    every generator: nested-loop scan; conditions checked innermost
+  rule /0: for p in d.Proj, r in d.regEmp where p.@pid = r.@pid
+    every generator: nested-loop scan; conditions checked innermost
+
+Forcing the physical plans surfaces the hash join with the planner's
+note on why it was chosen:
+
+  $ clip explain join.clip -i source.xml --plan indexed
+  backend: tgd
+  plan: indexed
+  document: 20 nodes
+  strategy: physical plans, forced hash joins, tag index on
+  rule /: for d in source.dept
+    plan: scan(d)
+    stage 0: scan d (est ?)
+  rule /0: for p in d.Proj, r in d.regEmp where p.@pid = r.@pid
+    plan: scan(p) probe(r@0)
+    stage 0: scan p (est ?)
+    stage 1: hash probe r (built at step 0, est ?) [1 residual filter]
+    note: eq(p,r): hash join over r (forced)
+
+The naive oracle never plans:
+
+  $ clip explain join.clip -i source.xml --plan naive
+  backend: tgd
+  plan: naive
+  document: 20 nodes
+  strategy: naive interpreter (forced)
+  rule /: for d in source.dept
+    every generator: nested-loop scan; conditions checked innermost
+  rule /0: for p in d.Proj, r in d.regEmp where p.@pid = r.@pid
+    every generator: nested-loop scan; conditions checked innermost
+
+The generated-XQuery backend explains its FLWOR blocks with the same
+plan layer underneath:
+
+  $ clip explain join.clip -i source.xml --backend xquery --plan indexed
+  backend: xquery
+  plan: indexed
+  document: 20 nodes
+  strategy: physical plans, forced hash joins, tag index on
+  flwor #1: for $d in source/dept
+    plan: scan(d)
+    stage 0: scan d (est ?)
+  flwor #2: for $p in $d/Proj, for $r in $d/regEmp where $p/@pid = $r/@pid
+    plan: scan(p) probe(r@0)
+    stage 0: scan p (est ?)
+    stage 1: hash probe r (built at step 0, est ?) [1 residual filter]
+    note: eq(p,r): hash join over r (forced)
+
+[run --trace] keeps stdout clean (instance plus lineage only); phase
+timings and counters go to stderr. The counters are deterministic,
+the timings are not, so only the counter block is pinned:
+
+  $ clip run join.clip -i source.xml --trace 2>/dev/null
+  <target>
+    <department>
+      <employee name="John Smith"/>
+      <employee name="Andrew Clarence"/>
+    </department>
+  </target>
+  
+  /0 <- <dept>
+  /0/0 <- <dept>, <Proj>, <regEmp>
+  /0/1 <- <dept>, <Proj>, <regEmp>
+
+
+  $ clip run join.clip -i source.xml --trace 2>&1 >/dev/null | sed -n '/counters:/,$p'
+  counters:
+    nodes_scanned    = 13
+    child_steps      = 5
+    lim_ticks        = 29

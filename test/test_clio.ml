@@ -310,6 +310,68 @@ let wellformedness_tests =
           S.Table1.all);
   ]
 
+(* --- End to end: generated mappings through the whole pipeline ------------------ *)
+
+(* Random subsets of each Table I scenario's value mappings, pushed
+   through the entire toolchain: Sec. V-B generation, the Clip
+   rendering, Sec. III validity, Sec. IV compilation and
+   well-formedness, then execution on both backends under a counter
+   sink. Baseline forests with multi-element mappings cannot render as
+   Clip (to_clip refuses); those subsets are skipped, not failed. *)
+let end_to_end_property =
+  QCheck.Test.make ~count:60
+    ~name:"generated mappings: valid, well-formed, backend-identical, sane counters"
+    QCheck.(pair (int_range 0 1000) (int_range 1 1000))
+    (fun (pick, mask) ->
+      let sc = List.nth S.Table1.all (pick mod List.length S.Table1.all) in
+      let values =
+        List.filteri
+          (fun i _ -> (mask lsr (i mod 10)) land 1 = 1 || mask mod 7 = i mod 7)
+          sc.S.Table1.mapping.Clip_core.Mapping.values
+      in
+      QCheck.assume (values <> []);
+      let m =
+        Clip_core.Mapping.make ~source:sc.S.Table1.mapping.source
+          ~target:sc.S.Table1.mapping.target values
+      in
+      let forest = Generate.forest ~extension:true m in
+      match Generate.to_clip m forest with
+      | exception Failure _ -> QCheck.assume_fail ()
+      | clip ->
+        if not (Clip_core.Validity.is_valid clip) then
+          QCheck.Test.fail_reportf "%s: generated mapping is invalid" sc.label;
+        let tgd = Clip_core.Compile.to_tgd clip in
+        if
+          Clip_tgd.Wellformed.check ~source_root:m.source.root.name
+            ~target_root:m.target.root.name tgd
+          <> []
+        then QCheck.Test.fail_reportf "%s: compiled tgd is ill-formed" sc.label;
+        let counted backend =
+          let c = Clip_obs.Counters.create () in
+          let out =
+            Clip_obs.with_counters c (fun () ->
+                Clip_core.Engine.run ~backend clip sc.S.Table1.instance)
+          in
+          (out, c)
+        in
+        let out_t, ct = counted `Tgd in
+        let out_x, cx = counted `Xquery in
+        if not (Node.equal_unordered out_t out_x) then
+          QCheck.Test.fail_reportf "%s: backends disagree" sc.label;
+        List.iter
+          (fun (bname, (c : Clip_obs.Counters.t)) ->
+            if c.lim_ticks <= 0 then
+              QCheck.Test.fail_reportf "%s/%s: no budget ticks recorded"
+                sc.label bname;
+            if c.child_steps <= 0 then
+              QCheck.Test.fail_reportf "%s/%s: no child steps recorded"
+                sc.label bname;
+            if c.index_hits > c.index_probes then
+              QCheck.Test.fail_reportf "%s/%s: index hits %d > probes %d"
+                sc.label bname c.index_hits c.index_probes)
+          [ ("tgd", ct); ("xquery", cx) ];
+        true)
+
 (* --- Table I ----------------------------------------------------------------------------- *)
 
 let table1_tests =
@@ -386,4 +448,5 @@ let () =
       ("wellformedness", wellformedness_tests);
       ("table1", table1_tests);
       ("enumeration", enumeration_detail_tests);
+      ("end-to-end", [ QCheck_alcotest.to_alcotest end_to_end_property ]);
     ]

@@ -440,6 +440,106 @@ let auto_steps_tests =
           S.Figures.all);
   ]
 
+(* --- Counters: the observability layer as a metamorphic oracle ---------- *)
+
+module C = Clip_obs.Counters
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Counters of one run on a warm session: the warm-up run outside the
+   sink pays compile/plan once, so the measured run's work counters
+   describe execution alone and are deterministic. *)
+let counted_run (sc : S.Figures.t) ~backend ~plan doc =
+  let session = Engine.Session.create doc in
+  let run () =
+    Engine.Session.run ~backend
+      ~minimum_cardinality:sc.S.Figures.minimum_cardinality ~plan session
+      sc.S.Figures.mapping
+  in
+  ignore (run ());
+  let c = C.create () in
+  let out = Clip_obs.with_counters c run in
+  (out, c)
+
+let counter_invariants (sc : S.Figures.t) ~backend doc =
+  let _, cn = counted_run sc ~backend ~plan:`Naive doc in
+  let _, ci = counted_run sc ~backend ~plan:`Indexed doc in
+  let _, ca = counted_run sc ~backend ~plan:`Auto doc in
+  checkb
+    (Printf.sprintf "indexed scans %d <= naive scans %d" ci.C.nodes_scanned
+       cn.C.nodes_scanned)
+    true
+    (ci.C.nodes_scanned <= cn.C.nodes_scanned);
+  checki "naive never probes the index" 0 cn.C.index_probes;
+  checki "naive never hits the index" 0 cn.C.index_hits;
+  List.iter
+    (fun (mode, (c : C.t)) ->
+      checkb
+        (Printf.sprintf "%s: hits %d <= probes %d" mode c.C.index_hits
+           c.C.index_probes)
+        true
+        (c.C.index_hits <= c.C.index_probes))
+    [ ("naive", cn); ("indexed", ci); ("auto", ca) ];
+  (* The EXPLAIN claim for the same arguments must match the measured
+     counters: a claimed direct interpreter does exactly the naive
+     oracle's work, and a claimed plan without the tag index never
+     probes it. *)
+  let txt = Engine.explain ~backend ~plan:`Auto sc.S.Figures.mapping doc in
+  if contains txt "direct interpreter" then
+    checkb "auto claims direct: work counters equal naive's" true
+      (C.work_assoc ca = C.work_assoc cn)
+  else begin
+    checkb "auto (planned) scans no more than naive" true
+      (ca.C.nodes_scanned <= cn.C.nodes_scanned);
+    if contains txt "tag index off" then
+      checki "tag index off: no probes" 0 ca.C.index_probes
+  end
+
+let counter_tests =
+  let backends (sc : S.Figures.t) =
+    if sc.S.Figures.minimum_cardinality then [ `Tgd; `Xquery ] else [ `Tgd ]
+  in
+  List.concat_map
+    (fun (sc : S.Figures.t) ->
+      List.map
+        (fun backend ->
+          let bname = match backend with `Tgd -> "tgd" | _ -> "xquery" in
+          Alcotest.test_case
+            (Printf.sprintf "%s/%s: counter invariants" sc.S.Figures.name bname)
+            `Quick
+            (fun () -> counter_invariants sc ~backend S.Deptdb.instance))
+        (backends sc))
+    S.Figures.all
+  @ [
+      Alcotest.test_case "scaled join: auto leaves the direct interpreter"
+        `Quick
+        (fun () ->
+          (* above the planning threshold the claim flips, and the
+             invariants must keep holding on the planner path *)
+          let doc = S.Deptdb.synthetic_instance ~depts:8 ~projs:5 ~emps:10 in
+          let txt =
+            Engine.explain ~backend:`Tgd ~plan:`Auto
+              S.Figures.fig6.S.Figures.mapping doc
+          in
+          checkb "no direct-interpreter claim" false
+            (contains txt "direct interpreter");
+          List.iter
+            (fun backend -> counter_invariants S.Figures.fig6 ~backend doc)
+            [ `Tgd; `Xquery ]);
+      Alcotest.test_case "explain output is deterministic" `Quick (fun () ->
+          List.iter
+            (fun plan ->
+              let once () =
+                Engine.explain ~backend:`Tgd ~plan
+                  S.Figures.fig6.S.Figures.mapping S.Deptdb.instance
+              in
+              checks "two renders agree" (once ()) (once ()))
+            [ `Naive; `Indexed; `Auto ]);
+    ]
+
 (* --- Sessions ----------------------------------------------------------- *)
 
 let session_tests =
@@ -499,6 +599,38 @@ let session_tests =
             ~target_root:sc.S.Figures.mapping.Clip_core.Mapping.target.root.name tgd
         in
         checkb "identical" true (Node.equal direct via));
+    Alcotest.test_case
+      "a structurally-changed document never sees stale caches" `Quick
+      (fun () ->
+        (* Nodes are immutable, so "mutating" a document means building
+           a new [Node.t] value. Every cache layer keys on physical
+           identity: the engine's one-shot memo allocates a fresh
+           session for the new value, and a backend session explicitly
+           reused across documents bypasses its statistics and plans
+           rather than serving the old document's. *)
+        let sc = S.Figures.fig6 in
+        let doc1 = S.Deptdb.synthetic_instance ~depts:6 ~projs:3 ~emps:5 in
+        let out1 = Engine.run sc.S.Figures.mapping doc1 in
+        (* the "edited" document: one more department *)
+        let doc2 = S.Deptdb.synthetic_instance ~depts:7 ~projs:3 ~emps:5 in
+        let out2 = Engine.run sc.S.Figures.mapping doc2 in
+        let fresh =
+          Engine.Session.run (Engine.Session.create doc2) sc.S.Figures.mapping
+        in
+        checkb "recomputed for the new value" true (Node.equal out2 fresh);
+        checkb "output reflects the new data" false
+          (Node.equal_unordered out1 out2);
+        let target_root =
+          sc.S.Figures.mapping.Clip_core.Mapping.target.root.name
+        in
+        let tgd = Clip_core.Compile.to_tgd sc.S.Figures.mapping in
+        let s1 = Clip_tgd.Eval.Session.create doc1 in
+        (* warm s1's statistics, index and plan memos on doc1 ... *)
+        ignore (Clip_tgd.Eval.run ~session:s1 ~source:doc1 ~target_root tgd);
+        (* ... then run the changed document through the same session *)
+        let via = Clip_tgd.Eval.run ~session:s1 ~source:doc2 ~target_root tgd in
+        checkb "no stale statistics or plans" true
+          (Node.equal via (Clip_tgd.Eval.run ~source:doc2 ~target_root tgd)));
   ]
 
 let () =
@@ -511,6 +643,7 @@ let () =
       ("differential", differential_tests);
       ("scaled-differential", scaled_differential_tests);
       ("auto-steps", auto_steps_tests);
+      ("counters", counter_tests);
       ("sessions", session_tests);
       ("fuzz-differential", [ QCheck_alcotest.to_alcotest fuzz_differential ]);
     ]
