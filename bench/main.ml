@@ -712,9 +712,9 @@ let obs_experiment ?(smoke = false) ?(check = false) ?(metrics_json = false) () 
   let limits = Clip_diag.Limits.unlimited in
   let run_counted (sc : S.Figures.t) ~backend ~plan doc =
     let session = Engine.Session.create doc in
-    let run () =
+    let run ?ctx () =
       match
-        Engine.Session.run_result ~limits ~backend
+        Engine.Session.run_result ?ctx ~limits ~backend
           ~minimum_cardinality:sc.minimum_cardinality ~plan session sc.mapping
       with
       | Ok out -> out
@@ -725,7 +725,7 @@ let obs_experiment ?(smoke = false) ?(check = false) ?(metrics_json = false) () 
     in
     ignore (run ());
     let c = Clip_obs.Counters.create () in
-    let out = Clip_obs.with_counters c run in
+    let out = run ~ctx:(Clip_run.create ~counters:c ()) () in
     (out, c)
   in
   let measure_row (sc : S.Figures.t) ~(backend : Engine.backend) ~scale doc =
@@ -841,9 +841,10 @@ let obs_experiment ?(smoke = false) ?(check = false) ?(metrics_json = false) () 
   subrule "trace spans (one cold fig6 run, xquery backend)";
   let tracer = Clip_obs.Trace.create ~now:Unix.gettimeofday () in
   ignore
-    (Clip_obs.Trace.with_tracer tracer (fun () ->
-       Engine.Session.run ~backend:`Xquery
-         (Engine.Session.create S.Deptdb.instance) S.Figures.fig6.mapping));
+    (Engine.Session.run
+       ~ctx:(Clip_run.create ~tracer ())
+       ~backend:`Xquery
+       (Engine.Session.create S.Deptdb.instance) S.Figures.fig6.mapping);
   print_string (Clip_obs.Trace.render tracer);
   subrule "disabled-path overhead (per-hook cost x hook count, bounded)";
   (* The true no-instrumentation build no longer exists in this tree,
@@ -867,8 +868,9 @@ let obs_experiment ?(smoke = false) ?(check = false) ?(metrics_json = false) () 
       (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
     in
     let hook_loop () =
+      let sink = Sys.opaque_identity Clip_obs.none in
       for _ = 1 to n do
-        Clip_obs.child_step ()
+        Clip_obs.child_step sink
       done
     in
     let base_loop () =
@@ -896,11 +898,13 @@ let obs_experiment ?(smoke = false) ?(check = false) ?(metrics_json = false) () 
     List.map
       (fun ((name : string), (sc : S.Figures.t), (backend : Engine.backend)) ->
         let session = Engine.Session.create oh_doc in
-        let run () = Engine.Session.run ~backend ~plan:`Auto session sc.mapping in
+        let run ?ctx () =
+          Engine.Session.run ?ctx ~backend ~plan:`Auto session sc.mapping
+        in
         ignore (run ());
         let hooks =
           let c = Clip_obs.Counters.create () in
-          ignore (Clip_obs.with_counters c run);
+          ignore (run ~ctx:(Clip_run.create ~counters:c ()) ());
           (* Upper bound on hook executions: every counter unit as one
              call (actually fewer — [scanned] adds a whole batch per
              call), plus one [enabled] guard per child step and index
@@ -913,9 +917,9 @@ let obs_experiment ?(smoke = false) ?(check = false) ?(metrics_json = false) () 
           + c.Clip_obs.Counters.index_probes
         in
         let c = Clip_obs.Counters.create () in
-        let enabled_f () = Clip_obs.with_counters c run in
+        let enabled_f () = run ~ctx:(Clip_run.create ~counters:c ()) () in
         let td, te =
-          match interleaved_reps reps [ run; enabled_f ] with
+          match interleaved_reps reps [ (fun () -> run ()); enabled_f ] with
           | [ d; e ] -> (d, e)
           | _ -> assert false
         in
@@ -1022,6 +1026,169 @@ let obs_experiment ?(smoke = false) ?(check = false) ?(metrics_json = false) () 
       exit 1
     end;
     print_endline "obs bench check passed"
+  end
+
+(* --- Parallel batch evaluation (Clip_par) ------------------------------------------- *)
+
+let par_experiment ?(smoke = false) ?(check = false) () =
+  rule
+    (Printf.sprintf "Parallel batch evaluation — Clip_par work-pool%s"
+       (if smoke then " (smoke)" else ""));
+  let cores = Domain.recommended_domain_count () in
+  let jobs = 4 in
+  Printf.printf "recommended domains on this machine: %d (pool: %d workers)\n"
+    cores jobs;
+  (* One task = one document: its own context, session and plan memos.
+     Rendering inside the task is what the CLI does, so "byte-identical
+     stdout" is literally what the string comparison below checks. *)
+  let eval (sc : S.Figures.t) ~backend ~plan ~obs doc =
+    let ctx = Clip_run.create ?counters:obs () in
+    Clip_xml.Printer.to_pretty_string
+      (Engine.run ~ctx ~backend
+         ~minimum_cardinality:sc.minimum_cardinality ~plan sc.mapping doc)
+  in
+  (* A batch where every document is different, so an ordering or
+     task-mixup bug cannot hide behind identical outputs. *)
+  let batch ~n ~scale =
+    List.init n (fun i ->
+        S.Deptdb.synthetic_instance
+          ~depts:(2 + ((i + scale) mod 7))
+          ~projs:(1 + (i mod 3))
+          ~emps:(2 + (i mod 5)))
+  in
+  subrule
+    (Printf.sprintf
+       "agreement: %d-domain pool vs sequential (figures x backends, %s)" jobs
+       "byte-identical output, merged counters = sequential counters")
+  ;
+  let agreement_rows =
+    List.concat_map
+      (fun (sc : S.Figures.t) ->
+        let backends =
+          if sc.minimum_cardinality then [ ("tgd", `Tgd); ("xquery", `Xquery) ]
+          else [ ("tgd", `Tgd) ]
+        in
+        List.map
+          (fun (bname, backend) ->
+            let docs = S.Deptdb.instance :: batch ~n:7 ~scale:1 in
+            let cs = Clip_obs.Counters.create () in
+            let seq =
+              Clip_par.map ~jobs:1 ~obs:cs
+                (fun ~obs doc -> eval sc ~backend ~plan:`Auto ~obs doc)
+                docs
+            in
+            let cp = Clip_obs.Counters.create () in
+            let par =
+              Clip_par.map ~jobs ~obs:cp
+                (fun ~obs doc -> eval sc ~backend ~plan:`Auto ~obs doc)
+                docs
+            in
+            let identical = seq = par in
+            let counters_match =
+              Clip_obs.Counters.to_assoc cs = Clip_obs.Counters.to_assoc cp
+            in
+            Printf.printf
+              "%-18s | %-7s | identical %-5b | counters match %b\n" sc.name
+              bname identical counters_match;
+            (sc.name, bname, identical, counters_match))
+          backends)
+      S.Figures.all
+  in
+  let all_identical = List.for_all (fun (_, _, i, _) -> i) agreement_rows in
+  let all_counters = List.for_all (fun (_, _, _, c) -> c) agreement_rows in
+  Printf.printf
+    "\nall outputs byte-identical: %b\nall merged counters equal sequential: %b\n"
+    all_identical all_counters;
+  subrule "wall-clock: sequential vs pool on a scaled batch";
+  let n_docs = if smoke then 8 else 16 in
+  let scale = if smoke then 12 else 40 in
+  let docs =
+    List.init n_docs (fun i ->
+        S.Deptdb.synthetic_instance ~depts:(scale + (i mod 3)) ~projs:5 ~emps:10)
+  in
+  let sc = S.Figures.fig6 in
+  let run_batch j () =
+    Clip_par.map ~jobs:j
+      (fun ~obs doc -> eval sc ~backend:`Tgd ~plan:`Auto ~obs doc)
+      docs
+  in
+  let reps = if smoke then 5 else 9 in
+  let t_seq, t_par =
+    match interleaved_reps reps [ run_batch 1; run_batch jobs ] with
+    | [ s; p ] -> (s, p)
+    | _ -> assert false
+  in
+  let speedup =
+    Float.max (paired_speedup t_seq t_par)
+      (min_of t_seq /. Float.max (min_of t_par) 1e-9)
+  in
+  Printf.printf
+    "%d docs (fig6/tgd, scale %dx): sequential %.3f ms | %d domains %.3f ms | \
+     %.2fx\n"
+    n_docs scale (median_of t_seq) jobs (median_of t_par) speedup;
+  (* The >= 2x gate needs hardware parallelism; on small machines (CI
+     containers, laptops pinned to one core) we still gate determinism
+     and counter merging, and record the cores so the JSON says why the
+     speedup was not enforced. *)
+  let speedup_enforced = cores >= 4 in
+  let speedup_target = 2.0 in
+  Printf.printf "speedup gate (>= %.1fx at %d domains): %s\n" speedup_target
+    jobs
+    (if speedup_enforced then "enforced"
+     else Printf.sprintf "not enforced (%d core%s available)" cores
+            (if cores = 1 then "" else "s"));
+  let commit = git_commit () in
+  let row_json (figure, backend, identical, counters_match) =
+    Printf.sprintf
+      "{\"figure\": %s, \"backend\": %s, \"identical\": %b, \
+       \"counters_match\": %b}"
+      (json_string figure) (json_string backend) identical counters_match
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf (Printf.sprintf "  \"commit\": %s,\n" (json_string commit));
+  Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);
+  Buffer.add_string buf (Printf.sprintf "  \"batch_docs\": %d,\n" n_docs);
+  Buffer.add_string buf (Printf.sprintf "  \"all_identical\": %b,\n" all_identical);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"all_counters_match\": %b,\n" all_counters);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"seq_ms\": %.3f,\n  \"par_ms\": %.3f,\n"
+       (median_of t_seq) (median_of t_par));
+  Buffer.add_string buf (Printf.sprintf "  \"speedup\": %.3f,\n" speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_enforced\": %b,\n" speedup_enforced);
+  Buffer.add_string buf "  \"agreement\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map (fun r -> "    " ^ row_json r) agreement_rows));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_par.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_par.json (%d agreement rows, commit %s)\n"
+    (List.length agreement_rows) commit;
+  if check then begin
+    if not all_identical then begin
+      Printf.eprintf
+        "par bench check FAILED: parallel output differs from sequential\n";
+      exit 1
+    end;
+    if not all_counters then begin
+      Printf.eprintf
+        "par bench check FAILED: merged counters differ from sequential\n";
+      exit 1
+    end;
+    if speedup_enforced && speedup < speedup_target then begin
+      Printf.eprintf
+        "par bench check FAILED: %.2fx speedup at %d domains < %.1fx target \
+         (%d cores)\n"
+        speedup jobs speedup_target cores;
+      exit 1
+    end;
+    print_endline "par bench check passed"
   end
 
 (* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
@@ -1142,6 +1309,7 @@ let experiments =
     ("scaling", scaling_experiment);
     ("plan", plan_experiment ?smoke:None ?check:None);
     ("obs", obs_experiment ?smoke:None ?check:None ~metrics_json:true);
+    ("par", par_experiment ?smoke:None ?check:None);
     ("session", session_experiment);
     ("perf", perf_experiment);
   ]
@@ -1153,6 +1321,13 @@ let () =
     when flags <> []
          && List.for_all (fun f -> f = "--smoke" || f = "--check") flags ->
     plan_experiment
+      ~smoke:(List.mem "--smoke" flags)
+      ~check:(List.mem "--check" flags)
+      ()
+  | _ :: "par" :: flags
+    when flags <> []
+         && List.for_all (fun f -> f = "--smoke" || f = "--check") flags ->
+    par_experiment
       ~smoke:(List.mem "--smoke" flags)
       ~check:(List.mem "--check" flags)
       ()
@@ -1176,5 +1351,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [experiment] | plan [--smoke] [--check] | obs [--smoke] \
-       [--check] [--metrics-json]";
+       [--check] [--metrics-json] | par [--smoke] [--check]";
     exit 1

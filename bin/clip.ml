@@ -134,6 +134,22 @@ let plan_arg =
        & info [ "plan" ] ~docv:"PLAN" ~doc)
 
 let run_cmd =
+  let input_files =
+    let doc =
+      "Source XML instance. Repeatable: each instance is transformed \
+       independently and the outputs are printed in the order the inputs \
+       were given."
+    in
+    Arg.(non_empty & opt_all file [] & info [ "i"; "input" ] ~docv:"XML" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Evaluate the inputs on N parallel domains. Deterministic: stdout is \
+       byte-identical to --jobs 1 for any N (results keep input order; \
+       execution counters are merged)."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
   let tree_flag =
     let doc = "Print the paper's ASCII-tree rendering instead of XML." in
     Arg.(value & flag & info [ "tree" ] ~doc)
@@ -141,67 +157,101 @@ let run_cmd =
   let trace_flag =
     let doc =
       "Also print instance-level lineage (which source elements each target \
-       element came from) on stdout, plus phase timings and execution \
-       counters on stderr."
+       element came from) on stdout, plus phase timings (sequential runs \
+       only) and execution counters on stderr."
     in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let run file input backend plan tree trace =
+  let run file inputs backend plan tree trace jobs =
     let m = load_mapping file in
-    let xml_src = read_file input in
-    match Clip_xml.Parser.parse_string_result xml_src with
-    | Error ds ->
-      report ~src:xml_src ds;
-      1
-    | Ok source ->
-      (* Under --trace, run with a span tracer and a counter sink
-         installed; both reports go to stderr so stdout stays exactly
-         the transformation output. *)
-      let tracer =
-        if trace then Some (Clip_obs.Trace.create ~now:Unix.gettimeofday ())
-        else None
-      in
-      let counters = if trace then Some (Clip_obs.Counters.create ()) else None in
-      let observed f =
-        match tracer, counters with
-        | Some t, Some c ->
-          Clip_obs.Trace.with_tracer t (fun () -> Clip_obs.with_counters c f)
-        | _ -> f ()
-      in
-      (match observed (fun () -> Clip_core.Engine.run_result ~backend ~plan m source) with
-       | Error ds ->
-         report ds;
-         1
-       | Ok out ->
-         if tree then print_endline (Clip_xml.Printer.to_tree_string out)
-         else print_string (Clip_xml.Printer.to_pretty_string out);
-         if trace then begin
-           let _, entries = Clip_core.Engine.run_traced ~plan m source in
-           print_endline "";
-           List.iter
-             (fun (t : Clip_tgd.Eval.trace_entry) ->
-               if t.sources <> [] then
-                 Printf.printf "/%s <- %s\n"
-                   (String.concat "/" (List.map string_of_int t.target_path))
-                   (String.concat ", "
-                      (List.map
-                         (fun n ->
-                           match n with
-                           | Clip_xml.Node.Element e -> "<" ^ e.tag ^ ">"
-                           | Clip_xml.Node.Text a -> Clip_xml.Atom.to_string a)
-                         t.sources)))
-             entries;
-           (match tracer, counters with
-            | Some t, Some c ->
-              prerr_string ("phases:\n" ^ Clip_obs.Trace.render t);
-              prerr_string ("counters:\n" ^ Clip_obs.Counters.to_string c)
-            | _ -> ())
-         end;
-         0)
+    (* Parse sequentially: parse diagnostics want the source text for
+       caret rendering, and parsing is cheap next to evaluation. *)
+    let sources =
+      List.map
+        (fun path ->
+          let xml_src = read_file path in
+          match Clip_xml.Parser.parse_string_result xml_src with
+          | Error ds ->
+            report ~src:xml_src ds;
+            exit 1
+          | Ok source -> source)
+        inputs
+    in
+    (* Under --trace, counters from every task merge into [total]; the
+       span tracer is single-domain state, so phases are reported only
+       on the sequential path (where the one worker is this domain). *)
+    let total = if trace then Some (Clip_obs.Counters.create ()) else None in
+    let tracer =
+      if trace && jobs <= 1 then
+        Some (Clip_obs.Trace.create ~now:Unix.gettimeofday ())
+      else None
+    in
+    (* One task per document: its own context, hence its own session
+       and plan memos — nothing shared across domains. Rendering to a
+       string inside the task keeps stdout in input order. *)
+    let evaluate ~obs source =
+      let ctx = Clip_run.create ?counters:obs ?tracer () in
+      match Clip_core.Engine.run_result ~ctx ~backend ~plan m source with
+      | Error ds -> Error ds
+      | Ok out ->
+        let b = Buffer.create 1024 in
+        if tree then (
+          Buffer.add_string b (Clip_xml.Printer.to_tree_string out);
+          Buffer.add_char b '\n')
+        else Buffer.add_string b (Clip_xml.Printer.to_pretty_string out);
+        if trace then begin
+          (* The lineage re-run gets a throwaway context: it is
+             bookkeeping, not the measured evaluation, so it must not
+             inflate the run's counters (or spans). *)
+          let lineage_ctx = Clip_run.create () in
+          let _, entries =
+            Clip_core.Engine.run_traced ~ctx:lineage_ctx ~plan m source
+          in
+          Buffer.add_char b '\n';
+          List.iter
+            (fun (t : Clip_tgd.Eval.trace_entry) ->
+              if t.sources <> [] then
+                Buffer.add_string b
+                  (Printf.sprintf "/%s <- %s\n"
+                     (String.concat "/" (List.map string_of_int t.target_path))
+                     (String.concat ", "
+                        (List.map
+                           (fun n ->
+                             match n with
+                             | Clip_xml.Node.Element e -> "<" ^ e.tag ^ ">"
+                             | Clip_xml.Node.Text a -> Clip_xml.Atom.to_string a)
+                           t.sources))))
+            entries
+        end;
+        Ok (Buffer.contents b)
+    in
+    let results = Clip_par.map ~jobs ?obs:total evaluate sources in
+    let code =
+      List.fold_left
+        (fun code r ->
+          match r with
+          | Ok s ->
+            print_string s;
+            code
+          | Error ds ->
+            report ds;
+            1)
+        0 results
+    in
+    if trace && code = 0 then begin
+      (match tracer with
+       | Some t -> prerr_string ("phases:\n" ^ Clip_obs.Trace.render t)
+       | None -> ());
+      match total with
+      | Some c -> prerr_string ("counters:\n" ^ Clip_obs.Counters.to_string c)
+      | None -> ()
+    end;
+    code
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Transform a source instance into a target instance")
-    Term.(const run $ mapping_file $ input_file $ backend_arg $ plan_arg $ tree_flag $ trace_flag)
+    Term.(const run $ mapping_file $ input_files $ backend_arg $ plan_arg
+          $ tree_flag $ trace_flag $ jobs_arg)
 
 (* --- explain ------------------------------------------------------------ *)
 

@@ -38,35 +38,35 @@ module Session = struct
 
   let source s = s.ssource
 
-  let memo tbl key compute =
+  let memo ?obs tbl key compute =
     match Hashtbl.find_opt tbl key with
     | Some v ->
-      Clip_obs.session_hit ();
+      Clip_obs.session_hit obs;
       v
     | None ->
       let v = compute () in
       Hashtbl.add tbl key v;
       v
 
-  let to_tgd s m =
+  let to_tgd ?obs s m =
     match s.slast_tgd with
     | Some (m', tgd) when m' == m ->
-      Clip_obs.session_hit ();
+      Clip_obs.session_hit obs;
       tgd
     | _ ->
-      let tgd = memo s.scompiled m (fun () -> Compile.to_tgd m) in
+      let tgd = memo ?obs s.scompiled m (fun () -> Compile.to_tgd m) in
       s.slast_tgd <- Some (m, tgd);
       tgd
 
-  let to_tgd_result s m =
+  let to_tgd_result ?obs s m =
     match s.slast_tgd with
     | Some (m', tgd) when m' == m ->
-      Clip_obs.session_hit ();
+      Clip_obs.session_hit obs;
       Ok tgd
     | _ ->
       (match Hashtbl.find_opt s.scompiled m with
        | Some tgd ->
-         Clip_obs.session_hit ();
+         Clip_obs.session_hit obs;
          s.slast_tgd <- Some (m, tgd);
          Ok tgd
        | None ->
@@ -77,28 +77,28 @@ module Session = struct
             s.slast_tgd <- Some (m, tgd);
             Ok tgd))
 
-  let to_xquery s ~target_root tgd =
+  let to_xquery ?obs s ~target_root tgd =
     match s.slast_xq with
     | Some (r, tgd', q) when r = target_root && tgd' == tgd ->
-      Clip_obs.session_hit ();
+      Clip_obs.session_hit obs;
       q
     | _ ->
       let q =
-        memo s.stranslated (target_root, tgd) (fun () ->
+        memo ?obs s.stranslated (target_root, tgd) (fun () ->
           To_xquery.translate ~target_root tgd)
       in
       s.slast_xq <- Some (target_root, tgd, q);
       q
 
-  let to_xquery_result s ~target_root tgd =
+  let to_xquery_result ?obs s ~target_root tgd =
     match s.slast_xq with
     | Some (r, tgd', q) when r = target_root && tgd' == tgd ->
-      Clip_obs.session_hit ();
+      Clip_obs.session_hit obs;
       Ok q
     | _ ->
       (match Hashtbl.find_opt s.stranslated (target_root, tgd) with
        | Some q ->
-         Clip_obs.session_hit ();
+         Clip_obs.session_hit obs;
          s.slast_xq <- Some (target_root, tgd, q);
          Ok q
        | None ->
@@ -109,22 +109,25 @@ module Session = struct
             s.slast_xq <- Some (target_root, tgd, q);
             Ok q))
 
-  let run ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?steps_out s
-      (m : Mapping.t) =
-    let tgd = Clip_obs.Trace.span "compile" (fun () -> to_tgd s m) in
+  let run ?ctx ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?steps_out
+      s (m : Mapping.t) =
+    let ctx = match ctx with Some c -> c | None -> Clip_run.create () in
+    let obs = Clip_run.counters ctx in
+    let tgd = Clip_run.span ctx "compile" (fun () -> to_tgd ?obs s m) in
     let target_root = m.target.root.name in
     match backend with
     | `Tgd ->
-      Clip_obs.Trace.span "execute" (fun () ->
+      Clip_run.span ctx "execute" (fun () ->
         Clip_tgd.Eval.run ~minimum_cardinality ?plan ~session:s.stgd ?steps_out
-          ~source:s.ssource ~target_root tgd)
+          ?obs ~source:s.ssource ~target_root tgd)
     | (`Xquery | `Xquery_text) as backend ->
       if not minimum_cardinality then
         invalid_arg
           "Engine.Session.run: the universal-solution ablation is only \
            available on the tgd backend";
       let query =
-        Clip_obs.Trace.span "translate" (fun () -> to_xquery s ~target_root tgd)
+        Clip_run.span ctx "translate" (fun () ->
+          to_xquery ?obs s ~target_root tgd)
       in
       let query =
         match backend with
@@ -133,33 +136,35 @@ module Session = struct
           (* Round-trip through the concrete syntax; parsing is
              deliberately not cached — it stands in for what an
              external processor would do per request. *)
-          Clip_obs.Trace.span "parse" (fun () ->
+          Clip_run.span ctx "parse" (fun () ->
             Clip_xquery.Parser.parse_string
               (Clip_xquery.Pretty.query_to_string query))
       in
-      Clip_obs.Trace.span "execute" (fun () ->
-        Clip_xquery.Eval.run_document ?plan ~session:s.sxq ?steps_out
+      Clip_run.span ctx "execute" (fun () ->
+        Clip_xquery.Eval.run_document ?plan ~session:s.sxq ?steps_out ?obs
           ~input:s.ssource query)
 
-  let run_result ?limits ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan
-      ?steps_out s (m : Mapping.t) =
-    match Clip_obs.Trace.span "compile" (fun () -> to_tgd_result s m) with
+  let run_result ?ctx ?limits ?(backend = `Tgd) ?(minimum_cardinality = true)
+      ?plan ?steps_out s (m : Mapping.t) =
+    let ctx = match ctx with Some c -> c | None -> Clip_run.create () in
+    let obs = Clip_run.counters ctx in
+    match Clip_run.span ctx "compile" (fun () -> to_tgd_result ?obs s m) with
     | Error ds -> Error ds
     | Ok tgd ->
       let target_root = m.target.root.name in
       (match backend with
        | `Tgd ->
-         Clip_obs.Trace.span "execute" (fun () ->
+         Clip_run.span ctx "execute" (fun () ->
            Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan
-             ~session:s.stgd ?steps_out ~source:s.ssource ~target_root tgd)
+             ~session:s.stgd ?steps_out ?obs ~source:s.ssource ~target_root tgd)
        | (`Xquery | `Xquery_text) as backend ->
          if not minimum_cardinality then
            invalid_arg
              "Engine.Session.run_result: the universal-solution ablation is \
               only available on the tgd backend";
          (match
-            Clip_obs.Trace.span "translate" (fun () ->
-              to_xquery_result s ~target_root tgd)
+            Clip_run.span ctx "translate" (fun () ->
+              to_xquery_result ?obs s ~target_root tgd)
           with
           | Error ds -> Error ds
           | Ok query ->
@@ -167,54 +172,67 @@ module Session = struct
               match backend with
               | `Xquery -> Ok query
               | `Xquery_text ->
-                Clip_obs.Trace.span "parse" (fun () ->
+                Clip_run.span ctx "parse" (fun () ->
                   Clip_xquery.Parser.parse_string_result ?limits
                     (Clip_xquery.Pretty.query_to_string query))
             in
             (match query with
              | Error ds -> Error ds
              | Ok query ->
-               Clip_obs.Trace.span "execute" (fun () ->
+               Clip_run.span ctx "execute" (fun () ->
                  Clip_xquery.Eval.run_document_result ?limits ?plan
-                   ~session:s.sxq ?steps_out ~input:s.ssource query))))
+                   ~session:s.sxq ?steps_out ?obs ~input:s.ssource query))))
 end
 
 (* --- One-shot entry points --------------------------------------------- *)
 
 (* A one-slot weak memo holding the most recent source document's
-   session. Repeated one-shot runs over the same document — the common
-   CLI and benchmark pattern — then reuse its statistics, tag index,
-   compiled tgds and physical plans without the caller managing a
-   {!Session}. Keyed by physical identity; the ephemeron lets the
-   document (and with it the session) be collected once the caller
-   drops it, even though the session itself retains the document.
-   Like sessions, this memo is not thread-safe. *)
-let last_session : (Clip_xml.Node.t, session) Ephemeron.K1.t option ref =
-  ref None
+   session, scoped per execution context (stored in the context's memo
+   slot through the extensible {!Clip_run.memo}). Repeated one-shot
+   runs over the same document under one context — the common CLI and
+   benchmark pattern — reuse its statistics, tag index, compiled tgds
+   and physical plans without the caller managing a {!Session}. Keyed
+   by physical identity; the ephemeron lets the document (and with it
+   the session) be collected once the caller drops it, even though the
+   session itself retains the document.
 
-let session_for source =
+   Per-context scoping (rather than the former process-global slot)
+   removes two hazards at once: domains running with their own
+   contexts cannot race on the slot, and two callers alternating
+   different documents cannot evict each other's session every run —
+   each context keeps its own last document. Callers without a context
+   fall back to the per-domain {!Clip_run.ambient} shim and so keep
+   the old single-slot behaviour, now domain-local. *)
+type Clip_run.memo += Session_memo of (Clip_xml.Node.t, session) Ephemeron.K1.t
+
+let session_for ctx source =
   let hit =
-    match !last_session with
-    | Some e -> Ephemeron.K1.query e source
-    | None -> None
+    match Clip_run.memo ctx with
+    | Some (Session_memo e) -> Ephemeron.K1.query e source
+    | _ -> None
   in
   match hit with
   | Some s ->
-    Clip_obs.session_hit ();
+    Clip_obs.session_hit (Clip_run.counters ctx);
     s
   | None ->
     let s = Session.create source in
-    last_session := Some (Ephemeron.K1.make source s);
+    Clip_run.set_memo ctx (Session_memo (Ephemeron.K1.make source s));
     s
 
-let run ?backend ?minimum_cardinality ?plan ?steps_out (m : Mapping.t) source =
-  Session.run ?backend ?minimum_cardinality ?plan ?steps_out
-    (session_for source) m
+let resolve_ctx = function Some c -> c | None -> Clip_run.ambient ()
 
-let run_result ?limits ?backend ?minimum_cardinality ?plan ?steps_out
+let run ?ctx ?backend ?minimum_cardinality ?plan ?steps_out (m : Mapping.t)
+    source =
+  let ctx = resolve_ctx ctx in
+  Session.run ~ctx ?backend ?minimum_cardinality ?plan ?steps_out
+    (session_for ctx source) m
+
+let run_result ?ctx ?limits ?backend ?minimum_cardinality ?plan ?steps_out
     (m : Mapping.t) source =
-  Session.run_result ?limits ?backend ?minimum_cardinality ?plan ?steps_out
-    (session_for source) m
+  let ctx = resolve_ctx ctx in
+  Session.run_result ~ctx ?limits ?backend ?minimum_cardinality ?plan
+    ?steps_out (session_for ctx source) m
 
 (* Every diagnostic for a mapping, in one pass: all validity issues
    (warnings included), then — when validity allows compiling — any
@@ -233,27 +251,33 @@ let diagnose (m : Mapping.t) =
   in
   issues @ later
 
-let run_traced ?(minimum_cardinality = true) ?plan (m : Mapping.t) source =
-  let tgd = Compile.to_tgd m in
-  Clip_tgd.Eval.run_traced ~minimum_cardinality ?plan ~source
-    ~target_root:m.target.root.name tgd
+let run_traced ?ctx ?(minimum_cardinality = true) ?plan (m : Mapping.t) source =
+  let ctx = resolve_ctx ctx in
+  let s = session_for ctx source in
+  let obs = Clip_run.counters ctx in
+  let tgd = Clip_run.span ctx "compile" (fun () -> Session.to_tgd ?obs s m) in
+  Clip_run.span ctx "execute" (fun () ->
+    Clip_tgd.Eval.run_traced ~minimum_cardinality ?plan ~session:s.stgd ?obs
+      ~source ~target_root:m.target.root.name tgd)
 
 (* EXPLAIN: compile (or translate) like a run would, then hand off to
    the backend's static plan renderer. Uses the same one-shot session
    memo as [run], so an explain right before or after a run over the
    same document shares its statistics instead of re-walking it. *)
-let explain ?(backend = `Tgd) ?plan (m : Mapping.t) source =
-  let s = session_for source in
-  let tgd = Session.to_tgd s m in
+let explain ?ctx ?(backend = `Tgd) ?plan (m : Mapping.t) source =
+  let ctx = resolve_ctx ctx in
+  let s = session_for ctx source in
+  let obs = Clip_run.counters ctx in
+  let tgd = Session.to_tgd ?obs s m in
   let target_root = m.target.root.name in
   match backend with
   | `Tgd -> Clip_tgd.Eval.explain ?plan ~session:s.stgd ~source tgd
   | `Xquery | `Xquery_text ->
-    let query = Session.to_xquery s ~target_root tgd in
+    let query = Session.to_xquery ?obs s ~target_root tgd in
     Clip_xquery.Eval.explain ?plan ~session:s.sxq ~input:source query
 
-let explain_result ?backend ?plan (m : Mapping.t) source =
-  Clip_diag.guard (fun () -> explain ?backend ?plan m source)
+let explain_result ?ctx ?backend ?plan (m : Mapping.t) source =
+  Clip_diag.guard (fun () -> explain ?ctx ?backend ?plan m source)
 
 let xquery_text (m : Mapping.t) =
   let tgd = Compile.to_tgd m in

@@ -50,7 +50,11 @@ type backend = [ `Tgd | `Xquery | `Xquery_text ]
     so it can never be mistaken for the pinned one and served stale
     statistics or plans. What a session does {e not} do is notice that
     the new document is "the same file, edited" — cross-document cache
-    reuse is deliberately out of scope. *)
+    reuse is deliberately out of scope.
+
+    Sessions are single-domain values: for parallel evaluation give
+    each task its own session (see {!Clip_par}); never share one
+    across domains. *)
 module Session : sig
   type t
 
@@ -58,8 +62,11 @@ module Session : sig
   val source : t -> Clip_xml.Node.t
 
   (** [run session mapping] — like {!val-run} over the session's
-      document, reusing every cached artifact. *)
+      document, reusing every cached artifact. [?ctx] supplies the
+      execution context whose counter sink and tracer observe the run
+      (default: a fresh silent context). *)
   val run :
+    ?ctx:Clip_run.t ->
     ?backend:backend ->
     ?minimum_cardinality:bool ->
     ?plan:Clip_plan.mode ->
@@ -71,6 +78,7 @@ module Session : sig
   (** [run_result session mapping] — like {!val-run_result} over the
       session's document. *)
   val run_result :
+    ?ctx:Clip_run.t ->
     ?limits:Clip_diag.Limits.t ->
     ?backend:backend ->
     ?minimum_cardinality:bool ->
@@ -83,11 +91,16 @@ end
 
 (** [run ?backend ?minimum_cardinality mapping source] — the target
     instance. Default backend [`Tgd]; default minimum-cardinality on;
-    default plan [`Auto].
+    default plan [`Auto]. [?ctx] supplies the execution context —
+    counter sink, tracer, and the one-shot session memo that lets
+    repeated runs over the same document under one context reuse its
+    analysis; without it, the per-domain {!Clip_run.ambient} shim is
+    used (silent, domain-local).
     @raise Compile.Invalid when the mapping is invalid
     @raise Clip_tgd.Eval.Error / Clip_xquery.Eval.Error on dynamic
     failures. *)
 val run :
+  ?ctx:Clip_run.t ->
   ?backend:backend ->
   ?minimum_cardinality:bool ->
   ?plan:Clip_plan.mode ->
@@ -102,6 +115,7 @@ val run :
     gaps, [CLIP-TGD-001]/[CLIP-XQ-*] dynamic errors and [CLIP-LIM-004]
     exhausted step budgets. *)
 val run_result :
+  ?ctx:Clip_run.t ->
   ?limits:Clip_diag.Limits.t ->
   ?backend:backend ->
   ?minimum_cardinality:bool ->
@@ -122,6 +136,7 @@ val run_result :
     output is golden-testable.
     @raise Compile.Invalid when the mapping is invalid. *)
 val explain :
+  ?ctx:Clip_run.t ->
   ?backend:backend ->
   ?plan:Clip_plan.mode ->
   Mapping.t ->
@@ -131,6 +146,7 @@ val explain :
 (** [explain_result mapping source] — like {!explain}, reporting
     failures as diagnostics. *)
 val explain_result :
+  ?ctx:Clip_run.t ->
   ?backend:backend ->
   ?plan:Clip_plan.mode ->
   Mapping.t ->
@@ -147,6 +163,7 @@ val diagnose : Mapping.t -> Clip_diag.t list
     return instance-level lineage: which source elements each created
     target element came from (see {!Clip_tgd.Eval.run_traced}). *)
 val run_traced :
+  ?ctx:Clip_run.t ->
   ?minimum_cardinality:bool ->
   ?plan:Clip_plan.mode ->
   Mapping.t ->

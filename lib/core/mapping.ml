@@ -43,15 +43,15 @@ type t = {
 
 let input ?var in_source = { in_source; in_var = var }
 
-let node_counter = ref 0
+(* Fresh-name supply for anonymous builder nodes. Atomic so mappings
+   can be constructed from any domain (ids only need to be unique). *)
+let node_counter = Atomic.make 0
 
 let node ?id ?output ?(cond = []) ?(group_by = []) ?(children = []) inputs =
   let bn_id =
     match id with
     | Some id -> id
-    | None ->
-      incr node_counter;
-      Printf.sprintf "n%d" !node_counter
+    | None -> Printf.sprintf "n%d" (1 + Atomic.fetch_and_add node_counter 1)
   in
   {
     bn_id;

@@ -1,7 +1,9 @@
-(* Ambient observability sinks. Both facilities are one mutable global
-   slot: the engines are documented non-thread-safe, and a single slot
-   keeps the disabled path down to a load and a branch — no closure,
-   no option allocation, nothing the GC ever sees. *)
+(* Explicit observability sinks. A sink is a plain value threaded
+   through every layer as part of the execution context — there is no
+   ambient global slot, so independent runs (including runs on
+   different domains) never share or clobber each other's counters.
+   The disabled path is a [None] match and a branch: no closure, no
+   allocation, nothing the GC ever sees. *)
 
 module Counters = struct
   type t = {
@@ -42,6 +44,17 @@ module Counters = struct
 
   let copy c = { c with nodes_scanned = c.nodes_scanned }
 
+  let add ~into c =
+    into.nodes_scanned <- into.nodes_scanned + c.nodes_scanned;
+    into.child_steps <- into.child_steps + c.child_steps;
+    into.index_probes <- into.index_probes + c.index_probes;
+    into.index_hits <- into.index_hits + c.index_hits;
+    into.hash_join_builds <- into.hash_join_builds + c.hash_join_builds;
+    into.hash_join_probes <- into.hash_join_probes + c.hash_join_probes;
+    into.memo_hits <- into.memo_hits + c.memo_hits;
+    into.session_hits <- into.session_hits + c.session_hits;
+    into.lim_ticks <- into.lim_ticks + c.lim_ticks
+
   let work_assoc c =
     [
       ("nodes_scanned", c.nodes_scanned);
@@ -72,57 +85,53 @@ module Counters = struct
             (to_assoc c)))
 end
 
-let sink : Counters.t option ref = ref None
-let enabled () = !sink <> None
-let counters () = !sink
+type sink = Counters.t option
 
-let with_counters c f =
-  let prev = !sink in
-  sink := Some c;
-  Fun.protect ~finally:(fun () -> sink := prev) f
+let none : sink = None
+let enabled (s : sink) = s <> None
 
-let scanned n =
-  match !sink with
+let scanned (s : sink) n =
+  match s with
   | None -> ()
   | Some c -> c.Counters.nodes_scanned <- c.Counters.nodes_scanned + n
 
-let child_step () =
-  match !sink with
+let child_step (s : sink) =
+  match s with
   | None -> ()
   | Some c -> c.Counters.child_steps <- c.Counters.child_steps + 1
 
-let index_probe () =
-  match !sink with
+let index_probe (s : sink) =
+  match s with
   | None -> ()
   | Some c -> c.Counters.index_probes <- c.Counters.index_probes + 1
 
-let index_hit () =
-  match !sink with
+let index_hit (s : sink) =
+  match s with
   | None -> ()
   | Some c -> c.Counters.index_hits <- c.Counters.index_hits + 1
 
-let hash_join_build () =
-  match !sink with
+let hash_join_build (s : sink) =
+  match s with
   | None -> ()
   | Some c -> c.Counters.hash_join_builds <- c.Counters.hash_join_builds + 1
 
-let hash_join_probe () =
-  match !sink with
+let hash_join_probe (s : sink) =
+  match s with
   | None -> ()
   | Some c -> c.Counters.hash_join_probes <- c.Counters.hash_join_probes + 1
 
-let memo_hit () =
-  match !sink with
+let memo_hit (s : sink) =
+  match s with
   | None -> ()
   | Some c -> c.Counters.memo_hits <- c.Counters.memo_hits + 1
 
-let session_hit () =
-  match !sink with
+let session_hit (s : sink) =
+  match s with
   | None -> ()
   | Some c -> c.Counters.session_hits <- c.Counters.session_hits + 1
 
-let lim_tick () =
-  match !sink with
+let lim_tick (s : sink) =
+  match s with
   | None -> ()
   | Some c -> c.Counters.lim_ticks <- c.Counters.lim_ticks + 1
 
@@ -138,15 +147,8 @@ module Trace = struct
 
   let create ?(now = Sys.time) () = { now; t0 = now (); depth = 0; done_rev = [] }
 
-  let tracer : t option ref = ref None
-
-  let with_tracer t f =
-    let prev = !tracer in
-    tracer := Some t;
-    Fun.protect ~finally:(fun () -> tracer := prev) f
-
-  let span name f =
-    match !tracer with
+  let span tracer name f =
+    match tracer with
     | None -> f ()
     | Some t ->
       let depth = t.depth in

@@ -3,20 +3,22 @@
     Every execution layer — the tgd engine, the XQuery evaluator, the
     shared physical-plan executor, the tag index and the engine's
     session caches — reports cheap monotonic counters through an
-    ambient {e sink}. The sink is off by default: every increment is a
-    single mutable-ref load plus a branch, and the disabled path
-    allocates nothing (call {!enabled} before computing an expensive
-    increment argument such as a list length). Install a sink with
-    {!with_counters} around a run to collect its counters.
+    explicit {e sink} ([Counters.t option]) threaded down from the
+    execution context ({!Clip_run}). There is no ambient global slot:
+    a sink is owned by exactly one run, so concurrent runs — including
+    runs on different domains ({!Clip_par}) — can never share or
+    clobber each other's counters. The disabled path ([None]) is a
+    match and a branch and allocates nothing; call {!enabled} before
+    computing an expensive increment argument such as a list length.
 
-    Trace spans time coarse phases (compile / plan / execute / render)
-    against an injected wall clock, so this library needs neither
-    [unix] nor any other dependency. Both facilities are ambient
-    single-slot state, matching the engine's documented
-    non-thread-safety.
+    Trace spans time coarse phases (compile / translate / parse /
+    execute) against an injected wall clock, so this library needs
+    neither [unix] nor any other dependency. Like sinks, a tracer is
+    passed explicitly ([Trace.t option]); {!Trace.span} with [None]
+    calls the thunk directly.
 
     Nothing here affects semantics: the same bindings flow whether or
-    not a sink is installed — which is exactly what makes the counters
+    not a sink is supplied — which is exactly what makes the counters
     usable as a cross-backend test oracle (e.g. an [`Indexed] run must
     never scan more nodes than the [`Naive] oracle on the same
     input). *)
@@ -25,7 +27,7 @@
 
 module Counters : sig
   (** One set of monotonic execution counters. All counts are
-      per-sink: install a fresh value around each measured run. *)
+      per-sink: supply a fresh value to each measured run. *)
   type t = {
     mutable nodes_scanned : int;
         (** child nodes visited (naive [Child] steps) or matches
@@ -47,6 +49,13 @@ module Counters : sig
   val reset : t -> unit
   val copy : t -> t
 
+  (** [add ~into c] — add every counter of [c] into [into]. This is
+      the parallel merge: {!Clip_par} gives each worker domain a fresh
+      sink and folds them into the parent's sink with [add]. Every
+      counter is a sum over per-task increments, so the merged totals
+      are independent of how tasks were partitioned across domains. *)
+  val add : into:t -> t -> unit
+
   (** Stable field order, for reports and tests. *)
   val to_assoc : t -> (string * int) list
 
@@ -62,30 +71,28 @@ module Counters : sig
   val to_json : t -> string
 end
 
-(** [enabled ()] — is a counter sink installed? Check before computing
-    a non-constant increment (keeps the disabled path allocation- and
+(** A counter sink: [Some c] collects into [c], [None] is off. *)
+type sink = Counters.t option
+
+(** The disabled sink. *)
+val none : sink
+
+(** [enabled s] — is [s] collecting? Check before computing a
+    non-constant increment (keeps the disabled path allocation- and
     traversal-free). *)
-val enabled : unit -> bool
+val enabled : sink -> bool
 
-(** The installed sink, if any. *)
-val counters : unit -> Counters.t option
+(** {2 Increment points} (no-ops on [None]) *)
 
-(** [with_counters c f] — install [c] as the ambient sink for the
-    duration of [f], restoring the previous sink afterwards (also on
-    exceptions). *)
-val with_counters : Counters.t -> (unit -> 'a) -> 'a
-
-(** {2 Increment points} (no-ops when no sink is installed) *)
-
-val scanned : int -> unit
-val child_step : unit -> unit
-val index_probe : unit -> unit
-val index_hit : unit -> unit
-val hash_join_build : unit -> unit
-val hash_join_probe : unit -> unit
-val memo_hit : unit -> unit
-val session_hit : unit -> unit
-val lim_tick : unit -> unit
+val scanned : sink -> int -> unit
+val child_step : sink -> unit
+val index_probe : sink -> unit
+val index_hit : sink -> unit
+val hash_join_build : sink -> unit
+val hash_join_probe : sink -> unit
+val memo_hit : sink -> unit
+val session_hit : sink -> unit
+val lim_tick : sink -> unit
 
 (** {1 Trace spans} *)
 
@@ -104,18 +111,14 @@ module Trace : sig
 
   (** [create ~now ()] — a tracer reading the injected clock (pass
       [Unix.gettimeofday]; the default [Sys.time] only measures CPU
-      seconds). *)
+      seconds). A tracer is single-domain state: give each domain its
+      own. *)
   val create : ?now:(unit -> float) -> unit -> t
 
-  (** [with_tracer t f] — install [t] as the ambient tracer for the
-      duration of [f] (restores the previous tracer, also on
-      exceptions). *)
-  val with_tracer : t -> (unit -> 'a) -> 'a
-
-  (** [span name f] — run [f], timing it as a span of the ambient
-      tracer; calls [f] directly when tracing is off. Exceptions
+  (** [span tracer name f] — run [f], timing it as a span of [tracer];
+      calls [f] directly when [tracer] is [None]. Exceptions
       propagate; the span is still recorded. *)
-  val span : string -> (unit -> 'a) -> 'a
+  val span : t option -> string -> (unit -> 'a) -> 'a
 
   (** Completed spans, in start order. *)
   val spans : t -> span list

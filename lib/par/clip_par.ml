@@ -1,0 +1,66 @@
+(* A Domain.spawn work-pool for evaluating independent tasks in
+   parallel with deterministic results.
+
+   Design:
+   - tasks are fixed in an array up front; workers claim indices from
+     one atomic counter, so scheduling is dynamic (no static striping
+     that would let one slow task idle a domain) while results land in
+     their input slot — output order is input order, always;
+   - each worker owns a fresh counter sink for its whole lifetime; the
+     per-domain sinks are merged into the caller's sink with
+     {!Clip_obs.Counters.add} after the join. Every counter is a sum
+     of per-task increments, so the merged totals are independent of
+     which domain ran which task;
+   - a task that raises does not kill its worker: the exception (and
+     backtrace) is captured in the task's slot and re-raised in the
+     caller — deterministically, for the lowest failing input index —
+     after every task has run;
+   - with one job (or one task) the pool degenerates to a plain
+     sequential [List.map] on the calling domain, passing the caller's
+     sink straight through — the parallel path is byte-identical to
+     this baseline by construction of the layers below (evaluation
+     state is fully explicit, see {!Clip_run}). *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'b slot = Done of 'b | Raised of exn * Printexc.raw_backtrace | Pending
+
+let map ?jobs ?obs f items =
+  let tasks = Array.of_list items in
+  let n = Array.length tasks in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs = min jobs n in
+  if jobs <= 1 then List.map (fun x -> f ~obs x) items
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      let c = Clip_obs.Counters.create () in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match f ~obs:(Some c) tasks.(i) with
+              | v -> Done v
+              | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ();
+      c
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is worker number [jobs]. *)
+    let mine = worker () in
+    let per_domain = mine :: List.map Domain.join helpers in
+    (match obs with
+     | Some into -> List.iter (fun c -> Clip_obs.Counters.add ~into c) per_domain
+     | None -> ());
+    Array.to_list
+      (Array.map
+         (function
+           | Done v -> v
+           | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+           | Pending -> assert false)
+         results)
+  end

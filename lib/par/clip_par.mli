@@ -1,0 +1,40 @@
+(** A [Domain.spawn] work-pool: evaluate independent tasks (documents,
+    scenarios) in parallel, deterministically.
+
+    Determinism contract: [map ?jobs f items] returns exactly what
+    [List.map] of the sequential closure would — same values, same
+    order — for any [jobs]. Tasks are claimed dynamically from an
+    atomic counter but results land in their input slots; and because
+    every layer below carries its state explicitly ({!Clip_run}
+    contexts, per-task sessions, explicit counter sinks, the
+    domain-safe {!Clip_xml.Symbol} table), a task computes the same
+    value whichever domain runs it.
+
+    Counters merge, they are never shared: each worker domain owns a
+    fresh sink, folded into [?obs] with {!Clip_obs.Counters.add} after
+    the join. Counters that are deterministic per task (the
+    {!Clip_obs.Counters.work_assoc} classes, given per-task sessions)
+    therefore sum to exactly the sequential totals, independent of the
+    task-to-domain partition.
+
+    A raising task does not abort the batch: every task still runs,
+    and the exception of the {e lowest failing input index} is
+    re-raised (with its backtrace) after the join — so failure
+    behaviour does not depend on scheduling either. *)
+
+(** [Domain.recommended_domain_count ()] — the default worker count. *)
+val default_jobs : unit -> int
+
+(** [map ?jobs ?obs f items] — evaluate [f ~obs:sink item] for every
+    item, on [jobs] domains (default {!default_jobs}, clamped to the
+    task count; [jobs <= 1] runs sequentially on the calling domain
+    with [?obs] passed straight through). The calling domain
+    participates as one of the [jobs] workers. [f] must be
+    self-contained per task: create sessions/contexts inside it, never
+    capture another task's. *)
+val map :
+  ?jobs:int ->
+  ?obs:Clip_obs.Counters.t ->
+  (obs:Clip_obs.Counters.t option -> 'a -> 'b) ->
+  'a list ->
+  'b list

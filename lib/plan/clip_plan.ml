@@ -458,7 +458,7 @@ let revisit_prone t =
 
 module KeyTbl = Hashtbl.Make (Key)
 
-let execute (t : ('env, 'item) t) ~(tick : unit -> unit) ~(env : 'env)
+let execute ?obs (t : ('env, 'item) t) ~(tick : unit -> unit) ~(env : 'env)
     ~(emit : 'env -> unit) : unit =
   let n = Array.length t.stages in
   let tables : (int * 'item list) KeyTbl.t option array =
@@ -468,7 +468,7 @@ let execute (t : ('env, 'item) t) ~(tick : unit -> unit) ~(env : 'env)
     match t.stages.(k) with
     | Scan _ -> ()
     | Probe { gens; slot; build_keys; _ } ->
-      Clip_obs.hash_join_build ();
+      Clip_obs.hash_join_build obs;
       (* Enumerate the whole segment once, collecting each bound tuple
          with its keys (reversed enumeration order). *)
       let m = Array.length gens in
@@ -510,7 +510,7 @@ let execute (t : ('env, 'item) t) ~(tick : unit -> unit) ~(env : 'env)
             if List.for_all (fun p -> p.test env') preds then go (i + 1) env')
           (gen.eval env)
       | Probe { gens; slot; probe_keys; preds; _ } ->
-        Clip_obs.hash_join_probe ();
+        Clip_obs.hash_join_probe obs;
         let tbl = match tables.(slot) with Some tbl -> tbl | None -> assert false in
         let keys = List.sort_uniq compare (probe_keys env) in
         let tuples =

@@ -185,11 +185,13 @@ val plan :
     reuse a grouping. *)
 val revisit_prone : ('env, 'item) t -> bool
 
-(** [execute t ~tick ~env ~emit] streams every surviving binding of
-    the chain into [emit], in exactly the naive enumeration order.
+(** [execute ?obs t ~tick ~env ~emit] streams every surviving binding
+    of the chain into [emit], in exactly the naive enumeration order.
     [tick] is called once per item enumerated at every stage, so step
-    budgets keep metering enumerated bindings (CLIP-LIM-004). *)
+    budgets keep metering enumerated bindings (CLIP-LIM-004). [?obs]
+    counts hash-join builds and probes. *)
 val execute :
+  ?obs:Clip_obs.Counters.t ->
   ('env, 'item) t ->
   tick:(unit -> unit) ->
   env:'env ->

@@ -1,0 +1,37 @@
+(* Explicit execution contexts.
+
+   A context owns every piece of run-scoped mutable state that used to
+   live in ambient globals: the observability counter sink, the trace
+   tracer, and a memo slot for engine-level caches (the one-shot
+   session memo). Threading the context as a value is what makes the
+   stack domain-safe — two contexts never share state, so two domains
+   evaluating with their own contexts cannot race or poison each
+   other's caches.
+
+   The memo slot is an extensible variant so this library does not
+   depend on the engine's session type; {!Clip_core.Engine} declares
+   its own constructor and stores its weak session memo here.
+
+   [ambient] is the one deliberate compatibility shim: a per-domain
+   default context (held in domain-local storage) used by entry points
+   called without an explicit context — the CLI and legacy callers.
+   Domain-local means even the shim cannot race across domains. *)
+
+type memo = ..
+
+type t = {
+  counters : Clip_obs.Counters.t option;
+  tracer : Clip_obs.Trace.t option;
+  mutable memo : memo option;
+}
+
+let create ?counters ?tracer () = { counters; tracer; memo = None }
+
+let counters ctx = ctx.counters
+let tracer ctx = ctx.tracer
+let span ctx name f = Clip_obs.Trace.span ctx.tracer name f
+let memo ctx = ctx.memo
+let set_memo ctx m = ctx.memo <- Some m
+
+let ambient_key = Domain.DLS.new_key (fun () -> create ())
+let ambient () = Domain.DLS.get ambient_key

@@ -1,0 +1,47 @@
+(** Explicit execution contexts.
+
+    A context carries every piece of run-scoped mutable state the
+    engine stack needs — the {!Clip_obs} counter sink, the trace
+    tracer, and a memo slot for engine-level caches — as one explicit
+    value. Nothing in the evaluation stack reaches for ambient
+    globals: state is owned by whoever created the context, which is
+    what makes concurrent evaluation ({!Clip_par}) sound — contexts on
+    different domains share nothing.
+
+    {b Ownership rules.} A context (and any counter sink or tracer
+    inside it) belongs to a single domain at a time; create one
+    context per concurrent evaluation. Cross-domain aggregation is by
+    {e merging}, not sharing: give each worker its own sink and fold
+    the results with {!Clip_obs.Counters.add}. *)
+
+(** Extensible engine-cache slot: layers above declare their own
+    constructor (e.g. the engine's weak one-shot session memo) so this
+    library stays independent of their types. *)
+type memo = ..
+
+type t
+
+(** [create ?counters ?tracer ()] — a fresh context. Omitted counters
+    or tracer mean that facility is off (zero-cost increments). *)
+val create :
+  ?counters:Clip_obs.Counters.t -> ?tracer:Clip_obs.Trace.t -> unit -> t
+
+(** The context's counter sink (to pass to [?obs] parameters). *)
+val counters : t -> Clip_obs.Counters.t option
+
+val tracer : t -> Clip_obs.Trace.t option
+
+(** [span ctx name f] — time [f] as a span of the context's tracer;
+    calls [f] directly when the context has none. *)
+val span : t -> string -> (unit -> 'a) -> 'a
+
+val memo : t -> memo option
+val set_memo : t -> memo -> unit
+
+(** The per-domain default context — the single deliberate ambient
+    shim, for entry points called without an explicit context (the CLI
+    boundary, legacy callers). Held in domain-local storage, so even
+    this shim is domain-safe: each domain gets its own. Its counters
+    and tracer are off; its memo slot gives no-context callers the
+    cross-run session reuse they had before contexts existed. *)
+val ambient : unit -> t

@@ -28,6 +28,9 @@ type ctx = {
   stats : Xml.Stats.t Lazy.t;
   steps : int ref;
   mutable max_steps : int;
+  mutable obs : Clip_obs.sink;
+      (* per-run counter sink, set by [execute]; explicit state — the
+         evaluator never reaches for an ambient sink *)
 }
 
 let make_ctx source =
@@ -38,11 +41,12 @@ let make_ctx source =
     stats = lazy (Xml.Stats.collect source);
     steps = ref 0;
     max_steps = max_int;
+    obs = Clip_obs.none;
   }
 
 let tick ctx =
   incr ctx.steps;
-  Clip_obs.lim_tick ();
+  Clip_obs.lim_tick ctx.obs;
   if !(ctx.steps) > ctx.max_steps then
     Clip_diag.fail
       (Clip_diag.error ~code:Clip_diag.Codes.limit_eval_steps
@@ -64,12 +68,13 @@ type bnode = {
   mutable bseen : unit Xml.Index.Tbl.t option;
 }
 
-let next_id = ref 0
+(* Atomic so parallel batch runs ({!Clip_par}) can never hand two
+   build nodes the same id — builder hash tables key on it. *)
+let next_id = Atomic.make 0
 
 let fresh_bnode btag =
-  incr next_id;
   {
-    id = !next_id;
+    id = 1 + Atomic.fetch_and_add next_id 1;
     btag;
     battrs = [];
     btext = None;
@@ -113,14 +118,15 @@ let step_items ctx (item : Value.item) (step : Path.step) : Value.item list =
     (* Intern once per step evaluation; per-child comparisons are then
        int compares instead of string equality. *)
     let sym = Xml.Symbol.intern tag in
-    Clip_obs.child_step ();
+    Clip_obs.child_step ctx.obs;
     (match ctx.index with
      | None ->
        (* Naive scan visits every child; the indexed path below only
           touches the matches. The [nodes_scanned] counter records
           exactly that asymmetry, so indexed runs can never report
           more scanned nodes than the naive oracle. *)
-       if Clip_obs.enabled () then Clip_obs.scanned (List.length e.children);
+       if Clip_obs.enabled ctx.obs then
+         Clip_obs.scanned ctx.obs (List.length e.children);
        List.filter_map
          (function
            | Xml.Node.Element c when Xml.Symbol.equal c.sym sym ->
@@ -128,8 +134,9 @@ let step_items ctx (item : Value.item) (step : Path.step) : Value.item list =
            | Xml.Node.Element _ | Xml.Node.Text _ -> None)
          e.children
      | Some idx ->
-       let matches = Xml.Index.children_by_tag idx e sym in
-       if Clip_obs.enabled () then Clip_obs.scanned (List.length matches);
+       let matches = Xml.Index.children_by_tag ?obs:ctx.obs idx e sym in
+       if Clip_obs.enabled ctx.obs then
+         Clip_obs.scanned ctx.obs (List.length matches);
        List.map (fun n -> Value.Node n) matches)
   | Value.Node (Xml.Node.Element e), Path.Attr name ->
     (match Xml.Node.attr e name with Some a -> [ Value.Atomic a ] | None -> [])
@@ -541,7 +548,7 @@ module Session = struct
 end
 
 let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
-    ?(plan = `Auto) ?session ?steps_out ~source ~target_root (m : Tgd.t) =
+    ?(plan = `Auto) ?session ?steps_out ?obs ~source ~target_root (m : Tgd.t) =
   let ctx =
     match session with
     | Some s when s.sctx.source == source -> s.sctx
@@ -549,6 +556,7 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
   in
   ctx.steps := 0;
   ctx.max_steps <- limits.Clip_diag.Limits.max_eval_steps;
+  ctx.obs <- obs;
   let record_steps () =
     match steps_out with Some r -> r := !(ctx.steps) | None -> ()
   in
@@ -680,14 +688,14 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
       let cost = match policy with `Cost -> true | `Force -> false in
       (match s.slast with
        | Some (c, m', p) when c = cost && m' == m ->
-         Clip_obs.memo_hit ();
+         Clip_obs.memo_hit ctx.obs;
          p
        | _ ->
          let p =
            let key = (cost, m) in
            match Hashtbl.find_opt s.splans key with
            | Some p ->
-             Clip_obs.memo_hit ();
+             Clip_obs.memo_hit ctx.obs;
              p
            | None ->
              let p = build () in
@@ -700,7 +708,7 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
   in
   let rec eval_planned env (p : planned) =
     pre_instantiate env p.pm;
-    Clip_plan.execute p.pplan
+    Clip_plan.execute ?obs:ctx.obs p.pplan
       ~tick:(fun () -> tick ctx)
       ~env
       ~emit:(fun env ->
@@ -738,17 +746,18 @@ let reraise_legacy ds =
   let d = match ds with d :: _ -> d | [] -> assert false in
   raise (Error d.Clip_diag.message)
 
-let run_result ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source
-    ~target_root m =
+let run_result ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs
+    ~source ~target_root m =
   Clip_diag.guard (fun () ->
     bnode_to_node
-      (execute ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source
-         ~target_root m))
+      (execute ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs
+         ~source ~target_root m))
 
-let run ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source ~target_root m =
+let run ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs ~source
+    ~target_root m =
   match
-    run_result ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source
-      ~target_root m
+    run_result ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs
+      ~source ~target_root m
   with
   | Ok n -> n
   | Error ds -> reraise_legacy ds
@@ -854,9 +863,9 @@ type trace_entry = {
 }
 
 let run_traced_unguarded ?limits ?minimum_cardinality ?plan ?session ?steps_out
-    ~source ~target_root m =
+    ?obs ~source ~target_root m =
   let root =
-    execute ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source
+    execute ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs ~source
       ~target_root m
   in
   let trace = ref [] in
@@ -873,16 +882,16 @@ let run_traced_unguarded ?limits ?minimum_cardinality ?plan ?session ?steps_out
   (bnode_to_node root, List.rev !trace)
 
 let run_traced_result ?limits ?minimum_cardinality ?plan ?session ?steps_out
-    ~source ~target_root m =
+    ?obs ~source ~target_root m =
   Clip_diag.guard (fun () ->
     run_traced_unguarded ?limits ?minimum_cardinality ?plan ?session ?steps_out
-      ~source ~target_root m)
+      ?obs ~source ~target_root m)
 
-let run_traced ?limits ?minimum_cardinality ?plan ?session ?steps_out ~source
-    ~target_root m =
+let run_traced ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs
+    ~source ~target_root m =
   match
     run_traced_result ?limits ?minimum_cardinality ?plan ?session ?steps_out
-      ~source ~target_root m
+      ?obs ~source ~target_root m
   with
   | Ok r -> r
   | Error ds -> reraise_legacy ds

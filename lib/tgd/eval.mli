@@ -33,7 +33,9 @@
     documents; only error behaviour may differ (pushdown can evaluate
     a failing condition the naive order would never reach, and vice
     versa). [?steps_out], when given, receives the number of budget
-    steps consumed, even when evaluation fails.
+    steps consumed, even when evaluation fails. [?obs], when given,
+    collects execution counters for the run into the supplied sink —
+    counters are explicit per-run state, never ambient.
 
     A {!Session} pins one source document and carries its per-document
     artifacts — tag index, instance statistics, compiled plans —
@@ -75,6 +77,7 @@ val run_result :
   ?plan:Clip_plan.mode ->
   ?session:Session.t ->
   ?steps_out:int ref ->
+  ?obs:Clip_obs.Counters.t ->
   source:Clip_xml.Node.t ->
   target_root:string ->
   Tgd.t ->
@@ -88,6 +91,7 @@ val run :
   ?plan:Clip_plan.mode ->
   ?session:Session.t ->
   ?steps_out:int ref ->
+  ?obs:Clip_obs.Counters.t ->
   source:Clip_xml.Node.t ->
   target_root:string ->
   Tgd.t ->
@@ -128,6 +132,7 @@ val run_traced_result :
   ?plan:Clip_plan.mode ->
   ?session:Session.t ->
   ?steps_out:int ref ->
+  ?obs:Clip_obs.Counters.t ->
   source:Clip_xml.Node.t ->
   target_root:string ->
   Tgd.t ->
@@ -141,6 +146,7 @@ val run_traced :
   ?plan:Clip_plan.mode ->
   ?session:Session.t ->
   ?steps_out:int ref ->
+  ?obs:Clip_obs.Counters.t ->
   source:Clip_xml.Node.t ->
   target_root:string ->
   Tgd.t ->

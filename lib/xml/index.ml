@@ -56,11 +56,11 @@ let rec assq_opt sym = function
   | [] -> None
   | (s, nodes) :: rest -> if Symbol.equal s sym then Some nodes else assq_opt sym rest
 
-let children_by_tag t e sym =
-  Clip_obs.index_probe ();
+let children_by_tag ?obs t e sym =
+  Clip_obs.index_probe obs;
   match Tbl.find_opt t.children e with
   | Some groups ->
-    Clip_obs.index_hit ();
+    Clip_obs.index_hit obs;
     (match assq_opt sym groups with Some nodes -> nodes | None -> [])
   | None when shorter_than e.Node.children small -> scan_children e sym
   | None ->
@@ -81,11 +81,11 @@ let children_by_tag t e sym =
     Tbl.add t.children e groups;
     (match assq_opt sym groups with Some nodes -> nodes | None -> [])
 
-let descendants_by_tag t e sym =
-  Clip_obs.index_probe ();
+let descendants_by_tag ?obs t e sym =
+  Clip_obs.index_probe obs;
   match Hashtbl.find_opt t.descendants (e.Node.id, sym) with
   | Some nodes ->
-    Clip_obs.index_hit ();
+    Clip_obs.index_hit obs;
     nodes
   | None ->
     let acc = ref [] in

@@ -25,10 +25,13 @@ module Tbl : Hashtbl.S with type key = Node.element
     pre-indexing later. *)
 val build : Node.t -> t
 
-(** [children_by_tag t e sym] — the child elements of [e] tagged
-    [sym], in document order; memoised per element. *)
-val children_by_tag : t -> Node.element -> Symbol.t -> Node.t list
+(** [children_by_tag ?obs t e sym] — the child elements of [e] tagged
+    [sym], in document order; memoised per element. [?obs] counts the
+    probe (and hit, when answered from a memoised grouping). *)
+val children_by_tag :
+  ?obs:Clip_obs.Counters.t -> t -> Node.element -> Symbol.t -> Node.t list
 
-(** [descendants_by_tag t e sym] — proper descendant elements of [e]
-    tagged [sym], preorder; memoised per [(element, tag)]. *)
-val descendants_by_tag : t -> Node.element -> Symbol.t -> Node.t list
+(** [descendants_by_tag ?obs t e sym] — proper descendant elements of
+    [e] tagged [sym], preorder; memoised per [(element, tag)]. *)
+val descendants_by_tag :
+  ?obs:Clip_obs.Counters.t -> t -> Node.element -> Symbol.t -> Node.t list

@@ -14,12 +14,14 @@ and element = {
    {!Index} and provenance seen-sets); they carry no document meaning
    and are ignored by comparison. [sym] is the interned [tag] —
    cached at construction so every downstream tag test is an int
-   compare. *)
-let next_id = ref 0
+   compare. The counter is atomic: a plain [incr] under Domain.spawn
+   can lose updates and hand two elements the same id, which would
+   alias them in every id-keyed cache. *)
+let next_id = Atomic.make 0
 
 let elem ?(attrs = []) tag children =
-  incr next_id;
-  Element { id = !next_id; tag; sym = Symbol.intern tag; attrs; children }
+  let id = 1 + Atomic.fetch_and_add next_id 1 in
+  Element { id; tag; sym = Symbol.intern tag; attrs; children }
 let text a = Text a
 let text_string s = Text (Atom.String s)
 let leaf ?attrs tag a = elem ?attrs tag [ Text a ]

@@ -4,7 +4,13 @@
     compare interned symbols with an int equality instead of hashing
     or walking strings. The table is process-wide and append-only — a
     symbol never changes meaning — so symbols may be stored inside
-    immutable nodes and inside caches that outlive a single run. *)
+    immutable nodes and inside caches that outlive a single run.
+
+    The table is domain-safe: the current contents are one immutable
+    snapshot published atomically, so lookups and interning hits are
+    lock-free from any domain; only the first sight of a fresh tag
+    takes a mutex to publish a new snapshot. Symbols interned on one
+    domain are valid on every other. *)
 
 type t = private int
 

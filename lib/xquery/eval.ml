@@ -35,11 +35,14 @@ type ctx = {
     ref;
   steps : int ref;
   mutable max_steps : int;
+  mutable obs : Clip_obs.sink;
+      (* per-run counter sink, set by [with_ctx]; explicit state — the
+         evaluator never reaches for an ambient sink *)
 }
 
 let tick ctx =
   incr ctx.steps;
-  Clip_obs.lim_tick ();
+  Clip_obs.lim_tick ctx.obs;
   if !(ctx.steps) > ctx.max_steps then
     Clip_diag.fail
       (Clip_diag.error ~code:Clip_diag.Codes.limit_eval_steps
@@ -59,13 +62,14 @@ let step_nodes ctx (item : Value.item) (step : Ast.step) : Value.t =
     (* Intern once per step evaluation; per-child comparisons are then
        int compares instead of string equality. *)
     let sym = Xml.Symbol.intern tag in
-    Clip_obs.child_step ();
+    Clip_obs.child_step ctx.obs;
     (match ctx.index with
      | None ->
        (* Naive scan visits every child; the indexed path below only
           touches the matches — [nodes_scanned] records exactly that
           asymmetry (indexed can never exceed naive). *)
-       if Clip_obs.enabled () then Clip_obs.scanned (List.length e.children);
+       if Clip_obs.enabled ctx.obs then
+         Clip_obs.scanned ctx.obs (List.length e.children);
        List.filter_map
          (function
            | Xml.Node.Element c when Xml.Symbol.equal c.sym sym ->
@@ -73,8 +77,9 @@ let step_nodes ctx (item : Value.item) (step : Ast.step) : Value.t =
            | Xml.Node.Element _ | Xml.Node.Text _ -> None)
          e.children
      | Some idx ->
-       let matches = Xml.Index.children_by_tag idx e sym in
-       if Clip_obs.enabled () then Clip_obs.scanned (List.length matches);
+       let matches = Xml.Index.children_by_tag ?obs:ctx.obs idx e sym in
+       if Clip_obs.enabled ctx.obs then
+         Clip_obs.scanned ctx.obs (List.length matches);
        List.map (fun n -> Value.Node n) matches)
   | Value.Node (Xml.Node.Element e), Ast.Attr_step name ->
     (match Xml.Node.attr e name with
@@ -366,7 +371,7 @@ and eval_flwor_planned ctx env clauses where return =
     in
     match find !(ctx.plans) with
     | Some p ->
-      Clip_obs.memo_hit ();
+      Clip_obs.memo_hit ctx.obs;
       p
     | None ->
       let p = flwor_plan ctx ~policy ~bound clauses where in
@@ -386,7 +391,7 @@ and eval_flwor_planned ctx env clauses where return =
      then ctx.index <- Some (Lazy.force ctx.xindex)
    | _ -> ());
   let acc = ref [] in
-  Clip_plan.execute p
+  Clip_plan.execute ?obs:ctx.obs p
     ~tick:(fun () -> tick ctx)
     ~env
     ~emit:(fun env -> acc := eval ctx env return :: !acc);
@@ -478,6 +483,7 @@ let make_ctx input =
     plans = ref [];
     steps = ref 0;
     max_steps = max_int;
+    obs = Clip_obs.none;
   }
 
 (* A session pins one input document and keeps its per-document
@@ -584,12 +590,13 @@ let explain ?(plan = `Auto) ?session ~input (expr : Ast.expr) : string =
      walk [] expr);
   Buffer.contents b
 
-let with_ctx ?session plan limits steps_out input f =
+let with_ctx ?session ?obs plan limits steps_out input f =
   let ctx =
     match session with
     | Some s when s.sctx.input == input -> s.sctx
     | _ -> make_ctx input
   in
+  ctx.obs <- obs;
   (* Tiny documents don't repay planning: run [`Auto] as [`Naive]. *)
   let plan =
     match plan with
@@ -610,30 +617,33 @@ let with_ctx ?session plan limits steps_out input f =
   Fun.protect ~finally:record_steps (fun () -> f ctx)
 
 let run_result ?(limits = Clip_diag.Limits.default) ?(plan = `Auto) ?session
-    ?steps_out ~input expr =
+    ?steps_out ?obs ~input expr =
   Clip_diag.guard (fun () ->
-    with_ctx ?session plan limits steps_out input (fun ctx -> eval ctx Env.empty expr))
+    with_ctx ?session ?obs plan limits steps_out input (fun ctx ->
+        eval ctx Env.empty expr))
 
 let reraise_legacy ds =
   let d = match ds with d :: _ -> d | [] -> assert false in
   raise (Error d.Clip_diag.message)
 
-let run ?limits ?plan ?session ?steps_out ~input expr =
-  match run_result ?limits ?plan ?session ?steps_out ~input expr with
+let run ?limits ?plan ?session ?steps_out ?obs ~input expr =
+  match run_result ?limits ?plan ?session ?steps_out ?obs ~input expr with
   | Ok v -> v
   | Error ds -> reraise_legacy ds
 
 let run_document_result ?(limits = Clip_diag.Limits.default) ?(plan = `Auto)
-    ?session ?steps_out ~input expr =
+    ?session ?steps_out ?obs ~input expr =
   Clip_diag.guard (fun () ->
-    with_ctx ?session plan limits steps_out input (fun ctx ->
+    with_ctx ?session ?obs plan limits steps_out input (fun ctx ->
       match eval ctx Env.empty expr with
       | [ Value.Node (Xml.Node.Element _ as n) ] -> n
       | v ->
         error "query result is not a single element: %s"
           (Format.asprintf "%a" Value.pp v)))
 
-let run_document ?limits ?plan ?session ?steps_out ~input expr =
-  match run_document_result ?limits ?plan ?session ?steps_out ~input expr with
+let run_document ?limits ?plan ?session ?steps_out ?obs ~input expr =
+  match
+    run_document_result ?limits ?plan ?session ?steps_out ?obs ~input expr
+  with
   | Ok n -> n
   | Error ds -> reraise_legacy ds

@@ -18,7 +18,9 @@
     may differ (pushdown can evaluate a failing conjunct the naive
     order would never reach, and vice versa). [?steps_out], when
     given, receives the number of budget steps consumed, even when
-    evaluation fails.
+    evaluation fails. [?obs], when given, collects execution counters
+    for the run into the supplied sink — counters are explicit per-run
+    state, never ambient.
 
     A {!Session} pins one input document and carries its per-document
     artifacts — tag index, instance statistics, compiled FLWOR plans —
@@ -63,6 +65,7 @@ val run_result :
   ?plan:Clip_plan.mode ->
   ?session:Session.t ->
   ?steps_out:int ref ->
+  ?obs:Clip_obs.Counters.t ->
   input:Clip_xml.Node.t ->
   Ast.expr ->
   (Value.t, Clip_diag.t list) result
@@ -74,6 +77,7 @@ val run :
   ?plan:Clip_plan.mode ->
   ?session:Session.t ->
   ?steps_out:int ref ->
+  ?obs:Clip_obs.Counters.t ->
   input:Clip_xml.Node.t ->
   Ast.expr ->
   Value.t
@@ -86,6 +90,7 @@ val run_document_result :
   ?plan:Clip_plan.mode ->
   ?session:Session.t ->
   ?steps_out:int ref ->
+  ?obs:Clip_obs.Counters.t ->
   input:Clip_xml.Node.t ->
   Ast.expr ->
   (Clip_xml.Node.t, Clip_diag.t list) result
@@ -97,6 +102,7 @@ val run_document :
   ?plan:Clip_plan.mode ->
   ?session:Session.t ->
   ?steps_out:int ref ->
+  ?obs:Clip_obs.Counters.t ->
   input:Clip_xml.Node.t ->
   Ast.expr ->
   Clip_xml.Node.t

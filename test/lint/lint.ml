@@ -1,4 +1,5 @@
-(* Source lint: forbid [failwith] and [Obj.magic] in [lib/].
+(* Source lint: forbid [failwith], [Obj.magic] and ambient mutable
+   globals in [lib/].
 
    Library code reports failures as [Clip_diag] diagnostics (or typed
    exceptions); [failwith] erases the code, span and hints. The only
@@ -7,9 +8,20 @@
    with the number of occurrences each may contain. [Obj.magic] is
    never allowed.
 
+   Top-level [ref] / [Hashtbl.create] value bindings are ambient
+   mutable state: invisible to callers, shared across runs, and racy
+   across domains. Run-scoped state belongs in a [Clip_run] context
+   (counters, tracers, session memos); cross-domain state must be
+   [Atomic] or mutex-guarded with an explicit allowlist entry.
+
    Run as [lint.exe LIBDIR]; wired into [dune runtest]. *)
 
 let allowlist = [ ("clio/generate.ml", 1); ("clio/enumerate.ml", 1); ("core/compile.ml", 1) ]
+
+(* Files allowed N top-level mutable bindings. xml/symbol.ml's one is
+   the empty initial intern table, published through an [Atomic]
+   snapshot and only ever replaced under its mutex. *)
+let mutable_allowlist = [ ("xml/symbol.ml", 1) ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -23,6 +35,152 @@ let count_substring hay needle =
   for i = 0 to nh - nn do
     if String.equal (String.sub hay i nn) needle then incr count
   done;
+  !count
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Occurrences of [needle] as a standalone token (no identifier
+   character or '.' on either side, so [deref], [prefs] and
+   [M.ref_like] don't count). *)
+let count_token hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let count = ref 0 in
+  for i = 0 to nh - nn do
+    if
+      String.equal (String.sub hay i nn) needle
+      && (i = 0 || (not (is_ident_char hay.[i - 1]) && hay.[i - 1] <> '.'))
+      && (i + nn >= nh || not (is_ident_char hay.[i + nn]))
+    then incr count
+  done;
+  !count
+
+(* Blank out string literals ("…" with escapes, {tag|…|tag}) and
+   comments, so a [ref] inside an embedded schema text or a doc
+   comment is not mistaken for the allocator. Replacement preserves
+   offsets and newlines. *)
+let strip_literals src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+     | '"' ->
+       blank !i;
+       incr i;
+       let fin = ref false in
+       while (not !fin) && !i < n do
+         (match src.[!i] with
+          | '\\' when !i + 1 < n ->
+            blank !i;
+            blank (!i + 1);
+            incr i
+          | '"' -> fin := true
+          | _ -> blank !i);
+         incr i
+       done
+     | '{' ->
+       (* {tag|…|tag} quoted string: scan the tag (lowercase/_ only). *)
+       let j = ref (!i + 1) in
+       while !j < n && (src.[!j] = '_' || (src.[!j] >= 'a' && src.[!j] <= 'z')) do
+         incr j
+       done;
+       if !j < n && src.[!j] = '|' then begin
+         let close = "|" ^ String.sub src (!i + 1) (!j - !i - 1) ^ "}" in
+         let nc = String.length close in
+         let k = ref (!j + 1) in
+         while
+           !k + nc <= n && not (String.equal (String.sub src !k nc) close)
+         do
+           incr k
+         done;
+         let stop = min n (!k + nc) in
+         for p = !i to stop - 1 do
+           blank p
+         done;
+         i := stop
+       end
+       else incr i
+     | '(' when !i + 1 < n && src.[!i + 1] = '*' ->
+       let depth = ref 0 in
+       let fin = ref false in
+       while (not !fin) && !i < n do
+         if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+           incr depth;
+           blank !i;
+           blank (!i + 1);
+           i := !i + 2
+         end
+         else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+           decr depth;
+           blank !i;
+           blank (!i + 1);
+           i := !i + 2;
+           if !depth = 0 then fin := true
+         end
+         else begin
+           blank !i;
+           incr i
+         end
+       done
+     | _ -> incr i)
+  done;
+  Bytes.to_string out
+
+(* Top-level mutable globals: a column-0 [let] (or [let rec]) binding
+   a plain identifier — a value, not a function — whose body (up to
+   the next column-0 line) creates a [ref] or a [Hashtbl]. Function
+   bindings are fine: their state is per-call. *)
+let count_mutable_globals src =
+  let src = strip_literals src in
+  let lines = String.split_on_char '\n' src in
+  let starts_at_col0 l = String.length l > 0 && l.[0] <> ' ' && l.[0] <> '\t' in
+  let binding_of l =
+    (* "let x = ..." / "let rec x = ..." / "let x : t = ..." — value
+       iff the pattern before '=' is one identifier (plus optional
+       type annotation). *)
+    if not (String.length l > 4 && String.sub l 0 4 = "let ") then None
+    else
+      match String.index_opt l '=' with
+      | None -> None
+      | Some eq ->
+        let pat = String.trim (String.sub l 4 (eq - 4)) in
+        let pat =
+          if String.length pat > 4 && String.sub pat 0 4 = "rec " then
+            String.trim (String.sub pat 4 (String.length pat - 4))
+          else pat
+        in
+        let pat =
+          match String.index_opt pat ':' with
+          | Some c -> String.trim (String.sub pat 0 c)
+          | None -> pat
+        in
+        if pat <> "" && String.for_all is_ident_char pat then Some pat else None
+  in
+  let count = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | line :: rest ->
+      (match binding_of line with
+       | None -> go rest
+       | Some _name ->
+         let body, rest' =
+           let rec take acc = function
+             | l :: ls when not (starts_at_col0 l) -> take (l :: acc) ls
+             | ls -> (List.rev acc, ls)
+           in
+           take [ line ] rest
+         in
+         let text = String.concat "\n" body in
+         if count_token text "ref" > 0 || count_substring text "Hashtbl.create" > 0
+         then incr count;
+         go rest')
+  in
+  go lines;
   !count
 
 let rec ml_files dir =
@@ -58,6 +216,18 @@ let () =
         complain
           "lint: %s: %d use(s) of failwith, %d allowed — report a Clip_diag \
            diagnostic instead (see lib/diag)"
-          rel fw allowed)
+          rel fw allowed;
+      if Filename.check_suffix path ".ml" then begin
+        let globals = count_mutable_globals src in
+        let allowed =
+          match List.assoc_opt rel mutable_allowlist with Some n -> n | None -> 0
+        in
+        if globals > allowed then
+          complain
+            "lint: %s: %d top-level ref/Hashtbl value binding(s), %d allowed — \
+             run-scoped state belongs in a Clip_run context; cross-domain \
+             state must be Atomic or mutex-guarded (then allowlist it here)"
+            rel globals allowed
+      end)
     (ml_files root);
   if !errors > 0 then exit 1 else print_endline "lint: lib/ is clean"

@@ -349,8 +349,9 @@ let end_to_end_property =
         let counted backend =
           let c = Clip_obs.Counters.create () in
           let out =
-            Clip_obs.with_counters c (fun () ->
-                Clip_core.Engine.run ~backend clip sc.S.Table1.instance)
+            Clip_core.Engine.run
+              ~ctx:(Clip_run.create ~counters:c ())
+              ~backend clip sc.S.Table1.instance
           in
           (out, c)
         in

@@ -1,0 +1,200 @@
+(* The parallel batch layer: Clip_par.map must be a deterministic
+   drop-in for List.map — byte-identical, order-identical output and
+   exactly-merged counters for any job count — and the layers below
+   must be domain-safe (Symbol interning, per-context session memos).
+
+   These tests exercise real domains; keep batch sizes small so the
+   suite stays fast on single-core machines. *)
+
+module S = Clip_scenarios
+module Node = Clip_xml.Node
+module Engine = Clip_core.Engine
+module C = Clip_obs.Counters
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* A batch of pairwise-different documents, so an ordering or
+   task-mixup bug cannot hide behind identical outputs. *)
+let batch seeds =
+  List.map
+    (fun seed ->
+      S.Deptdb.synthetic_instance
+        ~depts:(2 + (seed mod 7))
+        ~projs:(1 + (seed mod 3))
+        ~emps:(2 + (seed mod 5)))
+    seeds
+
+(* Render inside the task, as the CLI does: "byte-identical stdout" is
+   literally what comparing these strings checks. *)
+let eval (sc : S.Figures.t) ~backend ~obs doc =
+  let ctx = Clip_run.create ?counters:obs () in
+  Clip_xml.Printer.to_pretty_string
+    (Engine.run ~ctx ~backend
+       ~minimum_cardinality:sc.minimum_cardinality sc.mapping doc)
+
+let backends_of (sc : S.Figures.t) =
+  if sc.minimum_cardinality then [ ("tgd", `Tgd); ("xquery", `Xquery) ]
+  else [ ("tgd", `Tgd) ]
+
+(* --- Differential: parallel == sequential, every figure x backend --- *)
+
+let test_differential () =
+  List.iter
+    (fun (sc : S.Figures.t) ->
+      List.iter
+        (fun (bname, backend) ->
+          let docs = S.Deptdb.instance :: batch [ 0; 1; 2; 3; 4 ] in
+          let seq =
+            Clip_par.map ~jobs:1 (fun ~obs doc -> eval sc ~backend ~obs doc) docs
+          in
+          let par =
+            Clip_par.map ~jobs:4 (fun ~obs doc -> eval sc ~backend ~obs doc) docs
+          in
+          checkb
+            (Printf.sprintf "%s/%s: --jobs 4 byte- and order-identical"
+               sc.name bname)
+            true (seq = par))
+        (backends_of sc))
+    S.Figures.all
+
+(* Randomised batches: any document multiset, any job count. *)
+let prop_differential =
+  QCheck.Test.make ~count:20 ~name:"par: map ~jobs:n == List.map, random batches"
+    QCheck.(pair (list_of_size Gen.(1 -- 8) (int_bound 30)) (1 -- 6))
+    (fun (seeds, jobs) ->
+      let docs = batch seeds in
+      let sc = S.Figures.fig6 in
+      let seq = List.map (fun doc -> eval sc ~backend:`Tgd ~obs:None doc) docs in
+      let par =
+        Clip_par.map ~jobs (fun ~obs doc -> eval sc ~backend:`Tgd ~obs doc) docs
+      in
+      seq = par)
+
+(* --- Counter merge: per-domain sinks sum to the sequential totals --- *)
+
+let test_counter_merge () =
+  List.iter
+    (fun (sc : S.Figures.t) ->
+      List.iter
+        (fun (bname, backend) ->
+          let docs = S.Deptdb.instance :: batch [ 1; 3; 5; 7 ] in
+          let cs = C.create () in
+          ignore
+            (Clip_par.map ~jobs:1 ~obs:cs
+               (fun ~obs doc -> eval sc ~backend ~obs doc)
+               docs);
+          let cp = C.create () in
+          ignore
+            (Clip_par.map ~jobs:4 ~obs:cp
+               (fun ~obs doc -> eval sc ~backend ~obs doc)
+               docs);
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "%s/%s: merged counters = sequential" sc.name bname)
+            (C.to_assoc cs) (C.to_assoc cp))
+        (backends_of sc))
+    S.Figures.all
+
+(* --- Failure determinism: lowest failing index wins ----------------- *)
+
+exception Boom of int
+
+let test_exception_determinism () =
+  for _ = 1 to 5 do
+    match
+      Clip_par.map ~jobs:4
+        (fun ~obs:_ i -> if i mod 2 = 1 then raise (Boom i) else i)
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    with
+    | _ -> Alcotest.fail "expected an exception"
+    | exception Boom i -> checki "lowest failing index raises" 1 i
+  done
+
+(* --- Symbol interning under concurrent domains ---------------------- *)
+
+let test_symbol_concurrent () =
+  let per_domain = 200 in
+  let domains = 4 in
+  let tags d i = Printf.sprintf "par-sym-%d" ((d * per_domain) + (i mod 50)) in
+  let worker d () =
+    Array.init per_domain (fun i ->
+        let s = tags d i in
+        (s, Clip_xml.Symbol.intern s))
+  in
+  let spawned = List.init domains (fun d -> Domain.spawn (worker d)) in
+  let all = List.concat_map (fun h -> Array.to_list (Domain.join h)) spawned in
+  (* Every returned id resolves back to the interned string... *)
+  List.iter
+    (fun (s, id) ->
+      Alcotest.(check string) "id resolves to its string" s
+        (Clip_xml.Symbol.name id))
+    all;
+  (* ...and interning is idempotent across the table that resulted. *)
+  List.iter
+    (fun (s, id) ->
+      checkb ("re-intern " ^ s) true (Clip_xml.Symbol.intern s = id))
+    all
+
+(* --- Per-context session memo (no cross-document poisoning) --------- *)
+
+let test_session_memo_per_ctx () =
+  let sc = S.Figures.fig6 in
+  let doc_a = S.Deptdb.instance in
+  let doc_b = S.Deptdb.synthetic_instance ~depts:3 ~projs:2 ~emps:2 in
+  (* Alternating documents through one context must stay correct: the
+     memo is keyed on the document, re-created on change, never reused
+     across documents. *)
+  let ctx = Clip_run.create () in
+  let direct doc = Engine.run ~backend:`Tgd sc.mapping doc in
+  let via_ctx doc = Engine.run ~ctx ~backend:`Tgd sc.mapping doc in
+  List.iter
+    (fun doc ->
+      checkb "alternating docs through one ctx stays correct" true
+        (Node.equal (direct doc) (via_ctx doc)))
+    [ doc_a; doc_b; doc_a; doc_b; doc_a ];
+  (* Re-running the same document in the same context hits the session
+     memo; a fresh context starts cold. *)
+  let c = C.create () in
+  let counting = Clip_run.create ~counters:c () in
+  ignore (Engine.run ~ctx:counting ~backend:`Tgd sc.mapping doc_a);
+  let cold_hits = c.C.session_hits in
+  ignore (Engine.run ~ctx:counting ~backend:`Tgd sc.mapping doc_a);
+  let warm_hits = c.C.session_hits - cold_hits in
+  checkb
+    (Printf.sprintf "warm ctx re-run hits the session memo (%d > %d)" warm_hits
+       cold_hits)
+    true (warm_hits > cold_hits);
+  (* Contexts are isolated: warming one context never warms another. *)
+  let c2 = C.create () in
+  ignore
+    (Engine.run ~ctx:(Clip_run.create ~counters:c2 ()) ~backend:`Tgd sc.mapping
+       doc_a);
+  checki "fresh ctx starts cold" cold_hits c2.C.session_hits
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "figures x backends, jobs=4" `Quick
+            test_differential;
+          QCheck_alcotest.to_alcotest prop_differential;
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "merge = sequential" `Quick test_counter_merge ] );
+      ( "failures",
+        [
+          Alcotest.test_case "lowest index raises" `Quick
+            test_exception_determinism;
+        ] );
+      ( "symbol",
+        [
+          Alcotest.test_case "concurrent interning" `Quick
+            test_symbol_concurrent;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "per-context memo" `Quick
+            test_session_memo_per_ctx;
+        ] );
+    ]

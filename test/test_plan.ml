@@ -454,14 +454,14 @@ let contains hay needle =
    describe execution alone and are deterministic. *)
 let counted_run (sc : S.Figures.t) ~backend ~plan doc =
   let session = Engine.Session.create doc in
-  let run () =
-    Engine.Session.run ~backend
+  let run ?ctx () =
+    Engine.Session.run ?ctx ~backend
       ~minimum_cardinality:sc.S.Figures.minimum_cardinality ~plan session
       sc.S.Figures.mapping
   in
   ignore (run ());
   let c = C.create () in
-  let out = Clip_obs.with_counters c run in
+  let out = run ~ctx:(Clip_run.create ~counters:c ()) () in
   (out, c)
 
 let counter_invariants (sc : S.Figures.t) ~backend doc =
