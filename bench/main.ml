@@ -1099,6 +1099,65 @@ let par_experiment ?(smoke = false) ?(check = false) () =
   Printf.printf
     "\nall outputs byte-identical: %b\nall merged counters equal sequential: %b\n"
     all_identical all_counters;
+  subrule
+    "degraded batch: one injected par.task fault — survivors intact, counters \
+     exact";
+  (* One injected permanent fault in an N-task batch must cost exactly
+     that slot: the other N-1 outputs byte-identical to the fault-free
+     run, and the merged counters equal to the fault-free totals of the
+     survivors alone (failed attempts merge nothing). Sequential run
+     pins the failing slot deterministically (hit ordinal = slot + 1);
+     the pool run gates isolation, since which task claims the firing
+     hit is scheduling-dependent. *)
+  let dsc = S.Figures.fig6 in
+  let dg_docs = S.Deptdb.instance :: batch ~n:7 ~scale:3 in
+  let dg_n = List.length dg_docs in
+  let dg_fail = 3 in
+  let task ~obs doc =
+    Clip_diag.guard (fun () -> eval dsc ~backend:`Tgd ~plan:`Auto ~obs doc)
+  in
+  let full =
+    List.map (fun doc -> eval dsc ~backend:`Tgd ~plan:`Auto ~obs:None doc) dg_docs
+  in
+  let cs = Clip_obs.Counters.create () in
+  ignore
+    (Clip_par.map_results ~jobs:1 ~obs:cs task
+       (List.filteri (fun i _ -> i <> dg_fail) dg_docs));
+  let cf = Clip_obs.Counters.create () in
+  Clip_fault.arm ~kind:Clip_fault.Permanent ~from:(dg_fail + 1)
+    Clip_fault.Site.par_task;
+  let rs = Clip_par.map_results ~jobs:1 ~obs:cf task dg_docs in
+  Clip_fault.disarm ();
+  let slot_ok i r =
+    match r with
+    | Ok s when i <> dg_fail -> String.equal s (List.nth full i)
+    | Error ds when i = dg_fail ->
+      List.exists
+        (fun d -> String.equal d.Clip_diag.code Clip_diag.Codes.fault_permanent)
+        ds
+    | Ok _ | Error _ -> false
+  in
+  let degraded_intact = List.for_all Fun.id (List.mapi slot_ok rs) in
+  let degraded_counters =
+    Clip_obs.Counters.to_assoc cs = Clip_obs.Counters.to_assoc cf
+  in
+  Clip_fault.arm ~kind:Clip_fault.Permanent ~from:1 Clip_fault.Site.par_task;
+  let rsp = Clip_par.map_results ~jobs task dg_docs in
+  Clip_fault.disarm ();
+  let degraded_par_isolated =
+    List.length (List.filter Result.is_error rsp) = 1
+    && List.for_all Fun.id
+         (List.mapi
+            (fun i r ->
+              match r with
+              | Ok s -> String.equal s (List.nth full i)
+              | Error _ -> true)
+            rsp)
+  in
+  Printf.printf
+    "degraded batch (%d tasks, slot %d injected): survivors intact %b | \
+     counters exact %b | %d-domain isolation %b\n"
+    dg_n dg_fail degraded_intact degraded_counters jobs degraded_par_isolated;
   subrule "wall-clock: sequential vs pool on a scaled batch";
   let n_docs = if smoke then 8 else 16 in
   let scale = if smoke then 12 else 40 in
@@ -1161,6 +1220,11 @@ let par_experiment ?(smoke = false) ?(check = false) () =
   Buffer.add_string buf (Printf.sprintf "  \"speedup\": %.3f,\n" speedup);
   Buffer.add_string buf
     (Printf.sprintf "  \"speedup_enforced\": %b,\n" speedup_enforced);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"degraded\": {\"tasks\": %d, \"failed_slot\": %d, \"intact\": %b, \
+        \"counters_exact\": %b, \"par_isolated\": %b},\n"
+       dg_n dg_fail degraded_intact degraded_counters degraded_par_isolated);
   Buffer.add_string buf "  \"agreement\": [\n";
   Buffer.add_string buf
     (String.concat ",\n" (List.map (fun r -> "    " ^ row_json r) agreement_rows));
@@ -1179,6 +1243,13 @@ let par_experiment ?(smoke = false) ?(check = false) () =
     if not all_counters then begin
       Printf.eprintf
         "par bench check FAILED: merged counters differ from sequential\n";
+      exit 1
+    end;
+    if not (degraded_intact && degraded_counters && degraded_par_isolated) then begin
+      Printf.eprintf
+        "par bench check FAILED: degraded batch (intact %b, counters %b, \
+         isolated %b)\n"
+        degraded_intact degraded_counters degraded_par_isolated;
       exit 1
     end;
     if speedup_enforced && speedup < speedup_target then begin

@@ -162,21 +162,68 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let run file inputs backend plan tree trace jobs =
+  let timeout_arg =
+    let doc =
+      "Abort any input's evaluation after $(docv) milliseconds of wall \
+       clock, reporting CLIP-LIM-005. The deadline is per input (each task \
+       gets its own), checked cooperatively at the evaluators' step-budget \
+       tick sites, so even a runaway cross product terminates cleanly."
+    in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let keep_going_flag =
+    let doc =
+      "Do not stop at the first failing input: print every successful \
+       output (in input order), report each failure under a 'clip: input \
+       FILE: failed' header, then a summary count on stderr. Exit 0 only \
+       when every input succeeded, 1 otherwise. Without this flag, outputs \
+       are printed up to the first failing input and only that failure is \
+       reported."
+    in
+    Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Re-attempt an input whose evaluation failed transiently (codes \
+       CLIP-FLT-001, CLIP-IO-001) up to $(docv) more times, with fresh \
+       per-task state. Deterministic failures (syntax, limits, deadlines) \
+       are never retried."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let run file inputs backend plan tree trace jobs timeout_ms keep_going retries =
     let m = load_mapping file in
     (* Parse sequentially: parse diagnostics want the source text for
-       caret rendering, and parsing is cheap next to evaluation. *)
+       caret rendering, and parsing is cheap next to evaluation. Without
+       --keep-going the first parse failure aborts the whole run; with
+       it, a bad document is just one failed input in the summary. *)
+    let parse_failures = ref 0 in
     let sources =
-      List.map
+      List.filter_map
         (fun path ->
           let xml_src = read_file path in
           match Clip_xml.Parser.parse_string_result xml_src with
           | Error ds ->
+            if not keep_going then begin
+              report ~src:xml_src ds;
+              exit 1
+            end;
+            incr parse_failures;
+            Printf.eprintf "clip: input %s: failed\n" path;
             report ~src:xml_src ds;
-            exit 1
-          | Ok source -> source)
+            None
+          | Ok source -> Some (path, source))
         inputs
     in
+    (* SIGINT flips a cooperative cancellation flag shared by every
+       task; workers notice at their next control poll and unwind with
+       CLIP-LIM-006, so an interrupted batch still reports per-input
+       outcomes instead of dying mid-write. *)
+    let cancel = Clip_run.Cancel.create () in
+    (try
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> Clip_run.Cancel.set cancel))
+     with Invalid_argument _ | Sys_error _ -> ());
     (* Under --trace, counters from every task merge into [total]; the
        span tracer is single-domain state, so phases are reported only
        on the sequential path (where the one worker is this domain). *)
@@ -189,8 +236,18 @@ let run_cmd =
     (* One task per document: its own context, hence its own session
        and plan memos — nothing shared across domains. Rendering to a
        string inside the task keeps stdout in input order. *)
-    let evaluate ~obs source =
-      let ctx = Clip_run.create ?counters:obs ?tracer () in
+    let evaluate ~obs (_path, source) =
+      let deadline =
+        match timeout_ms with
+        | None -> None
+        | Some ms ->
+          (* Per task, started at task start: an input's clock does not
+             run while earlier inputs evaluate. *)
+          Some
+            (Clip_run.deadline_after ~now:Unix.gettimeofday
+               ~seconds:(float_of_int ms /. 1000.))
+      in
+      let ctx = Clip_run.create ?counters:obs ?tracer ?deadline ~cancel () in
       match Clip_core.Engine.run_result ~ctx ~backend ~plan m source with
       | Error ds -> Error ds
       | Ok out ->
@@ -225,18 +282,43 @@ let run_cmd =
         end;
         Ok (Buffer.contents b)
     in
-    let results = Clip_par.map ~jobs ?obs:total evaluate sources in
+    let results = Clip_par.map_results ~jobs ~retries ?obs:total evaluate sources in
     let code =
-      List.fold_left
-        (fun code r ->
-          match r with
-          | Ok s ->
+      if keep_going then begin
+        (* Graceful degradation: every input's outcome, in input order;
+           successes on stdout, failures under a per-input header on
+           stderr, then a one-line summary. *)
+        let failed = ref !parse_failures in
+        List.iter2
+          (fun (path, _) r ->
+            match r with
+            | Ok s -> print_string s
+            | Error ds ->
+              incr failed;
+              Printf.eprintf "clip: input %s: failed\n" path;
+              report ds)
+          sources results;
+        if !failed > 0 then begin
+          Printf.eprintf "clip: %d of %d input(s) failed\n" !failed
+            (List.length inputs);
+          1
+        end
+        else 0
+      end
+      else begin
+        (* Fail fast: outputs up to the first failing input, then that
+           failure's diagnostics and nothing after it. *)
+        let rec emit = function
+          | [] -> 0
+          | Ok s :: rest ->
             print_string s;
-            code
-          | Error ds ->
+            emit rest
+          | Error ds :: _ ->
             report ds;
-            1)
-        0 results
+            1
+        in
+        emit results
+      end
     in
     if trace && code = 0 then begin
       (match tracer with
@@ -251,7 +333,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Transform a source instance into a target instance")
     Term.(const run $ mapping_file $ input_files $ backend_arg $ plan_arg
-          $ tree_flag $ trace_flag $ jobs_arg)
+          $ tree_flag $ trace_flag $ jobs_arg $ timeout_arg $ keep_going_flag
+          $ retries_arg)
 
 (* --- explain ------------------------------------------------------------ *)
 
@@ -537,4 +620,17 @@ let main =
       lineage_cmd;
     ]
 
-let () = exit (Cmd.eval' main)
+(* CLIP_FAULT=site[:FROM[:KIND[:TIMES]]] arms one deterministic fault
+   before the command runs — the test harness's hook for exercising
+   error paths through the real binary (see Clip_fault). A malformed
+   spec is a usage error, same class as a bad flag. *)
+let () =
+  (match Sys.getenv_opt "CLIP_FAULT" with
+   | None -> ()
+   | Some spec ->
+     (match Clip_fault.arm_spec spec with
+      | Ok () -> ()
+      | Error msg ->
+        prerr_endline ("clip: CLIP_FAULT: " ^ msg);
+        exit 124));
+  exit (Cmd.eval' main)

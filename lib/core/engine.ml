@@ -38,12 +38,17 @@ module Session = struct
 
   let source s = s.ssource
 
+  (* Population is fault-safe by construction: the table gains its
+     entry only after [compute] returns, so a failure mid-population
+     (e.g. an injected [session.populate] fault) leaves the cache
+     exactly as it was — never a poisoned entry. *)
   let memo ?obs tbl key compute =
     match Hashtbl.find_opt tbl key with
     | Some v ->
       Clip_obs.session_hit obs;
       v
     | None ->
+      Clip_fault.hit ~obs Clip_fault.Site.session_populate;
       let v = compute () in
       Hashtbl.add tbl key v;
       v
@@ -70,12 +75,18 @@ module Session = struct
          s.slast_tgd <- Some (m, tgd);
          Ok tgd
        | None ->
-         (match Compile.to_tgd_result m with
+         (match
+            Clip_diag.guard (fun () ->
+                Clip_fault.hit ~obs Clip_fault.Site.session_populate)
+          with
           | Error _ as e -> e
-          | Ok tgd ->
-            Hashtbl.add s.scompiled m tgd;
-            s.slast_tgd <- Some (m, tgd);
-            Ok tgd))
+          | Ok () ->
+            (match Compile.to_tgd_result m with
+             | Error _ as e -> e
+             | Ok tgd ->
+               Hashtbl.add s.scompiled m tgd;
+               s.slast_tgd <- Some (m, tgd);
+               Ok tgd)))
 
   let to_xquery ?obs s ~target_root tgd =
     match s.slast_xq with
@@ -102,12 +113,18 @@ module Session = struct
          s.slast_xq <- Some (target_root, tgd, q);
          Ok q
        | None ->
-         (match To_xquery.translate_result ~target_root tgd with
+         (match
+            Clip_diag.guard (fun () ->
+                Clip_fault.hit ~obs Clip_fault.Site.session_populate)
+          with
           | Error _ as e -> e
-          | Ok q ->
-            Hashtbl.add s.stranslated (target_root, tgd) q;
-            s.slast_xq <- Some (target_root, tgd, q);
-            Ok q))
+          | Ok () ->
+            (match To_xquery.translate_result ~target_root tgd with
+             | Error _ as e -> e
+             | Ok q ->
+               Hashtbl.add s.stranslated (target_root, tgd) q;
+               s.slast_xq <- Some (target_root, tgd, q);
+               Ok q)))
 
   let run ?ctx ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?steps_out
       s (m : Mapping.t) =
@@ -118,8 +135,9 @@ module Session = struct
     match backend with
     | `Tgd ->
       Clip_run.span ctx "execute" (fun () ->
-        Clip_tgd.Eval.run ~minimum_cardinality ?plan ~session:s.stgd ?steps_out
-          ?obs ~source:s.ssource ~target_root tgd)
+        Clip_tgd.Eval.run ~minimum_cardinality ?plan
+          ~ctl:(Clip_run.control ctx) ~session:s.stgd ?steps_out ?obs
+          ~source:s.ssource ~target_root tgd)
     | (`Xquery | `Xquery_text) as backend ->
       if not minimum_cardinality then
         invalid_arg
@@ -141,8 +159,8 @@ module Session = struct
               (Clip_xquery.Pretty.query_to_string query))
       in
       Clip_run.span ctx "execute" (fun () ->
-        Clip_xquery.Eval.run_document ?plan ~session:s.sxq ?steps_out ?obs
-          ~input:s.ssource query)
+        Clip_xquery.Eval.run_document ?plan ~ctl:(Clip_run.control ctx)
+          ~session:s.sxq ?steps_out ?obs ~input:s.ssource query)
 
   let run_result ?ctx ?limits ?(backend = `Tgd) ?(minimum_cardinality = true)
       ?plan ?steps_out s (m : Mapping.t) =
@@ -156,7 +174,8 @@ module Session = struct
        | `Tgd ->
          Clip_run.span ctx "execute" (fun () ->
            Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan
-             ~session:s.stgd ?steps_out ?obs ~source:s.ssource ~target_root tgd)
+             ~ctl:(Clip_run.control ctx) ~session:s.stgd ?steps_out ?obs
+             ~source:s.ssource ~target_root tgd)
        | (`Xquery | `Xquery_text) as backend ->
          if not minimum_cardinality then
            invalid_arg
@@ -181,7 +200,8 @@ module Session = struct
              | Ok query ->
                Clip_run.span ctx "execute" (fun () ->
                  Clip_xquery.Eval.run_document_result ?limits ?plan
-                   ~session:s.sxq ?steps_out ?obs ~input:s.ssource query))))
+                   ~ctl:(Clip_run.control ctx) ~session:s.sxq ?steps_out ?obs
+                   ~input:s.ssource query))))
 end
 
 (* --- One-shot entry points --------------------------------------------- *)
@@ -257,8 +277,9 @@ let run_traced ?ctx ?(minimum_cardinality = true) ?plan (m : Mapping.t) source =
   let obs = Clip_run.counters ctx in
   let tgd = Clip_run.span ctx "compile" (fun () -> Session.to_tgd ?obs s m) in
   Clip_run.span ctx "execute" (fun () ->
-    Clip_tgd.Eval.run_traced ~minimum_cardinality ?plan ~session:s.stgd ?obs
-      ~source ~target_root:m.target.root.name tgd)
+    Clip_tgd.Eval.run_traced ~minimum_cardinality ?plan
+      ~ctl:(Clip_run.control ctx) ~session:s.stgd ?obs ~source
+      ~target_root:m.target.root.name tgd)
 
 (* EXPLAIN: compile (or translate) like a run would, then hand off to
    the backend's static plan renderer. Uses the same one-shot session

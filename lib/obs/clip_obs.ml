@@ -16,6 +16,8 @@ module Counters = struct
     mutable memo_hits : int;
     mutable session_hits : int;
     mutable lim_ticks : int;
+    mutable ctl_checks : int;
+    mutable faults_injected : int;
   }
 
   let create () =
@@ -29,6 +31,8 @@ module Counters = struct
       memo_hits = 0;
       session_hits = 0;
       lim_ticks = 0;
+      ctl_checks = 0;
+      faults_injected = 0;
     }
 
   let reset c =
@@ -40,7 +44,9 @@ module Counters = struct
     c.hash_join_probes <- 0;
     c.memo_hits <- 0;
     c.session_hits <- 0;
-    c.lim_ticks <- 0
+    c.lim_ticks <- 0;
+    c.ctl_checks <- 0;
+    c.faults_injected <- 0
 
   let copy c = { c with nodes_scanned = c.nodes_scanned }
 
@@ -53,7 +59,9 @@ module Counters = struct
     into.hash_join_probes <- into.hash_join_probes + c.hash_join_probes;
     into.memo_hits <- into.memo_hits + c.memo_hits;
     into.session_hits <- into.session_hits + c.session_hits;
-    into.lim_ticks <- into.lim_ticks + c.lim_ticks
+    into.lim_ticks <- into.lim_ticks + c.lim_ticks;
+    into.ctl_checks <- into.ctl_checks + c.ctl_checks;
+    into.faults_injected <- into.faults_injected + c.faults_injected
 
   let work_assoc c =
     [
@@ -68,7 +76,12 @@ module Counters = struct
 
   let to_assoc c =
     work_assoc c
-    @ [ ("memo_hits", c.memo_hits); ("session_hits", c.session_hits) ]
+    @ [
+        ("memo_hits", c.memo_hits);
+        ("session_hits", c.session_hits);
+        ("ctl_checks", c.ctl_checks);
+        ("faults_injected", c.faults_injected);
+      ]
 
   let to_string c =
     String.concat ""
@@ -134,6 +147,16 @@ let lim_tick (s : sink) =
   match s with
   | None -> ()
   | Some c -> c.Counters.lim_ticks <- c.Counters.lim_ticks + 1
+
+let ctl_check (s : sink) =
+  match s with
+  | None -> ()
+  | Some c -> c.Counters.ctl_checks <- c.Counters.ctl_checks + 1
+
+let fault_injected (s : sink) =
+  match s with
+  | None -> ()
+  | Some c -> c.Counters.faults_injected <- c.Counters.faults_injected + 1
 
 module Trace = struct
   type span = { sname : string; sstart : float; sdur : float; sdepth : int }

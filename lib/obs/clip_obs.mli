@@ -43,6 +43,12 @@ module Counters : sig
             queries, reused sessions) *)
     mutable lim_ticks : int;
         (** CLIP-LIM-004 budget ticks; equals the [?steps_out] count *)
+    mutable ctl_checks : int;
+        (** deadline/cancellation polls actually performed at tick
+            sites (zero when the run carries no {!Clip_run.Control}) *)
+    mutable faults_injected : int;
+        (** {!Clip_fault} faults fired into this run (zero outside
+            fault-injection harnesses) *)
   }
 
   val create : unit -> t
@@ -93,6 +99,8 @@ val hash_join_probe : sink -> unit
 val memo_hit : sink -> unit
 val session_hit : sink -> unit
 val lim_tick : sink -> unit
+val ctl_check : sink -> unit
+val fault_injected : sink -> unit
 
 (** {1 Trace spans} *)
 

@@ -6,42 +6,94 @@
      one atomic counter, so scheduling is dynamic (no static striping
      that would let one slow task idle a domain) while results land in
      their input slot — output order is input order, always;
-   - each worker owns a fresh counter sink for its whole lifetime; the
-     per-domain sinks are merged into the caller's sink with
-     {!Clip_obs.Counters.add} after the join. Every counter is a sum
-     of per-task increments, so the merged totals are independent of
-     which domain ran which task;
-   - a task that raises does not kill its worker: the exception (and
-     backtrace) is captured in the task's slot and re-raised in the
-     caller — deterministically, for the lowest failing input index —
-     after every task has run;
+   - every attempt at a task runs against a fresh scratch counter
+     sink, merged into the worker's per-domain sink only when the
+     attempt succeeds; the per-domain sinks are merged into the
+     caller's sink with {!Clip_obs.Counters.add} after the join. Every
+     counter is thus a sum of per-successful-task increments, so the
+     merged totals are independent of the task-to-domain partition
+     {e and} of how many tasks failed — survivors always sum to
+     exactly the fault-free sequential totals;
+   - {!map_results} isolates failure to its slot: a task that reports
+     diagnostics (or raises {!Clip_diag.Fail}) yields [Error ds] in
+     its input position and the rest of the batch completes; a bounded
+     retry policy ([?retries]) re-attempts {e transient} failures
+     ({!Clip_diag.is_transient}) immediately on the same worker, each
+     attempt from a fresh scratch sink, so retried-then-successful
+     tasks also count exactly once;
+   - {!map} keeps the strict contract as a thin wrapper: any
+     [Error ds] slot re-raises {!Clip_diag.Fail} for the lowest
+     failing input index after every task has run. Exceptions other
+     than [Clip_diag.Fail] are never converted to diagnostics — they
+     are programming errors, captured with their backtrace and
+     re-raised in the caller (again lowest index first);
    - with one job (or one task) the pool degenerates to a plain
-     sequential [List.map] on the calling domain, passing the caller's
-     sink straight through — the parallel path is byte-identical to
-     this baseline by construction of the layers below (evaluation
-     state is fully explicit, see {!Clip_run}). *)
+     sequential loop on the calling domain — the parallel path is
+     byte-identical to this baseline by construction of the layers
+     below (evaluation state is fully explicit, see {!Clip_run}). *)
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-type 'b slot = Done of 'b | Raised of exn * Printexc.raw_backtrace | Pending
+type 'b slot =
+  | Done of ('b, Clip_diag.t list) result
+  | Raised of exn * Printexc.raw_backtrace
+  | Pending
 
-let map ?jobs ?obs f items =
+(* One task under the retry policy. [into] is the sink the successful
+   attempt's scratch counters merge into (the worker's per-domain sink,
+   or the caller's own in sequential mode). The [par.task] fault point
+   sits inside the attempt, so an injected task fault is subject to
+   exactly the retry/isolation treatment a real one gets. *)
+let attempt ~retries ~into f x =
+  let once () =
+    let scratch =
+      match into with
+      | None -> None
+      | Some _ -> Some (Clip_obs.Counters.create ())
+    in
+    let r =
+      match
+        Clip_fault.hit ~obs:scratch Clip_fault.Site.par_task;
+        f ~obs:scratch x
+      with
+      | r -> r
+      | exception Clip_diag.Fail ds -> Error ds
+    in
+    (match r, into, scratch with
+     | Ok _, Some into, Some c -> Clip_obs.Counters.add ~into c
+     | (Ok _ | Error _), _, _ -> ());
+    r
+  in
+  let rec go left =
+    match once () with
+    | Ok _ as ok -> ok
+    | Error ds when left > 0 && Clip_diag.has_transient ds -> go (left - 1)
+    | Error _ as e -> e
+  in
+  go (max 0 retries)
+
+let map_results ?jobs ?(retries = 0) ?obs f items =
   let tasks = Array.of_list items in
   let n = Array.length tasks in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let jobs = min jobs n in
-  if jobs <= 1 then List.map (fun x -> f ~obs x) items
+  if jobs <= 1 then
+    (* Sequential degenerate case: same attempt machinery (scratch
+       sinks, retries, fault point), caller's sink as the merge
+       target, tasks in order on the calling domain. *)
+    List.map (fun x -> attempt ~retries ~into:obs f x) items
   else begin
     let results = Array.make n Pending in
     let next = Atomic.make 0 in
     let worker () =
       let c = Clip_obs.Counters.create () in
+      let sink = match obs with None -> None | Some _ -> Some c in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           (results.(i) <-
-             (match f ~obs:(Some c) tasks.(i) with
-              | v -> Done v
+             (match attempt ~retries ~into:sink f tasks.(i) with
+              | r -> Done r
               | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
           loop ()
         end
@@ -56,11 +108,22 @@ let map ?jobs ?obs f items =
     (match obs with
      | Some into -> List.iter (fun c -> Clip_obs.Counters.add ~into c) per_domain
      | None -> ());
-    Array.to_list
-      (Array.map
-         (function
-           | Done v -> v
-           | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
-           | Pending -> assert false)
-         results)
+    (* [Array.iter] is specified left-to-right, so a captured
+       exception re-raises for the lowest failing input index,
+       independent of scheduling. *)
+    Array.iter
+      (function
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Done _ | Pending -> ())
+      results;
+    List.init n (fun i ->
+        match results.(i) with
+        | Done r -> r
+        | Raised _ | Pending -> assert false)
   end
+
+let map ?jobs ?obs f items =
+  let rs = map_results ?jobs ?obs (fun ~obs x -> Ok (f ~obs x)) items in
+  List.map
+    (function Ok v -> v | Error ds -> raise (Clip_diag.Fail ds))
+    rs

@@ -1,5 +1,6 @@
 (** A [Domain.spawn] work-pool: evaluate independent tasks (documents,
-    scenarios) in parallel, deterministically.
+    scenarios) in parallel, deterministically, with failure isolated
+    to the failing task's slot.
 
     Determinism contract: [map ?jobs f items] returns exactly what
     [List.map] of the sequential closure would — same values, same
@@ -10,28 +11,61 @@
     domain-safe {!Clip_xml.Symbol} table), a task computes the same
     value whichever domain runs it.
 
-    Counters merge, they are never shared: each worker domain owns a
-    fresh sink, folded into [?obs] with {!Clip_obs.Counters.add} after
-    the join. Counters that are deterministic per task (the
-    {!Clip_obs.Counters.work_assoc} classes, given per-task sessions)
-    therefore sum to exactly the sequential totals, independent of the
-    task-to-domain partition.
+    Counters merge, they are never shared: every attempt at a task
+    runs against a fresh scratch sink, merged into its worker domain's
+    sink only on success, and the per-domain sinks fold into [?obs]
+    with {!Clip_obs.Counters.add} after the join. Counters that are
+    deterministic per task (the {!Clip_obs.Counters.work_assoc}
+    classes, given per-task sessions) therefore sum to exactly the
+    sequential totals of the {e successful} tasks, independent of the
+    task-to-domain partition — a failing task contributes nothing, not
+    even the partial work of its failed attempts.
 
-    A raising task does not abort the batch: every task still runs,
-    and the exception of the {e lowest failing input index} is
-    re-raised (with its backtrace) after the join — so failure
-    behaviour does not depend on scheduling either. *)
+    Edge cases (pinned by test/test_par.ml): an empty batch returns
+    [[]] without spawning a domain; [jobs] larger than the task count
+    is clamped to the task count; [jobs <= 0] is clamped to [1]; and
+    one job (or one task) runs sequentially on the calling domain. *)
 
 (** [Domain.recommended_domain_count ()] — the default worker count. *)
 val default_jobs : unit -> int
 
-(** [map ?jobs ?obs f items] — evaluate [f ~obs:sink item] for every
-    item, on [jobs] domains (default {!default_jobs}, clamped to the
-    task count; [jobs <= 1] runs sequentially on the calling domain
-    with [?obs] passed straight through). The calling domain
-    participates as one of the [jobs] workers. [f] must be
-    self-contained per task: create sessions/contexts inside it, never
-    capture another task's. *)
+(** [map_results ?jobs ?retries ?obs f items] — graceful batch
+    degradation: evaluate [f ~obs:sink item] for every item, on [jobs]
+    domains, each result landing in its input slot. A task that
+    returns [Error ds] or raises {!Clip_diag.Fail} yields [Error ds]
+    in its slot and the rest of the batch completes normally — one
+    poisoned input never aborts the batch ([clip run --keep-going]).
+
+    [?retries] (default [0]) bounds the retry policy: a failing
+    attempt whose diagnostics contain a {e transient} code
+    ({!Clip_diag.is_transient} — [CLIP-FLT-001], [CLIP-IO-001]) is
+    re-attempted up to [retries] more times, immediately and on the
+    same worker (so the schedule stays deterministic), each attempt
+    from a fresh scratch sink and fresh per-task state. Deterministic
+    failures — parse errors, budget and deadline exhaustion, permanent
+    faults — are never retried: the input that failed once fails
+    identically every time, so retrying only doubles the bill.
+
+    Exceptions other than [Clip_diag.Fail] are programming errors, not
+    data faults: they are re-raised in the caller (with backtrace,
+    lowest failing input index first, after every task has run), never
+    converted into an [Error] slot. [f] must be self-contained per
+    task {e and} per attempt: create sessions/contexts inside it,
+    never capture another task's. *)
+val map_results :
+  ?jobs:int ->
+  ?retries:int ->
+  ?obs:Clip_obs.Counters.t ->
+  (obs:Clip_obs.Counters.t option -> 'a -> ('b, Clip_diag.t list) result) ->
+  'a list ->
+  ('b, Clip_diag.t list) result list
+
+(** [map ?jobs ?obs f items] — the strict contract, a thin wrapper
+    over {!map_results} (no retries): every task still runs, then the
+    failure of the {e lowest failing input index} is re-raised — a
+    {!Clip_diag.Fail} for a task that reported diagnostics, the
+    original exception (with its backtrace) otherwise — so failure
+    behaviour does not depend on scheduling. *)
 val map :
   ?jobs:int ->
   ?obs:Clip_obs.Counters.t ->

@@ -15,34 +15,63 @@ let error fmt =
    budget instead of hanging.
 
    The context outlives a single run when held by a {!Session}: the
-   lazy tag index and instance statistics are per-document, so reusing
-   the context lets repeated runs pay the index groupings and the
-   stats walk once. [index] is the per-run view — set at run start to
+   memoised tag index and instance statistics are per-document, so
+   reusing the context lets repeated runs pay the index groupings and
+   the stats walk once. [index] is the per-run view — set at run start to
    the shared index ([`Indexed], or [`Auto] when indexing is judged to
    pay) or to [None] — while [xindex] owns the index itself. [steps]
    and [max_steps] are reset per run. *)
 type ctx = {
   source : Xml.Node.t;
   mutable index : Xml.Index.t option;
-  xindex : Xml.Index.t Lazy.t;
-  stats : Xml.Stats.t Lazy.t;
+  mutable xindex : Xml.Index.t option; (* resettable memo, see [force_index] *)
+  mutable stats : Xml.Stats.t option; (* resettable memo, see [force_stats] *)
   steps : int ref;
   mutable max_steps : int;
   mutable obs : Clip_obs.sink;
       (* per-run counter sink, set by [execute]; explicit state — the
          evaluator never reaches for an ambient sink *)
+  mutable ctl : Clip_run.Control.t;
+      (* per-run deadline/cancellation view, polled by [tick] *)
 }
 
 let make_ctx source =
   {
     source;
     index = None;
-    xindex = lazy (Xml.Index.build source);
-    stats = lazy (Xml.Stats.collect source);
+    xindex = None;
+    stats = None;
     steps = ref 0;
     max_steps = max_int;
     obs = Clip_obs.none;
+    ctl = Clip_run.Control.none;
   }
+
+(* Memo slots rather than lazies: a lazy that raises re-raises forever,
+   so one injected fault (or an expiring deadline) during the build
+   would poison a session-held context for every later run. With the
+   slot, a failed build leaves [None] and the next run simply rebuilds. *)
+let force_index ctx =
+  match ctx.xindex with
+  | Some i -> i
+  | None ->
+    let i = Xml.Index.build ctx.source in
+    ctx.xindex <- Some i;
+    i
+
+let force_stats ctx =
+  match ctx.stats with
+  | Some s -> s
+  | None ->
+    let s = Xml.Stats.collect ctx.source in
+    ctx.stats <- Some s;
+    s
+
+let check_control ctx =
+  Clip_obs.ctl_check ctx.obs;
+  match Clip_run.Control.check ctx.ctl with
+  | None -> ()
+  | Some d -> Clip_diag.fail d
 
 let tick ctx =
   incr ctx.steps;
@@ -52,7 +81,11 @@ let tick ctx =
       (Clip_diag.error ~code:Clip_diag.Codes.limit_eval_steps
          ~hints:
            [ "raise [limits.max_eval_steps] if the mapping is expected to be this large" ]
-         (Printf.sprintf "evaluation exceeded the budget of %d steps" ctx.max_steps))
+         (Printf.sprintf "evaluation exceeded the budget of %d steps" ctx.max_steps));
+  (* Deadline/cancellation poll, amortised to one clock read per 64
+     steps so uncontrolled runs pay one branch per tick. *)
+  if !(ctx.steps) land 63 = 0 && not (Clip_run.Control.is_none ctx.ctl) then
+    check_control ctx
 
 (* Mutable target tree under construction. [bseen] is the identity
    seen-set backing [bprov], so recording provenance is O(1) per
@@ -402,7 +435,7 @@ let record_provenance node env =
    Returns the estimate and the result's tag (for threading through
    [var_tags]). *)
 let est_expr ctx var_tags (e : Term.expr) : int option * Xml.Symbol.t option =
-  let stats = Lazy.force ctx.stats in
+  let stats = force_stats ctx in
   let cap = Clip_plan.est_cap in
   let rec go = function
     | Term.Root s -> (Some 1, Some (Xml.Symbol.intern s))
@@ -544,11 +577,12 @@ module Session = struct
   let create source =
     { sctx = make_ctx source; splans = Hashtbl.create 8; slast = None }
   let source s = s.sctx.source
-  let stats s = Lazy.force s.sctx.stats
+  let stats s = force_stats s.sctx
 end
 
 let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
-    ?(plan = `Auto) ?session ?steps_out ?obs ~source ~target_root (m : Tgd.t) =
+    ?(plan = `Auto) ?(ctl = Clip_run.Control.none) ?session ?steps_out ?obs
+    ~source ~target_root (m : Tgd.t) =
   let ctx =
     match session with
     | Some s when s.sctx.source == source -> s.sctx
@@ -557,10 +591,16 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
   ctx.steps := 0;
   ctx.max_steps <- limits.Clip_diag.Limits.max_eval_steps;
   ctx.obs <- obs;
+  ctx.ctl <- ctl;
   let record_steps () =
     match steps_out with Some r -> r := !(ctx.steps) | None -> ()
   in
   Fun.protect ~finally:record_steps @@ fun () ->
+  (* One unconditional control poll before any work makes an
+     already-lapsed deadline (clip run --timeout-ms 0) or a pre-set
+     cancel flag deterministic regardless of the 64-step amortisation. *)
+  if not (Clip_run.Control.is_none ctx.ctl) then check_control ctx;
+  Clip_fault.hit ~obs Clip_fault.Site.tgd_execute;
   let bld =
     {
       root = fresh_bnode target_root;
@@ -721,10 +761,10 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
      ctx.index <- None;
      eval_mapping Env.empty m
    | `Indexed ->
-     ctx.index <- Some (Lazy.force ctx.xindex);
+     ctx.index <- Some (force_index ctx);
      eval_planned Env.empty (planned_for `Force)
    | `Auto ->
-     if Xml.Stats.node_count (Lazy.force ctx.stats) < naive_threshold then begin
+     if Xml.Stats.node_count (force_stats ctx) < naive_threshold then begin
        ctx.index <- None;
        eval_mapping Env.empty m
      end
@@ -735,9 +775,9 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
           groupings; otherwise leave it off and scan. *)
        let use_index =
          tree_revisits ~outer_last:None p
-         && Xml.Stats.node_count (Lazy.force ctx.stats) >= index_threshold
+         && Xml.Stats.node_count (force_stats ctx) >= index_threshold
        in
-       ctx.index <- (if use_index then Some (Lazy.force ctx.xindex) else None);
+       ctx.index <- (if use_index then Some (force_index ctx) else None);
        eval_planned Env.empty p
      end);
   bld.root
@@ -746,17 +786,17 @@ let reraise_legacy ds =
   let d = match ds with d :: _ -> d | [] -> assert false in
   raise (Error d.Clip_diag.message)
 
-let run_result ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs
+let run_result ?limits ?minimum_cardinality ?plan ?ctl ?session ?steps_out ?obs
     ~source ~target_root m =
   Clip_diag.guard (fun () ->
     bnode_to_node
-      (execute ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs
+      (execute ?limits ?minimum_cardinality ?plan ?ctl ?session ?steps_out ?obs
          ~source ~target_root m))
 
-let run ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs ~source
+let run ?limits ?minimum_cardinality ?plan ?ctl ?session ?steps_out ?obs ~source
     ~target_root m =
   match
-    run_result ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs
+    run_result ?limits ?minimum_cardinality ?plan ?ctl ?session ?steps_out ?obs
       ~source ~target_root m
   with
   | Ok n -> n
@@ -775,7 +815,7 @@ let explain ?(plan = `Auto) ?session ~source (m : Tgd.t) : string =
     | _ -> make_ctx source
   in
   let b = Buffer.create 512 in
-  let nodes = Xml.Stats.node_count (Lazy.force ctx.stats) in
+  let nodes = Xml.Stats.node_count (force_stats ctx) in
   Printf.bprintf b "backend: tgd\nplan: %s\ndocument: %d nodes\n"
     (match plan with `Naive -> "naive" | `Indexed -> "indexed" | `Auto -> "auto")
     nodes;
@@ -862,11 +902,11 @@ type trace_entry = {
   sources : Xml.Node.t list;
 }
 
-let run_traced_unguarded ?limits ?minimum_cardinality ?plan ?session ?steps_out
-    ?obs ~source ~target_root m =
+let run_traced_unguarded ?limits ?minimum_cardinality ?plan ?ctl ?session
+    ?steps_out ?obs ~source ~target_root m =
   let root =
-    execute ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs ~source
-      ~target_root m
+    execute ?limits ?minimum_cardinality ?plan ?ctl ?session ?steps_out ?obs
+      ~source ~target_root m
   in
   let trace = ref [] in
   let rec walk path b =
@@ -881,17 +921,17 @@ let run_traced_unguarded ?limits ?minimum_cardinality ?plan ?session ?steps_out
   walk [] root;
   (bnode_to_node root, List.rev !trace)
 
-let run_traced_result ?limits ?minimum_cardinality ?plan ?session ?steps_out
-    ?obs ~source ~target_root m =
+let run_traced_result ?limits ?minimum_cardinality ?plan ?ctl ?session
+    ?steps_out ?obs ~source ~target_root m =
   Clip_diag.guard (fun () ->
-    run_traced_unguarded ?limits ?minimum_cardinality ?plan ?session ?steps_out
-      ?obs ~source ~target_root m)
+    run_traced_unguarded ?limits ?minimum_cardinality ?plan ?ctl ?session
+      ?steps_out ?obs ~source ~target_root m)
 
-let run_traced ?limits ?minimum_cardinality ?plan ?session ?steps_out ?obs
+let run_traced ?limits ?minimum_cardinality ?plan ?ctl ?session ?steps_out ?obs
     ~source ~target_root m =
   match
-    run_traced_result ?limits ?minimum_cardinality ?plan ?session ?steps_out
-      ?obs ~source ~target_root m
+    run_traced_result ?limits ?minimum_cardinality ?plan ?ctl ?session
+      ?steps_out ?obs ~source ~target_root m
   with
   | Ok r -> r
   | Error ds -> reraise_legacy ds

@@ -35,7 +35,11 @@
     versa). [?steps_out], when given, receives the number of budget
     steps consumed, even when evaluation fails. [?obs], when given,
     collects execution counters for the run into the supplied sink —
-    counters are explicit per-run state, never ambient.
+    counters are explicit per-run state, never ambient. [?ctl], when
+    given, is polled at the same budget tick sites (amortised, one
+    clock read per 64 steps, plus once at run start): an expired
+    deadline reports [CLIP-LIM-005], a set cancellation flag
+    [CLIP-LIM-006] — see {!Clip_run.Control}.
 
     A {!Session} pins one source document and carries its per-document
     artifacts — tag index, instance statistics, compiled plans —
@@ -44,7 +48,7 @@
 
 exception Error of string
 
-(** A per-document cache: evaluation context (lazy tag index +
+(** A per-document cache: evaluation context (memoised tag index +
     instance statistics) and compiled physical plans, reused by every
     run handed the session together with the {e same} (physically
     equal) source document. Passing a session with a different source
@@ -75,6 +79,7 @@ val run_result :
   ?limits:Clip_diag.Limits.t ->
   ?minimum_cardinality:bool ->
   ?plan:Clip_plan.mode ->
+  ?ctl:Clip_run.Control.t ->
   ?session:Session.t ->
   ?steps_out:int ref ->
   ?obs:Clip_obs.Counters.t ->
@@ -89,6 +94,7 @@ val run :
   ?limits:Clip_diag.Limits.t ->
   ?minimum_cardinality:bool ->
   ?plan:Clip_plan.mode ->
+  ?ctl:Clip_run.Control.t ->
   ?session:Session.t ->
   ?steps_out:int ref ->
   ?obs:Clip_obs.Counters.t ->
@@ -130,6 +136,7 @@ val run_traced_result :
   ?limits:Clip_diag.Limits.t ->
   ?minimum_cardinality:bool ->
   ?plan:Clip_plan.mode ->
+  ?ctl:Clip_run.Control.t ->
   ?session:Session.t ->
   ?steps_out:int ref ->
   ?obs:Clip_obs.Counters.t ->
@@ -144,6 +151,7 @@ val run_traced :
   ?limits:Clip_diag.Limits.t ->
   ?minimum_cardinality:bool ->
   ?plan:Clip_plan.mode ->
+  ?ctl:Clip_run.Control.t ->
   ?session:Session.t ->
   ?steps_out:int ref ->
   ?obs:Clip_obs.Counters.t ->

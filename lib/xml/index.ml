@@ -31,7 +31,11 @@ type t = {
   descendants : (int * Symbol.t, Node.t list) Hashtbl.t;
 }
 
-let build _doc = { children = Tbl.create 256; descendants = Hashtbl.create 16 }
+let build _doc =
+  (* Fault boundary: callers hold the index in resettable memo slots,
+     so a failed build is retried cleanly (never a poisoned lazy). *)
+  Clip_fault.hit Clip_fault.Site.index_build;
+  { children = Tbl.create 256; descendants = Hashtbl.create 16 }
 
 (* Elements with few children are scanned directly, unmemoised: the
    scan is bounded by the threshold, and skipping the grouping keeps

@@ -263,6 +263,9 @@ and parse_content st tagname =
 
 let parse_string_result ?(limits = Clip_diag.Limits.default) s =
   Clip_diag.guard (fun () ->
+      (* Fault boundary: inside the guard, so an injected parser fault
+         escapes as a structured [Error] like any syntax error. *)
+      Clip_fault.hit Clip_fault.Site.xml_parse;
       let st = { src = s; pos = 0; line = 1; bol = 0; depth = 0; limits } in
       if String.length s > limits.Clip_diag.Limits.max_input_bytes then
         error_at st ~code:Clip_diag.Codes.limit_input_bytes

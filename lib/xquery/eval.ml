@@ -14,9 +14,9 @@ module Env = Map.Make (String)
    FLWOR blocks run through {!Clip_plan} instead of the naive
    recursion.
 
-   The context outlives one run when held by a {!Session}: the lazy
-   tag index, the instance statistics and the FLWOR plan memo are
-   per-document, so a session pays them once. [index] is the per-run
+   The context outlives one run when held by a {!Session}: the
+   memoised tag index, the instance statistics and the FLWOR plan memo
+   are per-document, so a session pays them once. [index] is the per-run
    (for [`Auto]: adaptive, see [eval_flwor_planned]) view; [xindex]
    owns the index itself. [plans] memoises compiled FLWOR plans keyed
    by the physical identity of the clause list — the same FLWOR block
@@ -26,8 +26,8 @@ module Env = Map.Make (String)
 type ctx = {
   input : Xml.Node.t;
   mutable index : Xml.Index.t option;
-  xindex : Xml.Index.t Lazy.t;
-  stats : Xml.Stats.t Lazy.t;
+  mutable xindex : Xml.Index.t option; (* resettable memo, see [force_index] *)
+  mutable stats : Xml.Stats.t option; (* resettable memo, see [force_stats] *)
   mutable plan : Clip_plan.mode;
   plans :
     (Ast.clause list * string list * bool * (Value.t Env.t, Value.t) Clip_plan.t)
@@ -38,7 +38,35 @@ type ctx = {
   mutable obs : Clip_obs.sink;
       (* per-run counter sink, set by [with_ctx]; explicit state — the
          evaluator never reaches for an ambient sink *)
+  mutable ctl : Clip_run.Control.t;
+      (* per-run deadline/cancellation view, polled by [tick] *)
 }
+
+(* Memo slots rather than lazies: a lazy that raises re-raises forever,
+   so one injected fault (or an expiring deadline) during the build
+   would poison a session-held context for every later run. With the
+   slot, a failed build leaves [None] and the next run simply rebuilds. *)
+let force_index ctx =
+  match ctx.xindex with
+  | Some i -> i
+  | None ->
+    let i = Xml.Index.build ctx.input in
+    ctx.xindex <- Some i;
+    i
+
+let force_stats ctx =
+  match ctx.stats with
+  | Some s -> s
+  | None ->
+    let s = Xml.Stats.collect ctx.input in
+    ctx.stats <- Some s;
+    s
+
+let check_control ctx =
+  Clip_obs.ctl_check ctx.obs;
+  match Clip_run.Control.check ctx.ctl with
+  | None -> ()
+  | Some d -> Clip_diag.fail d
 
 let tick ctx =
   incr ctx.steps;
@@ -47,7 +75,11 @@ let tick ctx =
     Clip_diag.fail
       (Clip_diag.error ~code:Clip_diag.Codes.limit_eval_steps
          ~hints:[ "raise [limits.max_eval_steps] if the query is expected to be this large" ]
-         (Printf.sprintf "evaluation exceeded the budget of %d steps" ctx.max_steps))
+         (Printf.sprintf "evaluation exceeded the budget of %d steps" ctx.max_steps));
+  (* Deadline/cancellation poll, amortised to one clock read per 64
+     steps so uncontrolled runs pay one branch per tick. *)
+  if !(ctx.steps) land 63 = 0 && not (Clip_run.Control.is_none ctx.ctl) then
+    check_control ctx
 
 (* Effective boolean value, with the multi-item case reported as a
    dynamic error instead of [Invalid_argument]. *)
@@ -125,7 +157,7 @@ let numeric name v =
    the global count of its tag — an upper bound. Returns the estimate
    and the result tag. *)
 let est_flwor_expr ctx var_tags (e : Ast.expr) : int option * Xml.Symbol.t option =
-  let stats = Lazy.force ctx.stats in
+  let stats = force_stats ctx in
   let cap = Clip_plan.est_cap in
   let rec go = function
     | Ast.Doc tag -> (Some 1, Some (Xml.Symbol.intern tag))
@@ -387,8 +419,8 @@ and eval_flwor_planned ctx env clauses where return =
    | `Auto, None ->
      if
        Clip_plan.revisit_prone p
-       && Xml.Stats.node_count (Lazy.force ctx.stats) >= index_threshold
-     then ctx.index <- Some (Lazy.force ctx.xindex)
+       && Xml.Stats.node_count (force_stats ctx) >= index_threshold
+     then ctx.index <- Some (force_index ctx)
    | _ -> ());
   let acc = ref [] in
   Clip_plan.execute ?obs:ctx.obs p
@@ -477,17 +509,18 @@ let make_ctx input =
   {
     input;
     index = None;
-    xindex = lazy (Xml.Index.build input);
-    stats = lazy (Xml.Stats.collect input);
+    xindex = None;
+    stats = None;
     plan = `Auto;
     plans = ref [];
     steps = ref 0;
     max_steps = max_int;
     obs = Clip_obs.none;
+    ctl = Clip_run.Control.none;
   }
 
 (* A session pins one input document and keeps its per-document
-   artifacts — lazy tag index, instance statistics, FLWOR plan memo —
+   artifacts — memoised tag index, instance statistics, FLWOR plan memo —
    alive across runs. Ignored (a fresh context is made) when handed a
    different document. *)
 type session = { sctx : ctx }
@@ -510,7 +543,7 @@ let explain ?(plan = `Auto) ?session ~input (expr : Ast.expr) : string =
     | _ -> make_ctx input
   in
   let b = Buffer.create 512 in
-  let nodes = Xml.Stats.node_count (Lazy.force ctx.stats) in
+  let nodes = Xml.Stats.node_count (force_stats ctx) in
   Printf.bprintf b "backend: xquery\nplan: %s\ndocument: %d nodes\n"
     (match plan with `Naive -> "naive" | `Indexed -> "indexed" | `Auto -> "auto")
     nodes;
@@ -590,60 +623,68 @@ let explain ?(plan = `Auto) ?session ~input (expr : Ast.expr) : string =
      walk [] expr);
   Buffer.contents b
 
-let with_ctx ?session ?obs plan limits steps_out input f =
+let with_ctx ?(ctl = Clip_run.Control.none) ?session ?obs plan limits steps_out
+    input f =
   let ctx =
     match session with
     | Some s when s.sctx.input == input -> s.sctx
     | _ -> make_ctx input
   in
   ctx.obs <- obs;
+  ctx.ctl <- ctl;
   (* Tiny documents don't repay planning: run [`Auto] as [`Naive]. *)
   let plan =
     match plan with
-    | `Auto when Xml.Stats.node_count (Lazy.force ctx.stats) < naive_threshold
+    | `Auto when Xml.Stats.node_count (force_stats ctx) < naive_threshold
       -> `Naive
     | p -> p
   in
   ctx.plan <- plan;
   ctx.index <-
     (match plan with
-     | `Indexed -> Some (Lazy.force ctx.xindex)
+     | `Indexed -> Some (force_index ctx)
      | `Naive | `Auto -> None (* [`Auto] switches it on adaptively *));
   ctx.steps := 0;
   ctx.max_steps <- limits.Clip_diag.Limits.max_eval_steps;
   let record_steps () =
     match steps_out with Some r -> r := !(ctx.steps) | None -> ()
   in
-  Fun.protect ~finally:record_steps (fun () -> f ctx)
+  Fun.protect ~finally:record_steps (fun () ->
+      (* One unconditional control poll before any work makes an
+         already-lapsed deadline or a pre-set cancel flag deterministic
+         regardless of the 64-step amortisation. *)
+      if not (Clip_run.Control.is_none ctx.ctl) then check_control ctx;
+      Clip_fault.hit ~obs:ctx.obs Clip_fault.Site.xquery_execute;
+      f ctx)
 
-let run_result ?(limits = Clip_diag.Limits.default) ?(plan = `Auto) ?session
-    ?steps_out ?obs ~input expr =
+let run_result ?(limits = Clip_diag.Limits.default) ?(plan = `Auto) ?ctl
+    ?session ?steps_out ?obs ~input expr =
   Clip_diag.guard (fun () ->
-    with_ctx ?session ?obs plan limits steps_out input (fun ctx ->
+    with_ctx ?ctl ?session ?obs plan limits steps_out input (fun ctx ->
         eval ctx Env.empty expr))
 
 let reraise_legacy ds =
   let d = match ds with d :: _ -> d | [] -> assert false in
   raise (Error d.Clip_diag.message)
 
-let run ?limits ?plan ?session ?steps_out ?obs ~input expr =
-  match run_result ?limits ?plan ?session ?steps_out ?obs ~input expr with
+let run ?limits ?plan ?ctl ?session ?steps_out ?obs ~input expr =
+  match run_result ?limits ?plan ?ctl ?session ?steps_out ?obs ~input expr with
   | Ok v -> v
   | Error ds -> reraise_legacy ds
 
 let run_document_result ?(limits = Clip_diag.Limits.default) ?(plan = `Auto)
-    ?session ?steps_out ?obs ~input expr =
+    ?ctl ?session ?steps_out ?obs ~input expr =
   Clip_diag.guard (fun () ->
-    with_ctx ?session ?obs plan limits steps_out input (fun ctx ->
+    with_ctx ?ctl ?session ?obs plan limits steps_out input (fun ctx ->
       match eval ctx Env.empty expr with
       | [ Value.Node (Xml.Node.Element _ as n) ] -> n
       | v ->
         error "query result is not a single element: %s"
           (Format.asprintf "%a" Value.pp v)))
 
-let run_document ?limits ?plan ?session ?steps_out ?obs ~input expr =
+let run_document ?limits ?plan ?ctl ?session ?steps_out ?obs ~input expr =
   match
-    run_document_result ?limits ?plan ?session ?steps_out ?obs ~input expr
+    run_document_result ?limits ?plan ?ctl ?session ?steps_out ?obs ~input expr
   with
   | Ok n -> n
   | Error ds -> reraise_legacy ds

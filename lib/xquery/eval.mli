@@ -20,7 +20,10 @@
     given, receives the number of budget steps consumed, even when
     evaluation fails. [?obs], when given, collects execution counters
     for the run into the supplied sink — counters are explicit per-run
-    state, never ambient.
+    state, never ambient. [?ctl], when given, is polled at the same
+    budget tick sites (amortised, one clock read per 64 steps, plus
+    once at run start): an expired deadline reports [CLIP-LIM-005], a
+    set cancellation flag [CLIP-LIM-006] — see {!Clip_run.Control}.
 
     A {!Session} pins one input document and carries its per-document
     artifacts — tag index, instance statistics, compiled FLWOR plans —
@@ -63,6 +66,7 @@ val explain :
 val run_result :
   ?limits:Clip_diag.Limits.t ->
   ?plan:Clip_plan.mode ->
+  ?ctl:Clip_run.Control.t ->
   ?session:Session.t ->
   ?steps_out:int ref ->
   ?obs:Clip_obs.Counters.t ->
@@ -75,6 +79,7 @@ val run_result :
 val run :
   ?limits:Clip_diag.Limits.t ->
   ?plan:Clip_plan.mode ->
+  ?ctl:Clip_run.Control.t ->
   ?session:Session.t ->
   ?steps_out:int ref ->
   ?obs:Clip_obs.Counters.t ->
@@ -88,6 +93,7 @@ val run :
 val run_document_result :
   ?limits:Clip_diag.Limits.t ->
   ?plan:Clip_plan.mode ->
+  ?ctl:Clip_run.Control.t ->
   ?session:Session.t ->
   ?steps_out:int ref ->
   ?obs:Clip_obs.Counters.t ->
@@ -100,6 +106,7 @@ val run_document_result :
 val run_document :
   ?limits:Clip_diag.Limits.t ->
   ?plan:Clip_plan.mode ->
+  ?ctl:Clip_run.Control.t ->
   ?session:Session.t ->
   ?steps_out:int ref ->
   ?obs:Clip_obs.Counters.t ->

@@ -111,3 +111,103 @@ Usage errors (unknown subcommand) exit 124:
 
   $ clip frobnicate 2>/dev/null
   [124]
+
+Batch semantics of repeated -i. Without --keep-going the run is
+fail-fast: outputs stream in input order up to the first failing
+input, only that failure is reported, and the exit code is 1:
+
+  $ printf '<s><a><x>hello</x></a></s>' > good.xml
+  $ clip run ok.clip -i good.xml -i wrong.xml -i good.xml
+  <t>
+    <c x="hello"/>
+  </t>
+  error[CLIP-TGD-001]: source root is <wrong>, the mapping expects <s>
+  [1]
+
+With --keep-going one poisoned input never aborts the batch: every
+success prints in input order, each failure is reported under a
+per-input header, and a summary line gives the tally. Exit code is 1
+when anything failed:
+
+  $ clip run ok.clip --keep-going -i good.xml -i wrong.xml -i good.xml
+  <t>
+    <c x="hello"/>
+  </t>
+  <t>
+    <c x="hello"/>
+  </t>
+  clip: input wrong.xml: failed
+  error[CLIP-TGD-001]: source root is <wrong>, the mapping expects <s>
+  clip: 1 of 3 input(s) failed
+  [1]
+
+...and 0 when nothing did:
+
+  $ clip run ok.clip --keep-going -i good.xml -i good.xml
+  <t>
+    <c x="hello"/>
+  </t>
+  <t>
+    <c x="hello"/>
+  </t>
+
+Inputs that fail to parse participate in the same accounting:
+
+  $ printf '<s><a><x>bye</x></a>' > truncated.xml
+  $ clip run ok.clip --keep-going -i truncated.xml -i good.xml
+  <t>
+    <c x="hello"/>
+  </t>
+  clip: input truncated.xml: failed
+  error[CLIP-XML-001]: unterminated element <s>
+    --> line 1, column 21
+     |
+   1 | <s><a><x>bye</x></a>
+     |                     ^
+  clip: 1 of 2 input(s) failed
+  [1]
+
+An already-expired deadline surfaces as CLIP-LIM-005 before any work:
+
+  $ clip run ok.clip -i good.xml --timeout-ms 0
+  error[CLIP-LIM-005]: evaluation exceeded its deadline
+    hint: raise the deadline (e.g. clip run --timeout-ms) if the evaluation is expected to take this long
+  [1]
+
+CLIP_FAULT arms one deterministic injected fault (site[:FROM[:KIND[:TIMES]]]):
+
+  $ CLIP_FAULT=tgd.execute clip run ok.clip -i good.xml
+  error[CLIP-FLT-002]: injected permanent fault at tgd.execute (hit 1)
+    hint: permanent: retrying cannot help
+  [1]
+
+Under --keep-going the fault costs exactly its slot — here hit 2 is
+the second input, and the other two still print:
+
+  $ CLIP_FAULT=tgd.execute:2 clip run ok.clip --keep-going -i good.xml -i good.xml -i good.xml
+  <t>
+    <c x="hello"/>
+  </t>
+  <t>
+    <c x="hello"/>
+  </t>
+  clip: input good.xml: failed
+  error[CLIP-FLT-002]: injected permanent fault at tgd.execute (hit 2)
+    hint: permanent: retrying cannot help
+  clip: 1 of 3 input(s) failed
+  [1]
+
+A transient fault (CLIP-FLT-001) is recovered by --retries — the
+re-attempt runs fault-free and the batch exits 0:
+
+  $ CLIP_FAULT=tgd.execute:1:transient clip run ok.clip -i good.xml --retries 2
+  <t>
+    <c x="hello"/>
+  </t>
+
+A malformed CLIP_FAULT spec is a usage error (124), reported before
+anything runs:
+
+  $ CLIP_FAULT=nope clip run ok.clip -i good.xml
+  clip: CLIP_FAULT: unknown fault site "nope" (known: xml.parse, plan.build, index.build, session.populate, tgd.execute, xquery.execute, par.task)
+  [124]

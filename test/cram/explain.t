@@ -118,3 +118,4 @@ the timings are not, so only the counter block is pinned:
     nodes_scanned    = 13
     child_steps      = 5
     lim_ticks        = 29
+    ctl_checks       = 1

@@ -308,6 +308,100 @@ let guard_checks () =
           (match r with Ok _ -> Ok () | Error ds -> Error ds)
       | exception e -> report_failure "step-budget" mapping_src e))
 
+(* --- Seeded fault-injection sweep (--faults N) ------------------------ *)
+
+let fault_iterations = ref 0
+
+(* Each iteration arms one seeded (site, hit ordinal, kind) fault and
+   drives a fixed, valid end-to-end pipeline that crosses every
+   registered site: re-parsing the printed instance (xml.parse), an
+   [`Indexed] engine run on both backends (plan.build, index.build,
+   session.populate, tgd.execute, xquery.execute) under the
+   {!Clip_par.map_results} wrapper (par.task). Totality plus fault
+   hygiene: a fired fault must surface as [Error] carrying a CLIP-FLT-*
+   code — never an exception, never a silent [Ok] — and after
+   disarming the very same pipeline must run clean (nothing poisoned). *)
+let fault_sweep () =
+  let m =
+    match Clip_core.Dsl.parse_result (List.hd builtin_corpus) with
+    | Ok m -> m
+    | Error _ -> failwith "fault sweep: fixture mapping does not parse"
+  in
+  let doc =
+    Clip_schema.Generate.instance_with_refs
+      ~state:(Random.State.make [| 0xC11F |])
+      ~fanout:3 m.source
+  in
+  let doc_text = Clip_xml.Printer.to_string doc in
+  let task ~obs:_ backend =
+    match Clip_xml.Parser.parse_string_result ~limits doc_text with
+    | Error _ as e -> Result.map ignore e
+    | Ok source ->
+      let ctx = Clip_run.create () in
+      Result.map ignore
+        (Clip_core.Engine.run_result ~ctx ~limits ~backend ~plan:`Indexed m
+           source)
+  in
+  let pipeline () =
+    List.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | Error _, _ -> acc
+        | _, (Error _ as e) -> e
+        | Ok (), Ok () -> acc)
+      (Ok ())
+      (Clip_par.map_results ~jobs:1 task [ `Tgd; `Xquery ])
+  in
+  let is_fault d =
+    String.equal d.Clip_diag.code Clip_diag.Codes.fault_transient
+    || String.equal d.Clip_diag.code Clip_diag.Codes.fault_permanent
+  in
+  let show ds = String.concat "," (List.map (fun d -> d.Clip_diag.code) ds) in
+  for i = 1 to !fault_iterations do
+    let site, from, kind = Clip_fault.arm_seeded ~seed:(!seed + (i * 7919)) in
+    let armed_desc =
+      Printf.sprintf "%s hit %d (%s)" site from
+        (match kind with
+        | Clip_fault.Transient -> "transient"
+        | Clip_fault.Permanent -> "permanent")
+    in
+    if !verbose then Printf.eprintf "fault iter %d: %s\n" i armed_desc;
+    let r = match pipeline () with r -> Ok r | exception e -> Error e in
+    let fired = Clip_fault.fired () in
+    Clip_fault.disarm ();
+    (match r with
+    | Error e ->
+      incr failures;
+      Printf.eprintf "FAILURE [fault]: %s escaped as exception %s\n" armed_desc
+        (Printexc.to_string e)
+    | Ok (Error ds) when fired > 0 && List.exists is_fault ds -> ()
+    | Ok (Ok ()) when fired = 0 -> ()
+    | Ok (Ok ()) ->
+      incr failures;
+      Printf.eprintf "FAILURE [fault]: %s fired %d time(s) yet run was Ok\n"
+        armed_desc fired
+    | Ok (Error ds) when fired = 0 ->
+      incr failures;
+      Printf.eprintf "FAILURE [fault]: unfired %s, run failed [%s]\n" armed_desc
+        (show ds)
+    | Ok (Error ds) ->
+      incr failures;
+      Printf.eprintf "FAILURE [fault]: %s surfaced without CLIP-FLT code [%s]\n"
+        armed_desc (show ds));
+    match pipeline () with
+    | Ok () -> ()
+    | Error ds ->
+      incr failures;
+      Printf.eprintf "FAILURE [fault]: state poisoned after %s: [%s]\n"
+        armed_desc (show ds)
+    | exception e ->
+      incr failures;
+      Printf.eprintf "FAILURE [fault]: post-disarm exception after %s: %s\n"
+        armed_desc (Printexc.to_string e)
+  done;
+  if !fault_iterations > 0 then
+    Printf.printf "fault sweep: %d seeded site iterations\n%!" !fault_iterations
+
 (* --- Main loop -------------------------------------------------------- *)
 
 let () =
@@ -316,6 +410,9 @@ let () =
       ("--iterations", Arg.Set_int iterations, "N  number of fuzz iterations");
       ("--seed", Arg.Set_int seed, "S  PRNG seed");
       ("--corpus", Arg.Set_string corpus_dir, "DIR  corpus directory (default: examples)");
+      ( "--faults",
+        Arg.Set_int fault_iterations,
+        "N  seeded fault-injection sweep iterations (default: 0)" );
       ("--verbose", Arg.Set verbose, "  print each iteration");
     ]
   in
@@ -340,6 +437,7 @@ let () =
     if !verbose then Printf.eprintf "iter %d: %s (%d bytes)\n" i name (String.length input);
     run_target name f input
   done;
+  fault_sweep ();
   if !failures > 0 then begin
     Printf.eprintf "fuzz: %d failure(s) after %d iterations\n" !failures !iterations;
     exit 1

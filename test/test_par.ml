@@ -110,6 +110,50 @@ let test_exception_determinism () =
     | exception Boom i -> checki "lowest failing index raises" 1 i
   done
 
+(* --- Edge cases pinned by the clip_par.mli contract ----------------- *)
+
+let test_edge_cases () =
+  let id ~obs:_ i = i * i in
+  (* empty batch: [] back, no domain spawned (any jobs value) *)
+  List.iter
+    (fun jobs ->
+      checkb
+        (Printf.sprintf "empty batch, jobs=%d" jobs)
+        true
+        (Clip_par.map ~jobs id [] = []))
+    [ -3; 0; 1; 4; 64 ];
+  checkb "empty batch (map_results)" true
+    (Clip_par.map_results ~jobs:4 (fun ~obs:_ () -> Ok ()) [] = []);
+  (* jobs larger than the task count: clamped, output unchanged *)
+  let items = [ 1; 2; 3 ] in
+  let expected = List.map (fun i -> i * i) items in
+  checkb "jobs=64 > 3 tasks" true (Clip_par.map ~jobs:64 id items = expected);
+  (* jobs <= 0: clamped to 1, i.e. sequential on the calling domain *)
+  List.iter
+    (fun jobs ->
+      checkb
+        (Printf.sprintf "jobs=%d clamps to sequential" jobs)
+        true
+        (Clip_par.map ~jobs id items = expected))
+    [ 0; -1; min_int ];
+  (* single task: sequential even when jobs is large *)
+  checkb "one task, jobs=8" true (Clip_par.map ~jobs:8 id [ 7 ] = [ 49 ]);
+  (* map_results isolation on the same clamped paths: the Error slot
+     stays in place, the survivors are untouched *)
+  let part ~obs:_ i =
+    if i = 2 then Error [ Clip_diag.error ~code:"CLIP-TEST-001" "nope" ]
+    else Ok (i * 10)
+  in
+  List.iter
+    (fun jobs ->
+      match Clip_par.map_results ~jobs part [ 1; 2; 3 ] with
+      | [ Ok 10; Error [ d ]; Ok 30 ] ->
+        Alcotest.(check string)
+          (Printf.sprintf "jobs=%d: slot keeps its diagnostics" jobs)
+          "CLIP-TEST-001" d.Clip_diag.code
+      | _ -> Alcotest.failf "jobs=%d: slots misplaced" jobs)
+    [ -1; 1; 64 ]
+
 (* --- Symbol interning under concurrent domains ---------------------- *)
 
 let test_symbol_concurrent () =
@@ -187,6 +231,8 @@ let () =
           Alcotest.test_case "lowest index raises" `Quick
             test_exception_determinism;
         ] );
+      ( "edges",
+        [ Alcotest.test_case "clamping and empty batches" `Quick test_edge_cases ] );
       ( "symbol",
         [
           Alcotest.test_case "concurrent interning" `Quick
