@@ -133,6 +133,18 @@ let plan_arg =
        & opt (enum [ ("auto", `Auto); ("indexed", `Indexed); ("naive", `Naive) ]) `Auto
        & info [ "plan" ] ~docv:"PLAN" ~doc)
 
+let repr_arg =
+  let doc =
+    "Document representation: tree (the boxed-tree interpreters, the \
+     default), columnar (convert the source to the struct-of-arrays \
+     document store and run the vectorized executor), or auto (columnar \
+     for large-enough documents). All representations produce identical \
+     output."
+  in
+  Arg.(value
+       & opt (enum [ ("tree", `Tree); ("columnar", `Columnar); ("auto", `Auto) ]) `Tree
+       & info [ "repr" ] ~docv:"REPR" ~doc)
+
 let run_cmd =
   let input_files =
     let doc =
@@ -191,7 +203,7 @@ let run_cmd =
     in
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
   in
-  let run file inputs backend plan tree trace jobs timeout_ms keep_going retries =
+  let run file inputs backend plan repr tree trace jobs timeout_ms keep_going retries =
     let m = load_mapping file in
     (* Parse sequentially: parse diagnostics want the source text for
        caret rendering, and parsing is cheap next to evaluation. Without
@@ -248,7 +260,7 @@ let run_cmd =
                ~seconds:(float_of_int ms /. 1000.))
       in
       let ctx = Clip_run.create ?counters:obs ?tracer ?deadline ~cancel () in
-      match Clip_core.Engine.run_result ~ctx ~backend ~plan m source with
+      match Clip_core.Engine.run_result ~ctx ~backend ~plan ~repr m source with
       | Error ds -> Error ds
       | Ok out ->
         let b = Buffer.create 1024 in
@@ -333,8 +345,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Transform a source instance into a target instance")
     Term.(const run $ mapping_file $ input_files $ backend_arg $ plan_arg
-          $ tree_flag $ trace_flag $ jobs_arg $ timeout_arg $ keep_going_flag
-          $ retries_arg)
+          $ repr_arg $ tree_flag $ trace_flag $ jobs_arg $ timeout_arg
+          $ keep_going_flag $ retries_arg)
 
 (* --- explain ------------------------------------------------------------ *)
 

@@ -126,8 +126,8 @@ module Session = struct
                s.slast_xq <- Some (target_root, tgd, q);
                Ok q)))
 
-  let run ?ctx ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?steps_out
-      s (m : Mapping.t) =
+  let run ?ctx ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?repr
+      ?steps_out s (m : Mapping.t) =
     let ctx = match ctx with Some c -> c | None -> Clip_run.create () in
     let obs = Clip_run.counters ctx in
     let tgd = Clip_run.span ctx "compile" (fun () -> to_tgd ?obs s m) in
@@ -135,7 +135,7 @@ module Session = struct
     match backend with
     | `Tgd ->
       Clip_run.span ctx "execute" (fun () ->
-        Clip_tgd.Eval.run ~minimum_cardinality ?plan
+        Clip_tgd.Eval.run ~minimum_cardinality ?plan ?repr
           ~ctl:(Clip_run.control ctx) ~session:s.stgd ?steps_out ?obs
           ~source:s.ssource ~target_root tgd)
     | (`Xquery | `Xquery_text) as backend ->
@@ -159,11 +159,11 @@ module Session = struct
               (Clip_xquery.Pretty.query_to_string query))
       in
       Clip_run.span ctx "execute" (fun () ->
-        Clip_xquery.Eval.run_document ?plan ~ctl:(Clip_run.control ctx)
+        Clip_xquery.Eval.run_document ?plan ?repr ~ctl:(Clip_run.control ctx)
           ~session:s.sxq ?steps_out ?obs ~input:s.ssource query)
 
   let run_result ?ctx ?limits ?(backend = `Tgd) ?(minimum_cardinality = true)
-      ?plan ?steps_out s (m : Mapping.t) =
+      ?plan ?repr ?steps_out s (m : Mapping.t) =
     let ctx = match ctx with Some c -> c | None -> Clip_run.create () in
     let obs = Clip_run.counters ctx in
     match Clip_run.span ctx "compile" (fun () -> to_tgd_result ?obs s m) with
@@ -173,7 +173,7 @@ module Session = struct
       (match backend with
        | `Tgd ->
          Clip_run.span ctx "execute" (fun () ->
-           Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan
+           Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan ?repr
              ~ctl:(Clip_run.control ctx) ~session:s.stgd ?steps_out ?obs
              ~source:s.ssource ~target_root tgd)
        | (`Xquery | `Xquery_text) as backend ->
@@ -199,7 +199,7 @@ module Session = struct
              | Error ds -> Error ds
              | Ok query ->
                Clip_run.span ctx "execute" (fun () ->
-                 Clip_xquery.Eval.run_document_result ?limits ?plan
+                 Clip_xquery.Eval.run_document_result ?limits ?plan ?repr
                    ~ctl:(Clip_run.control ctx) ~session:s.sxq ?steps_out ?obs
                    ~input:s.ssource query))))
 end
@@ -242,16 +242,16 @@ let session_for ctx source =
 
 let resolve_ctx = function Some c -> c | None -> Clip_run.ambient ()
 
-let run ?ctx ?backend ?minimum_cardinality ?plan ?steps_out (m : Mapping.t)
-    source =
-  let ctx = resolve_ctx ctx in
-  Session.run ~ctx ?backend ?minimum_cardinality ?plan ?steps_out
-    (session_for ctx source) m
-
-let run_result ?ctx ?limits ?backend ?minimum_cardinality ?plan ?steps_out
+let run ?ctx ?backend ?minimum_cardinality ?plan ?repr ?steps_out
     (m : Mapping.t) source =
   let ctx = resolve_ctx ctx in
-  Session.run_result ~ctx ?limits ?backend ?minimum_cardinality ?plan
+  Session.run ~ctx ?backend ?minimum_cardinality ?plan ?repr ?steps_out
+    (session_for ctx source) m
+
+let run_result ?ctx ?limits ?backend ?minimum_cardinality ?plan ?repr
+    ?steps_out (m : Mapping.t) source =
+  let ctx = resolve_ctx ctx in
+  Session.run_result ~ctx ?limits ?backend ?minimum_cardinality ?plan ?repr
     ?steps_out (session_for ctx source) m
 
 (* Every diagnostic for a mapping, in one pass: all validity issues

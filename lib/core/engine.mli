@@ -23,6 +23,15 @@
     instances. [?steps_out], when given, receives the number of
     evaluation-budget steps consumed.
 
+    Also orthogonally, [?repr] selects the document representation
+    ({!Clip_xml.Doc.repr}, default [`Tree]): [`Columnar] converts the
+    source to the struct-of-arrays {!Clip_xml.Doc} — cached per
+    document by a {!Session} — and both backends then run child steps
+    as id-vector probes and physical plans through the vectorized
+    {!Clip_plan.execute_batch}; [`Auto] picks columnar when the
+    document is large enough to repay conversion. Every representation
+    produces byte-identical target instances.
+
     For repeated runs against one source instance, a {!Session}
     amortises the per-document and per-mapping analysis — compile,
     translation, statistics, tag index, physical plans — across
@@ -70,6 +79,7 @@ module Session : sig
     ?backend:backend ->
     ?minimum_cardinality:bool ->
     ?plan:Clip_plan.mode ->
+    ?repr:Clip_xml.Doc.repr ->
     ?steps_out:int ref ->
     t ->
     Mapping.t ->
@@ -83,6 +93,7 @@ module Session : sig
     ?backend:backend ->
     ?minimum_cardinality:bool ->
     ?plan:Clip_plan.mode ->
+    ?repr:Clip_xml.Doc.repr ->
     ?steps_out:int ref ->
     t ->
     Mapping.t ->
@@ -104,6 +115,7 @@ val run :
   ?backend:backend ->
   ?minimum_cardinality:bool ->
   ?plan:Clip_plan.mode ->
+  ?repr:Clip_xml.Doc.repr ->
   ?steps_out:int ref ->
   Mapping.t ->
   Clip_xml.Node.t ->
@@ -120,6 +132,7 @@ val run_result :
   ?backend:backend ->
   ?minimum_cardinality:bool ->
   ?plan:Clip_plan.mode ->
+  ?repr:Clip_xml.Doc.repr ->
   ?steps_out:int ref ->
   Mapping.t ->
   Clip_xml.Node.t ->

@@ -28,28 +28,15 @@
    never reach because a later generator is empty, and vice versa.) *)
 
 module Key = struct
-  (* Hashable join/dedup keys over atoms, normalised so that key
-     equality coincides with [Clip_xml.Atom.equal]: [Int i] and
-     [Float f] are the same key when [float_of_int i = f], all NaNs
-     collapse to one key, and [0.] and [-0.] stay distinct (matching
-     [Float.equal]). Integers beyond the 2^53 float range coarsen onto
-     their nearest float — callers that must be exact re-check the
-     original condition on each probe hit. *)
-  type norm =
-    | KString of string
-    | KNum of int64 (* IEEE bits; NaNs canonicalised *)
-    | KBool of bool
+  (* Hashable join/dedup keys over atoms. The per-atom normalisation —
+     the one spot where "which atoms are the same join key" is decided
+     — lives in [Clip_xml.Atom.key], shared with both backend
+     evaluators; this module only lifts it to composite (tuple) keys. *)
+  type norm = Clip_xml.Atom.key
 
   type t = norm list
 
-  let norm_atom (a : Clip_xml.Atom.t) : norm =
-    match a with
-    | Clip_xml.Atom.String s -> KString s
-    | Clip_xml.Atom.Bool b -> KBool b
-    | Clip_xml.Atom.Int i -> KNum (Int64.bits_of_float (float_of_int i))
-    | Clip_xml.Atom.Float f ->
-      KNum (Int64.bits_of_float (if Float.is_nan f then Float.nan else f))
-
+  let norm_atom = Clip_xml.Atom.key
   let of_atom a = [ norm_atom a ]
   let of_atoms atoms = List.map norm_atom atoms
   let equal (a : t) (b : t) = a = b
@@ -462,49 +449,78 @@ let revisit_prone t =
 
 module KeyTbl = Hashtbl.Make (Key)
 
+(* Build probe stage [k]'s hash table into [tables]. Shared by the
+   depth-first interpreter and the vectorized executor — builds depend
+   on the environment they run under, so each caller decides which
+   tables array (shared vs per-frontier-cell snapshot) receives the
+   result. *)
+let build_into ?obs (t : ('env, 'item) t)
+    (tables : (int * 'item list) KeyTbl.t option array) ~(env : 'env) k =
+  match t.stages.(k) with
+  | Scan _ -> ()
+  | Probe { gens; slot; build_keys; _ } ->
+    Clip_obs.hash_join_build obs;
+    (* Enumerate the whole segment once, collecting each bound tuple
+       with its keys (reversed enumeration order). *)
+    let m = Array.length gens in
+    let entries = ref [] in
+    let rec enum d env tuple_rev =
+      if d = m then
+        entries :=
+          (List.sort_uniq compare (build_keys env), List.rev tuple_rev) :: !entries
+      else
+        List.iter
+          (fun item -> enum (d + 1) (gens.(d).bind env item) (item :: tuple_rev))
+          (gens.(d).eval env)
+    in
+    enum 0 env [];
+    let tbl = KeyTbl.create (2 * List.length !entries + 1) in
+    (* [Hashtbl.add] stacks, so insert back-to-front: [find_all]
+       then yields enumeration (document) order. Sequence numbers
+       recover a global order for multi-key probes. Keys are deduped
+       per tuple so a multi-valued build side never yields the same
+       tuple twice. *)
+    let seq = ref (List.length !entries) in
+    List.iter
+      (fun (keys, tuple) ->
+        decr seq;
+        List.iter (fun key -> KeyTbl.add tbl key (!seq, tuple)) keys)
+      !entries;
+    tables.(slot) <- Some tbl
+
+(* Tuples of [tbl] matching any of [keys] (sorted, deduped), in
+   enumeration (document) order. *)
+let probe_tuples tbl keys =
+  match keys with
+  | [] -> []
+  | [ k ] -> List.map snd (KeyTbl.find_all tbl k)
+  | ks ->
+    (* Multi-valued side: union the per-key hits, dedup by
+       sequence number, restore document order. *)
+    let hits = List.concat_map (fun k -> KeyTbl.find_all tbl k) ks in
+    let seen = Hashtbl.create 16 in
+    let uniq =
+      List.filter
+        (fun (s, _) ->
+          if Hashtbl.mem seen s then false
+          else begin
+            Hashtbl.add seen s ();
+            true
+          end)
+        hits
+    in
+    List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) uniq)
+
 let execute ?obs (t : ('env, 'item) t) ~(tick : unit -> unit) ~(env : 'env)
     ~(emit : 'env -> unit) : unit =
   let n = Array.length t.stages in
   let tables : (int * 'item list) KeyTbl.t option array =
     Array.make (max 1 t.nslots) None
   in
-  let build env k =
-    match t.stages.(k) with
-    | Scan _ -> ()
-    | Probe { gens; slot; build_keys; _ } ->
-      Clip_obs.hash_join_build obs;
-      (* Enumerate the whole segment once, collecting each bound tuple
-         with its keys (reversed enumeration order). *)
-      let m = Array.length gens in
-      let entries = ref [] in
-      let rec enum d env tuple_rev =
-        if d = m then
-          entries :=
-            (List.sort_uniq compare (build_keys env), List.rev tuple_rev) :: !entries
-        else
-          List.iter
-            (fun item -> enum (d + 1) (gens.(d).bind env item) (item :: tuple_rev))
-            (gens.(d).eval env)
-      in
-      enum 0 env [];
-      let tbl = KeyTbl.create (2 * List.length !entries + 1) in
-      (* [Hashtbl.add] stacks, so insert back-to-front: [find_all]
-         then yields enumeration (document) order. Sequence numbers
-         recover a global order for multi-key probes. Keys are deduped
-         per tuple so a multi-valued build side never yields the same
-         tuple twice. *)
-      let seq = ref (List.length !entries) in
-      List.iter
-        (fun (keys, tuple) ->
-          decr seq;
-          List.iter (fun key -> KeyTbl.add tbl key (!seq, tuple)) keys)
-        !entries;
-      tables.(slot) <- Some tbl
-  in
   let rec go i env =
     if i = n then emit env
     else begin
-      List.iter (build env) t.builds.(i);
+      List.iter (build_into ?obs t tables ~env) t.builds.(i);
       match t.stages.(i) with
       | Scan { gen; preds } ->
         List.iter
@@ -516,29 +532,7 @@ let execute ?obs (t : ('env, 'item) t) ~(tick : unit -> unit) ~(env : 'env)
       | Probe { gens; slot; probe_keys; preds; _ } ->
         Clip_obs.hash_join_probe obs;
         let tbl = match tables.(slot) with Some tbl -> tbl | None -> assert false in
-        let keys = List.sort_uniq compare (probe_keys env) in
-        let tuples =
-          match keys with
-          | [] -> []
-          | [ k ] -> List.map snd (KeyTbl.find_all tbl k)
-          | ks ->
-            (* Multi-valued side: union the per-key hits, dedup by
-               sequence number, restore document order. *)
-            let hits = List.concat_map (fun k -> KeyTbl.find_all tbl k) ks in
-            let seen = Hashtbl.create 16 in
-            let uniq =
-              List.filter
-                (fun (s, _) ->
-                  if Hashtbl.mem seen s then false
-                  else begin
-                    Hashtbl.add seen s ();
-                    true
-                  end)
-                hits
-            in
-            List.map snd
-              (List.sort (fun (a, _) (b, _) -> compare a b) uniq)
-        in
+        let tuples = probe_tuples tbl (List.sort_uniq compare (probe_keys env)) in
         List.iter
           (fun tuple ->
             tick ();
@@ -553,3 +547,202 @@ let execute ?obs (t : ('env, 'item) t) ~(tick : unit -> unit) ~(env : 'env)
     end
   in
   if List.for_all (fun p -> p.test env) t.pre then go 0 env
+
+(* --- Vectorized execution ---------------------------------------------- *)
+
+(* Frontier chunk bound: a single stage expansion widens a chunk by at
+   most its fan-out before the split in [execute_batch] re-bounds it,
+   so frontier memory never exceeds chunk x fan-out cells. *)
+let batch_chunk = 4096
+
+let rec take_chunk k acc l =
+  match l with
+  | rest when k = 0 -> (List.rev acc, rest)
+  | [] -> (List.rev acc, [])
+  | x :: tl -> take_chunk (k - 1) (x :: acc) tl
+
+(* Specialisation of {!execute_batch} for plans whose builds all fire
+   before the first stage (the build sides depend only on the outer
+   environment — the overwhelmingly common shape): every frontier cell
+   sees the same tables, so the per-item [(env, tables)] pairing of the
+   general executor — two extra words per item per stage, right in the
+   hot loop — disappears, and the frontier itself is a flat growable
+   ['env array] swept in place: one doubling buffer per stage
+   expansion instead of a cons cell plus a reversal cell per surviving
+   binding. Counter traces are identical to the general executor: same
+   expansions, same widths, same per-cell probe counts. *)
+let execute_batch_shared ?obs (t : ('env, 'item) t) ~(tick : unit -> unit)
+    ~(env : 'env) ~(emit : 'env -> unit) : unit =
+  let n = Array.length t.stages in
+  let tables : (int * 'item list) KeyTbl.t option array =
+    Array.make (max 1 t.nslots) None
+  in
+  let expand i (src : 'env array) lo hi (sink : 'env -> unit) =
+    Clip_obs.batch_executed obs;
+    if Clip_obs.enabled obs then Clip_obs.batch_width obs (hi - lo);
+    match t.stages.(i) with
+    | Scan { gen; preds } ->
+      for j = lo to hi - 1 do
+        let env = src.(j) in
+        List.iter
+          (fun item ->
+            tick ();
+            let env' = gen.bind env item in
+            if List.for_all (fun p -> p.test env') preds then sink env')
+          (gen.eval env)
+      done
+    | Probe { gens; slot; probe_keys; preds; _ } ->
+      let tbl = match tables.(slot) with Some tbl -> tbl | None -> assert false in
+      for j = lo to hi - 1 do
+        let env = src.(j) in
+        Clip_obs.hash_join_probe obs;
+        let tuples = probe_tuples tbl (List.sort_uniq compare (probe_keys env)) in
+        List.iter
+          (fun tuple ->
+            tick ();
+            let env' =
+              List.fold_left
+                (fun (d, env) item -> (d + 1, gens.(d).bind env item))
+                (0, env) tuple
+              |> snd
+            in
+            if List.for_all (fun p -> p.test env') preds then sink env')
+          tuples
+      done
+  in
+  let rec run i (src : 'env array) lo hi =
+    if hi > lo then begin
+      if i = n then
+        for j = lo to hi - 1 do
+          emit src.(j)
+        done
+      else if i = n - 1 then
+        (* Last stage: fuse expansion with emission — survivors stream
+           into [emit] while their environments are hot instead of
+           parking in a frontier first. Order, ticks and counters are
+           those of materialise-then-emit, verbatim. *)
+        expand i src lo hi emit
+      else begin
+        (* [env] doubles as the (never-read) fill element of fresh
+           buffers, so frontiers need no option boxing. *)
+        let buf = ref (Array.make 64 env) and len = ref 0 in
+        let push e =
+          if !len = Array.length !buf then begin
+            let nb = Array.make (2 * !len) env in
+            Array.blit !buf 0 nb 0 !len;
+            buf := nb
+          end;
+          !buf.(!len) <- e;
+          incr len
+        in
+        expand i src lo hi push;
+        let dst = !buf and m = !len in
+        let j = ref 0 in
+        while !j < m do
+          let hi' = min m (!j + batch_chunk) in
+          run (i + 1) dst !j hi';
+          j := hi'
+        done
+      end
+    end
+  in
+  if List.for_all (fun p -> p.test env) t.pre then begin
+    if n > 0 then List.iter (build_into ?obs t tables ~env) t.builds.(0);
+    run 0 [| env |] 0 1
+  end
+
+let batchable (t : ('env, 'item) t) =
+  let n = Array.length t.stages in
+  let ok = ref true in
+  for i = 1 to n - 1 do
+    if t.builds.(i) <> [] then ok := false
+  done;
+  !ok
+
+let scan_only (t : ('env, 'item) t) =
+  Array.for_all (function Scan _ -> true | Probe _ -> false) t.stages
+
+let execute_batch ?obs (t : ('env, 'item) t) ~(tick : unit -> unit)
+    ~(env : 'env) ~(emit : 'env -> unit) : unit =
+  if batchable t then execute_batch_shared ?obs t ~tick ~env ~emit
+  else begin
+  let n = Array.length t.stages in
+  (* One frontier cell: an environment plus its private view of the
+     probe tables. Builds depend on the environment they run under, so
+     a breadth-first frontier cannot share the single mutable tables
+     array the depth-first executor uses — a cell snapshots the array
+     ([nslots] is tiny) whenever a stage triggers builds for it; cells
+     that trigger no builds share their parent's snapshot. *)
+  let expand i cells =
+    Clip_obs.batch_executed obs;
+    if Clip_obs.enabled obs then Clip_obs.batch_width obs (List.length cells);
+    let out = ref [] in
+    List.iter
+      (fun (env, tables) ->
+        let tables =
+          match t.builds.(i) with
+          | [] -> tables
+          | builds ->
+            let tables = Array.copy tables in
+            List.iter (build_into ?obs t tables ~env) builds;
+            tables
+        in
+        match t.stages.(i) with
+        | Scan { gen; preds } ->
+          List.iter
+            (fun item ->
+              tick ();
+              let env' = gen.bind env item in
+              if List.for_all (fun p -> p.test env') preds then
+                out := (env', tables) :: !out)
+            (gen.eval env)
+        | Probe { gens; slot; probe_keys; preds; _ } ->
+          Clip_obs.hash_join_probe obs;
+          let tbl =
+            match tables.(slot) with Some tbl -> tbl | None -> assert false
+          in
+          let tuples = probe_tuples tbl (List.sort_uniq compare (probe_keys env)) in
+          List.iter
+            (fun tuple ->
+              tick ();
+              let env' =
+                List.fold_left
+                  (fun (d, env) item -> (d + 1, gens.(d).bind env item))
+                  (0, env) tuple
+                |> snd
+              in
+              if List.for_all (fun p -> p.test env') preds then
+                out := (env', tables) :: !out)
+            tuples)
+      cells;
+    List.rev !out
+  in
+  (* Run a chunk of frontier cells through stages [i..n): expand one
+     stage as an array sweep over the whole chunk, split the result,
+     and run each piece to completion before the next. Pieces stay in
+     frontier order and every cell's descendants are emitted before
+     its successor's, so emission order is exactly the depth-first
+     lexicographic order of {!execute}; [tick] still fires once per
+     item enumerated at every stage, so step budgets, cancellation
+     polls and fault windows land on the same counts — at batch
+     granularity rather than per recursive call. *)
+  let rec run i cells =
+    match cells with
+    | [] -> ()
+    | _ ->
+      if i = n then List.iter (fun (env, _) -> emit env) cells
+      else begin
+        let rec pieces l =
+          match l with
+          | [] -> ()
+          | l ->
+            let chunk, rest = take_chunk batch_chunk [] l in
+            run (i + 1) chunk;
+            pieces rest
+        in
+        pieces (expand i cells)
+      end
+  in
+    if List.for_all (fun p -> p.test env) t.pre then
+      run 0 [ (env, Array.make (max 1 t.nslots) None) ]
+  end

@@ -61,4 +61,32 @@ let compare a b =
     let r = Int.compare (kind_rank a) (kind_rank b) in
     if r <> 0 then r else String.compare (to_string a) (to_string b)
 
+(* --- Join-key normalisation -------------------------------------------- *)
+
+(* One hashable shape per {!equal}-equivalence class, shared by the
+   plan layer's hash joins and both backends' grouping/dedup keys so
+   every consumer agrees on what "the same value" means. [Int i] and
+   [Float f] normalise to the same key when [float_of_int i = f], all
+   NaNs collapse to one key, and [0.] / [-0.] collapse to one key
+   ([Float.equal] holds on signed zeros, hence {!equal} does).
+   Integers beyond the 2^53 float range coarsen onto their nearest
+   float — consumers that must be exact re-check the original
+   predicate on each hash hit. *)
+type key =
+  | KString of string
+  | KNum of int64 (* IEEE bits; NaNs and -0. canonicalised *)
+  | KBool of bool
+
+let key = function
+  | String s -> KString s
+  | Bool b -> KBool b
+  | Int i -> KNum (Int64.bits_of_float (float_of_int i))
+  | Float f ->
+    (* [+. 0.] maps [-0.] onto [0.] and is the identity elsewhere, so
+       the two zeros — equal under IEEE, hence under {!equal} — share
+       IEEE bits; a raw [bits_of_float] would put them in different
+       hash buckets and make a join miss matches the naive
+       interpreter emits. *)
+    KNum (Int64.bits_of_float (if Float.is_nan f then Float.nan else f +. 0.))
+
 let pp fmt a = Format.pp_print_string fmt (to_string a)

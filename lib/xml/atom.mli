@@ -33,4 +33,19 @@ val compare : t -> t -> int
 (** Numeric view, if any. *)
 val to_float : t -> float option
 
+(** One hashable shape per {!equal}-equivalence class — the single
+    normalisation shared by the plan layer's hash joins and both
+    backends' grouping and dedup keys. [key (Int 3) = key (Float 3.)],
+    all NaNs collapse to one key, and [0.] and [-0.] collapse to one
+    key ([Float.equal], hence {!equal}, holds on signed zeros).
+    Integers beyond the 2^53 float range coarsen onto their nearest
+    float, so exact consumers re-check the original predicate on each
+    hash hit. *)
+type key =
+  | KString of string
+  | KNum of int64  (** IEEE bits; NaNs and [-0.] canonicalised *)
+  | KBool of bool
+
+val key : t -> key
+
 val pp : Format.formatter -> t -> unit

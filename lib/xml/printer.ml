@@ -1,3 +1,11 @@
+(* Serializers for instance documents.
+
+   Every traversal here runs on an explicit worklist, never on OCaml
+   recursion: the parser bounds the depth of *parsed* documents, but
+   engine-*generated* target instances have no such bound, and a
+   serializer must not be the one place a deep (but legal) result can
+   blow the stack. *)
+
 let escape_text s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -28,46 +36,72 @@ let attrs_to_string attrs =
        (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape_attr (Atom.to_string v)))
        attrs)
 
-let rec add_compact buf = function
-  | Node.Text a -> Buffer.add_string buf (escape_text (Atom.to_string a))
-  | Node.Element e ->
-    if e.children = [] then
-      Buffer.add_string buf (Printf.sprintf "<%s%s/>" e.tag (attrs_to_string e.attrs))
-    else begin
-      Buffer.add_string buf (Printf.sprintf "<%s%s>" e.tag (attrs_to_string e.attrs));
-      List.iter (add_compact buf) e.children;
-      Buffer.add_string buf (Printf.sprintf "</%s>" e.tag)
-    end
+(* Compact rendering: a worklist of nodes still to open and closing
+   tags to emit once their subtree is done. *)
+type ctok = CNode of Node.t | CClose of string
+
+let add_compact buf node =
+  let stack = ref [ CNode node ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | CClose tag :: rest ->
+      stack := rest;
+      Buffer.add_string buf (Printf.sprintf "</%s>" tag)
+    | CNode (Node.Text a) :: rest ->
+      stack := rest;
+      Buffer.add_string buf (escape_text (Atom.to_string a))
+    | CNode (Node.Element e) :: rest ->
+      if e.children = [] then begin
+        stack := rest;
+        Buffer.add_string buf (Printf.sprintf "<%s%s/>" e.tag (attrs_to_string e.attrs))
+      end
+      else begin
+        Buffer.add_string buf (Printf.sprintf "<%s%s>" e.tag (attrs_to_string e.attrs));
+        stack := List.map (fun c -> CNode c) e.children @ (CClose e.tag :: rest)
+      end
+  done
 
 let to_string node =
   let buf = Buffer.create 256 in
   add_compact buf node;
   Buffer.contents buf
 
+type ptok = PNode of Node.t | PClose of string
+
 let to_pretty_string ?(indent = 2) node =
   let buf = Buffer.create 256 in
   let pad level = String.make (level * indent) ' ' in
-  let rec go level = function
-    | Node.Text a ->
+  let stack = ref [ (0, PNode node) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (level, PClose tag) :: rest ->
+      stack := rest;
+      Buffer.add_string buf (Printf.sprintf "%s</%s>\n" (pad level) tag)
+    | (level, PNode (Node.Text a)) :: rest ->
+      stack := rest;
       Buffer.add_string buf (pad level);
       Buffer.add_string buf (escape_text (Atom.to_string a));
       Buffer.add_char buf '\n'
-    | Node.Element e ->
+    | (level, PNode (Node.Element e)) :: rest ->
       let open_tag = Printf.sprintf "<%s%s" e.tag (attrs_to_string e.attrs) in
       (match e.children with
        | [] ->
+         stack := rest;
          Buffer.add_string buf (pad level ^ open_tag ^ "/>\n")
        | [ Node.Text a ] ->
+         stack := rest;
          Buffer.add_string buf
            (Printf.sprintf "%s%s>%s</%s>\n" (pad level) open_tag
               (escape_text (Atom.to_string a))
               e.tag)
        | children ->
          Buffer.add_string buf (pad level ^ open_tag ^ ">\n");
-         List.iter (go (level + 1)) children;
-         Buffer.add_string buf (Printf.sprintf "%s</%s>\n" (pad level) e.tag))
-  in
-  go 0 node;
+         stack :=
+           List.map (fun c -> (level + 1, PNode c)) children
+           @ ((level, PClose e.tag) :: rest))
+  done;
   Buffer.contents buf
 
 (* --- The paper's ASCII-tree rendering --------------------------------- *)
@@ -77,23 +111,7 @@ let to_pretty_string ?(indent = 2) node =
 
 type item = string list (* rendered lines of one child item *)
 
-let rec render_element (e : Node.element) : item =
-  match Node.text_value e, e.attrs, Node.child_elements e with
-  | Some v, [], [] -> [ Printf.sprintf "%s = %s" e.tag (Atom.to_string v) ]
-  | text, attrs, elems ->
-    let attr_items =
-      List.map (fun (k, v) -> [ Printf.sprintf "@%s = %s" k (Atom.to_string v) ]) attrs
-    in
-    let text_items =
-      match text with
-      | Some v -> [ [ Printf.sprintf "value = %s" (Atom.to_string v) ] ]
-      | None -> []
-    in
-    let elem_items = List.map render_element elems in
-    let items = attr_items @ text_items @ elem_items in
-    splice e.tag items
-
-and splice label items : item =
+let splice label items : item =
   match items with
   | [] -> [ label ]
   | first :: rest ->
@@ -123,6 +141,62 @@ and splice label items : item =
     in
     emit_rest rest;
     List.rev !lines
+
+(* Bottom-up assembly over an explicit frame stack: a frame renders its
+   element children one by one; when none remain the element splices
+   and hands its lines to the parent frame. *)
+type tframe = {
+  label : string;
+  pre : item list; (* attribute and text items, already rendered *)
+  mutable pending : Node.element list;
+  mutable done_rev : item list;
+}
+
+let render_element (e0 : Node.element) : item =
+  let leaf (e : Node.element) =
+    match Node.text_value e, e.attrs, Node.child_elements e with
+    | Some v, [], [] -> Some [ Printf.sprintf "%s = %s" e.tag (Atom.to_string v) ]
+    | _ -> None
+  in
+  let frame (e : Node.element) =
+    let attr_items =
+      List.map (fun (k, v) -> [ Printf.sprintf "@%s = %s" k (Atom.to_string v) ]) e.attrs
+    in
+    let text_items =
+      match Node.text_value e with
+      | Some v -> [ [ Printf.sprintf "value = %s" (Atom.to_string v) ] ]
+      | None -> []
+    in
+    {
+      label = e.tag;
+      pre = attr_items @ text_items;
+      pending = Node.child_elements e;
+      done_rev = [];
+    }
+  in
+  match leaf e0 with
+  | Some lines -> lines
+  | None ->
+    let stack = ref [ frame e0 ] in
+    let result = ref None in
+    while !result = None do
+      match !stack with
+      | [] -> assert false
+      | f :: rest ->
+        (match f.pending with
+         | e :: tl ->
+           f.pending <- tl;
+           (match leaf e with
+            | Some lines -> f.done_rev <- lines :: f.done_rev
+            | None -> stack := frame e :: !stack)
+         | [] ->
+           let lines = splice f.label (f.pre @ List.rev f.done_rev) in
+           stack := rest;
+           (match rest with
+            | [] -> result := Some lines
+            | parent :: _ -> parent.done_rev <- lines :: parent.done_rev))
+    done;
+    (match !result with Some lines -> lines | None -> assert false)
 
 let to_tree_string node =
   let lines =

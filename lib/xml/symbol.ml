@@ -65,6 +65,10 @@ let name i =
   st.names.(i)
 
 let interned () = Array.length (Atomic.get state).names
+
+let of_int i =
+  if i < 0 || i >= interned () then invalid_arg "Symbol.of_int: unknown symbol";
+  i
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
 let hash (i : t) = i

@@ -26,6 +26,12 @@ val name : t -> string
     usable as the size of a dense per-symbol array). *)
 val interned : unit -> int
 
+(** [of_int i] — the symbol with dense id [i], for columnar stores
+    ({!Doc}) that keep symbols in plain int arrays alongside non-symbol
+    sentinels. Inverse of the [(sym :> int)] coercion.
+    @raise Invalid_argument on an id that was never assigned. *)
+val of_int : int -> t
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

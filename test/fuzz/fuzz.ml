@@ -191,13 +191,16 @@ let targets : (string * (string -> unit)) list =
     ("mapping-dsl", fun s -> ignore (Clip_core.Dsl.parse_result ~limits s));
     ("xquery", fun s -> ignore (Clip_xquery.Parser.parse_string_result ~limits s));
     ( "engine",
-      (* Beyond totality, the engine target is differential: the same
-         run under [`Naive], [`Indexed] and [`Auto] plans must agree
-         (unordered node equality — target sibling order is pinned
-         separately by the plan test suite) whenever both succeed. The
-         source document is a random valid instance of the parsed
-         mapping's own source schema, so generators actually
-         enumerate. *)
+      (* Beyond totality, the engine target is differential on two
+         axes. Across plans: the same run under [`Naive], [`Indexed]
+         and [`Auto] must agree (unordered node equality — target
+         sibling order is pinned separately by the plan test suite)
+         whenever both succeed. Across representations: for each plan,
+         the [`Columnar] run must be {e exactly} equal to the [`Tree]
+         run — the vectorized executor promises byte-identical
+         enumeration order. The source document is a random valid
+         instance of the parsed mapping's own source schema, so
+         generators actually enumerate. *)
       fun s ->
         match Clip_core.Dsl.parse_result ~limits s with
         | Error _ -> ()
@@ -211,7 +214,9 @@ let targets : (string * (string -> unit)) list =
             | doc -> doc
             | exception _ -> Clip_xml.Node.elem m.source.root.name []
           in
-          let run plan = Clip_core.Engine.run_result ~limits ~plan m doc in
+          let run ?(repr = (`Tree : Clip_xml.Doc.repr)) plan =
+            Clip_core.Engine.run_result ~limits ~plan ~repr m doc
+          in
           (match run `Naive with
            | Error _ -> ()
            | Ok a ->
@@ -228,7 +233,22 @@ let targets : (string * (string -> unit)) list =
                        name
                        (String.sub s 0 (min 160 (String.length s)))
                    end)
-               [ ("indexed", `Indexed); ("auto", `Auto) ]) );
+               [ ("indexed", `Indexed); ("auto", `Auto) ]);
+          List.iter
+            (fun (name, plan) ->
+              match (run plan, run ~repr:`Columnar plan) with
+              | Ok t, Ok c ->
+                if not (Clip_xml.Node.equal t c) then begin
+                  incr failures;
+                  Printf.eprintf
+                    "FAILURE [engine]: tree and columnar reprs disagree under \
+                     %s plan\n\
+                    \  mapping prefix: %S\n"
+                    name
+                    (String.sub s 0 (min 160 (String.length s)))
+                end
+              | (Ok _ | Error _), _ -> ())
+            [ ("naive", `Naive); ("indexed", `Indexed); ("auto", `Auto) ] );
   ]
 
 let run_target name f input =

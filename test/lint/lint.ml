@@ -14,6 +14,11 @@
    (counters, tracers, session memos); cross-domain state must be
    [Atomic] or mutex-guarded with an explicit allowlist entry.
 
+   Every [.ml] under [lib/] must have a matching [.mli]: the interface
+   is where invariants live (Doc's array layout, the index's
+   memoisation contract, symbol interning), and an uninterfaced
+   module leaks every helper as public API.
+
    Run as [lint.exe LIBDIR]; wired into [dune runtest]. *)
 
 let allowlist = [ ("clio/generate.ml", 1); ("clio/enumerate.ml", 1); ("core/compile.ml", 1) ]
@@ -207,6 +212,12 @@ let () =
         then String.sub path (String.length prefix) (String.length path - String.length prefix)
         else path
       in
+      if Filename.check_suffix path ".ml" && not (Sys.file_exists (path ^ "i"))
+      then
+        complain
+          "lint: %s: no interface — every lib/ module needs a .mli (the \
+           interface carries the invariants; see lib/xml for the pattern)"
+          rel;
       let magic = count_substring src "Obj.magic" in
       if magic > 0 then
         complain "lint: %s: %d use(s) of Obj.magic (never allowed in lib/)" rel magic;

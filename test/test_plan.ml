@@ -6,6 +6,7 @@
 module P = Clip_plan
 module Node = Clip_xml.Node
 module Atom = Clip_xml.Atom
+module Printer = Clip_xml.Printer
 
 let checkb = Alcotest.(check bool)
 let checks = Alcotest.(check string)
@@ -235,9 +236,10 @@ let key_tests =
           (P.Key.equal
              (P.Key.of_atom (Atom.Float Float.nan))
              (P.Key.of_atom (Atom.Float (Float.neg Float.nan)))));
-    Alcotest.test_case "0. and -0. stay distinct (Float.equal semantics)" `Quick
+    Alcotest.test_case "0. and -0. are one key (Atom.equal holds on them)" `Quick
       (fun () ->
-        checkb "distinct" false
+        checkb "atoms equal" true (Atom.equal (Atom.Float 0.) (Atom.Float (-0.)));
+        checkb "keys agree" true
           (P.Key.equal (P.Key.of_atom (Atom.Float 0.)) (P.Key.of_atom (Atom.Float (-0.)))));
     Alcotest.test_case "strings, bools and numbers never collide" `Quick (fun () ->
         let keys =
@@ -317,15 +319,137 @@ let index_tests =
           == Clip_xml.Index.descendants_by_tag idx e (Clip_xml.Symbol.intern "x")));
   ]
 
+(* --- The columnar document store and its id-vector index --------------- *)
+
+let docidx_tests =
+  let module Doc = Clip_xml.Doc in
+  let module Index = Clip_xml.Index in
+  let wide n tag =
+    Node.elem "root"
+      (List.concat_map
+         (fun i ->
+           [
+             Node.elem (if i mod 2 = 0 then tag else "other") [];
+             Node.text (Atom.Int i);
+           ])
+         (List.init n Fun.id))
+  in
+  [
+    Alcotest.test_case "to_node returns the original node physically" `Quick
+      (fun () ->
+        let n = wide 10 "a" in
+        let doc = Doc.of_node n in
+        checkb "root" true (Doc.to_node doc 0 == n);
+        (* every interior element round-trips to its own boxed node *)
+        let e = match n with Node.Element e -> e | _ -> assert false in
+        List.iter
+          (fun c ->
+            match c with
+            | Node.Element ce ->
+              (match Doc.id_of doc ce with
+               | Some id -> checkb "child" true (Doc.to_node doc id == c)
+               | None -> Alcotest.fail "child element missing from doc")
+            | Node.Text _ -> ())
+          e.Node.children);
+    Alcotest.test_case "rebuild reconstructs the tree structurally" `Quick
+      (fun () ->
+        let n = wide 7 "a" in
+        let doc = Doc.of_node n in
+        let n' = Doc.rebuild doc 0 in
+        checkb "fresh value" false (n' == n);
+        checkb "equal" true (Node.equal n' n));
+    Alcotest.test_case "doc_children_by_tag matches a scan, in document order"
+      `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            let node = wide n "a" in
+            let doc = Doc.of_node node in
+            let idx = Index.build_doc doc in
+            let e = match node with Node.Element e -> e | _ -> assert false in
+            let scan =
+              List.filter
+                (function Node.Element c -> String.equal c.Node.tag "a" | _ -> false)
+                e.Node.children
+            in
+            let got = Index.doc_children_by_tag idx 0 (Clip_xml.Symbol.intern "a") in
+            checki "count" (List.length scan) (List.length got);
+            (* each answer is the boxed original, not a copy *)
+            checkb "physical" true (List.for_all2 ( == ) got scan);
+            let again = Index.doc_children_by_tag idx 0 (Clip_xml.Symbol.intern "a") in
+            (* wide elements are memoised (the warm probe returns the
+               same list); small ones are re-scanned, mirroring the
+               boxed index's smallness threshold *)
+            if n >= 8 then checkb "memoised probe is the same list" true (got == again)
+            else checkb "re-scanned probe agrees" true (List.for_all2 ( == ) got again);
+            checkb "absent tag" true
+              (Index.doc_children_by_tag idx 0 (Clip_xml.Symbol.intern "zzz") = []))
+          [ 0; 3; 100 ]);
+    Alcotest.test_case "doc_children_ids agree with children_ids" `Quick
+      (fun () ->
+        let node = wide 20 "a" in
+        let doc = Doc.of_node node in
+        let idx = Index.build_doc doc in
+        let ids = Index.doc_children_ids idx 0 (Clip_xml.Symbol.intern "a") in
+        let all = Doc.children_ids doc 0 in
+        let expect =
+          List.filter
+            (fun id -> Doc.is_element doc id && Doc.tag doc id = Clip_xml.Symbol.intern "a")
+            all
+        in
+        checkb "same ids in order" true (Array.to_list ids = expect));
+    Alcotest.test_case "doc_descendants_ids are preorder and memoised" `Quick
+      (fun () ->
+        let node =
+          Node.elem "r"
+            [
+              Node.elem "a" [ Node.elem "x" []; Node.elem "a" [ Node.elem "x" [] ] ];
+              Node.elem "x" [];
+            ]
+        in
+        let doc = Doc.of_node node in
+        let idx = Index.build_doc doc in
+        let x = Clip_xml.Symbol.intern "x" in
+        let ids = Index.doc_descendants_ids idx 0 x in
+        checki "count" 3 (Array.length ids);
+        checkb "preorder" true
+          (Array.to_list ids = List.sort compare (Array.to_list ids));
+        checkb "memoised" true
+          (Index.doc_descendants_by_tag idx 0 x == Index.doc_descendants_by_tag idx 0 x));
+    Alcotest.test_case "text_value_of agrees with Node.text_value" `Quick
+      (fun () ->
+        let node =
+          Node.elem "r"
+            [
+              Node.elem "t" [ Node.text_string "hi" ];
+              Node.elem "empty" [];
+              Node.elem "nested" [ Node.elem "t" [ Node.text_string "deep" ] ];
+            ]
+        in
+        let doc = Doc.of_node node in
+        let rec walk id =
+          (match Doc.to_node doc id with
+           | Node.Element e ->
+             checkb
+               (Printf.sprintf "node %d" id)
+               true
+               (Doc.text_value_of doc id = Node.text_value e)
+           | Node.Text _ -> ());
+          List.iter walk (Doc.children_ids doc id)
+        in
+        walk 0);
+  ]
+
 (* --- Differential: `Indexed against the `Naive oracles ----------------- *)
 
 module S = Clip_scenarios
 module Engine = Clip_core.Engine
 
-let run_mode sc ~backend ~plan doc =
+let run_mode ?(repr = (`Tree : Clip_xml.Doc.repr)) sc ~backend ~plan doc =
   match
     Engine.run_result ~limits:Clip_diag.Limits.unlimited ~backend
-      ~minimum_cardinality:sc.S.Figures.minimum_cardinality ~plan sc.S.Figures.mapping doc
+      ~minimum_cardinality:sc.S.Figures.minimum_cardinality ~plan ~repr
+      sc.S.Figures.mapping doc
   with
   | Ok d -> d
   | Error ds ->
@@ -376,6 +500,57 @@ let scaled_differential_tests =
               [ `Tgd; `Xquery ])
           S.Figures.[ fig5; fig6; fig6_join_global; fig7 ]);
   ]
+
+(* --- Differential: columnar against the boxed-tree oracle -------------- *)
+
+(* The boxed-tree interpreters are the oracle for the columnar path:
+   every figure, backend, plan mode and scale must produce the same
+   bytes under [`Tree], [`Columnar] and [`Auto] representations. The
+   comparison is on serialized output — byte-identical, not just
+   unordered-equal — because the vectorized executor promises exact
+   enumeration order. *)
+let repr_differential_tests =
+  let backends (sc : S.Figures.t) =
+    if sc.S.Figures.minimum_cardinality then [ `Tgd; `Xquery ] else [ `Tgd ]
+  in
+  let check_figure (sc : S.Figures.t) ~backend doc =
+    List.iter
+      (fun plan ->
+        let tree = Printer.to_string (run_mode ~repr:`Tree sc ~backend ~plan doc) in
+        List.iter
+          (fun (rname, repr) ->
+            checks
+              (Printf.sprintf "%s/%s %s" sc.S.Figures.name rname
+                 (match plan with `Naive -> "naive" | `Indexed -> "indexed" | `Auto -> "auto"))
+              tree
+              (Printer.to_string (run_mode ~repr sc ~backend ~plan doc)))
+          [ ("columnar", `Columnar); ("auto-repr", `Auto) ])
+      [ `Naive; `Indexed; `Auto ]
+  in
+  List.concat_map
+    (fun (sc : S.Figures.t) ->
+      List.map
+        (fun backend ->
+          let bname = match backend with `Tgd -> "tgd" | _ -> "xquery" in
+          Alcotest.test_case
+            (Printf.sprintf "%s/%s: columnar ≡ tree" sc.S.Figures.name bname)
+            `Quick
+            (fun () -> check_figure sc ~backend S.Deptdb.instance))
+        (backends sc))
+    S.Figures.all
+  @ [
+      Alcotest.test_case "scaled instances cross the columnar threshold" `Quick
+        (fun () ->
+          (* large enough that [`Auto] repr really goes columnar and
+             [`Auto] plan really plans — the interesting quadrant *)
+          let doc = S.Deptdb.synthetic_instance ~depts:40 ~projs:5 ~emps:10 in
+          List.iter
+            (fun (sc : S.Figures.t) ->
+              List.iter
+                (fun backend -> check_figure sc ~backend doc)
+                [ `Tgd; `Xquery ])
+            S.Figures.[ fig5; fig6; fig6_join_global; fig7 ]);
+    ]
 
 (* Random mapping programs would need a generator for the mapping DSL;
    random *data* under the deptdb schema is cheap and exercises the
@@ -452,11 +627,12 @@ let contains hay needle =
 (* Counters of one run on a warm session: the warm-up run outside the
    sink pays compile/plan once, so the measured run's work counters
    describe execution alone and are deterministic. *)
-let counted_run (sc : S.Figures.t) ~backend ~plan doc =
+let counted_run ?(repr = (`Tree : Clip_xml.Doc.repr)) (sc : S.Figures.t)
+    ~backend ~plan doc =
   let session = Engine.Session.create doc in
   let run ?ctx () =
     Engine.Session.run ?ctx ~backend
-      ~minimum_cardinality:sc.S.Figures.minimum_cardinality ~plan session
+      ~minimum_cardinality:sc.S.Figures.minimum_cardinality ~plan ~repr session
       sc.S.Figures.mapping
   in
   ignore (run ());
@@ -539,6 +715,77 @@ let counter_tests =
               checks "two renders agree" (once ()) (once ()))
             [ `Naive; `Indexed; `Auto ]);
     ]
+
+(* --- Counters across representations ------------------------------------ *)
+
+(* The counters are the semantics oracle for the columnar path: a
+   columnar run must do exactly the boxed-tree run's work — same
+   scans, same probes, same joins, same budget ticks — and only the
+   batch counters (which describe the iteration schedule, not the
+   work) may differ. *)
+let repr_counter_tests =
+  let strip_batches =
+    List.filter (fun (k, _) -> k <> "batches_executed" && k <> "batch_width")
+  in
+  let agree (sc : S.Figures.t) ~backend ~plan doc =
+    let _, ct = counted_run ~repr:`Tree sc ~backend ~plan doc in
+    let _, cc = counted_run ~repr:`Columnar sc ~backend ~plan doc in
+    checkb
+      (Printf.sprintf "%s work counters agree" sc.S.Figures.name)
+      true
+      (strip_batches (C.work_assoc ct) = strip_batches (C.work_assoc cc));
+    checki "tree runs execute no batches" 0 ct.C.batches_executed;
+    (ct, cc)
+  in
+  [
+    Alcotest.test_case "columnar does the tree run's work, per figure" `Quick
+      (fun () ->
+        List.iter
+          (fun (sc : S.Figures.t) ->
+            List.iter
+              (fun backend ->
+                List.iter
+                  (fun plan -> ignore (agree sc ~backend ~plan S.Deptdb.instance))
+                  [ `Naive; `Indexed; `Auto ])
+              (if sc.S.Figures.minimum_cardinality then [ `Tgd; `Xquery ]
+               else [ `Tgd ]))
+          S.Figures.all);
+    Alcotest.test_case "scaled columnar runs are genuinely batched" `Quick
+      (fun () ->
+        let doc = S.Deptdb.synthetic_instance ~depts:40 ~projs:5 ~emps:10 in
+        List.iter
+          (fun backend ->
+            let _, cc = agree S.Figures.fig6 ~backend ~plan:`Indexed doc in
+            checkb
+              (Printf.sprintf "batches executed (%d) > 0" cc.C.batches_executed)
+              true (cc.C.batches_executed > 0);
+            checkb
+              (Printf.sprintf "batch width %d >= batches %d" cc.C.batch_width
+                 cc.C.batches_executed)
+              true
+              (cc.C.batch_width >= cc.C.batches_executed))
+          [ `Tgd; `Xquery ]);
+    Alcotest.test_case "a session converts the document once" `Quick (fun () ->
+        (* the second columnar run through one session must hit the
+           cached [Doc.t] — and still agree with a cold tree run *)
+        let doc = S.Deptdb.synthetic_instance ~depts:40 ~projs:5 ~emps:10 in
+        let sc = S.Figures.fig6 in
+        let session = Engine.Session.create doc in
+        let cold = run_mode ~repr:`Tree sc ~backend:`Tgd ~plan:`Auto doc in
+        List.iter
+          (fun label ->
+            let warm =
+              Engine.Session.run ~plan:`Auto ~repr:`Columnar session
+                sc.S.Figures.mapping
+            in
+            checkb label true (Node.equal cold warm))
+          [ "first columnar run"; "second columnar run" ];
+        (* reprs can be mixed freely on one session *)
+        let tree_again =
+          Engine.Session.run ~plan:`Auto ~repr:`Tree session sc.S.Figures.mapping
+        in
+        checkb "tree run on the same session" true (Node.equal cold tree_again));
+  ]
 
 (* --- Sessions ----------------------------------------------------------- *)
 
@@ -640,10 +887,13 @@ let () =
       ("cost", cost_tests);
       ("keys", key_tests);
       ("index", index_tests);
+      ("docidx", docidx_tests);
       ("differential", differential_tests);
       ("scaled-differential", scaled_differential_tests);
+      ("repr-differential", repr_differential_tests);
       ("auto-steps", auto_steps_tests);
       ("counters", counter_tests);
+      ("repr-counters", repr_counter_tests);
       ("sessions", session_tests);
       ("fuzz-differential", [ QCheck_alcotest.to_alcotest fuzz_differential ]);
     ]

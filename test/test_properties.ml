@@ -210,6 +210,35 @@ let fig5_containment =
                = names)
            (depts doc) out_depts)
 
+(* --- The columnar document store ------------------------------------------ *)
+
+module Doc = Clip_xml.Doc
+
+(* [of_node]/[to_node] must be total and lossless on anything the
+   schema generators can produce: [to_node] returns the original boxed
+   node physically (which is what keeps identity-keyed caches and
+   byte-identical printing intact), and [rebuild] — the genuinely
+   reconstructing inverse — agrees structurally. *)
+let doc_roundtrip =
+  QCheck2.Test.make ~count:60
+    ~name:"columnar round-trip: to_node is physical, rebuild is structural"
+    gen_instance
+    (fun doc ->
+      let d = Doc.of_node doc in
+      Doc.to_node d 0 == doc && Node.equal (Doc.rebuild d 0) doc)
+
+let repr_agreement =
+  List.map
+    (fun (sc : S.Figures.t) ->
+      QCheck2.Test.make ~count:15
+        ~name:(sc.name ^ ": columnar representation agrees with the tree")
+        gen_instance
+        (fun doc ->
+          Node.equal
+            (Engine.run ~repr:`Tree sc.mapping doc)
+            (Engine.run ~repr:`Columnar sc.mapping doc)))
+    S.Figures.all
+
 (* --- Conformance modulo minimum cardinality -------------------------------- *)
 
 let conformance =
@@ -420,6 +449,7 @@ let () =
             fig9_aggregates;
             fig5_containment;
           ] );
+      ("columnar", to_alcotest (doc_roundtrip :: repr_agreement));
       ("conformance", to_alcotest conformance);
       ("clio", to_alcotest [ clio_extension_never_worse; compiled_alpha_reflexive ]);
       ("pipeline", to_alcotest [ pipeline_prop; pipeline_dsl_prop ]);

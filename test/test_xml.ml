@@ -46,6 +46,60 @@ let atom_tests =
         checkb "string" true (Atom.to_float (Atom.String "x") = None));
   ]
 
+(* --- Join-key normalisation ------------------------------------------------
+
+   [Atom.key] is the single normalisation behind the plan layer's hash
+   joins and both backends' grouping/dedup keys; these cases pin its
+   equality semantics so a drive-by "simplification" cannot silently
+   change what joins. *)
+
+let key_tests =
+  [
+    Alcotest.test_case "int and float promote to one key" `Quick (fun () ->
+        checkb "3 / 3.0" true (Atom.key (Atom.Int 3) = Atom.key (Atom.Float 3.)));
+    Alcotest.test_case "string never joins a number" `Quick (fun () ->
+        checkb "\"3\" / 3" false (Atom.key (Atom.String "3") = Atom.key (Atom.Int 3)));
+    Alcotest.test_case "0. and -0. are one key" `Quick (fun () ->
+        (* [Float.equal] holds on signed zeros, so [Atom.equal] does,
+           so the key must too — a finer key would make hash joins
+           miss matches the naive oracle emits. *)
+        checkb "signed zeros" true
+          (Atom.key (Atom.Float 0.) = Atom.key (Atom.Float (-0.))));
+    Alcotest.test_case "all NaNs are one key" `Quick (fun () ->
+        checkb "nan payloads" true
+          (Atom.key (Atom.Float Float.nan) = Atom.key (Atom.Float (0. /. 0.))));
+    Alcotest.test_case "key equality coincides with Atom.equal" `Quick (fun () ->
+        (* On atoms inside the exact float range the two notions must
+           agree in both directions. *)
+        let samples =
+          [
+            Atom.Int 0; Atom.Int 3; Atom.Int (-7); Atom.Float 3.; Atom.Float 2.5;
+            Atom.Float 0.; Atom.Float (-0.); Atom.String ""; Atom.String "3";
+            Atom.String "a"; Atom.Bool true; Atom.Bool false;
+          ]
+        in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                checkb
+                  (Printf.sprintf "%s / %s" (Atom.to_string a) (Atom.to_string b))
+                  (Atom.equal a b)
+                  (Atom.key a = Atom.key b))
+              samples)
+          samples);
+    Alcotest.test_case "beyond 2^53 keys coarsen but equal stays exact" `Quick
+      (fun () ->
+        (* 2^53 and 2^53 + 1 share a float image, hence a key; the
+           atoms themselves stay distinct, which is why every hash
+           consumer re-checks the original predicate per hit. *)
+        let p53 = 9007199254740992 in
+        checkb "keys collide" true
+          (Atom.key (Atom.Int p53) = Atom.key (Atom.Int (p53 + 1)));
+        checkb "equal distinguishes" false
+          (Atom.equal (Atom.Int p53) (Atom.Int (p53 + 1))));
+  ]
+
 (* --- Parser -------------------------------------------------------------- *)
 
 let parse = Parser.parse_string
@@ -144,6 +198,35 @@ let printer_tests =
         checkb "has last marker" true
           (String.length s > 0
           && String.index_opt s '`' <> None));
+    (* Engine-generated instances have no depth bound, so every
+       serializer must survive documents far deeper than any OCaml
+       stack: these only pass because the printers run on explicit
+       worklists. The compact and pretty printers run the full 100k
+       levels (pretty with [indent:0] — per-level indentation makes
+       its output quadratic in depth, ~20 GB at 100k); the ASCII-tree
+       renderer builds each line by splicing, also quadratic, so it
+       runs a shallower chain that still breaks naive recursion-per-
+       level implementations long before it breaks the worklist. *)
+    Alcotest.test_case "printers survive a 100k-deep chain" `Quick (fun () ->
+        let chain depth =
+          let rec build n acc =
+            if n = 0 then acc else build (n - 1) (Node.elem "d" [ acc ])
+          in
+          build depth (Node.elem "leaf" [ Node.text_string "x" ])
+        in
+        let depth = 100_000 in
+        let doc = chain depth in
+        let compact = Printer.to_string doc in
+        checki "compact length" ((depth * 7) + String.length "<leaf>x</leaf>")
+          (String.length compact);
+        checks "innermost" "<leaf>x</leaf>" (String.sub compact (depth * 3) 14);
+        let pretty = Printer.to_pretty_string ~indent:0 doc in
+        (* one open + one close line per chain level, one leaf line *)
+        checki "pretty lines" ((2 * depth) + 1)
+          (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 pretty);
+        let tree = Printer.to_tree_string (chain 10_000) in
+        checks "tree ends at the leaf" "leaf = x"
+          (String.sub tree (String.length tree - 8) 8));
   ]
 
 (* --- Node operations ------------------------------------------------------ *)
@@ -240,6 +323,7 @@ let () =
   Alcotest.run "xml"
     [
       ("atom", atom_tests);
+      ("key", key_tests);
       ("parser", parser_tests);
       ("printer", printer_tests);
       ("node", node_tests);
