@@ -145,6 +145,29 @@ let repr_arg =
        & opt (enum [ ("tree", `Tree); ("columnar", `Columnar); ("auto", `Auto) ]) `Tree
        & info [ "repr" ] ~docv:"REPR" ~doc)
 
+let stream_flag =
+  let doc =
+    "Read each input incrementally (chunked) instead of loading it whole. \
+     When the mapping admits a safe shard cut, evaluation is fully \
+     streaming: shard documents are cut straight off the byte feed, \
+     evaluated on --jobs domains and merged in document order, so peak \
+     memory is bounded by the in-flight shard window, not the document. \
+     Output is byte-identical to a non-streaming run. Inputs are processed \
+     one at a time (--jobs parallelises within each document); syntax \
+     errors are reported without the source-line caret."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
+let shard_bytes_arg =
+  let doc =
+    "Shard each document at the mapping's repeated source element into \
+     pieces of about $(docv) serialised bytes and evaluate them on --jobs \
+     domains (implies sharded mode; default budget 1 MiB). Mappings \
+     without a safe cut fall back to whole-document evaluation — 'clip \
+     explain' shows the decision and its reason."
+  in
+  Arg.(value & opt (some int) None & info [ "shard-bytes" ] ~docv:"BYTES" ~doc)
+
 let run_cmd =
   let input_files =
     let doc =
@@ -203,30 +226,15 @@ let run_cmd =
     in
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
   in
-  let run file inputs backend plan repr tree trace jobs timeout_ms keep_going retries =
+  let run file inputs backend plan repr tree trace jobs timeout_ms keep_going
+      retries stream shard_bytes =
     let m = load_mapping file in
-    (* Parse sequentially: parse diagnostics want the source text for
-       caret rendering, and parsing is cheap next to evaluation. Without
-       --keep-going the first parse failure aborts the whole run; with
-       it, a bad document is just one failed input in the summary. *)
-    let parse_failures = ref 0 in
-    let sources =
-      List.filter_map
-        (fun path ->
-          let xml_src = read_file path in
-          match Clip_xml.Parser.parse_string_result xml_src with
-          | Error ds ->
-            if not keep_going then begin
-              report ~src:xml_src ds;
-              exit 1
-            end;
-            incr parse_failures;
-            Printf.eprintf "clip: input %s: failed\n" path;
-            report ~src:xml_src ds;
-            None
-          | Ok source -> Some (path, source))
-        inputs
-    in
+    (* --shard-bytes (and --stream) opt into single-document sharding;
+       --jobs then parallelises within each document, and inputs run
+       one at a time — without them, --jobs parallelises across
+       inputs exactly as before. *)
+    let mode = if stream || shard_bytes <> None then `Sharded else `Whole in
+    let cross_jobs = if mode = `Whole then jobs else 1 in
     (* SIGINT flips a cooperative cancellation flag shared by every
        task; workers notice at their next control poll and unwind with
        CLIP-LIM-006, so an interrupted batch still reports per-input
@@ -245,91 +253,190 @@ let run_cmd =
         Some (Clip_obs.Trace.create ~now:Unix.gettimeofday ())
       else None
     in
-    (* One task per document: its own context, hence its own session
-       and plan memos — nothing shared across domains. Rendering to a
-       string inside the task keeps stdout in input order. *)
-    let evaluate ~obs (_path, source) =
-      let deadline =
-        match timeout_ms with
-        | None -> None
-        | Some ms ->
-          (* Per task, started at task start: an input's clock does not
-             run while earlier inputs evaluate. *)
-          Some
-            (Clip_run.deadline_after ~now:Unix.gettimeofday
-               ~seconds:(float_of_int ms /. 1000.))
-      in
-      let ctx = Clip_run.create ?counters:obs ?tracer ?deadline ~cancel () in
-      match Clip_core.Engine.run_result ~ctx ~backend ~plan ~repr m source with
-      | Error ds -> Error ds
-      | Ok out ->
-        let b = Buffer.create 1024 in
-        if tree then (
-          Buffer.add_string b (Clip_xml.Printer.to_tree_string out);
-          Buffer.add_char b '\n')
-        else Buffer.add_string b (Clip_xml.Printer.to_pretty_string out);
-        if trace then begin
-          (* The lineage re-run gets a throwaway context: it is
-             bookkeeping, not the measured evaluation, so it must not
-             inflate the run's counters (or spans). *)
-          let lineage_ctx = Clip_run.create () in
-          let _, entries =
-            Clip_core.Engine.run_traced ~ctx:lineage_ctx ~plan m source
-          in
-          Buffer.add_char b '\n';
-          List.iter
-            (fun (t : Clip_tgd.Eval.trace_entry) ->
-              if t.sources <> [] then
-                Buffer.add_string b
-                  (Printf.sprintf "/%s <- %s\n"
-                     (String.concat "/" (List.map string_of_int t.target_path))
-                     (String.concat ", "
-                        (List.map
-                           (fun n ->
-                             match n with
-                             | Clip_xml.Node.Element e -> "<" ^ e.tag ^ ">"
-                             | Clip_xml.Node.Text a -> Clip_xml.Atom.to_string a)
-                           t.sources))))
-            entries
-        end;
-        Ok (Buffer.contents b)
+    let deadline_for () =
+      match timeout_ms with
+      | None -> None
+      | Some ms ->
+        (* Per task, started at task start: an input's clock does not
+           run while earlier inputs evaluate. *)
+        Some
+          (Clip_run.deadline_after ~now:Unix.gettimeofday
+             ~seconds:(float_of_int ms /. 1000.))
     in
-    let results = Clip_par.map_results ~jobs ~retries ?obs:total evaluate sources in
+    let render_out ?source out =
+      let b = Buffer.create 1024 in
+      if tree then (
+        Buffer.add_string b (Clip_xml.Printer.to_tree_string out);
+        Buffer.add_char b '\n')
+      else Buffer.add_string b (Clip_xml.Printer.to_pretty_string out);
+      (match source with
+       | Some source when trace ->
+         (* The lineage re-run gets a throwaway context: it is
+            bookkeeping, not the measured evaluation, so it must not
+            inflate the run's counters (or spans). *)
+         let lineage_ctx = Clip_run.create () in
+         let _, entries =
+           Clip_core.Engine.run_traced ~ctx:lineage_ctx ~plan m source
+         in
+         Buffer.add_char b '\n';
+         List.iter
+           (fun (t : Clip_tgd.Eval.trace_entry) ->
+             if t.sources <> [] then
+               Buffer.add_string b
+                 (Printf.sprintf "/%s <- %s\n"
+                    (String.concat "/" (List.map string_of_int t.target_path))
+                    (String.concat ", "
+                       (List.map
+                          (fun n ->
+                            match n with
+                            | Clip_xml.Node.Element e -> "<" ^ e.tag ^ ">"
+                            | Clip_xml.Node.Text a -> Clip_xml.Atom.to_string a)
+                          t.sources))))
+           entries
+       | _ -> ());
+      Buffer.contents b
+    in
     let code =
-      if keep_going then begin
-        (* Graceful degradation: every input's outcome, in input order;
-           successes on stdout, failures under a per-input header on
-           stderr, then a one-line summary. *)
-        let failed = ref !parse_failures in
-        List.iter2
-          (fun (path, _) r ->
-            match r with
-            | Ok s -> print_string s
-            | Error ds ->
-              incr failed;
-              Printf.eprintf "clip: input %s: failed\n" path;
-              report ds)
-          sources results;
-        if !failed > 0 then begin
-          Printf.eprintf "clip: %d of %d input(s) failed\n" !failed
-            (List.length inputs);
-          1
+      if stream then begin
+        (* Streaming ingestion: the document is never loaded whole here —
+           bytes flow chunkwise from the channel into the engine (and,
+           when the mapping shards, straight into the shard cutter).
+           Lineage needs the materialised tree, so --trace prints
+           counters and phases but no lineage on this path. *)
+        let outcomes =
+          List.map
+            (fun path ->
+              let r =
+                match open_in_bin path with
+                | exception Sys_error msg ->
+                  Error [ Clip_diag.error ~code:Clip_diag.Codes.io_error msg ]
+                | ic ->
+                  Fun.protect
+                    ~finally:(fun () -> close_in_noerr ic)
+                    (fun () ->
+                      let st = Clip_xml.Stream.of_channel ic in
+                      let ctx =
+                        Clip_run.create ?counters:total ?tracer
+                          ?deadline:(deadline_for ()) ~cancel ()
+                      in
+                      match
+                        Clip_core.Engine.run_stream_result ~ctx ~backend ~plan
+                          ~repr ~mode ?shard_bytes ~jobs m st
+                      with
+                      | Error ds -> Error ds
+                      | Ok out -> Ok (render_out out))
+              in
+              (path, r))
+            inputs
+        in
+        if keep_going then begin
+          let failed = ref 0 in
+          List.iter
+            (fun (path, r) ->
+              match r with
+              | Ok s -> print_string s
+              | Error ds ->
+                incr failed;
+                Printf.eprintf "clip: input %s: failed\n" path;
+                report ds)
+            outcomes;
+          if !failed > 0 then begin
+            Printf.eprintf "clip: %d of %d input(s) failed\n" !failed
+              (List.length inputs);
+            1
+          end
+          else 0
         end
-        else 0
+        else begin
+          let rec emit = function
+            | [] -> 0
+            | (_, Ok s) :: rest ->
+              print_string s;
+              emit rest
+            | (_, Error ds) :: _ ->
+              report ds;
+              1
+          in
+          emit outcomes
+        end
       end
       else begin
-        (* Fail fast: outputs up to the first failing input, then that
-           failure's diagnostics and nothing after it. *)
-        let rec emit = function
-          | [] -> 0
-          | Ok s :: rest ->
-            print_string s;
-            emit rest
-          | Error ds :: _ ->
-            report ds;
-            1
+        (* Parse sequentially: parse diagnostics want the source text for
+           caret rendering, and parsing is cheap next to evaluation. Without
+           --keep-going the first parse failure aborts the whole run; with
+           it, a bad document is just one failed input in the summary. *)
+        let parse_failures = ref 0 in
+        let sources =
+          List.filter_map
+            (fun path ->
+              let xml_src = read_file path in
+              match Clip_xml.Parser.parse_string_result xml_src with
+              | Error ds ->
+                if not keep_going then begin
+                  report ~src:xml_src ds;
+                  exit 1
+                end;
+                incr parse_failures;
+                Printf.eprintf "clip: input %s: failed\n" path;
+                report ~src:xml_src ds;
+                None
+              | Ok source -> Some (path, source))
+            inputs
         in
-        emit results
+        (* One task per document: its own context, hence its own session
+           and plan memos — nothing shared across domains. Rendering to a
+           string inside the task keeps stdout in input order. *)
+        let evaluate ~obs (_path, source) =
+          let ctx =
+            Clip_run.create ?counters:obs ?tracer ?deadline:(deadline_for ())
+              ~cancel ()
+          in
+          match
+            Clip_core.Engine.run_result ~ctx ~backend ~plan ~repr ~mode
+              ?shard_bytes ~jobs m source
+          with
+          | Error ds -> Error ds
+          | Ok out -> Ok (render_out ~source out)
+        in
+        let results =
+          Clip_par.map_results ~jobs:cross_jobs ~retries ?obs:total evaluate
+            sources
+        in
+        if keep_going then begin
+          (* Graceful degradation: every input's outcome, in input order;
+             successes on stdout, failures under a per-input header on
+             stderr, then a one-line summary. *)
+          let failed = ref !parse_failures in
+          List.iter2
+            (fun (path, _) r ->
+              match r with
+              | Ok s -> print_string s
+              | Error ds ->
+                incr failed;
+                Printf.eprintf "clip: input %s: failed\n" path;
+                report ds)
+            sources results;
+          if !failed > 0 then begin
+            Printf.eprintf "clip: %d of %d input(s) failed\n" !failed
+              (List.length inputs);
+            1
+          end
+          else 0
+        end
+        else begin
+          (* Fail fast: outputs up to the first failing input, then that
+             failure's diagnostics and nothing after it. *)
+          let rec emit = function
+            | [] -> 0
+            | Ok s :: rest ->
+              print_string s;
+              emit rest
+            | Error ds :: _ ->
+              report ds;
+              1
+          in
+          emit results
+        end
       end
     in
     if trace && code = 0 then begin
@@ -346,20 +453,30 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Transform a source instance into a target instance")
     Term.(const run $ mapping_file $ input_files $ backend_arg $ plan_arg
           $ repr_arg $ tree_flag $ trace_flag $ jobs_arg $ timeout_arg
-          $ keep_going_flag $ retries_arg)
+          $ keep_going_flag $ retries_arg $ stream_flag $ shard_bytes_arg)
 
 (* --- explain ------------------------------------------------------------ *)
 
 let explain_cmd =
-  let run file input backend plan =
+  let run file input backend plan stream shard_bytes =
     let m = load_mapping file in
     let xml_src = read_file input in
+    (* --stream / --shard-bytes ask for the sharding decision a run
+       with the same flags would take: EXPLAIN then ends with a
+       'sharding:' line naming the cut, or the whole-document fallback
+       and its reason. *)
+    let mode =
+      if stream || shard_bytes <> None then Some `Sharded else None
+    in
     match Clip_xml.Parser.parse_string_result xml_src with
     | Error ds ->
       report ~src:xml_src ds;
       1
     | Ok source ->
-      (match Clip_core.Engine.explain_result ~backend ~plan m source with
+      (match
+         Clip_core.Engine.explain_result ~backend ~plan ?mode ?shard_bytes m
+           source
+       with
        | Error ds ->
          report ds;
          1
@@ -372,8 +489,10 @@ let explain_cmd =
        ~doc:
          "Show the physical plan for running the mapping over an instance: \
           per source clause the chosen strategy (scan, pushed-down filter, \
-          hash join) and the cost-model inputs that justified it")
-    Term.(const run $ mapping_file $ input_file $ backend_arg $ plan_arg)
+          hash join) and the cost-model inputs that justified it — plus, \
+          with --stream or --shard-bytes, the sharding decision")
+    Term.(const run $ mapping_file $ input_file $ backend_arg $ plan_arg
+          $ stream_flag $ shard_bytes_arg)
 
 (* --- render ------------------------------------------------------------- *)
 

@@ -1,4 +1,91 @@
 type backend = [ `Tgd | `Xquery | `Xquery_text ]
+type mode = [ `Whole | `Sharded | `Auto ]
+
+(* --- Single-document sharding ------------------------------------------ *)
+
+(* The sharded paths below cut one large source document at the unit
+   designated by {!Clip_shard.plan}, evaluate the shard documents
+   through the unchanged per-backend executors — one fresh backend
+   session per shard, the compiled tgd (and translated query) shared —
+   and merge the per-shard targets into exactly the whole-document
+   output. The whole-document path stays the oracle: [`Whole] touches
+   none of this. *)
+
+let default_shard_bytes = 1 lsl 20
+
+(* Resolve the three-way mode against the static analysis and the
+   concrete document. [`Sharded] shards whenever the analysis
+   designates a safe cut and the document holds at least two units;
+   [`Auto] additionally requires the document to overflow one shard
+   budget, so small documents keep the zero-overhead whole path. *)
+let decide ~mode ~minimum_cardinality ~shard_bytes (m : Mapping.t) tgd source =
+  match mode with
+  | `Whole -> Clip_shard.Whole "disabled, whole-document evaluation"
+  | (`Sharded | `Auto) as mode -> (
+      match
+        Clip_shard.plan ~source:m.source ~target:m.target ~minimum_cardinality
+          tgd
+      with
+      | Clip_shard.Whole _ as w -> w
+      | Clip_shard.Sharded cut as d ->
+          if Clip_shard.count_units cut source < 2 then
+            Clip_shard.Whole "the document holds fewer than two shard units"
+          else if mode = `Auto && Clip_shard.approx_bytes source <= shard_bytes
+          then Clip_shard.Whole "the document fits within one shard budget"
+          else d)
+
+(* One shard through its backend executor. Sessions are single-domain
+   values, so every shard gets its own; cancellation and the deadline
+   clock flow through the parent context's domain-safe control; the
+   scratch sink [obs] is supplied by {!Clip_par}, which merges it so
+   totals are exact. Each shard runs under its own full step budget —
+   the budget bounds any single evaluation, not their sum. *)
+let eval_shard ?limits ~backend ~minimum_cardinality ?plan ?repr ~ctl ~obs
+    ~target_root ~tgd ~query shard =
+  let steps = ref 0 in
+  let r =
+    match backend with
+    | `Tgd ->
+        Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan ?repr ~ctl
+          ~session:(Clip_tgd.Eval.Session.create shard) ~steps_out:steps ?obs
+          ~source:shard ~target_root tgd
+    | `Xquery | `Xquery_text ->
+        let query = match query with Some q -> q | None -> assert false in
+        Clip_xquery.Eval.run_document_result ?limits ?plan ?repr ~ctl
+          ~session:(Clip_xquery.Eval.Session.create shard) ~steps_out:steps
+          ?obs ~input:shard query
+  in
+  Result.map (fun out -> (out, !steps)) r
+
+(* Cut a materialised document, evaluate the shards in parallel, merge.
+   [Clip_par.map_results] lands every result in its input slot, so the
+   error reported is the lowest shard index's — the one the sequential
+   whole-document run would have hit first. *)
+let sharded_run_result ?limits ~ctx ~backend ~minimum_cardinality ?plan ?repr
+    ?steps_out ?jobs ~shard_bytes ~cut ~target_root ~tgd ~query source =
+  let obs = Clip_run.counters ctx in
+  let ctl = Clip_run.control ctx in
+  let shards = Clip_shard.shards_of_node cut ~budget_bytes:shard_bytes source in
+  let rs =
+    Clip_run.span ctx "execute" (fun () ->
+        Clip_par.map_results ?jobs ?obs
+          (fun ~obs shard ->
+            eval_shard ?limits ~backend ~minimum_cardinality ?plan ?repr ~ctl
+              ~obs ~target_root ~tgd ~query shard)
+          shards)
+  in
+  let rec split outs = function
+    | [] -> Ok (List.rev outs)
+    | Ok o :: rest -> split (o :: outs) rest
+    | Error ds :: _ -> Error ds
+  in
+  match split [] rs with
+  | Error ds -> Error ds
+  | Ok outs ->
+      (match steps_out with
+       | Some r -> r := List.fold_left (fun a (_, s) -> a + s) 0 outs
+       | None -> ());
+      Clip_shard.merge ~unify:cut.Clip_shard.unify (List.map fst outs)
 
 (* --- Sessions ---------------------------------------------------------- *)
 
@@ -126,11 +213,51 @@ module Session = struct
                s.slast_xq <- Some (target_root, tgd, q);
                Ok q)))
 
-  let run ?ctx ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?repr
-      ?steps_out s (m : Mapping.t) =
-    let ctx = match ctx with Some c -> c | None -> Clip_run.create () in
+  (* The sharded paths prepare the backend query once (through the
+     session caches), then hand the shards to the shared orchestrator;
+     when the analysis declines the cut, evaluation proceeds on the
+     whole-document path below, byte for byte as under [`Whole]. *)
+  let query_for ?obs ~ctx ~backend s ~target_root tgd =
+    match backend with
+    | `Tgd -> None
+    | `Xquery ->
+      Some
+        (Clip_run.span ctx "translate" (fun () ->
+             to_xquery ?obs s ~target_root tgd))
+    | `Xquery_text ->
+      let q =
+        Clip_run.span ctx "translate" (fun () ->
+            to_xquery ?obs s ~target_root tgd)
+      in
+      Some
+        (Clip_run.span ctx "parse" (fun () ->
+             Clip_xquery.Parser.parse_string
+               (Clip_xquery.Pretty.query_to_string q)))
+
+  let query_for_result ?limits ?obs ~ctx ~backend s ~target_root tgd =
+    match backend with
+    | `Tgd -> Ok None
+    | `Xquery | `Xquery_text ->
+      (match
+         Clip_run.span ctx "translate" (fun () ->
+             to_xquery_result ?obs s ~target_root tgd)
+       with
+       | Error ds -> Error ds
+       | Ok q ->
+         (match backend with
+          | `Xquery -> Ok (Some q)
+          | _ ->
+            (match
+               Clip_run.span ctx "parse" (fun () ->
+                   Clip_xquery.Parser.parse_string_result ?limits
+                     (Clip_xquery.Pretty.query_to_string q))
+             with
+             | Error ds -> Error ds
+             | Ok q -> Ok (Some q))))
+
+  let run_whole ~ctx ~backend ~minimum_cardinality ?plan ?repr ?steps_out s
+      (m : Mapping.t) tgd =
     let obs = Clip_run.counters ctx in
-    let tgd = Clip_run.span ctx "compile" (fun () -> to_tgd ?obs s m) in
     let target_root = m.target.root.name in
     match backend with
     | `Tgd ->
@@ -162,15 +289,32 @@ module Session = struct
         Clip_xquery.Eval.run_document ?plan ?repr ~ctl:(Clip_run.control ctx)
           ~session:s.sxq ?steps_out ?obs ~input:s.ssource query)
 
-  let run_result ?ctx ?limits ?(backend = `Tgd) ?(minimum_cardinality = true)
-      ?plan ?repr ?steps_out s (m : Mapping.t) =
+  let run ?ctx ?(backend = `Tgd) ?(minimum_cardinality = true) ?plan ?repr
+      ?steps_out ?(mode = `Whole) ?(shard_bytes = default_shard_bytes) ?jobs s
+      (m : Mapping.t) =
     let ctx = match ctx with Some c -> c | None -> Clip_run.create () in
     let obs = Clip_run.counters ctx in
-    match Clip_run.span ctx "compile" (fun () -> to_tgd_result ?obs s m) with
-    | Error ds -> Error ds
-    | Ok tgd ->
+    let tgd = Clip_run.span ctx "compile" (fun () -> to_tgd ?obs s m) in
+    match decide ~mode ~minimum_cardinality ~shard_bytes m tgd s.ssource with
+    | Clip_shard.Whole _ ->
+      run_whole ~ctx ~backend ~minimum_cardinality ?plan ?repr ?steps_out s m
+        tgd
+    | Clip_shard.Sharded cut ->
       let target_root = m.target.root.name in
-      (match backend with
+      let query = query_for ?obs ~ctx ~backend s ~target_root tgd in
+      (match
+         sharded_run_result ~ctx ~backend ~minimum_cardinality ?plan ?repr
+           ?steps_out ?jobs ~shard_bytes ~cut ~target_root ~tgd ~query
+           s.ssource
+       with
+       | Ok out -> out
+       | Error ds -> raise (Clip_diag.Fail ds))
+
+  let run_whole_result ?limits ~ctx ~backend ~minimum_cardinality ?plan ?repr
+      ?steps_out s (m : Mapping.t) tgd =
+    let obs = Clip_run.counters ctx in
+    let target_root = m.target.root.name in
+    (match backend with
        | `Tgd ->
          Clip_run.span ctx "execute" (fun () ->
            Clip_tgd.Eval.run_result ?limits ~minimum_cardinality ?plan ?repr
@@ -202,6 +346,27 @@ module Session = struct
                  Clip_xquery.Eval.run_document_result ?limits ?plan ?repr
                    ~ctl:(Clip_run.control ctx) ~session:s.sxq ?steps_out ?obs
                    ~input:s.ssource query))))
+
+  let run_result ?ctx ?limits ?(backend = `Tgd) ?(minimum_cardinality = true)
+      ?plan ?repr ?steps_out ?(mode = `Whole)
+      ?(shard_bytes = default_shard_bytes) ?jobs s (m : Mapping.t) =
+    let ctx = match ctx with Some c -> c | None -> Clip_run.create () in
+    let obs = Clip_run.counters ctx in
+    match Clip_run.span ctx "compile" (fun () -> to_tgd_result ?obs s m) with
+    | Error ds -> Error ds
+    | Ok tgd ->
+      (match decide ~mode ~minimum_cardinality ~shard_bytes m tgd s.ssource with
+       | Clip_shard.Whole _ ->
+         run_whole_result ?limits ~ctx ~backend ~minimum_cardinality ?plan
+           ?repr ?steps_out s m tgd
+       | Clip_shard.Sharded cut ->
+         let target_root = m.target.root.name in
+         (match query_for_result ?limits ?obs ~ctx ~backend s ~target_root tgd with
+          | Error ds -> Error ds
+          | Ok query ->
+            sharded_run_result ?limits ~ctx ~backend ~minimum_cardinality
+              ?plan ?repr ?steps_out ?jobs ~shard_bytes ~cut ~target_root ~tgd
+              ~query s.ssource))
 end
 
 (* --- One-shot entry points --------------------------------------------- *)
@@ -242,17 +407,145 @@ let session_for ctx source =
 
 let resolve_ctx = function Some c -> c | None -> Clip_run.ambient ()
 
-let run ?ctx ?backend ?minimum_cardinality ?plan ?repr ?steps_out
-    (m : Mapping.t) source =
+let run ?ctx ?backend ?minimum_cardinality ?plan ?repr ?steps_out ?mode
+    ?shard_bytes ?jobs (m : Mapping.t) source =
   let ctx = resolve_ctx ctx in
-  Session.run ~ctx ?backend ?minimum_cardinality ?plan ?repr ?steps_out
-    (session_for ctx source) m
+  Session.run ~ctx ?backend ?minimum_cardinality ?plan ?repr ?steps_out ?mode
+    ?shard_bytes ?jobs (session_for ctx source) m
 
 let run_result ?ctx ?limits ?backend ?minimum_cardinality ?plan ?repr
-    ?steps_out (m : Mapping.t) source =
+    ?steps_out ?mode ?shard_bytes ?jobs (m : Mapping.t) source =
   let ctx = resolve_ctx ctx in
   Session.run_result ~ctx ?limits ?backend ?minimum_cardinality ?plan ?repr
-    ?steps_out (session_for ctx source) m
+    ?steps_out ?mode ?shard_bytes ?jobs (session_for ctx source) m
+
+(* --- Streaming ingestion ----------------------------------------------- *)
+
+(* Run a mapping over a byte stream. The fully streaming path — cutter
+   feeding the ordered {!Clip_par.stream_results} pipeline feeding the
+   merger — engages when sharding is designated and the shards carry no
+   prologue, so only one in-flight window of shard documents is ever
+   resident; every other case materialises the document first (the
+   memory win is impossible anyway: the whole path needs the tree, and
+   prologue-bearing shards need the whole prologue before the first
+   unit can be cut loose). *)
+let run_stream_result ?ctx ?limits ?(backend = `Tgd)
+    ?(minimum_cardinality = true) ?plan ?repr ?steps_out ?(mode = `Auto)
+    ?(shard_bytes = default_shard_bytes) ?jobs (m : Mapping.t) src =
+  let ctx = resolve_ctx ctx in
+  let obs = Clip_run.counters ctx in
+  let materialise_then mode =
+    match
+      Clip_run.span ctx "parse" (fun () -> Clip_xml.Stream.parse_result src)
+    with
+    | Error ds -> Error ds
+    | Ok doc ->
+      run_result ~ctx ?limits ~backend ~minimum_cardinality ?plan ?repr
+        ?steps_out ~mode ~shard_bytes ?jobs m doc
+  in
+  match mode with
+  | `Whole -> materialise_then `Whole
+  | (`Sharded | `Auto) as mode -> (
+      match Clip_run.span ctx "compile" (fun () -> Compile.to_tgd_result m) with
+      | Error ds -> Error ds
+      | Ok tgd -> (
+          match
+            Clip_shard.plan ~source:m.source ~target:m.target
+              ~minimum_cardinality tgd
+          with
+          | Clip_shard.Whole _ -> materialise_then `Whole
+          | Clip_shard.Sharded cut when cut.Clip_shard.needs_prologue ->
+            (* Every shard carries the prologue, which is only complete
+               once the whole document has been seen — materialise and
+               let the tree cutter share subtrees instead. *)
+            materialise_then (mode :> mode)
+          | Clip_shard.Sharded cut -> (
+              let target_root = m.target.root.name in
+              let query_r =
+                match backend with
+                | `Tgd -> Ok None
+                | `Xquery | `Xquery_text -> (
+                    match
+                      Clip_run.span ctx "translate" (fun () ->
+                          To_xquery.translate_result ~target_root tgd)
+                    with
+                    | Error ds -> Error ds
+                    | Ok q -> (
+                        match backend with
+                        | `Xquery -> Ok (Some q)
+                        | _ -> (
+                            match
+                              Clip_run.span ctx "parse" (fun () ->
+                                  Clip_xquery.Parser.parse_string_result
+                                    ?limits
+                                    (Clip_xquery.Pretty.query_to_string q))
+                            with
+                            | Error ds -> Error ds
+                            | Ok q -> Ok (Some q))))
+              in
+              match query_r with
+              | Error ds -> Error ds
+              | Ok query -> (
+                  let ctl = Clip_run.control ctx in
+                  let cutter =
+                    Clip_shard.cutter cut ~budget_bytes:shard_bytes src
+                  in
+                  (* The first pull decides between streaming and the
+                     root-mismatch fallback; [Fallback_doc] can only be
+                     the first result, and a cutter never starts with
+                     [Exhausted] — end of input without a root element
+                     is a parse error. *)
+                  match Clip_shard.next_shard cutter with
+                  | Error ds -> Error ds
+                  | Ok Clip_shard.Exhausted -> assert false
+                  | Ok (Clip_shard.Fallback_doc doc) ->
+                    run_result ~ctx ?limits ~backend ~minimum_cardinality
+                      ?plan ?repr ?steps_out ~mode:`Whole m doc
+                  | Ok (Clip_shard.Shard first) -> (
+                      let pending = ref (Some first) in
+                      let produce () =
+                        match !pending with
+                        | Some n ->
+                          pending := None;
+                          Ok (Some n)
+                        | None -> (
+                            match Clip_shard.next_shard cutter with
+                            | Error ds -> Error ds
+                            | Ok (Clip_shard.Shard n) -> Ok (Some n)
+                            | Ok Clip_shard.Exhausted -> Ok None
+                            | Ok (Clip_shard.Fallback_doc _) -> assert false)
+                      in
+                      let merger = Clip_shard.merger ~unify:cut.Clip_shard.unify in
+                      let steps = ref 0 in
+                      let consume (out, s) =
+                        steps := !steps + s;
+                        Clip_shard.merge_into merger out
+                      in
+                      match
+                        Clip_run.span ctx "execute" (fun () ->
+                            Clip_par.stream_results ?jobs ?obs ~produce
+                              ~consume (fun ~obs shard ->
+                                eval_shard ?limits ~backend
+                                  ~minimum_cardinality ?plan ?repr ~ctl ~obs
+                                  ~target_root ~tgd ~query shard))
+                      with
+                      | Error ds -> Error ds
+                      | Ok () -> (
+                          (match steps_out with
+                           | Some r -> r := !steps
+                           | None -> ());
+                          match Clip_shard.merged merger with
+                          | Some doc -> Ok doc
+                          | None -> assert false))))))
+
+let run_stream ?ctx ?limits ?backend ?minimum_cardinality ?plan ?repr
+    ?steps_out ?mode ?shard_bytes ?jobs m src =
+  match
+    run_stream_result ?ctx ?limits ?backend ?minimum_cardinality ?plan ?repr
+      ?steps_out ?mode ?shard_bytes ?jobs m src
+  with
+  | Ok doc -> doc
+  | Error ds -> raise (Clip_diag.Fail ds)
 
 (* Every diagnostic for a mapping, in one pass: all validity issues
    (warnings included), then — when validity allows compiling — any
@@ -285,20 +578,37 @@ let run_traced ?ctx ?(minimum_cardinality = true) ?plan (m : Mapping.t) source =
    the backend's static plan renderer. Uses the same one-shot session
    memo as [run], so an explain right before or after a run over the
    same document shares its statistics instead of re-walking it. *)
-let explain ?ctx ?(backend = `Tgd) ?plan (m : Mapping.t) source =
+let explain ?ctx ?(backend = `Tgd) ?plan ?mode
+    ?(shard_bytes = default_shard_bytes) (m : Mapping.t) source =
   let ctx = resolve_ctx ctx in
   let s = session_for ctx source in
   let obs = Clip_run.counters ctx in
   let tgd = Session.to_tgd ?obs s m in
   let target_root = m.target.root.name in
-  match backend with
-  | `Tgd -> Clip_tgd.Eval.explain ?plan ~session:s.stgd ~source tgd
-  | `Xquery | `Xquery_text ->
-    let query = Session.to_xquery ?obs s ~target_root tgd in
-    Clip_xquery.Eval.explain ?plan ~session:s.sxq ~input:source query
+  let base =
+    match backend with
+    | `Tgd -> Clip_tgd.Eval.explain ?plan ~session:s.stgd ~source tgd
+    | `Xquery | `Xquery_text ->
+      let query = Session.to_xquery ?obs s ~target_root tgd in
+      Clip_xquery.Eval.explain ?plan ~session:s.sxq ~input:source query
+  in
+  (* The sharding note only appears when a mode was asked for, keeping
+     the default EXPLAIN output (and its goldens) untouched. *)
+  match mode with
+  | None -> base
+  | Some mode ->
+    let d =
+      decide ~mode ~minimum_cardinality:true ~shard_bytes m tgd source
+    in
+    let base =
+      if base = "" || base.[String.length base - 1] = '\n' then base
+      else base ^ "\n"
+    in
+    base ^ Clip_shard.decision_note d ^ "\n"
 
-let explain_result ?ctx ?backend ?plan (m : Mapping.t) source =
-  Clip_diag.guard (fun () -> explain ?ctx ?backend ?plan m source)
+let explain_result ?ctx ?backend ?plan ?mode ?shard_bytes (m : Mapping.t)
+    source =
+  Clip_diag.guard (fun () -> explain ?ctx ?backend ?plan ?mode ?shard_bytes m source)
 
 let xquery_text (m : Mapping.t) =
   let tgd = Compile.to_tgd m in

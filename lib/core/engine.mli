@@ -39,6 +39,32 @@
 
 type backend = [ `Tgd | `Xquery | `Xquery_text ]
 
+(** How one (large) source document is executed:
+    - [`Whole] (the default everywhere except {!run_stream_result}) —
+      the sequential whole-document evaluation, unchanged; the oracle
+      every other mode must match byte for byte;
+    - [`Sharded] — when {!Clip_shard.plan} designates a safe cut and
+      the document holds at least two shard units, cut the document at
+      the topmost repeated element the mapping quantifies over,
+      evaluate the shards on [?jobs] domains through the unchanged
+      backend executors (one backend session per shard, tgd and query
+      compiled once), and merge the per-shard targets into exactly the
+      whole-document output. Join-bearing and otherwise unsafe mappings
+      fall back to [`Whole] (EXPLAIN says why, see {!explain});
+    - [`Auto] — [`Sharded], but only when the document overflows one
+      [?shard_bytes] budget, so small documents keep the zero-overhead
+      whole path.
+
+    Sharded runs preserve outputs, diagnostics (the lowest shard's
+    failure, i.e. the first the sequential run would hit) and counter
+    totals; only the per-shard step budget differs ([?limits] bounds
+    each shard evaluation, not their sum). *)
+type mode = [ `Whole | `Sharded | `Auto ]
+
+(** The default shard byte budget (1 MiB of estimated serialisation
+    per shard). *)
+val default_shard_bytes : int
+
 (** A per-source-document cache: the backends' sessions (tag index,
     instance statistics, compiled physical plans) plus this layer's
     compile caches (mapping to tgd, tgd to XQuery). Create one per
@@ -81,6 +107,9 @@ module Session : sig
     ?plan:Clip_plan.mode ->
     ?repr:Clip_xml.Doc.repr ->
     ?steps_out:int ref ->
+    ?mode:mode ->
+    ?shard_bytes:int ->
+    ?jobs:int ->
     t ->
     Mapping.t ->
     Clip_xml.Node.t
@@ -95,6 +124,9 @@ module Session : sig
     ?plan:Clip_plan.mode ->
     ?repr:Clip_xml.Doc.repr ->
     ?steps_out:int ref ->
+    ?mode:mode ->
+    ?shard_bytes:int ->
+    ?jobs:int ->
     t ->
     Mapping.t ->
     (Clip_xml.Node.t, Clip_diag.t list) result
@@ -117,6 +149,9 @@ val run :
   ?plan:Clip_plan.mode ->
   ?repr:Clip_xml.Doc.repr ->
   ?steps_out:int ref ->
+  ?mode:mode ->
+  ?shard_bytes:int ->
+  ?jobs:int ->
   Mapping.t ->
   Clip_xml.Node.t ->
   Clip_xml.Node.t
@@ -134,9 +169,65 @@ val run_result :
   ?plan:Clip_plan.mode ->
   ?repr:Clip_xml.Doc.repr ->
   ?steps_out:int ref ->
+  ?mode:mode ->
+  ?shard_bytes:int ->
+  ?jobs:int ->
   Mapping.t ->
   Clip_xml.Node.t ->
   (Clip_xml.Node.t, Clip_diag.t list) result
+
+(** [run_stream_result mapping stream] — run a mapping over a byte
+    stream ({!Clip_xml.Stream.source}, e.g. {!Clip_xml.Stream.of_channel})
+    instead of a materialised document.
+
+    Default [?mode] is [`Auto]. When the resolved decision is a safe
+    cut whose shards need no document prologue, the run is {e fully
+    streaming}: the {!Clip_shard.cutter} materialises one shard at a
+    time straight off the byte feed, [?jobs] domains evaluate shards
+    through {!Clip_par.stream_results}, and the merger folds outputs
+    strictly in document order — peak residency is the in-flight
+    window of shards plus the merged target, never the source tree.
+    Every other case (mode [`Whole], unsafe mapping, prologue-bearing
+    shards, a root that does not open the expected container chain)
+    materialises the document first and proceeds exactly as
+    {!run_result} on it.
+
+    Output, diagnostics and counters are identical to parsing the same
+    bytes and calling {!run_result} — with the one caveat documented
+    in {!Clip_xml.Stream}: a chunked feed reports an early syntax
+    error even when the full input would also overflow the byte
+    limit. *)
+val run_stream_result :
+  ?ctx:Clip_run.t ->
+  ?limits:Clip_diag.Limits.t ->
+  ?backend:backend ->
+  ?minimum_cardinality:bool ->
+  ?plan:Clip_plan.mode ->
+  ?repr:Clip_xml.Doc.repr ->
+  ?steps_out:int ref ->
+  ?mode:mode ->
+  ?shard_bytes:int ->
+  ?jobs:int ->
+  Mapping.t ->
+  Clip_xml.Stream.source ->
+  (Clip_xml.Node.t, Clip_diag.t list) result
+
+(** [run_stream mapping stream] — {!run_stream_result}, raising
+    {!Clip_diag.Fail} on any failure. *)
+val run_stream :
+  ?ctx:Clip_run.t ->
+  ?limits:Clip_diag.Limits.t ->
+  ?backend:backend ->
+  ?minimum_cardinality:bool ->
+  ?plan:Clip_plan.mode ->
+  ?repr:Clip_xml.Doc.repr ->
+  ?steps_out:int ref ->
+  ?mode:mode ->
+  ?shard_bytes:int ->
+  ?jobs:int ->
+  Mapping.t ->
+  Clip_xml.Stream.source ->
+  Clip_xml.Node.t
 
 (** [explain ?backend ?plan mapping source] — a static, deterministic
     EXPLAIN of how a run with the same arguments would execute: the
@@ -147,11 +238,18 @@ val run_result :
     outer/inner cardinalities, {!Clip_plan.join_pays} verdicts,
     threshold triggers. Nothing is executed and no timings appear, so
     output is golden-testable.
+
+    When [?mode] is given, a final [sharding: ...] line states the
+    resolved sharding decision for this document — the designated cut,
+    or the whole-document fallback with its reason. Without [?mode]
+    the output is unchanged.
     @raise Compile.Invalid when the mapping is invalid. *)
 val explain :
   ?ctx:Clip_run.t ->
   ?backend:backend ->
   ?plan:Clip_plan.mode ->
+  ?mode:mode ->
+  ?shard_bytes:int ->
   Mapping.t ->
   Clip_xml.Node.t ->
   string
@@ -162,6 +260,8 @@ val explain_result :
   ?ctx:Clip_run.t ->
   ?backend:backend ->
   ?plan:Clip_plan.mode ->
+  ?mode:mode ->
+  ?shard_bytes:int ->
   Mapping.t ->
   Clip_xml.Node.t ->
   (string, Clip_diag.t list) result

@@ -122,6 +122,164 @@ let map_results ?jobs ?(retries = 0) ?obs f items =
         | Raised _ | Pending -> assert false)
   end
 
+(* Streaming pipeline. Unlike {!map_results} the task list is not known
+   up front: a sequential producer yields items one at a time (the shard
+   cutter holds one window of the input stream), workers evaluate them
+   in parallel, and a sequential consumer folds the results strictly in
+   production order (the shard merger). The producer is shared
+   sequential state, so workers pull it under the pipeline mutex — the
+   item index is assigned under the same lock, which is what makes the
+   reorder buffer's order the production order. Scratch counters ride
+   along with each result and merge into [?obs] only when the consumer
+   accepts the [Ok] — a speculative task completed after the pipeline
+   stopped contributes nothing, keeping totals identical to the
+   sequential pipeline's. *)
+
+type 'b stream_slot =
+  | Sdone of ('b, Clip_diag.t list) result * Clip_obs.Counters.t option
+  | Sraised of exn * Printexc.raw_backtrace
+
+let stream_results ?jobs ?window ?(retries = 0) ?obs ~produce ~consume f =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if jobs <= 1 then
+    (* Sequential degenerate case: produce, evaluate, consume, repeat —
+       the reference order the parallel pipeline must reproduce. *)
+    let rec loop () =
+      match produce () with
+      | Error _ as e -> e
+      | Ok None -> Ok ()
+      | Ok (Some x) -> (
+          let scratch =
+            match obs with
+            | None -> None
+            | Some _ -> Some (Clip_obs.Counters.create ())
+          in
+          match attempt ~retries ~into:scratch f x with
+          | Error _ as e -> e
+          | Ok v -> (
+              (match obs, scratch with
+               | Some into, Some c -> Clip_obs.Counters.add ~into c
+               | _ -> ());
+              match consume v with
+              | () -> loop ()
+              | exception Clip_diag.Fail ds -> Error ds))
+    in
+    loop ()
+  else begin
+    let window = match window with Some w -> max jobs w | None -> 2 * jobs in
+    let m = Mutex.create () in
+    let cv = Condition.create () in
+    let buffer : (int, 'b stream_slot) Hashtbl.t = Hashtbl.create 16 in
+    let next = ref 0 and consumed = ref 0 in
+    let prod_done = ref false and stop = ref false in
+    let perror = ref None in
+    let worker () =
+      let rec loop () =
+        Mutex.lock m;
+        let rec wait () =
+          if !stop || !prod_done then `Exit
+          else if !next - !consumed >= window then begin
+            Condition.wait cv m;
+            wait ()
+          end
+          else `Go
+        in
+        match wait () with
+        | `Exit -> Mutex.unlock m
+        | `Go -> (
+            (* The producer runs under the lock: it is the one shared
+               sequential resource, and its cost per item is a bounded
+               slice of input, not an evaluation. *)
+            match produce () with
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                Hashtbl.replace buffer !next (Sraised (e, bt));
+                incr next;
+                prod_done := true;
+                Condition.broadcast cv;
+                Mutex.unlock m
+            | Ok None ->
+                prod_done := true;
+                Condition.broadcast cv;
+                Mutex.unlock m
+            | Error ds ->
+                perror := Some ds;
+                prod_done := true;
+                Condition.broadcast cv;
+                Mutex.unlock m
+            | Ok (Some x) ->
+                let i = !next in
+                incr next;
+                Mutex.unlock m;
+                let scratch =
+                  match obs with
+                  | None -> None
+                  | Some _ -> Some (Clip_obs.Counters.create ())
+                in
+                let slot =
+                  match attempt ~retries ~into:scratch f x with
+                  | r -> Sdone (r, scratch)
+                  | exception e -> Sraised (e, Printexc.get_raw_backtrace ())
+                in
+                Mutex.lock m;
+                Hashtbl.replace buffer i slot;
+                Condition.broadcast cv;
+                Mutex.unlock m;
+                loop ())
+      in
+      loop ()
+    in
+    let workers = List.init jobs (fun _ -> Domain.spawn worker) in
+    let finish r =
+      Mutex.lock m;
+      stop := true;
+      Condition.broadcast cv;
+      Mutex.unlock m;
+      List.iter Domain.join workers;
+      match r with
+      | `Ok -> Ok ()
+      | `Err ds -> Error ds
+      | `Raise (e, bt) -> Printexc.raise_with_backtrace e bt
+    in
+    (* The calling domain consumes, strictly in production order:
+       index [consumed] must be buffered before anything later is
+       looked at, so the first Error (or exception) the consumer sees
+       is the lowest-index failure, independent of scheduling. *)
+    let rec consume_loop () =
+      Mutex.lock m;
+      let rec wait () =
+        if Hashtbl.mem buffer !consumed then `Slot (Hashtbl.find buffer !consumed)
+        else if !prod_done && !consumed >= !next then `Drained
+        else begin
+          Condition.wait cv m;
+          wait ()
+        end
+      in
+      match wait () with
+      | `Drained ->
+          let pe = !perror in
+          Mutex.unlock m;
+          (match pe with None -> finish `Ok | Some ds -> finish (`Err ds))
+      | `Slot slot -> (
+          Hashtbl.remove buffer !consumed;
+          incr consumed;
+          Condition.broadcast cv;
+          Mutex.unlock m;
+          match slot with
+          | Sraised (e, bt) -> finish (`Raise (e, bt))
+          | Sdone (Error ds, _) -> finish (`Err ds)
+          | Sdone (Ok v, scratch) -> (
+              (match obs, scratch with
+               | Some into, Some c -> Clip_obs.Counters.add ~into c
+               | _ -> ());
+              match consume v with
+              | () -> consume_loop ()
+              | exception Clip_diag.Fail ds -> finish (`Err ds)
+              | exception e -> finish (`Raise (e, Printexc.get_raw_backtrace ()))))
+    in
+    consume_loop ()
+  end
+
 let map ?jobs ?obs f items =
   let rs = map_results ?jobs ?obs (fun ~obs x -> Ok (f ~obs x)) items in
   List.map

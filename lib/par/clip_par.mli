@@ -60,6 +60,46 @@ val map_results :
   'a list ->
   ('b, Clip_diag.t list) result list
 
+(** [stream_results ?jobs ?window ?retries ?obs ~produce ~consume f] —
+    an ordered streaming pipeline for work that is {e discovered}, not
+    listed: a sequential producer yields items one at a time (shard
+    documents cut from a byte stream), [jobs] worker domains evaluate
+    them in parallel, and the calling domain folds the results through
+    [consume] {e strictly in production order} (the shard merger).
+
+    Order and counter contracts (pinned by test/test_par.ml and the
+    sharding differential suite): the sequence of [consume] calls — and
+    the [?obs] totals — are identical to the [jobs:1] sequential
+    produce/evaluate/consume loop, for any [jobs]. Workers pull the
+    producer under the pipeline lock with the item index assigned
+    atomically, results park in a reorder buffer, and the consumer
+    blocks on the next index. Each task's scratch counters ride along
+    with its result and merge into [?obs] only when the consumer
+    accepts the [Ok] — tasks evaluated speculatively after the
+    pipeline stops contribute nothing.
+
+    At most [window] items (default [2 * jobs], clamped to at least
+    [jobs]) are in flight — assigned but unconsumed — so memory stays
+    bounded by the window even when one shard evaluates slowly.
+
+    Failure: [produce] returning [Error ds] stops production after the
+    already-assigned items; if all of those consume cleanly the call
+    returns [Error ds]. The first [Error] result in production order
+    stops the pipeline and is returned; [consume] raising
+    {!Clip_diag.Fail} (a merge conflict) does the same. Exceptions
+    other than [Fail] re-raise in the caller, lowest production index
+    first, as in {!map_results}. [?retries] follows the
+    {!map_results} transient-retry policy per task. *)
+val stream_results :
+  ?jobs:int ->
+  ?window:int ->
+  ?retries:int ->
+  ?obs:Clip_obs.Counters.t ->
+  produce:(unit -> ('a option, Clip_diag.t list) result) ->
+  consume:('b -> unit) ->
+  (obs:Clip_obs.Counters.t option -> 'a -> ('b, Clip_diag.t list) result) ->
+  (unit, Clip_diag.t list) result
+
 (** [map ?jobs ?obs f items] — the strict contract, a thin wrapper
     over {!map_results} (no retries): every task still runs, then the
     failure of the {e lowest failing input index} is re-raised — a

@@ -1,0 +1,477 @@
+(* A pull-based (SAX-style) event lexer over an incremental byte feed.
+
+   This is [Parser] re-cut as a state machine: every recognising
+   function below is a line-for-line port of its recursive-descent
+   counterpart, reading through a sliding byte window that is refilled
+   from a caller-supplied chunk producer instead of indexing one
+   resident string. Two invariants tie the two parsers together and
+   are pinned by test/test_stream.ml:
+
+   - {e chunk-boundary independence} — the produced events (and hence
+     the document built by {!parse_result}) do not depend on where the
+     feed is cut: byte-by-byte, random chunks and one whole-string
+     chunk all yield identical results, because every lookahead
+     ([looking_at], up to the 9 bytes of ["<![CDATA["]) first ensures
+     the window holds enough bytes;
+   - {e diagnostic identity} — errors carry the same CLIP-XML-* /
+     CLIP-LIM-* codes, messages and spans as [Parser.parse_string_result]
+     on the same bytes. Spans are global: the window keeps absolute
+     offset / line / beginning-of-line positions across refills.
+
+   The one documented divergence: [Parser] checks the input-size limit
+   up front against the whole string, so an oversized document always
+   reports CLIP-LIM-001 even when its first byte is garbage. A chunked
+   feed only discovers the total size as it reads; {!of_string} feeds
+   one whole-string chunk, so its first refill sees the full length
+   and reproduces the up-front behaviour exactly, but a genuinely
+   incremental feed may surface a syntax error located inside the
+   first chunks before the size limit is known to be exceeded. *)
+
+type event =
+  | Start of { tag : string; attrs : (string * Atom.t) list }
+  | Text of Atom.t
+  | End of string
+
+type phase = Prolog | Content | Epilog | Finished
+
+type source = {
+  refill : unit -> string option;
+  mutable win : string; (* bytes [wpos, length win) are unconsumed *)
+  mutable wpos : int;
+  mutable base : int; (* global offset of win.[0] *)
+  mutable at_eof : bool; (* the producer is exhausted *)
+  mutable fed : int; (* total bytes accepted from the producer *)
+  mutable line : int;
+  mutable bol : int; (* global offset of the current line start *)
+  mutable depth : int; (* current element-nesting depth *)
+  limits : Clip_diag.Limits.t;
+  mutable phase : phase;
+  mutable stack : string list; (* open elements, innermost first *)
+  tbuf : Buffer.t; (* pending character data *)
+  mutable pending : event list; (* recognised but undelivered events *)
+  mutable started : bool; (* the xml.parse fault point has fired *)
+  mutable failed : Clip_diag.t list option; (* latched first failure *)
+}
+
+let pos st = st.base + st.wpos
+
+let here st =
+  Clip_diag.span ~offset:(pos st) ~line:st.line ~col:(pos st - st.bol + 1) ()
+
+let error_at ?(code = Clip_diag.Codes.xml_syntax) ?hints st message =
+  Clip_diag.fail (Clip_diag.error ~span:(here st) ?hints ~code message)
+
+let error st message = error_at st message
+
+(* [Parser] checks the size limit before touching a byte, at position
+   0; a feed reproduces the identical diagnostic (total size included)
+   by draining the producer once the running total exceeds the limit. *)
+let oversized st =
+  let total = ref st.fed in
+  let rec drain () =
+    match st.refill () with
+    | None -> ()
+    | Some chunk ->
+      total := !total + String.length chunk;
+      drain ()
+  in
+  drain ();
+  Clip_diag.fail
+    (Clip_diag.error
+       ~span:(Clip_diag.span ~offset:0 ~line:1 ~col:1 ())
+       ~hints:[ "raise Limits.max_input_bytes to accept larger documents" ]
+       ~code:Clip_diag.Codes.limit_input_bytes
+       (Printf.sprintf "input is %d bytes, larger than the limit of %d" !total
+          st.limits.Clip_diag.Limits.max_input_bytes))
+
+(* Pull the next non-empty chunk, compacting the consumed prefix of
+   the window away so memory is bounded by one chunk plus the longest
+   unconsumed lookahead, not the document. *)
+let rec pull st =
+  if not st.at_eof then
+    match st.refill () with
+    | None -> st.at_eof <- true
+    | Some "" -> pull st
+    | Some chunk ->
+      st.fed <- st.fed + String.length chunk;
+      if st.fed > st.limits.Clip_diag.Limits.max_input_bytes then oversized st;
+      let keep = String.length st.win - st.wpos in
+      let b = Bytes.create (keep + String.length chunk) in
+      Bytes.blit_string st.win st.wpos b 0 keep;
+      Bytes.blit_string chunk 0 b keep (String.length chunk);
+      st.base <- st.base + st.wpos;
+      st.wpos <- 0;
+      st.win <- Bytes.unsafe_to_string b
+
+let avail st = String.length st.win - st.wpos
+
+let ensure st n =
+  while avail st < n && not st.at_eof do
+    pull st
+  done
+
+let eof st =
+  ensure st 1;
+  avail st = 0
+
+let peek st = if eof st then '\000' else st.win.[st.wpos]
+
+let advance st =
+  if not (eof st) then begin
+    if peek st = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- pos st + 1
+    end;
+    st.wpos <- st.wpos + 1
+  end
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let looking_at st s =
+  let n = String.length s in
+  ensure st n;
+  avail st >= n && String.sub st.win st.wpos n = s
+
+let expect st s =
+  if looking_at st s then
+    for _ = 1 to String.length s do
+      advance st
+    done
+  else error st (Printf.sprintf "expected %S" s)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then error st "expected a name";
+  let buf = Buffer.create 16 in
+  while (not (eof st)) && is_name_char (peek st) do
+    Buffer.add_char buf (peek st);
+    advance st
+  done;
+  Buffer.contents buf
+
+(* Verbatim from [Parser]: called at the same points (after the
+   closing quote, at the text-flush boundary), so error positions
+   agree. *)
+let decode_entities st s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      match String.index_from_opt s !i ';' with
+      | None -> error st "unterminated entity reference"
+      | Some j ->
+        let ent = String.sub s (!i + 1) (j - !i - 1) in
+        let repl =
+          match ent with
+          | "lt" -> "<"
+          | "gt" -> ">"
+          | "amp" -> "&"
+          | "quot" -> "\""
+          | "apos" -> "'"
+          | _ ->
+            if String.length ent > 1 && ent.[0] = '#' then
+              let code =
+                if ent.[1] = 'x' || ent.[1] = 'X' then
+                  int_of_string_opt ("0x" ^ String.sub ent 2 (String.length ent - 2))
+                else int_of_string_opt (String.sub ent 1 (String.length ent - 1))
+              in
+              match code with
+              | Some c when c >= 0 && c < 128 -> String.make 1 (Char.chr c)
+              | Some _ | None -> error st ("unsupported character reference &" ^ ent ^ ";")
+            else error st ("unknown entity &" ^ ent ^ ";")
+        in
+        Buffer.add_string buf repl;
+        i := j + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let parse_quoted st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then error st "expected a quoted value";
+  advance st;
+  let buf = Buffer.create 16 in
+  while (not (eof st)) && peek st <> quote do
+    Buffer.add_char buf (peek st);
+    advance st
+  done;
+  if eof st then error st "unterminated attribute value";
+  let raw = Buffer.contents buf in
+  advance st;
+  decode_entities st raw
+
+let skip_comment st =
+  expect st "<!--";
+  let rec loop () =
+    if eof st then error st "unterminated comment"
+    else if looking_at st "-->" then expect st "-->"
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec skip_misc st =
+  skip_spaces st;
+  if looking_at st "<!--" then begin
+    skip_comment st;
+    skip_misc st
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    let depth = ref 0 in
+    let rec loop () =
+      if eof st then error st "unterminated DOCTYPE"
+      else begin
+        (match peek st with
+         | '[' -> incr depth
+         | ']' -> decr depth
+         | '>' when !depth = 0 ->
+           advance st;
+           raise Exit
+         | _ -> ());
+        advance st;
+        loop ()
+      end
+    in
+    (try loop () with Exit -> ());
+    skip_misc st
+  end
+  else if looking_at st "<?" then begin
+    let rec loop () =
+      if eof st then error st "unterminated processing instruction"
+      else if looking_at st "?>" then expect st "?>"
+      else begin
+        advance st;
+        loop ()
+      end
+    in
+    loop ();
+    skip_misc st
+  end
+
+let parse_attrs st =
+  let rec loop acc =
+    skip_spaces st;
+    let c = peek st in
+    if c = '>' || c = '/' || eof st then List.rev acc
+    else
+      let name = parse_name st in
+      skip_spaces st;
+      expect st "=";
+      skip_spaces st;
+      let value = parse_quoted st in
+      loop ((name, Atom.of_string value) :: acc)
+  in
+  loop []
+
+(* The cursor is on a '<' opening an element. Mirrors [parse_element]:
+   depth is incremented (and bounds-checked, same code and hints)
+   before the tag is read, decremented when the element closes. *)
+let start_element st =
+  st.depth <- st.depth + 1;
+  if st.depth > st.limits.Clip_diag.Limits.max_xml_depth then
+    error_at st ~code:Clip_diag.Codes.limit_xml_depth
+      ~hints:[ "raise Limits.max_xml_depth to accept deeper documents" ]
+      (Printf.sprintf "element nesting exceeds the limit of %d"
+         st.limits.Clip_diag.Limits.max_xml_depth);
+  expect st "<";
+  let tag = parse_name st in
+  let attrs = parse_attrs st in
+  skip_spaces st;
+  if looking_at st "/>" then begin
+    expect st "/>";
+    st.depth <- st.depth - 1;
+    if st.stack = [] then st.phase <- Epilog;
+    [ Start { tag; attrs }; End tag ]
+  end
+  else begin
+    expect st ">";
+    st.stack <- tag :: st.stack;
+    st.phase <- Content;
+    [ Start { tag; attrs } ]
+  end
+
+let flush_text st =
+  let s = Buffer.contents st.tbuf in
+  Buffer.clear st.tbuf;
+  if String.for_all is_space s then []
+  else [ Text (Atom.of_string (decode_entities st (String.trim s))) ]
+
+(* One step inside element [tagname] (the innermost open element);
+   returns any events recognised — possibly none, e.g. after a
+   comment — and the driver loops. Branches and their order mirror
+   [parse_content]. *)
+let content_step st tagname =
+  if eof st then error st ("unterminated element <" ^ tagname ^ ">")
+  else if looking_at st "</" then begin
+    let flushed = flush_text st in
+    expect st "</";
+    let closing = parse_name st in
+    skip_spaces st;
+    expect st ">";
+    if not (String.equal closing tagname) then
+      error st
+        (Printf.sprintf "mismatched closing tag: expected </%s>, found </%s>"
+           tagname closing);
+    st.stack <- List.tl st.stack;
+    st.depth <- st.depth - 1;
+    if st.stack = [] then st.phase <- Epilog;
+    flushed @ [ End tagname ]
+  end
+  else if looking_at st "<!--" then begin
+    let flushed = flush_text st in
+    skip_comment st;
+    flushed
+  end
+  else if looking_at st "<![CDATA[" then begin
+    let flushed = flush_text st in
+    expect st "<![CDATA[";
+    let buf = Buffer.create 16 in
+    while (not (eof st)) && not (looking_at st "]]>") do
+      Buffer.add_char buf (peek st);
+      advance st
+    done;
+    if eof st then error st "unterminated CDATA section";
+    expect st "]]>";
+    (* CDATA contributes literal text, no entity decoding; the flushed
+       text precedes it, as in [parse_content]. *)
+    flushed @ [ Text (Atom.String (Buffer.contents buf)) ]
+  end
+  else if peek st = '<' then flush_text st @ start_element st
+  else begin
+    (* Character data: consume the whole run up to the next markup. *)
+    while (not (eof st)) && peek st <> '<' do
+      Buffer.add_char st.tbuf (peek st);
+      advance st
+    done;
+    []
+  end
+
+let rec next_ev st =
+  match st.pending with
+  | e :: rest ->
+    st.pending <- rest;
+    Some e
+  | [] ->
+    (match st.phase with
+     | Finished -> None
+     | Prolog ->
+       skip_misc st;
+       if eof st then error st "empty document";
+       st.pending <- start_element st;
+       next_ev st
+     | Content ->
+       (match st.stack with
+        | tag :: _ ->
+          st.pending <- content_step st tag;
+          next_ev st
+        | [] -> assert false)
+     | Epilog ->
+       skip_misc st;
+       if not (eof st) then error st "trailing content after the root element";
+       st.phase <- Finished;
+       None)
+
+let next_result st =
+  match st.failed with
+  | Some ds -> Error ds
+  | None ->
+    (match
+       Clip_diag.guard (fun () ->
+           if not st.started then begin
+             st.started <- true;
+             (* Same fault boundary as [Parser.parse_string_result]:
+                an injected xml.parse fault escapes as a structured
+                [Error] before any byte is consumed. *)
+             Clip_fault.hit Clip_fault.Site.xml_parse
+           end;
+           next_ev st)
+     with
+     | Ok _ as ok -> ok
+     | Error ds as e ->
+       st.failed <- Some ds;
+       e)
+
+let make ?(limits = Clip_diag.Limits.default) refill =
+  {
+    refill;
+    win = "";
+    wpos = 0;
+    base = 0;
+    at_eof = false;
+    fed = 0;
+    line = 1;
+    bol = 0;
+    depth = 0;
+    limits;
+    phase = Prolog;
+    stack = [];
+    tbuf = Buffer.create 64;
+    pending = [];
+    started = false;
+    failed = None;
+  }
+
+let of_chunks ?limits refill = make ?limits refill
+
+let of_string ?limits s =
+  (* One whole-string chunk: the first refill sees the full length, so
+     the size limit behaves exactly like [Parser]'s up-front check. *)
+  let sent = ref false in
+  make ?limits (fun () ->
+      if !sent then None
+      else begin
+        sent := true;
+        Some s
+      end)
+
+let of_channel ?limits ?(chunk_bytes = 65536) ic =
+  let chunk_bytes = max 1 chunk_bytes in
+  let buf = Bytes.create chunk_bytes in
+  make ?limits (fun () ->
+      let n = input ic buf 0 chunk_bytes in
+      if n = 0 then None else Some (Bytes.sub_string buf 0 n))
+
+let next_must st =
+  match next_result st with
+  | Ok (Some e) -> e
+  | Ok None -> error st "empty document"
+  | Error ds -> raise (Clip_diag.Fail ds)
+
+let rec build_subtree st tag attrs acc =
+  match next_must st with
+  | Text a -> build_subtree st tag attrs (Node.text a :: acc)
+  | Start { tag = t; attrs = a } ->
+    let child = build_subtree st t a [] in
+    build_subtree st tag attrs (child :: acc)
+  | End _ -> Node.elem ~attrs tag (List.rev acc)
+
+let subtree_result st ~tag ~attrs =
+  Clip_diag.guard (fun () -> build_subtree st tag attrs [])
+
+let parse_result st =
+  Clip_diag.guard (fun () ->
+      match next_must st with
+      | Start { tag; attrs } ->
+        let root = build_subtree st tag attrs [] in
+        (match next_result st with
+         | Ok None -> root
+         | Ok (Some _) -> assert false
+         | Error ds -> raise (Clip_diag.Fail ds))
+      | Text _ | End _ -> assert false)

@@ -1,0 +1,83 @@
+(** A streaming (SAX-style, pull-based) XML event lexer over an
+    incremental byte feed.
+
+    Where {!Parser} materialises a whole {!Node.t} from one resident
+    string, this module recognises the same grammar over chunks pulled
+    on demand from a producer ({!of_channel}, {!of_chunks}) through a
+    sliding window whose residency is one chunk plus the longest
+    pending lookahead — the substrate of bounded-memory ingestion and
+    the shard cutter ({!Clip_shard}).
+
+    Two contracts tie it to {!Parser} (pinned by test/test_stream.ml):
+
+    - {b chunk-boundary independence} — the event sequence (and the
+      document {!parse_result} builds from it) is the same whether the
+      bytes arrive one at a time, in arbitrary chunks, or as a single
+      string;
+    - {b diagnostic identity} — malformed input produces the same
+      [CLIP-XML-001] / [CLIP-LIM-001] / [CLIP-LIM-002] codes, messages
+      and (absolute) spans as [Parser.parse_string_result] on the same
+      bytes. One caveat: [Parser] checks the input-size limit up front
+      against the whole string, whereas an incremental feed discovers
+      the total length chunk by chunk — so on an oversized document
+      that is {e also} syntactically broken early, a chunked feed may
+      report the syntax error where [Parser] reports [CLIP-LIM-001].
+      {!of_string} feeds one whole-string chunk and therefore matches
+      [Parser] exactly, size limit included. *)
+
+(** One markup event. Text is delivered exactly as {!Parser} would
+    store it: whitespace-only runs dropped, surrounding space trimmed,
+    entities decoded ([Atom.of_string] typed); CDATA kept raw as
+    [Atom.String]. [End] carries the (already match-checked) tag. *)
+type event =
+  | Start of { tag : string; attrs : (string * Atom.t) list }
+  | Text of Atom.t
+  | End of string
+
+type source
+
+(** [of_chunks refill] — a source pulling bytes from [refill]: [Some
+    chunk] to append bytes (empty chunks are skipped), [None] once the
+    feed is exhausted. [refill] is called lazily, only when the lexer
+    needs more bytes. *)
+val of_chunks : ?limits:Clip_diag.Limits.t -> (unit -> string option) -> source
+
+(** [of_string s] — the whole string as one chunk; event-for-event and
+    diagnostic-for-diagnostic equivalent to {!Parser.parse_string_result}
+    on [s]. *)
+val of_string : ?limits:Clip_diag.Limits.t -> string -> source
+
+(** [of_channel ic] — read [ic] in [chunk_bytes]-sized chunks (default
+    64 KiB). The channel is not closed. *)
+val of_channel :
+  ?limits:Clip_diag.Limits.t -> ?chunk_bytes:int -> in_channel -> source
+
+(** [next_result src] — the next event, [Ok None] once the document
+    (root element plus trailing misc) has been fully consumed, or the
+    diagnostics of the first failure. A failed source latches: every
+    subsequent call returns the same error. The [xml.parse]
+    {!Clip_fault} site fires once, before the first byte is
+    consumed — same boundary as the tree parser. *)
+val next_result : source -> (event option, Clip_diag.t list) result
+
+(** [pos src] — the absolute byte offset of the next unconsumed byte;
+    after an [End] event this is the end of the closing tag. The shard
+    cutter uses deltas of this as true per-subtree byte sizes. *)
+val pos : source -> int
+
+(** [subtree_result src ~tag ~attrs] — having just received
+    [Start {tag; attrs}], consume events up to (and including) the
+    matching [End] and build that subtree. The shard cutter uses this
+    to materialise one repeated element at a time while skipping the
+    rest of the document. *)
+val subtree_result :
+  source ->
+  tag:string ->
+  attrs:(string * Atom.t) list ->
+  (Node.t, Clip_diag.t list) result
+
+(** [parse_result src] — drive the source to completion and build the
+    document; [Node.equal]-identical (same text typing, same attribute
+    order) to [Parser.parse_string_result] of the same bytes, with
+    identical diagnostics on failure. *)
+val parse_result : source -> (Node.t, Clip_diag.t list) result

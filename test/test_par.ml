@@ -215,6 +215,131 @@ let test_session_memo_per_ctx () =
        doc_a);
   checki "fresh ctx starts cold" cold_hits c2.C.session_hits
 
+(* --- Ordered streaming pipeline (stream_results) -------------------- *)
+
+(* A producer that hands out [0 .. n-1], optionally failing at
+   [err_at]. *)
+let counter_producer ?err_at n =
+  let i = ref 0 in
+  fun () ->
+    if Some !i = err_at then
+      Error [ Clip_diag.error ~code:"CLIP-TEST-002" "producer failed" ]
+    else if !i >= n then Ok None
+    else begin
+      let v = !i in
+      incr i;
+      Ok (Some v)
+    end
+
+let test_stream_ordered () =
+  List.iter
+    (fun jobs ->
+      let consumed = ref [] in
+      let r =
+        Clip_par.stream_results ~jobs
+          ~produce:(counter_producer 25)
+          ~consume:(fun v -> consumed := v :: !consumed)
+          (fun ~obs:_ i -> Ok (i * i))
+      in
+      checkb (Printf.sprintf "jobs=%d returns Ok" jobs) true (r = Ok ());
+      checkb
+        (Printf.sprintf "jobs=%d consumes in production order" jobs)
+        true
+        (List.rev !consumed = List.init 25 (fun i -> i * i)))
+    [ 1; 2; 4; 64 ]
+
+let test_stream_counters () =
+  (* Counters merged through the pipeline are a sum over items, so
+     they cannot depend on the job count — same contract as map. *)
+  let totals jobs =
+    let c = C.create () in
+    let r =
+      Clip_par.stream_results ~jobs ~obs:c
+        ~produce:(counter_producer 12)
+        ~consume:ignore
+        (fun ~obs i ->
+          Clip_obs.Counters.(
+            match obs with
+            | Some o ->
+              o.nodes_scanned <- o.nodes_scanned + i;
+              o.child_steps <- o.child_steps + 1
+            | None -> ());
+          Ok i)
+    in
+    checkb "ok" true (r = Ok ());
+    C.to_assoc c
+  in
+  checkb "counter totals independent of jobs" true (totals 1 = totals 4)
+
+let test_stream_failures () =
+  (* A task Error stops the pipeline: every item before it is consumed,
+     nothing at or after it is, and its diagnostics come back. *)
+  List.iter
+    (fun jobs ->
+      let consumed = ref [] in
+      match
+        Clip_par.stream_results ~jobs
+          ~produce:(counter_producer 20)
+          ~consume:(fun v -> consumed := v :: !consumed)
+          (fun ~obs:_ i ->
+            if i = 5 then
+              Error [ Clip_diag.error ~code:"CLIP-TEST-001" "task 5" ]
+            else Ok i)
+      with
+      | Ok () -> Alcotest.failf "jobs=%d: expected the task error" jobs
+      | Error [ d ] ->
+        Alcotest.(check string)
+          (Printf.sprintf "jobs=%d: task diagnostics" jobs)
+          "CLIP-TEST-001" d.Clip_diag.code;
+        checkb
+          (Printf.sprintf "jobs=%d: exact prefix consumed" jobs)
+          true
+          (List.rev !consumed = [ 0; 1; 2; 3; 4 ])
+      | Error _ -> Alcotest.failf "jobs=%d: unexpected diagnostics" jobs)
+    [ 1; 4 ];
+  (* A producer Error surfaces after the items before it. *)
+  List.iter
+    (fun jobs ->
+      let consumed = ref [] in
+      match
+        Clip_par.stream_results ~jobs
+          ~produce:(counter_producer ~err_at:3 20)
+          ~consume:(fun v -> consumed := v :: !consumed)
+          (fun ~obs:_ i -> Ok i)
+      with
+      | Ok () -> Alcotest.failf "jobs=%d: expected the producer error" jobs
+      | Error [ d ] ->
+        Alcotest.(check string)
+          (Printf.sprintf "jobs=%d: producer diagnostics" jobs)
+          "CLIP-TEST-002" d.Clip_diag.code;
+        checkb
+          (Printf.sprintf "jobs=%d: items before the failure consumed" jobs)
+          true
+          (List.rev !consumed = [ 0; 1; 2 ])
+      | Error _ -> Alcotest.failf "jobs=%d: unexpected diagnostics" jobs)
+    [ 1; 4 ];
+  (* A task exception re-raises on the caller. *)
+  List.iter
+    (fun jobs ->
+      match
+        Clip_par.stream_results ~jobs
+          ~produce:(counter_producer 10)
+          ~consume:ignore
+          (fun ~obs:_ i -> if i = 4 then raise (Boom i) else Ok i)
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      | exception Boom i -> checki (Printf.sprintf "jobs=%d raises" jobs) 4 i)
+    [ 1; 4 ];
+  (* An empty stream is Ok without consuming anything. *)
+  let consumed = ref [] in
+  checkb "empty stream" true
+    (Clip_par.stream_results ~jobs:4
+       ~produce:(counter_producer 0)
+       ~consume:(fun v -> consumed := v :: !consumed)
+       (fun ~obs:_ i -> Ok i)
+     = Ok ()
+    && !consumed = [])
+
 let () =
   Alcotest.run "par"
     [
@@ -242,5 +367,12 @@ let () =
         [
           Alcotest.test_case "per-context memo" `Quick
             test_session_memo_per_ctx;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "ordered consumption" `Quick test_stream_ordered;
+          Alcotest.test_case "counter totals independent of jobs" `Quick
+            test_stream_counters;
+          Alcotest.test_case "failure propagation" `Quick test_stream_failures;
         ] );
     ]
