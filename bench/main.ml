@@ -1780,6 +1780,189 @@ let par_experiment ?(smoke = false) ?(check = false) () =
     print_endline "par bench check passed"
   end
 
+(* --- Mapping algebra: fused pipelines vs staged execution --------------------------- *)
+
+let compose_experiment ?(smoke = false) ?(check = false) () =
+  rule
+    (Printf.sprintf "Mapping algebra — fused pipeline vs staged execution%s"
+       (if smoke then " (smoke)" else ""));
+  (* The identity mapping over a schema: one driven builder per
+     repeating element, nested as in the schema, and an identity value
+     mapping for every leaf below a repetition — the same generator the
+     differential harness uses (test/test_algebra.ml). *)
+  let identity (s : Clip_schema.Schema.t) : Clip_core.Mapping.t =
+    let module Schema = Clip_schema.Schema in
+    let module Path = Clip_schema.Path in
+    let module Mapping = Clip_core.Mapping in
+    let n = ref 0 in
+    let rec walk path (e : Schema.element) =
+      let kids =
+        List.concat_map
+          (fun (c : Schema.element) -> walk (Path.child path c.Schema.name) c)
+          e.Schema.children
+      in
+      if Schema.is_repeating s path then begin
+        incr n;
+        [
+          Mapping.node
+            ~id:(Printf.sprintf "id%d" !n)
+            ~output:path ~children:kids
+            [ Mapping.input ~var:(Printf.sprintf "x%d" !n) path ];
+        ]
+      end
+      else kids
+    in
+    let roots = walk (Schema.root_path s) s.Schema.root in
+    let values =
+      List.filter_map
+        (fun q ->
+          if Schema.repeating_ancestors s q <> [] then
+            Some (Mapping.value [ q ] q)
+          else None)
+        (Schema.leaf_paths s)
+    in
+    Mapping.make ~source:s ~target:s ~roots values
+  in
+  subrule "byte-identity: fused vs staged, [id_S ; figure] per figure";
+  (* Every figure, paper instance: the fused composed mapping and the
+     staged chain must print byte-identical documents; chains outside
+     the composable fragment degrade to staged execution and must be
+     byte-identical to manual staging. *)
+  let identity_rows =
+    List.map
+      (fun (sc : S.Figures.t) ->
+        let chain =
+          [ identity sc.S.Figures.mapping.Clip_core.Mapping.source; sc.mapping ]
+        in
+        let mc = sc.minimum_cardinality in
+        let fused, note =
+          match Clip_algebra.Pipeline.plan chain with
+          | Clip_algebra.Pipeline.Fused _ as d ->
+            (true, Clip_algebra.Pipeline.decision_note d)
+          | Clip_algebra.Pipeline.Staged _ as d ->
+            (false, Clip_algebra.Pipeline.decision_note d)
+        in
+        let render = function
+          | Ok out -> Clip_xml.Printer.to_pretty_string out
+          | Error ds ->
+            "failed: " ^ String.concat "; " (List.map Clip_diag.render ds)
+        in
+        let piped =
+          render
+            (Clip_algebra.Pipeline.run_result ~minimum_cardinality:mc chain
+               S.Deptdb.instance)
+        in
+        let staged =
+          render
+            (Engine.run_staged_result ~minimum_cardinality:mc chain
+               S.Deptdb.instance)
+        in
+        let identical = String.equal piped staged in
+        Printf.printf "%-18s | %-6s | identical %b\n" sc.name
+          (if fused then "fused" else "staged")
+          identical;
+        (sc.name, fused, identical, note))
+      S.Figures.all
+  in
+  let all_identical = List.for_all (fun (_, _, i, _) -> i) identity_rows in
+  Printf.printf "\nall outputs byte-identical: %b\n" all_identical;
+  subrule
+    (Printf.sprintf
+       "wall-clock: fused vs staged on a 3-stage chain, scale %d"
+       (if smoke then 20 else 100));
+  (* [id ; id ; fig6] at scale: staged execution materialises two full
+     intermediate instances before fig6 even starts; fusion collapses
+     the chain to fig6 alone. *)
+  let sc = S.Figures.fig6 in
+  let scale = if smoke then 20 else 100 in
+  let doc = S.Deptdb.synthetic_instance ~depts:scale ~projs:5 ~emps:10 in
+  let id_s = identity sc.S.Figures.mapping.Clip_core.Mapping.source in
+  let chain3 = [ id_s; id_s; sc.mapping ] in
+  let fused_m =
+    match Clip_algebra.Pipeline.plan chain3 with
+    | Clip_algebra.Pipeline.Fused m -> m
+    | Clip_algebra.Pipeline.Staged ds ->
+      Printf.eprintf "compose bench: 3-stage chain unexpectedly staged (%s)\n"
+        (String.concat "; " (List.map Clip_diag.render ds));
+      exit 1
+  in
+  let mc = sc.minimum_cardinality in
+  let run_fused () =
+    Clip_xml.Printer.to_pretty_string
+      (Engine.run ~minimum_cardinality:mc fused_m doc)
+  in
+  let run_staged () =
+    match Engine.run_staged_result ~minimum_cardinality:mc chain3 doc with
+    | Ok out -> Clip_xml.Printer.to_pretty_string out
+    | Error ds ->
+      "staged run failed: " ^ String.concat "; " (List.map Clip_diag.render ds)
+  in
+  let chain_identical = String.equal (run_fused ()) (run_staged ()) in
+  let reps = if smoke then 5 else 9 in
+  let t_fused, t_staged =
+    match interleaved_reps reps [ run_fused; run_staged ] with
+    | [ f; s ] -> (f, s)
+    | _ -> assert false
+  in
+  let speedup =
+    Float.max (paired_speedup t_staged t_fused)
+      (min_of t_staged /. Float.max (min_of t_fused) 1e-9)
+  in
+  let speedup_target = 1.5 in
+  Printf.printf
+    "3-stage chain (%s, %d depts): fused %.3f ms | staged %.3f ms | %.2fx \
+     (gate >= %.1fx) | identical %b\n"
+    sc.name scale (median_of t_fused) (median_of t_staged) speedup
+    speedup_target chain_identical;
+  let commit = git_commit () in
+  let row_json (figure, fused, identical, note) =
+    Printf.sprintf
+      "{\"figure\": %s, \"fused\": %b, \"identical\": %b, \"note\": %s}"
+      (json_string figure) fused identical (json_string note)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"commit\": %s,\n" (json_string commit));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"chain\": {\"figure\": %s, \"stages\": %d, \"scale\": \
+                     %d, \"reps\": %d, \"fused_ms\": %.3f, \"staged_ms\": \
+                     %.3f, \"speedup\": %.3f, \"speedup_target\": %.1f, \
+                     \"identical\": %b},\n"
+       (json_string sc.name) (List.length chain3) scale reps
+       (median_of t_fused) (median_of t_staged) speedup speedup_target
+       chain_identical);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"all_identical\": %b,\n" all_identical);
+  Buffer.add_string buf "  \"figures\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map (fun r -> "    " ^ row_json r) identity_rows));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_compose.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_compose.json (%d figure rows, commit %s)\n"
+    (List.length identity_rows) commit;
+  (* Byte-identity is the correctness oracle: enforced on every run,
+     not only under --check. *)
+  if not (all_identical && chain_identical) then begin
+    Printf.eprintf
+      "compose bench FAILED: fused output differs from staged (figures %b, \
+       3-stage chain %b)\n"
+      all_identical chain_identical;
+    exit 1
+  end;
+  if check then begin
+    if speedup < speedup_target then begin
+      Printf.eprintf
+        "compose bench check FAILED: fused %.2fx over staged < %.1fx target\n"
+        speedup speedup_target;
+      exit 1
+    end;
+    print_endline "compose bench check passed"
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
 
 let perf_experiment () =
@@ -1899,6 +2082,7 @@ let experiments =
     ("plan", plan_experiment ?smoke:None ?check:None);
     ("obs", obs_experiment ?smoke:None ?check:None ~metrics_json:true);
     ("par", par_experiment ?smoke:None ?check:None);
+    ("compose", compose_experiment ?smoke:None ?check:None);
     ("session", session_experiment);
     ("perf", perf_experiment);
   ]
@@ -1917,6 +2101,13 @@ let () =
     when flags <> []
          && List.for_all (fun f -> f = "--smoke" || f = "--check") flags ->
     par_experiment
+      ~smoke:(List.mem "--smoke" flags)
+      ~check:(List.mem "--check" flags)
+      ()
+  | _ :: "compose" :: flags
+    when flags <> []
+         && List.for_all (fun f -> f = "--smoke" || f = "--check") flags ->
+    compose_experiment
       ~smoke:(List.mem "--smoke" flags)
       ~check:(List.mem "--check" flags)
       ()
@@ -1940,5 +2131,6 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [experiment] | plan [--smoke] [--check] | obs [--smoke] \
-       [--check] [--metrics-json] | par [--smoke] [--check]";
+       [--check] [--metrics-json] | par [--smoke] [--check] | compose \
+       [--smoke] [--check]";
     exit 1

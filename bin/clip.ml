@@ -168,6 +168,17 @@ let shard_bytes_arg =
   in
   Arg.(value & opt (some int) None & info [ "shard-bytes" ] ~docv:"BYTES" ~doc)
 
+let then_arg =
+  let doc =
+    "Apply this mapping to the previous stage's output (repeatable: stages \
+     run left to right). The chain is fused into one composed mapping when \
+     every step composes (see 'clip compose'); otherwise it degrades to \
+     staged execution, materialising each intermediate instance. Both paths \
+     produce identical output — 'clip explain --then' shows the decision. \
+     Incompatible with --stream."
+  in
+  Arg.(value & opt_all file [] & info [ "then" ] ~docv:"MAPPING" ~doc)
+
 let run_cmd =
   let input_files =
     let doc =
@@ -227,8 +238,16 @@ let run_cmd =
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
   in
   let run file inputs backend plan repr tree trace jobs timeout_ms keep_going
-      retries stream shard_bytes =
+      retries stream shard_bytes thens =
     let m = load_mapping file in
+    if thens <> [] && stream then begin
+      prerr_endline "clip: --then cannot be combined with --stream";
+      exit 124
+    end;
+    (* The pipeline stages, first mapping included. A singleton chain
+       takes the plain engine path below; longer chains go through the
+       mapping algebra (fused when composable, staged otherwise). *)
+    let chain = m :: List.map load_mapping thens in
     (* --shard-bytes (and --stream) opt into single-document sharding;
        --jobs then parallelises within each document, and inputs run
        one at a time — without them, --jobs parallelises across
@@ -391,12 +410,22 @@ let run_cmd =
             Clip_run.create ?counters:obs ?tracer ?deadline:(deadline_for ())
               ~cancel ()
           in
-          match
-            Clip_core.Engine.run_result ~ctx ~backend ~plan ~repr ~mode
-              ?shard_bytes ~jobs m source
-          with
+          let r =
+            match chain with
+            | [ m ] ->
+              Clip_core.Engine.run_result ~ctx ~backend ~plan ~repr ~mode
+                ?shard_bytes ~jobs m source
+            | ms ->
+              Clip_algebra.Pipeline.run_result ~ctx ~backend ~plan ~repr ~mode
+                ?shard_bytes ~jobs ms source
+          in
+          match r with
           | Error ds -> Error ds
-          | Ok out -> Ok (render_out ~source out)
+          | Ok out ->
+            (* Lineage re-runs the mapping over the source; a multi-stage
+               chain has no single mapping to re-run, so --then suppresses
+               the lineage section. *)
+            Ok (if thens = [] then render_out ~source out else render_out out)
         in
         let results =
           Clip_par.map_results ~jobs:cross_jobs ~retries ?obs:total evaluate
@@ -453,13 +482,15 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Transform a source instance into a target instance")
     Term.(const run $ mapping_file $ input_files $ backend_arg $ plan_arg
           $ repr_arg $ tree_flag $ trace_flag $ jobs_arg $ timeout_arg
-          $ keep_going_flag $ retries_arg $ stream_flag $ shard_bytes_arg)
+          $ keep_going_flag $ retries_arg $ stream_flag $ shard_bytes_arg
+          $ then_arg)
 
 (* --- explain ------------------------------------------------------------ *)
 
 let explain_cmd =
-  let run file input backend plan stream shard_bytes =
+  let run file input backend plan stream shard_bytes thens =
     let m = load_mapping file in
+    let chain = m :: List.map load_mapping thens in
     let xml_src = read_file input in
     (* --stream / --shard-bytes ask for the sharding decision a run
        with the same flags would take: EXPLAIN then ends with a
@@ -482,6 +513,13 @@ let explain_cmd =
          1
        | Ok text ->
          print_string text;
+         (* With --then, end with the pipeline-fusion decision the same
+            chain would take under 'clip run': one line naming fused
+            execution, or the first rejection diagnostic. *)
+         if thens <> [] then
+           print_endline
+             (Clip_algebra.Pipeline.decision_note
+                (Clip_algebra.Pipeline.plan chain));
          0)
   in
   Cmd.v
@@ -490,9 +528,45 @@ let explain_cmd =
          "Show the physical plan for running the mapping over an instance: \
           per source clause the chosen strategy (scan, pushed-down filter, \
           hash join) and the cost-model inputs that justified it — plus, \
-          with --stream or --shard-bytes, the sharding decision")
+          with --stream or --shard-bytes, the sharding decision, and with \
+          --then, the pipeline-fusion decision")
     Term.(const run $ mapping_file $ input_file $ backend_arg $ plan_arg
-          $ stream_flag $ shard_bytes_arg)
+          $ stream_flag $ shard_bytes_arg $ then_arg)
+
+(* --- compose ------------------------------------------------------------ *)
+
+let compose_cmd =
+  let first_file =
+    let doc = "First mapping file (its target schema must be the second \
+               mapping's source schema)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MAPPING1" ~doc)
+  in
+  let rest_files =
+    let doc =
+      "Further mapping files: each stage's source schema must equal the \
+       previous stage's target schema. The stages are composed left to \
+       right into a single mapping."
+    in
+    Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"MAPPING" ~doc)
+  in
+  let run file rest =
+    let ms = List.map load_mapping (file :: rest) in
+    match Clip_algebra.compose_chain_result ms with
+    | Ok m ->
+      print_string (Clip_core.Dsl.to_string m);
+      0
+    | Error ds ->
+      report ds;
+      1
+  in
+  Cmd.v
+    (Cmd.info "compose"
+       ~doc:
+         "Compose a chain of mappings into one mapping whose result on every \
+          source instance equals running the stages in sequence. Chains \
+          outside the composable fragment are rejected with a CLIP-ALG-* \
+          diagnostic ('clip run --then' still executes them, staged).")
+    Term.(const run $ first_file $ rest_files)
 
 (* --- render ------------------------------------------------------------- *)
 
@@ -614,6 +688,15 @@ let check_cmd =
     Arg.(value & flag
          & info [ "no-refs" ] ~doc:"Skip referential-constraint checking.")
   in
+  let equiv_file =
+    Arg.(value & opt (some file) None
+         & info [ "equiv" ] ~docv:"MAPPING"
+             ~doc:
+               "Check logical equivalence between the mapping in $(i,FILE) \
+                and this one (mutual containment of their tgd rules, a sound \
+                but incomplete homomorphism check). Prints the verdict; exit \
+                0 when provably equivalent, 1 otherwise.")
+  in
   (* One positional argument: parse the mapping file and print every
      diagnostic — syntax, validity (warnings included), compile and
      XQuery-translation stages — without stopping at the first. *)
@@ -650,17 +733,50 @@ let check_cmd =
            violations;
          1)
   in
-  let run file xml_file no_refs =
-    match xml_file with
-    | None -> check_mapping file
-    | Some xml -> check_instance file xml no_refs
+  (* --equiv: both files are mappings; report provable equivalence, and
+     when it fails, which containment direction (if any) still holds —
+     the check is sound but incomplete, so "not provably equivalent" is
+     a may-differ verdict, not a proof of difference. *)
+  let check_equiv file other =
+    let a = load_mapping file and b = load_mapping other in
+    match Clip_algebra.equiv_result a b with
+    | Error ds ->
+      report ds;
+      1
+    | Ok true ->
+      print_endline "equivalent";
+      0
+    | Ok false ->
+      let holds r = match r with Ok true -> true | _ -> false in
+      let ab = holds (Clip_algebra.contains_result a b)
+      and ba = holds (Clip_algebra.contains_result b a) in
+      print_endline
+        (match (ab, ba) with
+         | true, false ->
+           "not provably equivalent: the first mapping contains the second, \
+            but not vice versa"
+         | false, true ->
+           "not provably equivalent: the second mapping contains the first, \
+            but not vice versa"
+         | _ -> "not provably equivalent: neither containment was established");
+      1
+  in
+  let run file xml_file no_refs equiv =
+    match (equiv, xml_file) with
+    | Some _, Some _ ->
+      prerr_endline "clip: --equiv takes two mapping files, not an instance";
+      124
+    | Some other, None -> check_equiv file other
+    | None, None -> check_mapping file
+    | None, Some xml -> check_instance file xml no_refs
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Diagnose a mapping file, or validate an XML instance against a \
-          schema")
-    Term.(const run $ checked_file $ xml_file $ no_refs)
+         "Diagnose a mapping file, validate an XML instance against a \
+          schema, or (with --equiv) check two mappings for logical \
+          equivalence")
+    Term.(const run $ checked_file $ xml_file $ no_refs $ equiv_file)
 
 (* --- match -------------------------------------------------------------------- *)
 
@@ -743,6 +859,7 @@ let main =
       xquery_cmd;
       run_cmd;
       explain_cmd;
+      compose_cmd;
       render_cmd;
       generate_cmd;
       schema_cmd;

@@ -419,6 +419,36 @@ let run_result ?ctx ?limits ?backend ?minimum_cardinality ?plan ?repr
   Session.run_result ~ctx ?limits ?backend ?minimum_cardinality ?plan ?repr
     ?steps_out ?mode ?shard_bytes ?jobs (session_for ctx source) m
 
+(* --- Staged pipelines -------------------------------------------------- *)
+
+(* Run a chain of mappings stage by stage, the output document of each
+   stage feeding the next, under one execution context — counters,
+   tracer, deadline and cancellation are shared, and each stage's
+   session is memoised per intermediate document as usual. The first
+   failing stage aborts the chain. *)
+let run_staged_result ?ctx ?limits ?backend ?minimum_cardinality ?plan ?repr
+    ?steps_out ?mode ?shard_bytes ?jobs (ms : Mapping.t list) source =
+  if ms = [] then invalid_arg "Engine.run_staged_result: empty chain";
+  let ctx = resolve_ctx ctx in
+  let total = ref 0 in
+  let stage_steps = ref 0 in
+  let rec go doc = function
+    | [] -> Ok doc
+    | m :: rest ->
+      stage_steps := 0;
+      (match
+         run_result ~ctx ?limits ?backend ?minimum_cardinality ?plan ?repr
+           ~steps_out:stage_steps ?mode ?shard_bytes ?jobs m doc
+       with
+       | Ok out ->
+         total := !total + !stage_steps;
+         go out rest
+       | Error _ as e -> e)
+  in
+  let r = go source ms in
+  (match steps_out with Some out -> out := !total | None -> ());
+  r
+
 (* --- Streaming ingestion ----------------------------------------------- *)
 
 (* Run a mapping over a byte stream. The fully streaming path — cutter

@@ -176,6 +176,29 @@ val run_result :
   Clip_xml.Node.t ->
   (Clip_xml.Node.t, Clip_diag.t list) result
 
+(** [run_staged_result mappings source] — run a non-empty chain of
+    mappings stage by stage, the output document of each stage feeding
+    the next. All stages share one execution context (counters, tracer,
+    deadline, cancellation) and the same engine options; [?steps_out]
+    receives the total across stages. The first failing stage aborts
+    the chain with its diagnostics. This is the fallback execution
+    strategy of {!Clip_algebra.Pipeline} when composition is rejected.
+    @raise Invalid_argument on an empty chain. *)
+val run_staged_result :
+  ?ctx:Clip_run.t ->
+  ?limits:Clip_diag.Limits.t ->
+  ?backend:backend ->
+  ?minimum_cardinality:bool ->
+  ?plan:Clip_plan.mode ->
+  ?repr:Clip_xml.Doc.repr ->
+  ?steps_out:int ref ->
+  ?mode:mode ->
+  ?shard_bytes:int ->
+  ?jobs:int ->
+  Mapping.t list ->
+  Clip_xml.Node.t ->
+  (Clip_xml.Node.t, Clip_diag.t list) result
+
 (** [run_stream_result mapping stream] — run a mapping over a byte
     stream ({!Clip_xml.Stream.source}, e.g. {!Clip_xml.Stream.of_channel})
     instead of a materialised document.
@@ -193,10 +216,10 @@ val run_result :
     {!run_result} on it.
 
     Output, diagnostics and counters are identical to parsing the same
-    bytes and calling {!run_result} — with the one caveat documented
-    in {!Clip_xml.Stream}: a chunked feed reports an early syntax
-    error even when the full input would also overflow the byte
-    limit. *)
+    bytes and calling {!run_result} — the input-size limit included:
+    as documented in {!Clip_xml.Stream}, an oversized feed reports
+    [CLIP-LIM-001] even when an early chunk is syntactically broken,
+    exactly as the up-front check of the whole-string parse would. *)
 val run_stream_result :
   ?ctx:Clip_run.t ->
   ?limits:Clip_diag.Limits.t ->

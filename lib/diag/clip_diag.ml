@@ -173,6 +173,11 @@ module Codes = struct
   let cancelled = "CLIP-LIM-006"
   let fault_transient = "CLIP-FLT-001"
   let fault_permanent = "CLIP-FLT-002"
+  let algebra_schema_mismatch = "CLIP-ALG-001"
+  let algebra_grouping = "CLIP-ALG-002"
+  let algebra_ambiguous = "CLIP-ALG-003"
+  let algebra_leaf = "CLIP-ALG-004"
+  let algebra_multiplicity = "CLIP-ALG-005"
   let validity kind = "CLIP-VAL-" ^ kind
 end
 

@@ -149,6 +149,25 @@ module Codes : sig
 
   val fault_permanent : string (** [CLIP-FLT-002] injected permanent fault ({!Clip_fault}) *)
 
+  val algebra_schema_mismatch : string
+  (** [CLIP-ALG-001] composition: m1's target is not m2's source *)
+
+  val algebra_grouping : string
+  (** [CLIP-ALG-002] composition: a grouping/Skolem pattern escapes the
+      composable fragment *)
+
+  val algebra_ambiguous : string
+  (** [CLIP-ALG-003] composition: no unique producer for an
+      intermediate element, or the unfolded iterations would alias *)
+
+  val algebra_leaf : string
+  (** [CLIP-ALG-004] composition: an intermediate leaf is read but not
+      populated, or its value expression is not substitutable *)
+
+  val algebra_multiplicity : string
+  (** [CLIP-ALG-005] composition: unfolding would change multiplicity
+      (e.g. a non-repeating intermediate created once per binding) *)
+
   (** [CLIP-VAL-<kind>] for a validity issue kind (Sec. III), e.g.
       [CLIP-VAL-unanchored-source]. *)
   val validity : string -> string

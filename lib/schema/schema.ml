@@ -83,6 +83,28 @@ let leaf_type t p =
 
 let root_path t = Path.root t.root.name
 
+(* Structural equality. Schemas are pure data (no functions, no
+   cycles), so the polymorphic comparison is exact; spelled out per
+   constituent so a future non-structural field turns this into a
+   compile error rather than a silent wrong answer. *)
+let equal_attribute (a : attribute) (b : attribute) =
+  String.equal a.attr_name b.attr_name
+  && a.attr_type = b.attr_type
+  && Bool.equal a.attr_required b.attr_required
+
+let rec equal_element (a : element) (b : element) =
+  String.equal a.name b.name
+  && a.card = b.card
+  && List.equal equal_attribute a.attrs b.attrs
+  && a.value = b.value
+  && List.equal equal_element a.children b.children
+
+let equal_reference (a : reference) (b : reference) =
+  Path.equal a.ref_from b.ref_from && Path.equal a.ref_to b.ref_to
+
+let equal (a : t) (b : t) =
+  equal_element a.root b.root && List.equal equal_reference a.refs b.refs
+
 let make ?(refs = []) root =
   check_element root.name root;
   let t = { root; refs } in

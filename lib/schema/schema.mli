@@ -62,6 +62,12 @@ val leaf_type : t -> Path.t -> Atomic_type.t option
 
 val root_path : t -> Path.t
 
+(** Structural equality: same element tree (names, cardinalities,
+    attributes, value types, child order) and same references. Used by
+    the mapping algebra to check that one mapping's target schema is
+    another's source. *)
+val equal : t -> t -> bool
+
 (** {1 Enumeration} *)
 
 (** All element paths, preorder, root first. *)

@@ -93,6 +93,39 @@ let function_symbols m =
   go m;
   List.rev !acc
 
+(* Flattening to per-creating-node rules. Each node of the nested tree
+   that creates target structure (non-empty [exists]) or asserts values
+   (non-empty [assertions]) yields one rule carrying everything in
+   scope at that node: the universal generators and conditions of the
+   node and all its ancestors, the full target-generator chain from the
+   outermost mapping down, and the node's own assertions (an ancestor's
+   assertions belong to the ancestor's rule). The nested tgd is the
+   conjunction of its rules — rules only forget the {e sharing} of
+   target elements between siblings, which is why containment over
+   rules is sound but incomplete. *)
+type rule = {
+  r_foralls : source_gen list;
+  r_cond : comparison list;
+  r_chain : target_gen list;
+  r_assertions : assertion list;
+}
+
+let rules m =
+  let rec go ~foralls ~cond ~chain acc m =
+    let foralls = foralls @ m.foralls in
+    let cond = cond @ m.cond in
+    let chain = chain @ m.exists in
+    let acc =
+      if m.exists <> [] || m.assertions <> [] then
+        { r_foralls = foralls; r_cond = cond; r_chain = chain;
+          r_assertions = m.assertions }
+        :: acc
+      else acc
+    in
+    List.fold_left (go ~foralls ~cond ~chain) acc m.children
+  in
+  List.rev (go ~foralls:[] ~cond:[] ~chain:[] [] m)
+
 (* Alpha-equivalence: canonically rename variables in order of binding
    and compare the results structurally. *)
 module Rename = Map.Make (String)

@@ -91,3 +91,23 @@ val function_symbols : t -> string list
 (** Structural equality up to variable renaming (alpha-equivalence).
     Used to deduplicate enumerated mappings. *)
 val alpha_equal : t -> t -> bool
+
+(** One creating node of the nested tree, flattened: everything in
+    scope at that node. [r_foralls]/[r_cond] accumulate the node's and
+    all ancestors' universal parts, [r_chain] is the full
+    target-generator chain from the outermost mapping down to (and
+    including) the node's own generators, [r_assertions] are the node's
+    own (an ancestor's assertions appear only in the ancestor's rule). *)
+type rule = {
+  r_foralls : source_gen list;
+  r_cond : comparison list;
+  r_chain : target_gen list;
+  r_assertions : assertion list;
+}
+
+(** [rules m] — the flattened rules of [m], preorder. A nested tgd is
+    the conjunction of its rules; the flattening forgets only the
+    sharing of target elements between sibling submappings, which is
+    what makes homomorphism checks over rules (the {!Clip_algebra}
+    containment test) sound but incomplete. *)
+val rules : t -> rule list

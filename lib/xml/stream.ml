@@ -18,14 +18,13 @@
      on the same bytes. Spans are global: the window keeps absolute
      offset / line / beginning-of-line positions across refills.
 
-   The one documented divergence: [Parser] checks the input-size limit
-   up front against the whole string, so an oversized document always
-   reports CLIP-LIM-001 even when its first byte is garbage. A chunked
-   feed only discovers the total size as it reads; {!of_string} feeds
-   one whole-string chunk, so its first refill sees the full length
-   and reproduces the up-front behaviour exactly, but a genuinely
-   incremental feed may surface a syntax error located inside the
-   first chunks before the size limit is known to be exceeded. *)
+   Diagnostic identity holds for the input-size limit too: [Parser]
+   checks it up front against the whole string, so an oversized
+   document always reports CLIP-LIM-001 even when its first byte is
+   garbage. A chunked feed only discovers the total size as it reads,
+   so before latching any other failure it drains and sizes the rest
+   of the feed ([size_precedence]) and lets the limit verdict win —
+   the reported diagnostic does not depend on where the feed was cut. *)
 
 type event =
   | Start of { tag : string; attrs : (string * Atom.t) list }
@@ -66,23 +65,33 @@ let error st message = error_at st message
 (* [Parser] checks the size limit before touching a byte, at position
    0; a feed reproduces the identical diagnostic (total size included)
    by draining the producer once the running total exceeds the limit. *)
-let oversized st =
+let oversized_error ~total st =
+  Clip_diag.error
+    ~span:(Clip_diag.span ~offset:0 ~line:1 ~col:1 ())
+    ~hints:[ "raise Limits.max_input_bytes to accept larger documents" ]
+    ~code:Clip_diag.Codes.limit_input_bytes
+    (Printf.sprintf "input is %d bytes, larger than the limit of %d" total
+       st.limits.Clip_diag.Limits.max_input_bytes)
+
+(* Consume the rest of the producer and return the total byte count of
+   the whole feed. A producer failure while draining just ends the
+   count early: the drain runs on paths that already hold a verdict. *)
+let drain_total st =
   let total = ref st.fed in
-  let rec drain () =
-    match st.refill () with
-    | None -> ()
-    | Some chunk ->
-      total := !total + String.length chunk;
-      drain ()
-  in
-  drain ();
-  Clip_diag.fail
-    (Clip_diag.error
-       ~span:(Clip_diag.span ~offset:0 ~line:1 ~col:1 ())
-       ~hints:[ "raise Limits.max_input_bytes to accept larger documents" ]
-       ~code:Clip_diag.Codes.limit_input_bytes
-       (Printf.sprintf "input is %d bytes, larger than the limit of %d" !total
-          st.limits.Clip_diag.Limits.max_input_bytes))
+  (try
+     let rec drain () =
+       match st.refill () with
+       | None -> ()
+       | Some chunk ->
+         total := !total + String.length chunk;
+         drain ()
+     in
+     drain ()
+   with _ -> ());
+  st.at_eof <- true;
+  !total
+
+let oversized st = Clip_diag.fail (oversized_error ~total:(drain_total st) st)
 
 (* Pull the next non-empty chunk, compacting the consumed prefix of
    the window away so memory is bounded by one chunk plus the longest
@@ -388,6 +397,27 @@ let rec next_ev st =
        st.phase <- Finished;
        None)
 
+(* Keep diagnostics chunking-independent: [Parser] checks the size
+   limit up front against the whole string, so on an oversized document
+   it reports CLIP-LIM-001 even when an early byte is garbage. A
+   chunked feed may recognise the garbage before the running total
+   reaches the limit — so before latching any other failure, drain and
+   size the rest of the feed and let the limit verdict take precedence.
+   Injected faults escape unchanged: their boundary is before any byte
+   is consumed, on both parsers. *)
+let size_precedence st ds =
+  let keeps d =
+    let code = d.Clip_diag.code in
+    String.equal code Clip_diag.Codes.limit_input_bytes
+    || (String.length code >= 8 && String.equal (String.sub code 0 8) "CLIP-FLT")
+  in
+  if List.exists keeps ds then ds
+  else
+    let total = drain_total st in
+    if total > st.limits.Clip_diag.Limits.max_input_bytes then
+      [ oversized_error ~total st ]
+    else ds
+
 let next_result st =
   match st.failed with
   | Some ds -> Error ds
@@ -404,9 +434,10 @@ let next_result st =
            next_ev st)
      with
      | Ok _ as ok -> ok
-     | Error ds as e ->
+     | Error ds ->
+       let ds = size_precedence st ds in
        st.failed <- Some ds;
-       e)
+       Error ds)
 
 let make ?(limits = Clip_diag.Limits.default) refill =
   {

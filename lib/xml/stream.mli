@@ -17,13 +17,12 @@
     - {b diagnostic identity} — malformed input produces the same
       [CLIP-XML-001] / [CLIP-LIM-001] / [CLIP-LIM-002] codes, messages
       and (absolute) spans as [Parser.parse_string_result] on the same
-      bytes. One caveat: [Parser] checks the input-size limit up front
-      against the whole string, whereas an incremental feed discovers
-      the total length chunk by chunk — so on an oversized document
-      that is {e also} syntactically broken early, a chunked feed may
-      report the syntax error where [Parser] reports [CLIP-LIM-001].
-      {!of_string} feeds one whole-string chunk and therefore matches
-      [Parser] exactly, size limit included. *)
+      bytes. The input-size limit included: [Parser] checks it up
+      front against the whole string, so on an oversized document that
+      is {e also} syntactically broken early, before surfacing any
+      other failure a chunked feed drains and sizes the rest of the
+      feed and reports [CLIP-LIM-001] exactly as [Parser] would —
+      diagnostics never depend on where the feed was cut. *)
 
 (** One markup event. Text is delivered exactly as {!Parser} would
     store it: whitespace-only runs dropped, surrounding space trimmed,

@@ -1,0 +1,170 @@
+The mapping algebra at the CLI: compose, pipelines (--then) and
+equivalence checking (--equiv). An identity mapping over a small
+source schema, and a rename into a different target schema:
+
+  $ cat > id.clip <<'EOF'
+  > schema src { dept [1..*] { dname: string } }
+  > schema src { dept [1..*] { dname: string } }
+  > mapping {
+  >   node d: src.dept as $d -> src.dept
+  >   value src.dept.dname.value -> src.dept.dname.value
+  > }
+  > EOF
+
+  $ cat > m.clip <<'EOF'
+  > schema src { dept [1..*] { dname: string } }
+  > schema tgt { department [1..*] { @name: string } }
+  > mapping {
+  >   node d: src.dept as $d -> tgt.department
+  >   value src.dept.dname.value -> tgt.department.@name
+  > }
+  > EOF
+
+  $ cat > src.xml <<'EOF'
+  > <src><dept><dname>ICT</dname></dept><dept><dname>HR</dname></dept></src>
+  > EOF
+
+clip compose unfolds the intermediate schema away and prints one
+mapping straight from source to target:
+
+  $ clip compose id.clip m.clip
+  schema src {
+    dept [1..*] {
+      dname: string
+    }
+  }
+  
+  schema tgt {
+    department [1..*] {
+      @name: string
+    }
+  }
+  
+  mapping {
+    node a1: src.dept as $c1 -> tgt.department
+    value src.dept.dname.value -> tgt.department.@name
+  }
+
+
+
+clip run --then executes the chain; here it composes, so one fused
+mapping runs with no intermediate instance:
+
+  $ clip run id.clip -i src.xml --then m.clip
+  <tgt>
+    <department name="ICT"/>
+    <department name="HR"/>
+  </tgt>
+
+EXPLAIN with --then ends with the fusion decision:
+
+  $ clip explain id.clip -i src.xml --then m.clip | tail -n 1
+  fusion: fused into one composed mapping
+
+A grouping (Skolem) producer is outside the composable fragment: the
+group node memoises one project per name across departments, and
+unfolding it under the next stage would lose that memoisation. The
+composition is rejected with a stable code:
+
+  $ cat > group.clip <<'EOF'
+  > schema source {
+  >   dept [1..*] {
+  >     dname: string
+  >     Proj [0..*] { @pid: int  pname: string }
+  >     regEmp [0..*] { @pid: int  ename: string  sal: int }
+  >   }
+  >   ref dept.regEmp.@pid -> dept.Proj.@pid
+  > }
+  > schema t {
+  >   project [1..*] { @name: string  employee [0..*] { @name: string } }
+  > }
+  > mapping {
+  >   group g: source.dept.Proj as $pj by $pj.pname.value -> t.project {
+  >     node e: source.dept.Proj as $p2, source.dept.regEmp as $r
+  >       -> t.project.employee
+  >       where $p2.@pid = $r.@pid
+  >   }
+  >   value source.dept.Proj.pname.value -> t.project.@name
+  >   value source.dept.regEmp.ename.value -> t.project.employee.@name
+  > }
+  > EOF
+
+  $ cat > id_t.clip <<'EOF'
+  > schema t {
+  >   project [1..*] { @name: string  employee [0..*] { @name: string } }
+  > }
+  > schema t {
+  >   project [1..*] { @name: string  employee [0..*] { @name: string } }
+  > }
+  > mapping {
+  >   node p: t.project as $p -> t.project {
+  >     node e: t.project.employee as $e -> t.project.employee
+  >   }
+  >   value t.project.@name -> t.project.@name
+  >   value t.project.employee.@name -> t.project.employee.@name
+  > }
+  > EOF
+
+  $ clip compose group.clip id_t.clip
+  error[CLIP-ALG-002]: compose: intermediate element t.project is produced by a grouping node; unfolding would lose its memoisation
+  [1]
+
+Rejection is not failure: run --then degrades to staged execution
+(each stage's output feeding the next) and still produces the chain's
+result:
+
+  $ cat > depts.xml <<'EOF'
+  > <source>
+  >   <dept><dname>ICT</dname>
+  >     <Proj pid="1"><pname>Appliances</pname></Proj>
+  >     <regEmp pid="1"><ename>John Smith</ename><sal>10000</sal></regEmp>
+  >   </dept>
+  >   <dept><dname>Sales</dname>
+  >     <Proj pid="2"><pname>Appliances</pname></Proj>
+  >     <regEmp pid="2"><ename>Richard Dawson</ename><sal>13000</sal></regEmp>
+  >   </dept>
+  > </source>
+  > EOF
+
+  $ clip run group.clip -i depts.xml --then id_t.clip
+  <t>
+    <project name="Appliances">
+      <employee name="John Smith"/>
+      <employee name="Richard Dawson"/>
+    </project>
+  </t>
+
+  $ clip explain group.clip -i depts.xml --then id_t.clip | tail -n 1
+  fusion: staged (CLIP-ALG-002: compose: intermediate element t.project is produced by a grouping node; unfolding would lose its memoisation)
+
+check --equiv compares two mappings logically, by mutual containment
+of their compiled tgd rules:
+
+  $ clip check m.clip --equiv m.clip
+  equivalent
+
+Dropping a filter strictly widens a mapping — containment holds one
+way only, and the verdict says which:
+
+  $ cat > f_all.clip <<'EOF'
+  > schema src { dept [1..*] { dname: string  sal: int } }
+  > schema tgt { department [1..*] { @name: string } }
+  > mapping {
+  >   node d: src.dept as $d -> tgt.department
+  >   value src.dept.dname.value -> tgt.department.@name
+  > }
+  > EOF
+
+  $ cat > f_some.clip <<'EOF'
+  > schema src { dept [1..*] { dname: string  sal: int } }
+  > schema tgt { department [1..*] { @name: string } }
+  > mapping {
+  >   node d: src.dept as $d -> tgt.department
+  >     where $d.sal.value > 10000
+  >   value src.dept.dname.value -> tgt.department.@name
+  > }
+  > EOF
+
+  $ clip check f_all.clip --equiv f_some.clip
+  not provably equivalent: the first mapping contains the second, but not vice versa
+  [1]

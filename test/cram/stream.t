@@ -112,6 +112,29 @@ not safely shardable; EXPLAIN says why:
   $ clip explain nocontext.clip -i source.xml --stream | tail -n 1
   sharding: whole-document fallback - source.dept reads the repeated region outside the shard loop
 
+The sharding decision is a property of the mapping and the document,
+not of the execution backend: every backend resolves the same cut for
+the shardable mapping and the same fallback (with the same reason) for
+the unshardable one.
+
+  $ clip explain fig4.clip -i source.xml --stream --backend tgd | tail -n 1
+  sharding: cut at source.dept (unit <dept>, shards carry the container spine only)
+
+  $ clip explain nocontext.clip -i source.xml --stream --backend tgd | tail -n 1
+  sharding: whole-document fallback - source.dept reads the repeated region outside the shard loop
+
+  $ clip explain fig4.clip -i source.xml --stream --backend xquery | tail -n 1
+  sharding: cut at source.dept (unit <dept>, shards carry the container spine only)
+
+  $ clip explain nocontext.clip -i source.xml --stream --backend xquery | tail -n 1
+  sharding: whole-document fallback - source.dept reads the repeated region outside the shard loop
+
+  $ clip explain fig4.clip -i source.xml --stream --backend xquery-text | tail -n 1
+  sharding: cut at source.dept (unit <dept>, shards carry the container spine only)
+
+  $ clip explain nocontext.clip -i source.xml --stream --backend xquery-text | tail -n 1
+  sharding: whole-document fallback - source.dept reads the repeated region outside the shard loop
+
 --stream still runs such a mapping — it materialises the document and
 falls back to the whole-document evaluation:
 

@@ -12,6 +12,12 @@
    document (and equally deep schema DSL, mapping DSL and XQuery
    nestings) must come back as CLIP-LIM-* diagnostics, never a crash.
 
+   Two optional seeded sweeps ride along: [--faults N] replays the
+   engine under injected faults, and [--algebra N] draws random
+   compose chains over the Table-I figures and checks the mapping
+   algebra's differential oracle — pipeline (fused or degraded) vs
+   manual staged execution, with CLIP-ALG-* codes on every rejection.
+
    Runs are reproducible: the PRNG is our own (no [Random]), seeded
    from [--seed], so a failing input can be replayed by seed +
    iteration number. No external dependencies.
@@ -422,6 +428,137 @@ let fault_sweep () =
   if !fault_iterations > 0 then
     Printf.printf "fault sweep: %d seeded site iterations\n%!" !fault_iterations
 
+(* --- Algebra differential sweep (--algebra N) ------------------------- *)
+
+let algebra_iterations = ref 0
+
+(* The identity mapping over a schema: one driven builder per repeating
+   element, an identity value mapping per leaf below a repetition —
+   the same generator as the differential harness
+   (test/test_algebra.ml). *)
+let identity_mapping (s : Clip_schema.Schema.t) : Clip_core.Mapping.t =
+  let module Schema = Clip_schema.Schema in
+  let module Path = Clip_schema.Path in
+  let module Mapping = Clip_core.Mapping in
+  let n = ref 0 in
+  let rec walk path (e : Schema.element) =
+    let kids =
+      List.concat_map
+        (fun (c : Schema.element) -> walk (Path.child path c.Schema.name) c)
+        e.Schema.children
+    in
+    if Schema.is_repeating s path then begin
+      incr n;
+      [
+        Mapping.node
+          ~id:(Printf.sprintf "id%d" !n)
+          ~output:path ~children:kids
+          [ Mapping.input ~var:(Printf.sprintf "x%d" !n) path ];
+      ]
+    end
+    else kids
+  in
+  let roots = walk (Schema.root_path s) s.Schema.root in
+  let values =
+    List.filter_map
+      (fun q ->
+        if Schema.repeating_ancestors s q <> [] then
+          Some (Mapping.value [ q ] q)
+        else None)
+      (Schema.leaf_paths s)
+  in
+  Mapping.make ~source:s ~target:s ~roots values
+
+(* Each iteration draws a random compose chain over the Table-I figure
+   pool — the figure mapping bracketed by identity mappings over its
+   endpoint schemas — a random plan mode and document representation,
+   and checks the algebra's differential oracle on the paper instance:
+   [Clip_algebra.Pipeline.run_result] (fused when the chain composes,
+   staged otherwise) must agree with manual staged execution, both
+   must be total (Ok or Error diagnostics, never an exception), and a
+   rejected composition must carry only CLIP-ALG-* codes. *)
+let algebra_sweep () =
+  if !algebra_iterations > 0 then begin
+    let module SF = Clip_scenarios.Figures in
+    let instance = Clip_scenarios.Deptdb.instance in
+    let show ds = String.concat "," (List.map (fun d -> d.Clip_diag.code) ds) in
+    for i = 1 to !algebra_iterations do
+      let sc = pick SF.all in
+      let m = sc.SF.mapping in
+      let id_s = identity_mapping m.Clip_core.Mapping.source in
+      let id_t = identity_mapping m.Clip_core.Mapping.target in
+      let chain =
+        match rand 5 with
+        | 0 -> [ m ]
+        | 1 -> [ id_s; m ]
+        | 2 -> [ id_s; id_s; m ]
+        | 3 -> [ m; id_t ]
+        | _ -> [ id_s; m; id_t ]
+      in
+      let plan = pick [ `Naive; `Indexed; `Auto ] in
+      let repr = pick [ (`Tree : Clip_xml.Doc.repr); `Columnar ] in
+      let mc = sc.SF.minimum_cardinality in
+      if !verbose then
+        Printf.eprintf "algebra iter %d: %s, %d stages\n" i sc.SF.name
+          (List.length chain);
+      (match Clip_algebra.Pipeline.plan chain with
+       | Clip_algebra.Pipeline.Fused _ -> ()
+       | Clip_algebra.Pipeline.Staged ds ->
+         let alg d =
+           String.length d.Clip_diag.code >= 8
+           && String.equal (String.sub d.Clip_diag.code 0 8) "CLIP-ALG"
+         in
+         if ds = [] || not (List.for_all alg ds) then begin
+           incr failures;
+           Printf.eprintf
+             "FAILURE [algebra]: iter %d (%s): rejection without CLIP-ALG \
+              codes [%s]\n"
+             i sc.SF.name (show ds)
+         end
+       | exception e ->
+         incr failures;
+         Printf.eprintf "FAILURE [algebra]: iter %d (%s): plan raised %s\n" i
+           sc.SF.name (Printexc.to_string e));
+      let piped =
+        match
+          Clip_algebra.Pipeline.run_result ~minimum_cardinality:mc ~plan ~repr
+            chain instance
+        with
+        | r -> Ok r
+        | exception e -> Error e
+      in
+      let staged =
+        match
+          Clip_core.Engine.run_staged_result ~minimum_cardinality:mc ~plan
+            ~repr chain instance
+        with
+        | r -> Ok r
+        | exception e -> Error e
+      in
+      match (piped, staged) with
+      | Error e, _ | _, Error e ->
+        incr failures;
+        Printf.eprintf "FAILURE [algebra]: iter %d (%s): raised %s\n" i
+          sc.SF.name (Printexc.to_string e)
+      | Ok (Ok a), Ok (Ok b) ->
+        if not (Clip_xml.Node.equal a b) then begin
+          incr failures;
+          Printf.eprintf
+            "FAILURE [algebra]: iter %d (%s): pipeline and staged outputs \
+             differ\n"
+            i sc.SF.name
+        end
+      | Ok (Error _), Ok (Error _) -> ()
+      | Ok (Ok _), Ok (Error ds) | Ok (Error ds), Ok (Ok _) ->
+        incr failures;
+        Printf.eprintf
+          "FAILURE [algebra]: iter %d (%s): one execution path failed [%s]\n" i
+          sc.SF.name (show ds)
+    done;
+    Printf.printf "algebra sweep: %d random chain iterations\n%!"
+      !algebra_iterations
+  end
+
 (* --- Main loop -------------------------------------------------------- *)
 
 let () =
@@ -433,6 +570,9 @@ let () =
       ( "--faults",
         Arg.Set_int fault_iterations,
         "N  seeded fault-injection sweep iterations (default: 0)" );
+      ( "--algebra",
+        Arg.Set_int algebra_iterations,
+        "N  random compose-chain differential sweep iterations (default: 0)" );
       ("--verbose", Arg.Set verbose, "  print each iteration");
     ]
   in
@@ -458,6 +598,7 @@ let () =
     run_target name f input
   done;
   fault_sweep ();
+  algebra_sweep ();
   if !failures > 0 then begin
     Printf.eprintf "fuzz: %d failure(s) after %d iterations\n" !failures !iterations;
     exit 1

@@ -19,6 +19,13 @@
    memoisation contract, symbol interning), and an uninterfaced
    module leaks every helper as public API.
 
+   Every [dune] under [lib/] must declare
+   [(instrumentation (backend bisect_ppx))]: the stanza is inert in
+   normal builds (bisect_ppx is not a build dependency) but lets CI's
+   coverage job instrument the whole library surface with
+   [--instrument-with bisect_ppx] — a library missing the stanza
+   silently vanishes from the coverage report.
+
    Run as [lint.exe LIBDIR]; wired into [dune runtest]. *)
 
 let allowlist = [ ("clio/generate.ml", 1); ("clio/enumerate.ml", 1); ("core/compile.ml", 1) ]
@@ -197,6 +204,14 @@ let rec ml_files dir =
          then [ p ]
          else [])
 
+let rec dune_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun f ->
+         let p = Filename.concat dir f in
+         if Sys.is_directory p then dune_files p
+         else if String.equal f "dune" then [ p ]
+         else [])
+
 let () =
   let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
   let errors = ref 0 in
@@ -241,4 +256,18 @@ let () =
             rel globals allowed
       end)
     (ml_files root);
+  List.iter
+    (fun path ->
+      let src = read_file path in
+      if
+        count_substring src "(library" > 0
+        && not
+             (count_substring src "(instrumentation" > 0
+             && count_substring src "bisect_ppx" > 0)
+      then
+        complain
+          "lint: %s: library stanza without (instrumentation (backend \
+           bisect_ppx)) — the coverage job cannot see this library"
+          path)
+    (dune_files root);
   if !errors > 0 then exit 1 else print_endline "lint: lib/ is clean"

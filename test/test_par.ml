@@ -340,6 +340,30 @@ let test_stream_failures () =
      = Ok ()
     && !consumed = [])
 
+(* Randomised producer failure: for any stream length, failure point
+   and job count, a producer error after N items surfaces as exactly
+   that error, with exactly the N items before it consumed, in
+   production order — no item at or past the failure leaks through,
+   however the pool schedules the in-flight tasks. *)
+let prop_stream_producer_error =
+  QCheck.Test.make ~count:100
+    ~name:"par: stream producer error after N items — exact ordered prefix"
+    QCheck.(triple (0 -- 30) (0 -- 30) (1 -- 8))
+    (fun (n, err, jobs) ->
+      let err_at = min err n in
+      let consumed = ref [] in
+      match
+        Clip_par.stream_results ~jobs
+          ~produce:(counter_producer ~err_at (n + 5))
+          ~consume:(fun v -> consumed := v :: !consumed)
+          (fun ~obs:_ i -> Ok (i * 10))
+      with
+      | Ok () -> false
+      | Error [ d ] ->
+        String.equal d.Clip_diag.code "CLIP-TEST-002"
+        && List.rev !consumed = List.init err_at (fun i -> i * 10)
+      | Error _ -> false)
+
 let () =
   Alcotest.run "par"
     [
@@ -374,5 +398,6 @@ let () =
           Alcotest.test_case "counter totals independent of jobs" `Quick
             test_stream_counters;
           Alcotest.test_case "failure propagation" `Quick test_stream_failures;
+          QCheck_alcotest.to_alcotest prop_stream_producer_error;
         ] );
     ]

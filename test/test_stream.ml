@@ -118,6 +118,29 @@ let equivalence_tests =
         checks "byte-by-byte"
           (outcome (Parser.parse_string_result ~limits bytes))
           (outcome (Stream.parse_result (byte_by_byte ~limits bytes))));
+    Alcotest.test_case
+      "size limit beats a later syntax error, chunking-independent" `Quick
+      (fun () ->
+        (* Oversized AND malformed: the tree parser's up-front size
+           check reports CLIP-LIM-001 before it ever sees the broken
+           markup. A chunked feed recognises the syntax error first —
+           the unterminated root, the garbage prologue — while its
+           running total is still under the limit; it must drain the
+           rest of the feed and report the same CLIP-LIM-001 as the
+           tree parser, wherever the chunks were cut. *)
+        let limits = { Clip_diag.Limits.default with max_input_bytes = 10 } in
+        List.iter
+          (fun bytes -> assert_all_agree ~limits bytes)
+          [
+            "<r>0123456789";          (* truncated root, oversized *)
+            "plain text 0123456789";  (* garbage from byte one *)
+            "<r><a></b></r> padding"; (* mismatched tags, oversized *)
+            "<r a=\"1\" a=\"1\"/> tail tail"; (* dup attr, oversized *)
+          ];
+        (* Under-limit malformed input keeps its syntax diagnostic:
+           the precedence rule only fires when the whole feed is
+           actually oversized. *)
+        assert_all_agree ~limits "<r><a>");
     Alcotest.test_case "event stream shape" `Quick (fun () ->
         let st = Stream.of_string "<r a=\"1\">hi<e/></r>" in
         let next () =
