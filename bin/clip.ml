@@ -104,23 +104,59 @@ let xquery_cmd =
     (Cmd.info "xquery" ~doc:"Generate the XQuery implementing the mapping (Sec. VI)")
     Term.(const run $ mapping_file)
 
+(* --- sql ---------------------------------------------------------------- *)
+
+let sql_cmd =
+  let run file =
+    let m = load_mapping file in
+    match Clip_core.Compile.to_tgd_result m with
+    | Error ds ->
+      report ds;
+      1
+    | Ok tgd ->
+      (match
+         Clip_rel.Program.compile_result ~source:m.source
+           ~target_root:m.target.root.name tgd
+       with
+       | Error ds ->
+         report ds;
+         1
+       | Ok prog ->
+         print_string (Clip_rel.Sql.of_program prog);
+         0)
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:
+         "Generate SQL for a mapping over a relational-shaped source: one \
+          SELECT per flattened tgd rule (the form the rel backend executes \
+          as columnar relational algebra). Nested sources are rejected with \
+          CLIP-REL-003.")
+    Term.(const run $ mapping_file)
+
 (* --- run ---------------------------------------------------------------- *)
 
 let input_file =
   let doc = "Source XML instance." in
   Arg.(required & opt (some file) None & info [ "i"; "input" ] ~docv:"XML" ~doc)
 
+(* The one --backend parser, derived from the engine's backend
+   registry: names, alternatives and documentation all come from the
+   registered BACKEND modules, so a new backend shows up here (and in
+   every command taking --backend) without touching this file. Unknown
+   names are a cmdliner usage error (exit 124). *)
 let backend_arg =
   let doc =
-    "Execution backend: tgd (direct), xquery (generated query), or \
-     xquery-text (generated query round-tripped through its concrete \
-     syntax)."
+    "Execution backend: "
+    ^ String.concat ", "
+        (List.map
+           (fun (Clip_core.Engine.Backend (module B)) ->
+             Printf.sprintf "%s (%s)" B.name B.doc)
+           Clip_core.Engine.backends)
+    ^ "."
   in
   Arg.(value
-       & opt
-           (enum
-              [ ("tgd", `Tgd); ("xquery", `Xquery); ("xquery-text", `Xquery_text) ])
-           `Tgd
+       & opt (enum Clip_core.Engine.backend_names) `Tgd
        & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
 let plan_arg =
@@ -857,6 +893,7 @@ let main =
       validate_cmd;
       compile_cmd;
       xquery_cmd;
+      sql_cmd;
       run_cmd;
       explain_cmd;
       compose_cmd;

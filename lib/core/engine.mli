@@ -1,8 +1,13 @@
 (** End-to-end execution of a Clip mapping over a source instance.
 
-    Three backends implement the same semantics:
+    Four backends implement the same semantics:
     - [`Tgd] — compile to a nested tgd and run the {!Clip_tgd.Eval}
       data-exchange engine directly;
+    - [`Rel] — when the mapping's source schema is relational-shaped
+      (the {!Clip_schema.Relational} encoding: tables under a bare
+      root), compile the same tgd to a {!Clip_rel} program and run it
+      over an in-memory column store with hash joins; rejects nested
+      sources statically with [CLIP-REL-003];
     - [`Xquery] — compile to a tgd, generate the XQuery of Sec. VI with
       {!To_xquery}, and evaluate it with {!Clip_xquery.Eval};
     - [`Xquery_text] — like [`Xquery], but round-tripping the query
@@ -37,7 +42,7 @@
     translation, statistics, tag index, physical plans — across
     runs. *)
 
-type backend = [ `Tgd | `Xquery | `Xquery_text ]
+type backend = [ `Tgd | `Xquery | `Xquery_text | `Rel ]
 
 (** How one (large) source document is executed:
     - [`Whole] (the default everywhere except {!run_stream_result}) —
@@ -131,6 +136,111 @@ module Session : sig
     Mapping.t ->
     (Clip_xml.Node.t, Clip_diag.t list) result
 end
+
+(** The backend contract, made explicit: everything the engine needs
+    from an execution backend in one signature. A backend provides a
+    shard-ready compiled form ([query], prepared once per run and
+    shared by every shard), whole-document evaluation through the
+    {!Session} caches ([eval]/[eval_result] — phase spans, counters,
+    cancellation and the step budget flow through the [ctx]), per-shard
+    evaluation against fresh backend state ([eval_shard]), and the
+    static plan renderer behind [clip explain] ([explain]).
+
+    Engine dispatch is a lookup in the {!backends} table of first-class
+    modules, so adding a backend means writing one module satisfying
+    this signature and appending one row — no new match arms. The
+    existing differential suites pin that the tgd and XQuery backends
+    behave byte-identically through this interface to the former
+    hard-wired dispatch. *)
+module type BACKEND = sig
+  type query
+
+  val id : backend
+  val name : string
+
+  (** One clause for the [--backend] option's documentation. *)
+  val doc : string
+
+  val prepare :
+    ?obs:Clip_obs.Counters.t ->
+    ctx:Clip_run.t ->
+    ?session:Session.t ->
+    mapping:Mapping.t ->
+    Clip_tgd.Tgd.t ->
+    query
+
+  val prepare_result :
+    ?limits:Clip_diag.Limits.t ->
+    ?obs:Clip_obs.Counters.t ->
+    ctx:Clip_run.t ->
+    ?session:Session.t ->
+    mapping:Mapping.t ->
+    Clip_tgd.Tgd.t ->
+    (query, Clip_diag.t list) result
+
+  val eval :
+    ctx:Clip_run.t ->
+    minimum_cardinality:bool ->
+    ?plan:Clip_plan.mode ->
+    ?repr:Clip_xml.Doc.repr ->
+    ?steps_out:int ref ->
+    Session.t ->
+    Mapping.t ->
+    Clip_tgd.Tgd.t ->
+    Clip_xml.Node.t
+
+  val eval_result :
+    ?limits:Clip_diag.Limits.t ->
+    ctx:Clip_run.t ->
+    minimum_cardinality:bool ->
+    ?plan:Clip_plan.mode ->
+    ?repr:Clip_xml.Doc.repr ->
+    ?steps_out:int ref ->
+    Session.t ->
+    Mapping.t ->
+    Clip_tgd.Tgd.t ->
+    (Clip_xml.Node.t, Clip_diag.t list) result
+
+  val eval_shard :
+    ?limits:Clip_diag.Limits.t ->
+    minimum_cardinality:bool ->
+    ?plan:Clip_plan.mode ->
+    ?repr:Clip_xml.Doc.repr ->
+    ctl:Clip_run.Control.t ->
+    obs:Clip_obs.Counters.t option ->
+    steps_out:int ref ->
+    query ->
+    Clip_xml.Node.t ->
+    (Clip_xml.Node.t, Clip_diag.t list) result
+
+  val explain :
+    ?obs:Clip_obs.Counters.t ->
+    ?plan:Clip_plan.mode ->
+    Session.t ->
+    Mapping.t ->
+    Clip_tgd.Tgd.t ->
+    string
+end
+
+(** A backend packed with its (existential) query type — the row type
+    of the registry. *)
+type packed = Backend : (module BACKEND with type query = 'q) -> packed
+
+(** The registry: every execution backend, in the order the CLI lists
+    them. *)
+val backends : packed list
+
+(** [backend_module id] — the registry row implementing [id]. *)
+val backend_module : backend -> packed
+
+(** [backend_of_name name] — the backend whose CLI name is [name]
+    ([None] for unknown names; the CLI derives its [--backend] parser
+    from this registry). *)
+val backend_of_name : string -> packed option
+
+(** The CLI name of every registered backend, paired with its
+    identifier — the alternatives of the [--backend] option. *)
+val backend_names : (string * backend) list
 
 (** [run ?backend ?minimum_cardinality mapping source] — the target
     instance. Default backend [`Tgd]; default minimum-cardinality on;

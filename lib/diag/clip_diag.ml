@@ -178,6 +178,9 @@ module Codes = struct
   let algebra_ambiguous = "CLIP-ALG-003"
   let algebra_leaf = "CLIP-ALG-004"
   let algebra_multiplicity = "CLIP-ALG-005"
+  let rel_fk_arity = "CLIP-REL-001"
+  let rel_fk_unknown = "CLIP-REL-002"
+  let rel_not_relational = "CLIP-REL-003"
   let validity kind = "CLIP-VAL-" ^ kind
 end
 

@@ -168,6 +168,18 @@ module Codes : sig
   (** [CLIP-ALG-005] composition: unfolding would change multiplicity
       (e.g. a non-repeating intermediate created once per binding) *)
 
+  val rel_fk_arity : string
+  (** [CLIP-REL-001] relational encoding: foreign key column-count
+      mismatch *)
+
+  val rel_fk_unknown : string
+  (** [CLIP-REL-002] relational encoding: foreign key names an unknown
+      table or column *)
+
+  val rel_not_relational : string
+  (** [CLIP-REL-003] relational backend: the mapping's source is not
+      relational-shaped *)
+
   (** [CLIP-VAL-<kind>] for a validity issue kind (Sec. III), e.g.
       [CLIP-VAL-unanchored-source]. *)
   val validity : string -> string

@@ -1,0 +1,67 @@
+module Schema = Clip_schema.Schema
+module Cardinality = Clip_schema.Cardinality
+
+type table = {
+  t_name : string;
+  t_attrs : string list;
+  t_vals : string list;
+}
+
+type t = { root : string; tables : table list }
+
+(* The shape test mirrors the canonical relational encoding
+   ({!Clip_schema.Relational.to_schema}): a bare root whose children
+   are all repeating "table" elements, each carrying attribute columns
+   and, at most, non-repeating leaf child elements read through their
+   text value. Anything else — nested repetition, a valued root, a
+   structured column — is a reason the columnar store cannot represent
+   the instance, reported verbatim in the CLIP-REL-003 diagnostic. *)
+let of_schema (s : Schema.t) : (t, string) result =
+  let root = s.Schema.root in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if root.Schema.attrs <> [] then
+    err "the root <%s> carries attributes" root.Schema.name
+  else if root.Schema.value <> None then
+    err "the root <%s> has a text value" root.Schema.name
+  else
+    let rec tables acc = function
+      | [] -> Ok (List.rev acc)
+      | (tbl : Schema.element) :: rest ->
+        if not (Cardinality.is_repeating tbl.Schema.card) then
+          err "element <%s> does not repeat, so it is not a table"
+            tbl.Schema.name
+        else if tbl.Schema.value <> None then
+          err "table <%s> has a text value of its own" tbl.Schema.name
+        else
+          let rec cols acc = function
+            | [] -> Ok (List.rev acc)
+            | (col : Schema.element) :: rest ->
+              if Cardinality.is_repeating col.Schema.card then
+                err "column <%s> of table <%s> repeats" col.Schema.name
+                  tbl.Schema.name
+              else if col.Schema.attrs <> [] || col.Schema.children <> [] then
+                err "column <%s> of table <%s> is structured" col.Schema.name
+                  tbl.Schema.name
+              else if col.Schema.value = None then
+                err "column <%s> of table <%s> has no value type"
+                  col.Schema.name tbl.Schema.name
+              else cols (col.Schema.name :: acc) rest
+          in
+          (match cols [] tbl.Schema.children with
+           | Error _ as e -> e
+           | Ok vals ->
+             let attrs =
+               List.map
+                 (fun (a : Schema.attribute) -> a.Schema.attr_name)
+                 tbl.Schema.attrs
+             in
+             tables
+               ({ t_name = tbl.Schema.name; t_attrs = attrs; t_vals = vals }
+                :: acc)
+               rest)
+    in
+    match tables [] root.Schema.children with
+    | Error _ as e -> e
+    | Ok ts -> Ok { root = root.Schema.name; tables = ts }
+
+let table_names t = List.map (fun tbl -> tbl.t_name) t.tables

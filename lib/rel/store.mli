@@ -1,0 +1,44 @@
+(** The in-memory columnar store behind the relational backend.
+
+    Built once per document from the struct-of-arrays
+    {!Clip_xml.Doc.t}: each table of the {!Shape} becomes a row vector
+    of node ids (document order — exactly the order the tree-walk
+    backend enumerates) plus one int column per attribute and per value
+    child, every cell an index into the document's deduplicated atom
+    table. Scalar reads and join-key extraction are then single array
+    loads instead of tree walks, while {!row_node} still hands back the
+    {e physically identical} boxed source element, so target
+    construction and provenance agree byte-for-byte with the tgd
+    backend. *)
+
+(** Cell sentinel: the projection is empty (missing attribute, missing
+    child, child without text). *)
+val absent : int
+
+(** Cell sentinel: the flat encoding cannot represent the cell (a
+    repeated value child) — readers must take the generic tree walk. *)
+val fallback : int
+
+type table = {
+  t_name : string;
+  t_sym : Clip_xml.Symbol.t;
+  t_rows : int array;  (** node ids, document order *)
+  t_attrs : (string * int array) list;  (** per attribute column: atom index *)
+  t_vals : (string * int array) list;  (** per value-child column: atom index *)
+}
+
+type t = {
+  doc : Clip_xml.Doc.t;
+  root_tag : string option;  (** [None] when the document root is a text node *)
+  tables : (string * table) list;
+}
+
+val build : Shape.t -> Clip_xml.Doc.t -> t
+val table : t -> string -> table option
+val atom : t -> int -> Clip_xml.Atom.t
+
+(** [row_node tbl t i] — the original boxed element of row [i]. *)
+val row_node : table -> t -> int -> Clip_xml.Node.t
+
+(** Total rows across all tables (the EXPLAIN header statistic). *)
+val row_count : t -> int

@@ -39,7 +39,25 @@ let find_table db name =
   | Some t -> t
   | None -> invalid_arg (Printf.sprintf "Relational: unknown table %S" name)
 
-let to_schema db =
+(* Exception-free validation of the foreign keys: each failure becomes
+   a stable diagnostic instead of an [Invalid_argument]. Every problem
+   is reported (not just the first), so one pass over a hand-written
+   database surfaces the whole repair list. *)
+let to_schema_result db =
+  let errors = ref [] in
+  let err code fmt =
+    Printf.ksprintf
+      (fun msg -> errors := Clip_diag.error ~code msg :: !errors)
+      fmt
+  in
+  let lookup_table name =
+    match List.find_opt (fun t -> String.equal t.table_name name) db.tables with
+    | Some t -> Some t
+    | None ->
+      err Clip_diag.Codes.rel_fk_unknown
+        "foreign key references unknown table %S" name;
+      None
+  in
   let table_element t =
     let attrs =
       List.map (fun c -> Schema.attribute c.col_name c.col_type) t.columns
@@ -49,33 +67,71 @@ let to_schema db =
   let refs =
     List.concat_map
       (fun fk ->
-        let ft = find_table db fk.fk_table and pt = find_table db fk.pk_table in
-        if List.length fk.fk_columns <> List.length fk.pk_columns then
-          invalid_arg "Relational.to_schema: foreign key arity mismatch";
-        let check t cols =
-          List.iter
-            (fun c ->
-              if not (List.exists (fun col -> String.equal col.col_name c) t.columns)
-              then
-                invalid_arg
-                  (Printf.sprintf "Relational.to_schema: %S is not a column of %s" c
-                     t.table_name))
-            cols
-        in
-        check ft fk.fk_columns;
-        check pt fk.pk_columns;
-        List.map2
-          (fun fc pc ->
-            {
-              Schema.ref_from =
-                Path.attr (Path.child (Path.root db.db_name) fk.fk_table) fc;
-              ref_to = Path.attr (Path.child (Path.root db.db_name) fk.pk_table) pc;
-            })
-          fk.fk_columns fk.pk_columns)
+        match (lookup_table fk.fk_table, lookup_table fk.pk_table) with
+        | Some ft, Some pt ->
+          if List.length fk.fk_columns <> List.length fk.pk_columns then begin
+            err Clip_diag.Codes.rel_fk_arity
+              "foreign key %s -> %s: %d referencing column(s) against %d key \
+               column(s)"
+              fk.fk_table fk.pk_table
+              (List.length fk.fk_columns)
+              (List.length fk.pk_columns);
+            []
+          end
+          else begin
+            let ok = ref true in
+            let check t cols =
+              List.iter
+                (fun c ->
+                  if
+                    not
+                      (List.exists
+                         (fun col -> String.equal col.col_name c)
+                         t.columns)
+                  then begin
+                    ok := false;
+                    err Clip_diag.Codes.rel_fk_unknown
+                      "foreign key %s -> %s: %S is not a column of %s"
+                      fk.fk_table fk.pk_table c t.table_name
+                  end)
+                cols
+            in
+            check ft fk.fk_columns;
+            check pt fk.pk_columns;
+            if not !ok then []
+            else
+              List.map2
+                (fun fc pc ->
+                  {
+                    Schema.ref_from =
+                      Path.attr
+                        (Path.child (Path.root db.db_name) fk.fk_table)
+                        fc;
+                    ref_to =
+                      Path.attr
+                        (Path.child (Path.root db.db_name) fk.pk_table)
+                        pc;
+                  })
+                fk.fk_columns fk.pk_columns
+          end
+        | _ -> [])
       db.foreign_keys
   in
-  Schema.make ~refs
-    (Schema.element db.db_name (List.map table_element db.tables))
+  match List.rev !errors with
+  | [] ->
+    Ok
+      (Schema.make ~refs
+         (Schema.element db.db_name (List.map table_element db.tables)))
+  | ds -> Error ds
+
+(* Legacy raising entry point, kept as a thin wrapper over the
+   diagnostic twin. *)
+let to_schema db =
+  match to_schema_result db with
+  | Ok s -> s
+  | Error (d :: _) ->
+    invalid_arg (Printf.sprintf "Relational.to_schema: %s" d.Clip_diag.message)
+  | Error [] -> assert false
 
 type row = Clip_xml.Atom.t list
 

@@ -32,11 +32,16 @@ val table : ?primary_key:string list -> string -> column list -> table
 val database :
   ?foreign_keys:foreign_key list -> string -> table list -> database
 
-(** [to_schema db] — the canonical XML Schema: root [db_name], one
-    [\[0..*\]] child element per table carrying one attribute per
-    column; each foreign key becomes a {!Schema.reference}.
-    @raise Invalid_argument when a foreign key mentions unknown
-    tables/columns or mismatched column counts. *)
+(** [to_schema_result db] — the canonical XML Schema: root [db_name],
+    one [\[0..*\]] child element per table carrying one attribute per
+    column; each foreign key becomes a {!Schema.reference}. Ill-formed
+    foreign keys are reported exception-free, every problem at once:
+    [CLIP-REL-001] for a referencing/key column-count mismatch,
+    [CLIP-REL-002] for an unknown table or column. *)
+val to_schema_result : database -> (Schema.t, Clip_diag.t list) result
+
+(** [to_schema db] — like {!to_schema_result}.
+    @raise Invalid_argument on the first reported diagnostic. *)
 val to_schema : database -> Schema.t
 
 (** A row, in table column order. *)

@@ -1,0 +1,347 @@
+module Xml = Clip_xml
+module Path = Clip_schema.Path
+module Value = Clip_xquery.Value
+
+let error fmt =
+  Printf.ksprintf
+    (fun s -> Clip_diag.fail (Clip_diag.error ~code:Clip_diag.Codes.tgd_eval s))
+    fmt
+
+(* Mutable target tree under construction. [bseen] is the identity
+   seen-set backing [bprov], so recording provenance is O(1) per
+   binding instead of a [List.memq] scan over everything recorded so
+   far. *)
+type bnode = {
+  id : int;
+  btag : string;
+  mutable battrs : (string * Xml.Atom.t) list; (* reversed *)
+  mutable btext : Xml.Atom.t option;
+  mutable bchildren : bnode list; (* reversed *)
+  mutable bprov : Xml.Node.element list; (* contributing source elements, reversed *)
+  mutable bseen : unit Xml.Index.Tbl.t option;
+}
+
+(* Atomic so parallel batch runs ({!Clip_par}) can never hand two
+   build nodes the same id — builder hash tables key on it. *)
+let next_id = Atomic.make 0
+
+let fresh_bnode btag =
+  {
+    id = 1 + Atomic.fetch_and_add next_id 1;
+    btag;
+    battrs = [];
+    btext = None;
+    bchildren = [];
+    bprov = [];
+    bseen = None;
+  }
+
+let rec bnode_to_node b =
+  let children =
+    List.rev_map (fun c -> bnode_to_node c) b.bchildren
+  in
+  let children =
+    match b.btext with
+    | Some a -> Xml.Node.text a :: children
+    | None -> children
+  in
+  Xml.Node.elem ~attrs:(List.rev b.battrs) b.btag children
+
+type t = {
+  root : bnode;
+  completion : (int * string, bnode) Hashtbl.t;
+  groups : (int * string * Clip_plan.Key.t, bnode) Hashtbl.t;
+  min_card : bool;
+}
+
+let create ~min_card ~target_root =
+  {
+    root = fresh_bnode target_root;
+    completion = Hashtbl.create 64;
+    groups = Hashtbl.create 64;
+    min_card;
+  }
+
+let root bld = bld.root
+let min_card bld = bld.min_card
+
+let append_child parent child = parent.bchildren <- child :: parent.bchildren
+
+let completion_child bld parent tag =
+  match Hashtbl.find_opt bld.completion (parent.id, tag) with
+  | Some b -> b
+  | None ->
+    let b = fresh_bnode tag in
+    append_child parent b;
+    Hashtbl.add bld.completion (parent.id, tag) b;
+    b
+
+let driven_child parent tag =
+  let b = fresh_bnode tag in
+  append_child parent b;
+  b
+
+let grouped_child bld parent tag key =
+  match Hashtbl.find_opt bld.groups (parent.id, tag, key) with
+  | Some b -> b
+  | None ->
+    let b = fresh_bnode tag in
+    append_child parent b;
+    Hashtbl.add bld.groups (parent.id, tag, key) b;
+    b
+
+(* Resolve the element part of a target expression: the head must be a
+   bound target variable or the target root; intermediate child steps
+   materialise as singleton (completion) elements. Returns the bnode of
+   the last-but-one element and the final step. *)
+let resolve_target bld ~target_root ~lookup (e : Term.expr) =
+  let head = Term.head e in
+  let base =
+    match head with
+    | Term.Root s when String.equal s target_root -> bld.root
+    | Term.Root s -> error "unknown target root %s" s
+    | Term.Var x ->
+      (match lookup x with
+       | Some b -> b
+       | None -> error "unbound target variable %s" x)
+    | Term.Proj _ -> assert false
+  in
+  (base, Term.steps e)
+
+let descend_completion bld base steps =
+  List.fold_left
+    (fun b step ->
+      match (step : Path.step) with
+      | Path.Child tag -> completion_child bld b tag
+      | Path.Attr _ | Path.Value ->
+        error "target path traverses a leaf step")
+    base steps
+
+let split_last = function
+  | [] -> None
+  | steps ->
+    let rec go acc = function
+      | [ last ] -> Some (List.rev acc, last)
+      | s :: rest -> go (s :: acc) rest
+      | [] -> None
+    in
+    go [] steps
+
+let set_leaf b (step : Path.step) atom =
+  let conflict kind old =
+    error "conflicting values for %s of <%s>: %s vs %s" kind b.btag
+      (Xml.Atom.to_string old) (Xml.Atom.to_string atom)
+  in
+  match step with
+  | Path.Attr name ->
+    (match List.assoc_opt name b.battrs with
+     | Some old ->
+       if not (Xml.Atom.equal old atom) then conflict ("@" ^ name) old
+     | None -> b.battrs <- (name, atom) :: b.battrs)
+  | Path.Value ->
+    (match b.btext with
+     | Some old -> if not (Xml.Atom.equal old atom) then conflict "text" old
+     | None -> b.btext <- Some atom)
+  | Path.Child _ -> error "a leaf assignment must end on an attribute or value step"
+
+(* --- Scalar kernel ----------------------------------------------------- *)
+
+let scalar_functions = [ "concat"; "add"; "sub"; "mul"; "div"; "upper"; "lower" ]
+
+let apply_fn name (args : Xml.Atom.t list) : Xml.Atom.t =
+  let numeric a =
+    match Xml.Atom.to_float a with
+    | Some f -> f
+    | None -> error "%s: non-numeric argument %s" name (Xml.Atom.to_string a)
+  in
+  let arith op =
+    match args with
+    | [ a; b ] ->
+      let x = numeric a and y = numeric b in
+      let r = op x y in
+      if Float.is_integer r && Float.abs r < 1e15 then
+        Xml.Atom.Int (int_of_float r)
+      else Xml.Atom.Float r
+    | _ -> error "%s: expected 2 arguments, got %d" name (List.length args)
+  in
+  match name with
+  | "concat" ->
+    Xml.Atom.String (String.concat "" (List.map Xml.Atom.to_string args))
+  | "add" -> arith ( +. )
+  | "sub" -> arith ( -. )
+  | "mul" -> arith ( *. )
+  | "div" ->
+    arith (fun x y -> if y = 0. then error "div: division by zero" else x /. y)
+  | "upper" | "lower" ->
+    (match args with
+     | [ a ] ->
+       let f = if String.equal name "upper" then String.uppercase_ascii else String.lowercase_ascii in
+       Xml.Atom.String (f (Xml.Atom.to_string a))
+     | _ -> error "%s: expected 1 argument, got %d" name (List.length args))
+  | name -> error "unknown scalar function %s" name
+
+let atomize_items items =
+  List.map
+    (function
+      | Value.Atomic a -> a
+      | Value.Node n ->
+        (match n with
+         | Xml.Node.Text a -> a
+         | Xml.Node.Element _ ->
+           Xml.Atom.of_string (Value.string_value (Value.Node n))))
+    items
+
+let compare_atoms op a b =
+  let open Xml.Atom in
+  match (op : Tgd.cmp_op) with
+  | Tgd.Eq | Tgd.In -> equal a b
+  | Tgd.Ne -> not (equal a b)
+  | Tgd.Lt -> compare a b < 0
+  | Tgd.Le -> compare a b <= 0
+  | Tgd.Gt -> compare a b > 0
+  | Tgd.Ge -> compare a b >= 0
+
+let aggregate kind (items : Value.item list) : Xml.Atom.t option =
+  let numeric a =
+    match Xml.Atom.to_float a with
+    | Some f -> f
+    | None -> error "aggregate: non-numeric value %s" (Xml.Atom.to_string a)
+  in
+  let condense f =
+    match List.map numeric (atomize_items items) with
+    | [] -> None
+    | x :: xs ->
+      let r = f x xs in
+      if Float.is_integer r && Float.abs r < 1e15 then
+        Some (Xml.Atom.Int (int_of_float r))
+      else Some (Xml.Atom.Float r)
+  in
+  match (kind : Tgd.agg_kind) with
+  | Tgd.Count -> Some (Xml.Atom.Int (List.length items))
+  | Tgd.Sum ->
+    (match condense (fun x xs -> List.fold_left ( +. ) x xs) with
+     | None -> Some (Xml.Atom.Int 0)
+     | some -> some)
+  | Tgd.Avg ->
+    condense (fun x xs ->
+        List.fold_left ( +. ) x xs /. float_of_int (1 + List.length xs))
+  | Tgd.Min -> condense (fun x xs -> List.fold_left min x xs)
+  | Tgd.Max -> condense (fun x xs -> List.fold_left max x xs)
+
+(* --- Env-generic emission ---------------------------------------------- *)
+
+(* The per-binding body both executors run: instantiate the node's
+   target generators, then apply its assertions. The environment type
+   is the evaluator's own; [ops] supplies exactly the evaluator-side
+   operations the body needs, so the tgd tree-walk and the relational
+   executor share one construction semantics (and one set of dynamic
+   error messages). *)
+type 'env ops = {
+  lookup_tgt : 'env -> string -> bnode option;
+      (** target-variable lookup; expected to raise the evaluator's own
+          diagnostic when the name is bound to a source value *)
+  bind_tgt : 'env -> string -> bnode -> 'env;
+  eval_scalar : 'env -> Term.scalar -> Xml.Atom.t list;
+  eval_items : 'env -> Term.expr -> Value.item list; (* aggregate arguments *)
+  record_provenance : 'env -> bnode -> unit;
+}
+
+let instantiate_target bld ~ops ~target_root env (g : Tgd.target_gen) =
+  let base, steps =
+    resolve_target bld ~target_root ~lookup:(ops.lookup_tgt env) g.texpr
+  in
+  match split_last steps with
+  | None -> error "target generator %s binds the target root itself" g.tvar
+  | Some (intermediate, last) ->
+    let parent = descend_completion bld base intermediate in
+    let tag =
+      match last with
+      | Path.Child tag -> tag
+      | Path.Attr _ | Path.Value ->
+        error "target generator %s ends on a leaf step" g.tvar
+    in
+    let node =
+      match g.mode with
+      | Tgd.Driven -> driven_child parent tag
+      | Tgd.Completion ->
+        if bld.min_card then completion_child bld parent tag
+        else driven_child parent tag
+      | Tgd.Grouped { keys } ->
+        let key =
+          List.map
+            (fun k ->
+              match ops.eval_scalar env k with
+              | [ a ] -> a
+              | [] -> error "grouping key evaluates to the empty sequence"
+              | _ -> error "grouping key evaluates to multiple values")
+            keys
+        in
+        (* Keys are normalised so tgd grouping and the generated
+           XQuery's value comparisons agree on mixed-type data. *)
+        grouped_child bld parent tag (Clip_plan.Key.of_atoms key)
+    in
+    ops.record_provenance env node;
+    ops.bind_tgt env g.tvar node
+
+let apply_assertion bld ~ops ~target_root env (a : Tgd.assertion) =
+  let resolve e = resolve_target bld ~target_root ~lookup:(ops.lookup_tgt env) e in
+  match a with
+  | Tgd.St_eq (e, s) ->
+    (match ops.eval_scalar env s with
+     | [] -> () (* optional source data absent: nothing to copy *)
+     | [ atom ] ->
+       let base, steps = resolve e in
+       (match split_last steps with
+        | None -> error "a leaf assignment targets the document root"
+        | Some (intermediate, last) ->
+          let parent = descend_completion bld base intermediate in
+          set_leaf parent last atom)
+     | _ :: _ :: _ ->
+       error
+         "value mapping %s = %s binds multiple values; aggregate or group first"
+         (Term.expr_to_string e) (Term.scalar_to_string s))
+  | Tgd.Target_cond (e, op, atom) ->
+    (match op with
+     | Tgd.Eq ->
+       let base, steps = resolve e in
+       (match split_last steps with
+        | None -> error "a target condition targets the document root"
+        | Some (intermediate, last) ->
+          let parent = descend_completion bld base intermediate in
+          set_leaf parent last atom)
+     | _ ->
+       error "only equality target conditions are enforceable at build time")
+  | Tgd.Agg (e, kind, arg) ->
+    let items = ops.eval_items env arg in
+    (match aggregate kind items with
+     | None -> ()
+     | Some atom ->
+       let base, steps = resolve e in
+       (match split_last steps with
+        | None -> error "an aggregate targets the document root"
+        | Some (intermediate, last) ->
+          let parent = descend_completion bld base intermediate in
+          set_leaf parent last atom))
+
+(* Leading completion generators are the paper's constant tags: they
+   exist once per parent context even when no binding survives, so
+   instantiate them before enumerating bindings. (They only depend
+   on outer variables; memoisation makes the per-binding
+   re-instantiation below a no-op.) *)
+let pre_instantiate bld ~ops ~target_root env (m : Tgd.t) =
+  if bld.min_card then begin
+    let rec pre env = function
+      | ({ Tgd.mode = Tgd.Completion; _ } as g) :: rest ->
+        pre (instantiate_target bld ~ops ~target_root env g) rest
+      | _ -> env
+    in
+    ignore (pre env m.exists)
+  end
+
+let emit_binding bld ~ops ~target_root children env (m : Tgd.t) =
+  let env =
+    List.fold_left (fun env g -> instantiate_target bld ~ops ~target_root env g)
+      env m.exists
+  in
+  List.iter (apply_assertion bld ~ops ~target_root env) m.assertions;
+  children env

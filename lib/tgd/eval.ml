@@ -132,49 +132,9 @@ let tick ctx =
   if !(ctx.steps) land 63 = 0 && not (Clip_run.Control.is_none ctx.ctl) then
     check_control ctx
 
-(* Mutable target tree under construction. [bseen] is the identity
-   seen-set backing [bprov], so recording provenance is O(1) per
-   binding instead of a [List.memq] scan over everything recorded so
-   far. *)
-type bnode = {
-  id : int;
-  btag : string;
-  mutable battrs : (string * Xml.Atom.t) list; (* reversed *)
-  mutable btext : Xml.Atom.t option;
-  mutable bchildren : bnode list; (* reversed *)
-  mutable bprov : Xml.Node.element list; (* contributing source elements, reversed *)
-  mutable bseen : unit Xml.Index.Tbl.t option;
-}
-
-(* Atomic so parallel batch runs ({!Clip_par}) can never hand two
-   build nodes the same id — builder hash tables key on it. *)
-let next_id = Atomic.make 0
-
-let fresh_bnode btag =
-  {
-    id = 1 + Atomic.fetch_and_add next_id 1;
-    btag;
-    battrs = [];
-    btext = None;
-    bchildren = [];
-    bprov = [];
-    bseen = None;
-  }
-
-let rec bnode_to_node b =
-  let children =
-    List.rev_map (fun c -> bnode_to_node c) b.bchildren
-  in
-  let children =
-    match b.btext with
-    | Some a -> Xml.Node.text a :: children
-    | None -> children
-  in
-  Xml.Node.elem ~attrs:(List.rev b.battrs) b.btag children
-
 (* Environments bind source variables to items and target variables to
-   build nodes. *)
-type binding = Src of Value.item | Tgt of bnode
+   build nodes (the shared {!Builder} target-construction core). *)
+type binding = Src of Value.item | Tgt of Builder.bnode
 
 module Env = Map.Make (String)
 
@@ -403,55 +363,12 @@ and eval_proj_fused ctx env d (e0 : Term.expr) : Value.item list =
     levels buf ctx.sbuf_b steps
   end
 
-let scalar_functions = [ "concat"; "add"; "sub"; "mul"; "div"; "upper"; "lower" ]
-
-let apply_fn name (args : Xml.Atom.t list) : Xml.Atom.t =
-  let numeric a =
-    match Xml.Atom.to_float a with
-    | Some f -> f
-    | None -> error "%s: non-numeric argument %s" name (Xml.Atom.to_string a)
-  in
-  let arith op =
-    match args with
-    | [ a; b ] ->
-      let x = numeric a and y = numeric b in
-      let r = op x y in
-      if Float.is_integer r && Float.abs r < 1e15 then
-        Xml.Atom.Int (int_of_float r)
-      else Xml.Atom.Float r
-    | _ -> error "%s: expected 2 arguments, got %d" name (List.length args)
-  in
-  match name with
-  | "concat" ->
-    Xml.Atom.String (String.concat "" (List.map Xml.Atom.to_string args))
-  | "add" -> arith ( +. )
-  | "sub" -> arith ( -. )
-  | "mul" -> arith ( *. )
-  | "div" ->
-    arith (fun x y -> if y = 0. then error "div: division by zero" else x /. y)
-  | "upper" | "lower" ->
-    (match args with
-     | [ a ] ->
-       let f = if String.equal name "upper" then String.uppercase_ascii else String.lowercase_ascii in
-       Xml.Atom.String (f (Xml.Atom.to_string a))
-     | _ -> error "%s: expected 1 argument, got %d" name (List.length args))
-  | name -> error "unknown scalar function %s" name
-
-let atomize_items items =
-  List.map
-    (function
-      | Value.Atomic a -> a
-      | Value.Node n ->
-        (match n with
-         | Xml.Node.Text a -> a
-         | Xml.Node.Element _ ->
-           Xml.Atom.of_string (Value.string_value (Value.Node n))))
-    items
+let scalar_functions = Builder.scalar_functions
 
 let rec eval_scalar ctx env (s : Term.scalar) : Xml.Atom.t list =
   tick ctx;
   match s with
-  | Term.E e -> atomize_items (eval_src ctx env e)
+  | Term.E e -> Builder.atomize_items (eval_src ctx env e)
   | Term.Const a -> [ a ]
   | Term.Fn (name, args) ->
     let arg_atoms =
@@ -463,111 +380,12 @@ let rec eval_scalar ctx env (s : Term.scalar) : Xml.Atom.t list =
           | _ -> error "%s: an argument evaluates to multiple values" name)
         args
     in
-    [ apply_fn name arg_atoms ]
-
-let compare_atoms op a b =
-  let open Xml.Atom in
-  match (op : Tgd.cmp_op) with
-  | Tgd.Eq | Tgd.In -> equal a b
-  | Tgd.Ne -> not (equal a b)
-  | Tgd.Lt -> compare a b < 0
-  | Tgd.Le -> compare a b <= 0
-  | Tgd.Gt -> compare a b > 0
-  | Tgd.Ge -> compare a b >= 0
+    [ Builder.apply_fn name arg_atoms ]
 
 let holds ctx env (c : Tgd.comparison) =
   let ls = eval_scalar ctx env c.left in
   let rs = eval_scalar ctx env c.right in
-  List.exists (fun a -> List.exists (compare_atoms c.op a) rs) ls
-
-(* --- Target-side construction ---------------------------------------- *)
-
-type builder = {
-  root : bnode;
-  completion : (int * string, bnode) Hashtbl.t;
-  groups : (int * string * Clip_plan.Key.t, bnode) Hashtbl.t;
-  min_card : bool;
-}
-
-let append_child parent child = parent.bchildren <- child :: parent.bchildren
-
-let completion_child bld parent tag =
-  match Hashtbl.find_opt bld.completion (parent.id, tag) with
-  | Some b -> b
-  | None ->
-    let b = fresh_bnode tag in
-    append_child parent b;
-    Hashtbl.add bld.completion (parent.id, tag) b;
-    b
-
-let driven_child parent tag =
-  let b = fresh_bnode tag in
-  append_child parent b;
-  b
-
-let grouped_child bld parent tag key =
-  match Hashtbl.find_opt bld.groups (parent.id, tag, key) with
-  | Some b -> b
-  | None ->
-    let b = fresh_bnode tag in
-    append_child parent b;
-    Hashtbl.add bld.groups (parent.id, tag, key) b;
-    b
-
-(* Resolve the element part of a target expression: the head must be a
-   bound target variable or the target root; intermediate child steps
-   materialise as singleton (completion) elements. Returns the bnode of
-   the last-but-one element and the final step. *)
-let resolve_target bld ~target_root env (e : Term.expr) =
-  let head = Term.head e in
-  let base =
-    match head with
-    | Term.Root s when String.equal s target_root -> bld.root
-    | Term.Root s -> error "unknown target root %s" s
-    | Term.Var x ->
-      (match Env.find_opt x env with
-       | Some (Tgt b) -> b
-       | Some (Src _) -> error "variable %s is a source variable in a target position" x
-       | None -> error "unbound target variable %s" x)
-    | Term.Proj _ -> assert false
-  in
-  (base, Term.steps e)
-
-let descend_completion bld base steps =
-  List.fold_left
-    (fun b step ->
-      match (step : Path.step) with
-      | Path.Child tag -> completion_child bld b tag
-      | Path.Attr _ | Path.Value ->
-        error "target path traverses a leaf step")
-    base steps
-
-let split_last = function
-  | [] -> None
-  | steps ->
-    let rec go acc = function
-      | [ last ] -> Some (List.rev acc, last)
-      | s :: rest -> go (s :: acc) rest
-      | [] -> None
-    in
-    go [] steps
-
-let set_leaf b (step : Path.step) atom =
-  let conflict kind old =
-    error "conflicting values for %s of <%s>: %s vs %s" kind b.btag
-      (Xml.Atom.to_string old) (Xml.Atom.to_string atom)
-  in
-  match step with
-  | Path.Attr name ->
-    (match List.assoc_opt name b.battrs with
-     | Some old ->
-       if not (Xml.Atom.equal old atom) then conflict ("@" ^ name) old
-     | None -> b.battrs <- (name, atom) :: b.battrs)
-  | Path.Value ->
-    (match b.btext with
-     | Some old -> if not (Xml.Atom.equal old atom) then conflict "text" old
-     | None -> b.btext <- Some atom)
-  | Path.Child _ -> error "a leaf assignment must end on an attribute or value step"
+  List.exists (fun a -> List.exists (Builder.compare_atoms c.op a) rs) ls
 
 (* --- The engine ------------------------------------------------------- *)
 
@@ -582,43 +400,16 @@ let cartesian_bindings ctx env (gens : Tgd.source_gen list) =
   in
   go env gens
 
-let aggregate kind (items : Value.item list) : Xml.Atom.t option =
-  let numeric a =
-    match Xml.Atom.to_float a with
-    | Some f -> f
-    | None -> error "aggregate: non-numeric value %s" (Xml.Atom.to_string a)
-  in
-  let condense f =
-    match List.map numeric (atomize_items items) with
-    | [] -> None
-    | x :: xs ->
-      let r = f x xs in
-      if Float.is_integer r && Float.abs r < 1e15 then
-        Some (Xml.Atom.Int (int_of_float r))
-      else Some (Xml.Atom.Float r)
-  in
-  match (kind : Tgd.agg_kind) with
-  | Tgd.Count -> Some (Xml.Atom.Int (List.length items))
-  | Tgd.Sum ->
-    (match condense (fun x xs -> List.fold_left ( +. ) x xs) with
-     | None -> Some (Xml.Atom.Int 0)
-     | some -> some)
-  | Tgd.Avg ->
-    condense (fun x xs ->
-        List.fold_left ( +. ) x xs /. float_of_int (1 + List.length xs))
-  | Tgd.Min -> condense (fun x xs -> List.fold_left min x xs)
-  | Tgd.Max -> condense (fun x xs -> List.fold_left max x xs)
-
 (* Record which source elements were bound when a target element was
    created (or re-reached, for completion/group elements). The identity
    table mirrors [bprov], keeping each recording O(1). *)
-let record_provenance node env =
+let record_provenance (node : Builder.bnode) env =
   let seen =
-    match node.bseen with
+    match node.Builder.bseen with
     | Some t -> t
     | None ->
       let t = Xml.Index.Tbl.create 8 in
-      node.bseen <- Some t;
+      node.Builder.bseen <- Some t;
       t
   in
   Env.iter
@@ -627,7 +418,7 @@ let record_provenance node env =
       | Src (Value.Node (Xml.Node.Element e)) ->
         if not (Xml.Index.Tbl.mem seen e) then begin
           Xml.Index.Tbl.add seen e ();
-          node.bprov <- e :: node.bprov
+          node.Builder.bprov <- e :: node.Builder.bprov
         end
       | Src (Value.Node (Xml.Node.Text _) | Value.Atomic _) | Tgt _ -> ())
     env
@@ -814,107 +605,29 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
      cancel flag deterministic regardless of the 64-step amortisation. *)
   if not (Clip_run.Control.is_none ctx.ctl) then check_control ctx;
   Clip_fault.hit ~obs Clip_fault.Site.tgd_execute;
-  let bld =
+  let bld = Builder.create ~min_card:minimum_cardinality ~target_root in
+  (* The evaluator-side operations the shared construction core needs:
+     variable lookup/binding over this evaluator's [Env], source
+     evaluation through [ctx] (so ticks and counters keep firing at
+     the same sites), and instance-level provenance. *)
+  let ops =
     {
-      root = fresh_bnode target_root;
-      completion = Hashtbl.create 64;
-      groups = Hashtbl.create 64;
-      min_card = minimum_cardinality;
+      Builder.lookup_tgt =
+        (fun env x ->
+          match Env.find_opt x env with
+          | Some (Tgt b) -> Some b
+          | Some (Src _) ->
+            error "variable %s is a source variable in a target position" x
+          | None -> None);
+      bind_tgt = (fun env x b -> Env.add x (Tgt b) env);
+      eval_scalar = (fun env s -> eval_scalar ctx env s);
+      eval_items = (fun env e -> eval_src ctx env e);
+      record_provenance = (fun env node -> record_provenance node env);
     }
   in
-  let instantiate_target env (g : Tgd.target_gen) =
-    let base, steps = resolve_target bld ~target_root env g.texpr in
-    match split_last steps with
-    | None -> error "target generator %s binds the target root itself" g.tvar
-    | Some (intermediate, last) ->
-      let parent = descend_completion bld base intermediate in
-      let tag =
-        match last with
-        | Path.Child tag -> tag
-        | Path.Attr _ | Path.Value ->
-          error "target generator %s ends on a leaf step" g.tvar
-      in
-      let node =
-        match g.mode with
-        | Tgd.Driven -> driven_child parent tag
-        | Tgd.Completion ->
-          if bld.min_card then completion_child bld parent tag
-          else driven_child parent tag
-        | Tgd.Grouped { keys } ->
-          let key =
-            List.map
-              (fun k ->
-                match eval_scalar ctx env k with
-                | [ a ] -> a
-                | [] -> error "grouping key evaluates to the empty sequence"
-                | _ -> error "grouping key evaluates to multiple values")
-              keys
-          in
-          (* Keys are normalised so tgd grouping and the generated
-             XQuery's value comparisons agree on mixed-type data. *)
-          grouped_child bld parent tag (Clip_plan.Key.of_atoms key)
-      in
-      record_provenance node env;
-      Env.add g.tvar (Tgt node) env
-  in
-  let apply_assertion env (a : Tgd.assertion) =
-    match a with
-    | Tgd.St_eq (e, s) ->
-      (match eval_scalar ctx env s with
-       | [] -> () (* optional source data absent: nothing to copy *)
-       | [ atom ] ->
-         let base, steps = resolve_target bld ~target_root env e in
-         (match split_last steps with
-          | None -> error "a leaf assignment targets the document root"
-          | Some (intermediate, last) ->
-            let parent = descend_completion bld base intermediate in
-            set_leaf parent last atom)
-       | _ :: _ :: _ ->
-         error
-           "value mapping %s = %s binds multiple values; aggregate or group first"
-           (Term.expr_to_string e) (Term.scalar_to_string s))
-    | Tgd.Target_cond (e, op, atom) ->
-      (match op with
-       | Tgd.Eq ->
-         let base, steps = resolve_target bld ~target_root env e in
-         (match split_last steps with
-          | None -> error "a target condition targets the document root"
-          | Some (intermediate, last) ->
-            let parent = descend_completion bld base intermediate in
-            set_leaf parent last atom)
-       | _ ->
-         error "only equality target conditions are enforceable at build time")
-    | Tgd.Agg (e, kind, arg) ->
-      let items = eval_src ctx env arg in
-      (match aggregate kind items with
-       | None -> ()
-       | Some atom ->
-         let base, steps = resolve_target bld ~target_root env e in
-         (match split_last steps with
-          | None -> error "an aggregate targets the document root"
-          | Some (intermediate, last) ->
-            let parent = descend_completion bld base intermediate in
-            set_leaf parent last atom))
-  in
-  (* Leading completion generators are the paper's constant tags: they
-     exist once per parent context even when no binding survives, so
-     instantiate them before enumerating bindings. (They only depend
-     on outer variables; memoisation makes the per-binding
-     re-instantiation below a no-op.) *)
-  let pre_instantiate env (m : Tgd.t) =
-    if bld.min_card then begin
-      let rec pre env = function
-        | ({ Tgd.mode = Tgd.Completion; _ } as g) :: rest ->
-          pre (instantiate_target env g) rest
-        | _ -> env
-      in
-      ignore (pre env m.exists)
-    end
-  in
-  let emit_binding children env (m : Tgd.t) =
-    let env = List.fold_left instantiate_target env m.exists in
-    List.iter (apply_assertion env) m.assertions;
-    children env
+  let pre_instantiate env m = Builder.pre_instantiate bld ~ops ~target_root env m in
+  let emit_binding children env m =
+    Builder.emit_binding bld ~ops ~target_root children env m
   in
   (* The naive interpreter, kept verbatim as the differential-testing
      oracle for the plan-based path below. *)
@@ -1031,7 +744,7 @@ let execute ?(limits = Clip_diag.Limits.default) ?(minimum_cardinality = true)
        end;
        eval_planned ~outer:true Env.empty p
      end);
-  bld.root
+  Builder.root bld
 
 let reraise_legacy ds =
   let d = match ds with d :: _ -> d | [] -> assert false in
@@ -1040,7 +753,7 @@ let reraise_legacy ds =
 let run_result ?limits ?minimum_cardinality ?plan ?repr ?ctl ?session ?steps_out
     ?obs ~source ~target_root m =
   Clip_diag.guard (fun () ->
-    bnode_to_node
+    Builder.bnode_to_node
       (execute ?limits ?minimum_cardinality ?plan ?repr ?ctl ?session ?steps_out
          ?obs ~source ~target_root m))
 
@@ -1160,17 +873,17 @@ let run_traced_unguarded ?limits ?minimum_cardinality ?plan ?repr ?ctl ?session
       ~source ~target_root m
   in
   let trace = ref [] in
-  let rec walk path b =
+  let rec walk path (b : Builder.bnode) =
     trace :=
       {
         target_path = List.rev path;
-        sources = List.rev_map (fun e -> Xml.Node.Element e) b.bprov;
+        sources = List.rev_map (fun e -> Xml.Node.Element e) b.Builder.bprov;
       }
       :: !trace;
-    List.iteri (fun i c -> walk (i :: path) c) (List.rev b.bchildren)
+    List.iteri (fun i c -> walk (i :: path) c) (List.rev b.Builder.bchildren)
   in
   walk [] root;
-  (bnode_to_node root, List.rev !trace)
+  (Builder.bnode_to_node root, List.rev !trace)
 
 let run_traced_result ?limits ?minimum_cardinality ?plan ?repr ?ctl ?session
     ?steps_out ?obs ~source ~target_root m =

@@ -60,6 +60,7 @@ let backend_name = function
   | `Tgd -> "tgd"
   | `Xquery -> "xquery"
   | `Xquery_text -> "xquery-text"
+  | `Rel -> "rel"
 
 let plan_name = function `Naive -> "naive" | `Indexed -> "indexed" | `Auto -> "auto"
 let repr_name = function

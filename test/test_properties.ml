@@ -432,6 +432,139 @@ let pipeline_dsl_prop =
         (Clip_core.Compile.to_tgd clip)
         (Clip_core.Compile.to_tgd clip'))
 
+(* --- Relational encoding and the relational backend ----------------------- *)
+
+module Rel = Clip_schema.Relational
+
+(* Random relational databases: 1-4 tables of 1-4 columns (the first
+   column of each table is always an int, so a single-column foreign
+   key between the first two tables is always well-typed). *)
+let gen_rel_db =
+  QCheck2.Gen.(
+    map2
+      (fun tables_shape with_fk ->
+        let tables =
+          List.mapi
+            (fun i cols ->
+              Rel.table
+                (Printf.sprintf "t%d" i)
+                (List.mapi
+                   (fun j is_int ->
+                     Rel.column
+                       (Printf.sprintf "c%d_%d" i j)
+                       (if j = 0 || is_int then Clip_schema.Atomic_type.T_int
+                        else Clip_schema.Atomic_type.T_string))
+                   cols))
+            tables_shape
+        in
+        let foreign_keys =
+          if with_fk && List.length tables >= 2 then
+            [
+              {
+                Rel.fk_table = "t1";
+                fk_columns = [ "c1_0" ];
+                pk_table = "t0";
+                pk_columns = [ "c0_0" ];
+              };
+            ]
+          else []
+        in
+        Rel.database ~foreign_keys "db" tables)
+      (list_size (1 -- 4) (list_size (1 -- 4) bool))
+      bool)
+
+let rel_encoding_total =
+  QCheck2.Test.make ~count:200
+    ~name:"random databases: the canonical encoding is total and well-formed"
+    gen_rel_db
+    (fun db ->
+      match Rel.to_schema_result db with
+      | Error _ -> false
+      | Ok s ->
+        List.length s.Clip_schema.Schema.refs = List.length db.Rel.foreign_keys)
+
+let rel_shape_roundtrip =
+  QCheck2.Test.make ~count:200
+    ~name:"random databases: encode -> shape-detect round-trips"
+    gen_rel_db
+    (fun db ->
+      match Clip_rel.Shape.of_schema (Rel.to_schema db) with
+      | Error _ -> false
+      | Ok shape ->
+        List.length shape.Clip_rel.Shape.tables = List.length db.Rel.tables
+        && List.for_all2
+             (fun (st : Clip_rel.Shape.table) (t : Rel.table) ->
+               String.equal st.Clip_rel.Shape.t_name t.Rel.table_name
+               && st.Clip_rel.Shape.t_attrs
+                  = List.map (fun (c : Rel.column) -> c.Rel.col_name)
+                      t.Rel.columns
+               && st.Clip_rel.Shape.t_vals = [])
+             shape.Clip_rel.Shape.tables db.Rel.tables)
+
+(* The identity mapping over a schema: one driven builder per table,
+   an identity value mapping per column (the same generator as the
+   algebra differential harness). *)
+let identity_mapping (s : Clip_schema.Schema.t) : Clip_core.Mapping.t =
+  let module Sch = Clip_schema.Schema in
+  let module Path = Clip_schema.Path in
+  let module Mapping = Clip_core.Mapping in
+  let n = ref 0 in
+  let rec walk path (e : Sch.element) =
+    let kids =
+      List.concat_map
+        (fun (c : Sch.element) -> walk (Path.child path c.Sch.name) c)
+        e.Sch.children
+    in
+    if Sch.is_repeating s path then begin
+      incr n;
+      [
+        Mapping.node
+          ~id:(Printf.sprintf "id%d" !n)
+          ~output:path ~children:kids
+          [ Mapping.input ~var:(Printf.sprintf "x%d" !n) path ];
+      ]
+    end
+    else kids
+  in
+  let roots = walk (Sch.root_path s) s.Sch.root in
+  let values =
+    List.filter_map
+      (fun q ->
+        if Sch.repeating_ancestors s q <> [] then Some (Mapping.value [ q ] q)
+        else None)
+      (Sch.leaf_paths s)
+  in
+  Mapping.make ~source:s ~target:s ~roots values
+
+(* Random canonical instances of a random database: the relational
+   backend must agree byte-for-byte with the tgd backend on the
+   identity mapping over the encoded schema. *)
+let rel_backend_identity =
+  QCheck2.Test.make ~count:60
+    ~name:"random databases: rel backend == tgd backend on canonical instances"
+    QCheck2.Gen.(pair gen_rel_db (0 -- 10_000))
+    (fun (db, seed) ->
+      let st = Random.State.make [| seed |] in
+      let rows =
+        List.map
+          (fun (t : Rel.table) ->
+            ( t.Rel.table_name,
+              List.init (Random.State.int st 5) (fun _ ->
+                  List.map
+                    (fun (c : Rel.column) ->
+                      match c.Rel.col_type with
+                      | Clip_schema.Atomic_type.T_int ->
+                        Atom.Int (Random.State.int st 9)
+                      | _ -> Atom.String "x")
+                    t.Rel.columns) ))
+          db.Rel.tables
+      in
+      let m = identity_mapping (Rel.to_schema db) in
+      let doc = Rel.instance db rows in
+      Node.equal
+        (Engine.run ~backend:`Tgd m doc)
+        (Engine.run ~backend:`Rel m doc))
+
 let to_alcotest = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -453,4 +586,7 @@ let () =
       ("conformance", to_alcotest conformance);
       ("clio", to_alcotest [ clio_extension_never_worse; compiled_alpha_reflexive ]);
       ("pipeline", to_alcotest [ pipeline_prop; pipeline_dsl_prop ]);
+      ( "rel",
+        to_alcotest
+          [ rel_encoding_total; rel_shape_roundtrip; rel_backend_identity ] );
     ]

@@ -394,6 +394,93 @@ let relational_tests =
            with
            | exception Invalid_argument _ -> true
            | _ -> false));
+    (* The exception-free encoding: to_schema_result reports every
+       foreign-key defect as a diagnostic with a stable CLIP-REL code
+       instead of raising on the first. *)
+    Alcotest.test_case "to_schema_result: ok on a well-formed database" `Quick
+      (fun () ->
+        match Relational.to_schema_result db with
+        | Ok s -> checki "1 ref" 1 (List.length s.refs)
+        | Error _ -> Alcotest.fail "expected Ok");
+    Alcotest.test_case "to_schema_result: fk arity is CLIP-REL-001" `Quick
+      (fun () ->
+        let bad =
+          Relational.database "db"
+            ~foreign_keys:
+              [
+                {
+                  Relational.fk_table = "grant";
+                  fk_columns = [ "recipient" ];
+                  pk_table = "company";
+                  pk_columns = [ "cid"; "cname" ];
+                };
+              ]
+            [
+              Relational.table "company"
+                [ Relational.column "cid" Atomic_type.T_int;
+                  Relational.column "cname" Atomic_type.T_string ];
+              Relational.table "grant"
+                [ Relational.column "recipient" Atomic_type.T_int ];
+            ]
+        in
+        match Relational.to_schema_result bad with
+        | Ok _ -> Alcotest.fail "expected Error"
+        | Error ds ->
+          checki "1 diagnostic" 1 (List.length ds);
+          Alcotest.(check string)
+            "code" "CLIP-REL-001" (List.hd ds).Clip_diag.code);
+    Alcotest.test_case
+      "to_schema_result: unknown fk table/column is CLIP-REL-002, all collected"
+      `Quick (fun () ->
+        let bad =
+          Relational.database "db"
+            ~foreign_keys:
+              [
+                {
+                  Relational.fk_table = "grant";
+                  fk_columns = [ "recipient" ];
+                  pk_table = "nosuch";
+                  pk_columns = [ "cid" ];
+                };
+                {
+                  Relational.fk_table = "grant";
+                  fk_columns = [ "nocol" ];
+                  pk_table = "grant";
+                  pk_columns = [ "recipient" ];
+                };
+              ]
+            [
+              Relational.table "grant"
+                [ Relational.column "recipient" Atomic_type.T_int ];
+            ]
+        in
+        match Relational.to_schema_result bad with
+        | Ok _ -> Alcotest.fail "expected Error"
+        | Error ds ->
+          checki "2 diagnostics" 2 (List.length ds);
+          List.iter
+            (fun d ->
+              Alcotest.(check string) "code" "CLIP-REL-002" d.Clip_diag.code)
+            ds);
+    Alcotest.test_case "to_schema raises Invalid_argument as before" `Quick
+      (fun () ->
+        let bad =
+          Relational.database "db"
+            ~foreign_keys:
+              [
+                {
+                  Relational.fk_table = "t";
+                  fk_columns = [ "a" ];
+                  pk_table = "nosuch";
+                  pk_columns = [ "a" ];
+                };
+              ]
+            [ Relational.table "t" [ Relational.column "a" Atomic_type.T_int ] ]
+        in
+        checkb "raises" true
+          (match Relational.to_schema bad with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
   ]
 
 (* --- Random instance generation ---------------------------------------------------- *)
